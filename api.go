@@ -1,0 +1,163 @@
+package scanbist
+
+import (
+	"io"
+
+	"repro/internal/adaptive"
+	"repro/internal/atpg"
+	"repro/internal/bench"
+	"repro/internal/benchgen"
+	"repro/internal/bitset"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/dictionary"
+	"repro/internal/partition"
+	"repro/internal/scan"
+	"repro/internal/sim"
+	"repro/internal/soc"
+	"repro/internal/verilog"
+)
+
+// Re-exported types. The internal packages carry the implementation; these
+// aliases form the supported public surface.
+type (
+	// Circuit is a validated gate-level netlist.
+	Circuit = circuit.Circuit
+	// NetID indexes a net within a Circuit.
+	NetID = circuit.NetID
+	// Profile describes a synthetic benchmark circuit to generate.
+	Profile = benchgen.Profile
+	// Fault is a single stuck-at fault.
+	Fault = sim.Fault
+	// Scheme generates scan-chain partitions.
+	Scheme = partition.Scheme
+	// Partition assigns chain positions to groups.
+	Partition = partition.Partition
+	// Options configures a diagnosis study.
+	Options = core.Options
+	// Study aggregates diagnostic resolution over many faults.
+	Study = core.Study
+	// FaultDiagnosis is the per-fault diagnosis outcome.
+	FaultDiagnosis = core.FaultDiagnosis
+	// CircuitBench couples a circuit with a BIST environment.
+	CircuitBench = core.CircuitBench
+	// SOCBench couples an SOC with a BIST environment over its TAM.
+	SOCBench = core.SOCBench
+	// SOC is a core-based system-on-chip on a TestRail.
+	SOC = soc.SOC
+	// SOCCore is one embedded core of an SOC.
+	SOCCore = soc.Core
+	// ScanConfig describes scan chains over a cell universe.
+	ScanConfig = scan.Config
+)
+
+// TwoStep returns the paper's proposed scheme: one interval-based partition
+// followed by random-selection partitions.
+func TwoStep() Scheme { return partition.TwoStep{} }
+
+// RandomSelection returns the classical Rajski–Tyszer scheme.
+func RandomSelection() Scheme { return partition.RandomSelection{} }
+
+// IntervalBased returns the pure interval-based scheme.
+func IntervalBased() Scheme { return partition.Interval{} }
+
+// FixedInterval returns the deterministic equal-block baseline.
+func FixedInterval() Scheme { return partition.FixedInterval{} }
+
+// Generate builds a synthetic benchmark circuit from a profile.
+func Generate(p Profile) (*Circuit, error) { return benchgen.Generate(p) }
+
+// MustGenerate generates a built-in profile by name (e.g. "s953"),
+// panicking if the name is unknown.
+func MustGenerate(name string) *Circuit { return benchgen.MustGenerate(name) }
+
+// ProfileByName looks up a built-in benchmark profile.
+func ProfileByName(name string) (Profile, bool) { return benchgen.ProfileByName(name) }
+
+// Profiles lists the built-in benchmark profiles.
+func Profiles() []Profile { return benchgen.Profiles() }
+
+// ParseBench reads an ISCAS-89 .bench netlist.
+func ParseBench(name string, r io.Reader) (*Circuit, error) { return bench.Parse(name, r) }
+
+// WriteBench writes a circuit in .bench format.
+func WriteBench(w io.Writer, c *Circuit) error { return bench.Write(w, c) }
+
+// ParseVerilog reads a netlist in the structural Verilog subset.
+func ParseVerilog(r io.Reader) (*Circuit, error) { return verilog.Parse(r) }
+
+// WriteVerilog writes a circuit as a structural Verilog module.
+func WriteVerilog(w io.Writer, c *Circuit) error { return verilog.Write(w, c) }
+
+// FullFaultList enumerates the uncollapsed stuck-at faults of a circuit.
+func FullFaultList(c *Circuit) []Fault { return sim.FullFaultList(c) }
+
+// CollapseFaults merges structurally equivalent faults.
+func CollapseFaults(c *Circuit, faults []Fault) []Fault { return sim.CollapseFaults(c, faults) }
+
+// SampleFaults deterministically samples up to n faults.
+func SampleFaults(faults []Fault, n int, seed int64) []Fault {
+	return sim.SampleFaults(faults, n, seed)
+}
+
+// NewCircuitBench prepares a BIST diagnosis environment for a circuit.
+func NewCircuitBench(c *Circuit, opts Options) (*CircuitBench, error) {
+	return core.NewCircuitBench(c, opts)
+}
+
+// NewSOCBench prepares a BIST diagnosis environment over an SOC's TAM.
+func NewSOCBench(s *SOC, opts Options) (*SOCBench, error) {
+	return core.NewSOCBench(s, opts)
+}
+
+// NewSOC assembles an SOC from cores in daisy-chain order.
+func NewSOC(name string, cores ...*SOCCore) (*SOC, error) { return soc.New(name, cores...) }
+
+// SOC1 builds the paper's first crafted SOC (the six largest ISCAS-89
+// cores on a single meta scan chain).
+func SOC1() (*SOC, error) { return soc.SOC1() }
+
+// SOC2 builds the paper's second SOC (the d695 variant with an 8-bit TAM).
+func SOC2() (*SOC, error) { return soc.SOC2() }
+
+// RandomScanOrder returns a deterministic pseudorandom scan order, the
+// ablation that destroys structure/position correlation.
+func RandomScanOrder(n int, seed int64) []int { return scan.RandomOrder(n, seed) }
+
+// StructuralScanOrder derives a locality-preserving scan order from the
+// netlist structure — the scan-stitching step that makes interval-based
+// partitioning effective when flip-flop declaration order carries no
+// placement information.
+func StructuralScanOrder(c *Circuit) []int { return scan.StructuralOrder(c) }
+
+// CellSet is a set of scan cells (candidates, failing cells, …).
+type CellSet = bitset.Set
+
+// FaultDictionary maps faults to failing-cell signatures and ranks defect
+// candidates against a diagnosed cell set.
+type FaultDictionary = dictionary.Dictionary
+
+// DictionaryMatch is a ranked dictionary lookup result.
+type DictionaryMatch = dictionary.Match
+
+// BuildDictionary fault-simulates the list and builds a lookup dictionary.
+// The CircuitBench convenience wrapper is usually simpler:
+//
+//	dict := scanbist.BuildDictionary(sim.NewFaultSim(c, blocks), faults)
+func BuildDictionary(fs *sim.FaultSim, faults []Fault) *FaultDictionary {
+	return dictionary.Build(fs, faults)
+}
+
+// TestGenerator runs PODEM deterministic test generation.
+type TestGenerator = atpg.Generator
+
+// NewTestGenerator builds a PODEM generator for a circuit.
+func NewTestGenerator(c *Circuit) *TestGenerator { return atpg.New(c) }
+
+// AdaptiveOracle answers masked-session pass/fail queries for adaptive
+// (binary-search) diagnosis.
+type AdaptiveOracle = adaptive.Oracle
+
+// AdaptiveDiagnose runs the binary-search baseline of Ghosh-Dastidar &
+// Touba over an n-cell chain.
+func AdaptiveDiagnose(o AdaptiveOracle, n int) *CellSet { return adaptive.Diagnose(o, n) }

@@ -1,0 +1,577 @@
+package scanbist_test
+
+// The benchmark harness: one benchmark per paper table/figure (exercising
+// the full generate→simulate→compact→diagnose pipeline at a reduced fault
+// sample; run cmd/experiments for paper-scale numbers) plus the ablation
+// benchmarks DESIGN.md calls out and micro-benchmarks of the hot kernels.
+// DR outcomes are attached to benchmark output as custom metrics, so
+// `go test -bench` doubles as a compact results table.
+
+import (
+	"testing"
+
+	scanbist "repro"
+	"repro/internal/adaptive"
+	"repro/internal/atpg"
+	"repro/internal/benchgen"
+	"repro/internal/bist"
+	"repro/internal/chaindiag"
+	"repro/internal/core"
+	"repro/internal/dictionary"
+	"repro/internal/experiments"
+	"repro/internal/lfsr"
+	"repro/internal/partition"
+	"repro/internal/reseed"
+	"repro/internal/scan"
+	"repro/internal/sim"
+	"repro/internal/testability"
+	"repro/internal/vectors"
+)
+
+var benchCfg = experiments.Config{Faults: 60, FaultSeed: 1}
+
+func BenchmarkTable1(b *testing.B) {
+	var last []experiments.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	b.ReportMetric(last[0].Interval, "DR-interval-1")
+	b.ReportMetric(last[len(last)-1].TwoStep, "DR-twostep-8")
+	b.ReportMetric(last[len(last)-1].Random, "DR-random-8")
+}
+
+func BenchmarkTable2(b *testing.B) {
+	var last []experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	sumR, sumT := 0.0, 0.0
+	for _, r := range last {
+		sumR += r.Random
+		sumT += r.TwoStep
+	}
+	b.ReportMetric(sumR/float64(len(last)), "DR-random-avg")
+	b.ReportMetric(sumT/float64(len(last)), "DR-twostep-avg")
+}
+
+func benchmarkSOCTable(b *testing.B, run func(experiments.Config) ([]experiments.SOCRow, error)) {
+	var last []experiments.SOCRow
+	for i := 0; i < b.N; i++ {
+		rows, err := run(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	sumR, sumT := 0.0, 0.0
+	for _, r := range last {
+		sumR += r.Random
+		sumT += r.TwoStep
+	}
+	b.ReportMetric(sumR/float64(len(last)), "DR-random-avg")
+	b.ReportMetric(sumT/float64(len(last)), "DR-twostep-avg")
+}
+
+func BenchmarkTable3(b *testing.B) { benchmarkSOCTable(b, experiments.Table3) }
+
+func BenchmarkTable4(b *testing.B) { benchmarkSOCTable(b, experiments.Table4) }
+
+func BenchmarkFigure3(b *testing.B) {
+	var last *experiments.Figure3Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(float64(len(last.IntervalCandidates)), "candidates-interval")
+	b.ReportMetric(float64(len(last.RandomCandidates)), "candidates-random")
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	var last []experiments.Figure5Row
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure5(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	sumR, sumT := 0, 0
+	for _, r := range last {
+		if r.Random < 0 {
+			sumR += 17
+		} else {
+			sumR += r.Random
+		}
+		if r.TwoStep < 0 {
+			sumT += 17
+		} else {
+			sumT += r.TwoStep
+		}
+	}
+	b.ReportMetric(float64(sumR)/float64(len(last)), "partitions-random-avg")
+	b.ReportMetric(float64(sumT)/float64(len(last)), "partitions-twostep-avg")
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// runStudy builds a bench for s5378 with the given options and returns the
+// study over a fixed fault sample.
+func runStudy(b *testing.B, opts scanbist.Options) *scanbist.Study {
+	b.Helper()
+	c := scanbist.MustGenerate("s5378")
+	cb, err := scanbist.NewCircuitBench(c, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := scanbist.SampleFaults(cb.Faults(), 60, 1)
+	return cb.Run(faults)
+}
+
+// BenchmarkAblationScanOrder shows that interval-based pruning depends on
+// the structure/position correlation: a random scan order erases two-step's
+// first-partition advantage.
+func BenchmarkAblationScanOrder(b *testing.B) {
+	c := scanbist.MustGenerate("s5378")
+	for _, order := range []string{"natural", "random"} {
+		b.Run(order, func(b *testing.B) {
+			opts := scanbist.Options{
+				Scheme: scanbist.TwoStep(), Groups: 8, Partitions: 8, Patterns: 128,
+			}
+			if order == "random" {
+				opts.ScanOrder = scanbist.RandomScanOrder(c.NumDFFs(), 1)
+			}
+			var study *scanbist.Study
+			for i := 0; i < b.N; i++ {
+				study = runStudy(b, opts)
+			}
+			b.ReportMetric(study.ByPartition[0].Value(), "DR-1-partition")
+			b.ReportMetric(study.Full.Value(), "DR-full")
+		})
+	}
+}
+
+// BenchmarkAblationIntervalCount varies how many leading interval
+// partitions the two-step scheme uses (the paper uses 1 but notes more can
+// help).
+func BenchmarkAblationIntervalCount(b *testing.B) {
+	for _, m := range []int{1, 2, 3} {
+		b.Run(map[int]string{1: "interval1", 2: "interval2", 3: "interval3"}[m], func(b *testing.B) {
+			opts := scanbist.Options{
+				Scheme: partition.TwoStep{IntervalPartitions: m},
+				Groups: 8, Partitions: 8, Patterns: 128,
+			}
+			var study *scanbist.Study
+			for i := 0; i < b.N; i++ {
+				study = runStudy(b, opts)
+			}
+			b.ReportMetric(study.ByPartition[2].Value(), "DR-3-partitions")
+			b.ReportMetric(study.Full.Value(), "DR-full")
+		})
+	}
+}
+
+// BenchmarkAblationMISR compares real (aliasing-capable) compaction with an
+// ideal alias-free compactor.
+func BenchmarkAblationMISR(b *testing.B) {
+	for _, mode := range []string{"misr32", "misr16", "ideal"} {
+		b.Run(mode, func(b *testing.B) {
+			opts := scanbist.Options{
+				Scheme: scanbist.TwoStep(), Groups: 8, Partitions: 8, Patterns: 128,
+			}
+			switch mode {
+			case "misr16":
+				opts.MISRPoly = lfsr.MustPrimitivePoly(16)
+			case "ideal":
+				opts.Ideal = true
+			}
+			var study *scanbist.Study
+			for i := 0; i < b.N; i++ {
+				study = runStudy(b, opts)
+			}
+			b.ReportMetric(study.Full.Value(), "DR-full")
+		})
+	}
+}
+
+// BenchmarkAblationGroupCount varies the number of groups per partition.
+func BenchmarkAblationGroupCount(b *testing.B) {
+	for _, groups := range []int{4, 8, 16, 32} {
+		b.Run(map[int]string{4: "g4", 8: "g8", 16: "g16", 32: "g32"}[groups], func(b *testing.B) {
+			opts := scanbist.Options{
+				Scheme: scanbist.TwoStep(), Groups: groups, Partitions: 8, Patterns: 128,
+			}
+			var study *scanbist.Study
+			for i := 0; i < b.N; i++ {
+				study = runStudy(b, opts)
+			}
+			b.ReportMetric(study.Full.Value(), "DR-full")
+		})
+	}
+}
+
+// BenchmarkAblationSimWidth measures the value of 64-way bit-parallel
+// simulation against pattern-at-a-time blocks.
+func BenchmarkAblationSimWidth(b *testing.B) {
+	c := benchgen.MustGenerate("s5378")
+	prpg := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1)
+	wide := bist.GenerateBlocks(prpg, c.NumInputs(), c.NumDFFs(), 128)
+	var narrow []*sim.Block
+	for _, blk := range wide {
+		for j := 0; j < blk.N; j++ {
+			nb := &sim.Block{N: 1, PI: make([]uint64, len(blk.PI)), State: make([]uint64, len(blk.State))}
+			for i := range blk.PI {
+				nb.PI[i] = blk.PI[i] >> uint(j) & 1
+			}
+			for i := range blk.State {
+				nb.State[i] = blk.State[i] >> uint(j) & 1
+			}
+			narrow = append(narrow, nb)
+		}
+	}
+	faults := sim.SampleFaults(sim.FullFaultList(c), 20, 1)
+	for _, tc := range []struct {
+		name   string
+		blocks []*sim.Block
+	}{{"parallel64", wide}, {"scalar", narrow}} {
+		b.Run(tc.name, func(b *testing.B) {
+			fs := sim.NewFaultSim(c, tc.blocks)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, f := range faults {
+					fs.Run(f)
+				}
+			}
+		})
+	}
+}
+
+// --- Micro-benchmarks of the hot kernels ---------------------------------
+
+func BenchmarkFaultSimulation(b *testing.B) {
+	c := benchgen.MustGenerate("s13207")
+	prpg := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1)
+	blocks := bist.GenerateBlocks(prpg, c.NumInputs(), c.NumDFFs(), 128)
+	fs := sim.NewFaultSim(c, blocks)
+	faults := sim.SampleFaults(sim.FullFaultList(c), 100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs.Run(faults[i%len(faults)])
+	}
+}
+
+func BenchmarkLFSRStep(b *testing.B) {
+	l := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1)
+	for i := 0; i < b.N; i++ {
+		l.Step()
+	}
+}
+
+func BenchmarkMISRClock(b *testing.B) {
+	m := lfsr.MustNewMISR(lfsr.MustPrimitivePoly(32))
+	for i := 0; i < b.N; i++ {
+		m.Clock(uint64(i))
+	}
+}
+
+func BenchmarkVerdicts(b *testing.B) {
+	c := benchgen.MustGenerate("s13207")
+	cfg := scan.SingleChain(c.NumDFFs())
+	prpg := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1)
+	blocks := bist.GenerateBlocks(prpg, c.NumInputs(), c.NumDFFs(), 128)
+	fs := sim.NewFaultSim(c, blocks)
+	eng, err := bist.NewEngine(cfg, bist.Plan{
+		Scheme: partition.TwoStep{}, Groups: 16, Partitions: 8,
+	}, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	good := make([]*sim.Response, len(blocks))
+	for i := range blocks {
+		good[i] = fs.Good(i)
+	}
+	var detected *sim.Result
+	for _, f := range sim.SampleFaults(sim.FullFaultList(c), 50, 1) {
+		if r := fs.Run(f); r.Detected() {
+			detected = r
+			break
+		}
+	}
+	if detected == nil {
+		b.Fatal("no detected fault")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Verdicts(good, detected.Faulty, blocks)
+	}
+}
+
+func BenchmarkIntervalSeedSearch(b *testing.B) {
+	poly := lfsr.MustPrimitivePoly(16)
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.FindSeeds(poly, partition.AutoLenBits(638, 16), 638, 16, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCircuitGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchgen.MustGenerate("s13207")
+	}
+}
+
+func BenchmarkCore13207EndToEnd(b *testing.B) {
+	c := benchgen.MustGenerate("s13207")
+	for i := 0; i < b.N; i++ {
+		cb, err := core.NewCircuitBench(c, core.Options{
+			Scheme: partition.TwoStep{}, Groups: 16, Partitions: 8, Patterns: 128,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		faults := sim.SampleFaults(cb.Faults(), 30, 1)
+		cb.Run(faults)
+	}
+}
+
+// --- Extension subsystems -------------------------------------------------
+
+func BenchmarkPODEM(b *testing.B) {
+	c := benchgen.MustGenerate("s5378")
+	g := atpg.New(c)
+	faults := sim.SampleFaults(sim.CollapseFaults(c, sim.FullFaultList(c)), 50, 1)
+	b.ResetTimer()
+	detected := 0
+	for i := 0; i < b.N; i++ {
+		_, outcome := g.Generate(faults[i%len(faults)])
+		if outcome == atpg.Detected {
+			detected++
+		}
+	}
+	b.ReportMetric(float64(detected)/float64(b.N), "detect-rate")
+}
+
+func BenchmarkAdaptiveDiagnosis(b *testing.B) {
+	c := benchgen.MustGenerate("s5378")
+	cfg := scan.SingleChain(c.NumDFFs())
+	prpg := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1)
+	blocks := bist.GenerateBlocks(prpg, c.NumInputs(), c.NumDFFs(), 128)
+	fs := sim.NewFaultSim(c, blocks)
+	eng, err := bist.NewEngine(cfg, bist.Plan{
+		Scheme: partition.TwoStep{}, Groups: 8, Partitions: 1,
+	}, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	good := make([]*sim.Response, len(blocks))
+	for i := range blocks {
+		good[i] = fs.Good(i)
+	}
+	var syn []uint64
+	for _, f := range sim.SampleFaults(sim.FullFaultList(c), 50, 1) {
+		if r := fs.Run(f); r.Detected() {
+			syn = eng.CellSyndromes(good, r.Faulty, blocks)
+			break
+		}
+	}
+	if syn == nil {
+		b.Fatal("no detected fault")
+	}
+	b.ResetTimer()
+	sessions := 0
+	for i := 0; i < b.N; i++ {
+		o := adaptive.NewSyndromeOracle(syn)
+		adaptive.Diagnose(o, c.NumDFFs())
+		sessions = o.Sessions()
+	}
+	b.ReportMetric(float64(sessions), "sessions")
+}
+
+func BenchmarkDictionaryBuild(b *testing.B) {
+	c := benchgen.MustGenerate("s953")
+	prpg := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1)
+	blocks := bist.GenerateBlocks(prpg, c.NumInputs(), c.NumDFFs(), 128)
+	fs := sim.NewFaultSim(c, blocks)
+	faults := sim.CollapseFaults(c, sim.FullFaultList(c))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dictionary.Build(fs, faults)
+	}
+}
+
+func BenchmarkDictionaryLookup(b *testing.B) {
+	c := benchgen.MustGenerate("s5378")
+	prpg := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1)
+	blocks := bist.GenerateBlocks(prpg, c.NumInputs(), c.NumDFFs(), 128)
+	fs := sim.NewFaultSim(c, blocks)
+	faults := sim.CollapseFaults(c, sim.FullFaultList(c))
+	d := dictionary.Build(fs, faults)
+	query := d.Entries()[len(d.Entries())/2].Cells
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Lookup(query, 10)
+	}
+}
+
+func BenchmarkVectorDiagnosis(b *testing.B) {
+	c := benchgen.MustGenerate("s953")
+	cfg := scan.SingleChain(c.NumDFFs())
+	prpg := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1)
+	blocks := bist.GenerateBlocks(prpg, c.NumInputs(), c.NumDFFs(), 128)
+	fs := sim.NewFaultSim(c, blocks)
+	eng, err := vectors.NewEngine(cfg, vectors.Plan{
+		Scheme: partition.TwoStep{}, Groups: 8, Partitions: 8,
+	}, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	good := make([]*sim.Response, len(blocks))
+	for i := range blocks {
+		good[i] = fs.Good(i)
+	}
+	var res *sim.Result
+	for _, f := range sim.SampleFaults(sim.FullFaultList(c), 50, 1) {
+		if r := fs.Run(f); r.Detected() {
+			res = r
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Diagnose(good, res.Faulty, blocks)
+	}
+}
+
+func BenchmarkCoverageMeasurement(b *testing.B) {
+	c := benchgen.MustGenerate("s953")
+	prpg := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1)
+	blocks := bist.GenerateBlocks(prpg, c.NumInputs(), c.NumDFFs(), 128)
+	fs := sim.NewFaultSim(c, blocks)
+	faults := sim.SampleFaults(sim.CollapseFaults(c, sim.FullFaultList(c)), 100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.MeasureCoverage(fs, faults)
+	}
+}
+
+// BenchmarkAblationScanStitching shows the structural stitching recovering
+// two-step's advantage when the netlist order is scrambled: diagnose with
+// (a) the scrambled order as-is and (b) the structurally recovered order.
+func BenchmarkAblationScanStitching(b *testing.B) {
+	c := scanbist.MustGenerate("s5378")
+	scrambled := scanbist.RandomScanOrder(c.NumDFFs(), 3)
+	structural := scan.StructuralOrder(c)
+	for _, tc := range []struct {
+		name  string
+		order []int
+	}{{"scrambled", scrambled}, {"restitched", structural}} {
+		b.Run(tc.name, func(b *testing.B) {
+			opts := scanbist.Options{
+				Scheme: scanbist.TwoStep(), Groups: 8, Partitions: 8, Patterns: 128,
+				ScanOrder: tc.order,
+			}
+			var study *scanbist.Study
+			for i := 0; i < b.N; i++ {
+				study = runStudy(b, opts)
+			}
+			b.ReportMetric(study.Full.Value(), "DR-full")
+		})
+	}
+}
+
+func BenchmarkChainDiagnosis(b *testing.B) {
+	c := benchgen.MustGenerate("s953")
+	order := scan.NaturalOrder(c.NumDFFs())
+	truth := &chaindiag.ChainFault{Position: 12, Stuck: 1}
+	dut, err := chaindiag.NewDevice(c, order, truth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := chaindiag.Diagnose(c, order, dut.LoadCaptureObserve); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSCOAP(b *testing.B) {
+	c := benchgen.MustGenerate("s13207")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		testability.Compute(c)
+	}
+}
+
+func BenchmarkReseedSolve(b *testing.B) {
+	c := benchgen.MustGenerate("s5378")
+	solver, err := reseed.NewSolver(lfsr.MustPrimitivePoly(32), c.NumDFFs()+c.NumInputs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := atpg.New(c)
+	var pos []int
+	var vals []bool
+	for _, f := range sim.SampleFaults(sim.FullFaultList(c), 40, 1) {
+		if test, outcome := gen.Generate(f); outcome == atpg.Detected {
+			pos, vals = test.Care()
+			break
+		}
+	}
+	if pos == nil {
+		b.Fatal("no cube")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver.SeedFor(pos, vals)
+	}
+}
+
+func BenchmarkPhaseShifter(b *testing.B) {
+	l := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1)
+	ps, err := lfsr.NewPhaseShifter(l, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps.Step()
+	}
+}
+
+func BenchmarkTransitionFaultSim(b *testing.B) {
+	c := benchgen.MustGenerate("s5378")
+	prpg := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1)
+	blocks := bist.GenerateBlocks(prpg, c.NumInputs(), c.NumDFFs(), 128)
+	fs := sim.NewFaultSim(c, blocks)
+	faults := sim.TransitionFaultList(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs.RunTransition(faults[i%len(faults)])
+	}
+}
+
+func BenchmarkFullModelSession(b *testing.B) {
+	c := benchgen.MustGenerate("s298")
+	model, err := bist.NewFullModel(c, scan.NaturalOrder(c.NumDFFs()),
+		partition.RandomSelection{}, 4, lfsr.MustPrimitivePoly(32), 0xACE1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.SessionSignature(nil, 8, 0, i%4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

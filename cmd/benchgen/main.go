@@ -1,0 +1,92 @@
+// Command benchgen generates the synthetic ISCAS-89-style benchmark
+// circuits used throughout this repository and writes them in .bench
+// format.
+//
+// Usage:
+//
+//	benchgen -list
+//	benchgen -circuit s953 -o s953.bench
+//	benchgen -circuit s38584 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/benchgen"
+	"repro/internal/logic"
+	"repro/internal/verilog"
+)
+
+func main() {
+	var (
+		name   = flag.String("circuit", "", "profile to generate")
+		out    = flag.String("o", "", "output .bench path (default: stdout)")
+		list   = flag.Bool("list", false, "list available profiles")
+		stats  = flag.Bool("stats", false, "print structural statistics instead of the netlist")
+		seed   = flag.Int64("seed", 0, "override the generator seed (0 = profile default)")
+		format = flag.String("format", "bench", "netlist format: bench|verilog")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-9s %7s %7s %7s %8s\n", "name", "inputs", "outputs", "FFs", "gates")
+		for _, p := range benchgen.Profiles() {
+			fmt.Printf("%-9s %7d %7d %7d %8d\n", p.Name, p.Inputs, p.Outputs, p.DFFs, p.Gates)
+		}
+		return
+	}
+	if *name == "" {
+		fatal(fmt.Errorf("missing -circuit (or use -list)"))
+	}
+	p, ok := benchgen.ProfileByName(*name)
+	if !ok {
+		fatal(fmt.Errorf("unknown profile %q", *name))
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	c, err := benchgen.Generate(p)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		s := c.Stats()
+		fmt.Println(s)
+		for _, op := range []logic.Op{logic.OpNand, logic.OpNor, logic.OpAnd, logic.OpOr,
+			logic.OpNot, logic.OpBuf, logic.OpXor, logic.OpXnor} {
+			if n := s.ByOp[op]; n > 0 {
+				fmt.Printf("  %-6s %6d\n", op, n)
+			}
+		}
+		return
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "bench":
+		if err := bench.Write(w, c); err != nil {
+			fatal(err)
+		}
+	case "verilog":
+		if err := verilog.Write(w, c); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

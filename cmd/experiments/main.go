@@ -1,0 +1,99 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments                       # everything, paper-scale (500 faults)
+//	experiments -exp table1           # one experiment
+//	experiments -exp table3 -format csv > table3.csv
+//	experiments -faults 100           # faster, smaller fault sample
+//
+// Experiments: table1, table2, table3, table4, figure3, figure5,
+// baselines, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: baselines|tamwidth|transition|table1|table2|table3|table4|figure3|figure5|all")
+	faults := flag.Int("faults", 500, "stuck-at faults sampled per circuit or per faulty core")
+	seed := flag.Int64("seed", 1, "fault sampling seed")
+	format := flag.String("format", "text", "output format: text|csv (csv not available for figure3)")
+	flag.Parse()
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)
+		os.Exit(1)
+	}
+
+	cfg := experiments.Config{Faults: *faults, FaultSeed: *seed}
+	run := func(name string, f func() (rows any, text string, err error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		rows, text, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *format == "csv" && rows != nil {
+			if err := experiments.WriteCSV(os.Stdout, rows); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Println(text)
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("figure3", func() (any, string, error) {
+		r, err := experiments.Figure3()
+		if err != nil {
+			return nil, "", err
+		}
+		return nil, experiments.FormatFigure3(r), nil
+	})
+	run("table1", func() (any, string, error) {
+		rows, err := experiments.Table1(cfg)
+		return rows, experiments.FormatTable1(rows), err
+	})
+	run("table2", func() (any, string, error) {
+		rows, err := experiments.Table2(cfg)
+		return rows, experiments.FormatTable2(rows), err
+	})
+	run("table3", func() (any, string, error) {
+		rows, err := experiments.Table3(cfg)
+		return rows, experiments.FormatSOCTable(
+			"Table 3: SOC1 diagnostic resolution, single meta scan chain\n"+
+				"(8 partitions, 32 groups, 128 patterns/session, one faulty core at a time)", rows), err
+	})
+	run("table4", func() (any, string, error) {
+		rows, err := experiments.Table4(cfg)
+		return rows, experiments.FormatSOCTable(
+			"Table 4: SOC2 (d695 variant) diagnostic resolution, 8 meta scan chains\n"+
+				"(8 partitions, 8 groups/chain, 128 patterns/session, one faulty core at a time)", rows), err
+	})
+	run("figure5", func() (any, string, error) {
+		rows, err := experiments.Figure5(cfg)
+		return rows, experiments.FormatFigure5(rows), err
+	})
+	run("baselines", func() (any, string, error) {
+		rows, err := experiments.Baselines(cfg)
+		return rows, experiments.FormatBaselines(rows), err
+	})
+	run("tamwidth", func() (any, string, error) {
+		rows, err := experiments.TAMWidth(cfg)
+		return rows, experiments.FormatTAMWidth(rows), err
+	})
+	run("transition", func() (any, string, error) {
+		rows, err := experiments.Transition(cfg)
+		return rows, experiments.FormatTransition(rows), err
+	})
+}

@@ -1,0 +1,141 @@
+// Command scandiag runs partition-based failing-scan-cell diagnosis on a
+// full-scan circuit: it injects sampled stuck-at faults, runs the
+// multi-session scan-BIST flow under the chosen partitioning scheme, and
+// reports per-fault candidates and the aggregate diagnostic resolution.
+//
+// Usage:
+//
+//	scandiag -circuit s953 -scheme two-step -groups 4 -partitions 8
+//	scandiag -bench mydesign.bench -scheme random -faults 100 -verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/benchgen"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		name       = flag.String("circuit", "s953", "built-in benchmark profile to generate")
+		benchPath  = flag.String("bench", "", "path to an ISCAS-89 .bench netlist (overrides -circuit)")
+		schemeName = flag.String("scheme", "two-step", "partitioning scheme: two-step|random|interval|fixed")
+		groups     = flag.Int("groups", 4, "groups per partition")
+		partitions = flag.Int("partitions", 8, "number of partitions")
+		patterns   = flag.Int("patterns", 128, "pseudorandom patterns per BIST session")
+		faults     = flag.Int("faults", 500, "stuck-at faults to sample")
+		seed       = flag.Int64("seed", 1, "fault sampling seed")
+		chains     = flag.Int("chains", 1, "number of balanced scan chains")
+		order      = flag.String("order", "natural", "scan order: natural|random|reverse")
+		ideal      = flag.Bool("ideal", false, "bypass the MISR (alias-free compaction)")
+		verbose    = flag.Bool("verbose", false, "print each fault's candidate set")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*benchPath, *name)
+	if err != nil {
+		fatal(err)
+	}
+	scheme, err := schemeByName(*schemeName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.Options{
+		Scheme:     scheme,
+		Groups:     *groups,
+		Partitions: *partitions,
+		Patterns:   *patterns,
+		Chains:     *chains,
+		Ideal:      *ideal,
+	}
+	switch *order {
+	case "natural":
+	case "random":
+		opts.ScanOrder = scan.RandomOrder(c.NumDFFs(), 1)
+	case "reverse":
+		opts.ScanOrder = scan.ReverseOrder(c.NumDFFs())
+	default:
+		fatal(fmt.Errorf("unknown scan order %q", *order))
+	}
+
+	b, err := core.NewCircuitBench(c, opts)
+	if err != nil {
+		fatal(err)
+	}
+	stats := c.Stats()
+	fmt.Printf("circuit:  %s\n", stats)
+	fmt.Printf("plan:     %s, %d groups x %d partitions, %d patterns/session, %d chains\n",
+		scheme.Name(), *groups, *partitions, *patterns, *chains)
+
+	sample := sim.SampleFaults(b.Faults(), *faults, *seed)
+	var observe func(*core.FaultDiagnosis)
+	if *verbose {
+		observe = func(fd *core.FaultDiagnosis) {
+			if !fd.Detected {
+				fmt.Printf("  %-24s undetected\n", fd.Fault.Describe(c))
+				return
+			}
+			fmt.Printf("  %-24s failing=%v candidates=%v pruned=%v\n",
+				fd.Fault.Describe(c), fd.Actual.Elems(),
+				fd.Result.Candidates.Elems(), fd.Result.Pruned.Elems())
+		}
+	}
+	study := b.RunObserved(sample, observe)
+	cost := b.Cost()
+	fmt.Printf("cost:     %d sessions, %d shift clocks total, %d golden-signature bits, %d selection-register bits\n",
+		cost.Sessions, cost.TotalClocks, cost.SignatureBits, cost.SelectionRegisterBits)
+	fmt.Printf("\nfaults:    %d sampled, %d diagnosed, %d undetected by scan cells\n",
+		len(sample), study.Diagnosed, study.Undetected)
+	fmt.Printf("DR:        %.4f without pruning\n", study.Full.Value())
+	fmt.Printf("DR:        %.4f with pruning\n", study.Pruned.Value())
+	fmt.Println("\nDR by number of partitions (without pruning):")
+	for k, dr := range study.ByPartition {
+		fmt.Printf("  %2d: %.4f\n", k+1, dr.Value())
+	}
+}
+
+func loadCircuit(path, name string) (*circuit.Circuit, error) {
+	if path != "" {
+		return bench.ParseFile(path)
+	}
+	p, ok := benchgen.ProfileByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown built-in circuit %q (try one of %v)", name, profileNames())
+	}
+	return benchgen.Generate(p)
+}
+
+func profileNames() []string {
+	var names []string
+	for _, p := range benchgen.Profiles() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+func schemeByName(name string) (partition.Scheme, error) {
+	switch name {
+	case "two-step":
+		return partition.TwoStep{}, nil
+	case "random", "random-selection":
+		return partition.RandomSelection{}, nil
+	case "interval":
+		return partition.Interval{}, nil
+	case "fixed", "fixed-interval":
+		return partition.FixedInterval{}, nil
+	}
+	return nil, fmt.Errorf("unknown scheme %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scandiag:", err)
+	os.Exit(1)
+}

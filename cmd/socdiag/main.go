@@ -1,0 +1,132 @@
+// Command socdiag runs failing-scan-cell diagnosis on a core-based SOC
+// tested through a TestRail: it injects stuck-at faults into one core,
+// runs the multi-session scan-BIST flow over the meta scan chains, and
+// reports where the candidate cells land.
+//
+// Usage:
+//
+//	socdiag -soc 1 -core s13207 -scheme two-step
+//	socdiag -soc 2 -chains 8 -groups 8 -core s38417
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/soc"
+)
+
+func main() {
+	var (
+		socNum     = flag.Int("soc", 1, "crafted SOC to test: 1 (six largest, single chain) or 2 (d695 variant)")
+		coreName   = flag.String("core", "", "faulty core name (default: the first core)")
+		schemeName = flag.String("scheme", "two-step", "partitioning scheme: two-step|random|interval|fixed")
+		groups     = flag.Int("groups", 0, "groups per partition (default: 32 for SOC1, 8 for SOC2)")
+		partitions = flag.Int("partitions", 8, "number of partitions")
+		patterns   = flag.Int("patterns", 128, "pseudorandom patterns per BIST session")
+		chains     = flag.Int("chains", 0, "meta scan chains (default: 1 for SOC1, 8 for SOC2)")
+		faults     = flag.Int("faults", 500, "stuck-at faults to sample in the faulty core")
+		seed       = flag.Int64("seed", 1, "fault sampling seed")
+	)
+	flag.Parse()
+
+	var (
+		s   *soc.SOC
+		err error
+	)
+	switch *socNum {
+	case 1:
+		s, err = soc.SOC1()
+		if *groups == 0 {
+			*groups = 32
+		}
+		if *chains == 0 {
+			*chains = 1
+		}
+	case 2:
+		s, err = soc.SOC2()
+		if *groups == 0 {
+			*groups = 8
+		}
+		if *chains == 0 {
+			*chains = 8
+		}
+	default:
+		err = fmt.Errorf("unknown SOC %d", *socNum)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	faultyCore := 0
+	if *coreName != "" {
+		i, ok := s.CoreByName(*coreName)
+		if !ok {
+			fatal(fmt.Errorf("SOC%d has no core %q", *socNum, *coreName))
+		}
+		faultyCore = i
+	}
+	scheme, err := schemeByName(*schemeName)
+	if err != nil {
+		fatal(err)
+	}
+
+	b, err := core.NewSOCBench(s, core.Options{
+		Scheme:     scheme,
+		Groups:     *groups,
+		Partitions: *partitions,
+		Patterns:   *patterns,
+		Chains:     *chains,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("SOC:      %s, %d cores, %d scan cells, %d meta chain(s)\n",
+		s.Name, s.NumCores(), s.NumCells(), *chains)
+	for i, c := range s.Cores {
+		lo, hi := s.CellRange(i)
+		marker := " "
+		if i == faultyCore {
+			marker = "*"
+		}
+		fmt.Printf("  %s core %-9s cells [%5d, %5d)\n", marker, c.Name, lo, hi)
+	}
+	fmt.Printf("plan:     %s, %d groups x %d partitions, %d patterns/session\n",
+		scheme.Name(), *groups, *partitions, *patterns)
+
+	sample := sim.SampleFaults(b.CoreFaults(faultyCore), *faults, *seed)
+	study := b.RunCore(faultyCore, sample)
+	fmt.Printf("\nfaults:   %d sampled in %s, %d diagnosed, %d undetected\n",
+		len(sample), s.Cores[faultyCore].Name, study.Diagnosed, study.Undetected)
+	fmt.Printf("DR:       %.4f without pruning\n", study.Full.Value())
+	fmt.Printf("DR:       %.4f with pruning\n", study.Pruned.Value())
+	if k := study.PartitionsToReachDR(0.5); k > 0 {
+		fmt.Printf("DR<=0.5 reached after %d partition(s)\n", k)
+	} else {
+		fmt.Printf("DR<=0.5 not reached within %d partitions\n", *partitions)
+	}
+}
+
+func schemeByName(name string) (partition.Scheme, error) {
+	switch name {
+	case "two-step":
+		return partition.TwoStep{}, nil
+	case "random", "random-selection":
+		return partition.RandomSelection{}, nil
+	case "interval":
+		return partition.Interval{}, nil
+	case "fixed", "fixed-interval":
+		return partition.FixedInterval{}, nil
+	}
+	return nil, fmt.Errorf("unknown scheme %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "socdiag:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Multifault demonstrates the paper's Figure 2: when several faults are
+// present, their fault cones either stay disjoint — producing separate
+// failing segments of the scan chain — or overlap into one expanded
+// segment. The two-step diagnosis handles both: each failing segment is
+// covered by a few consecutive intervals of the first partition, and the
+// random-selection partitions then sharpen the candidates.
+//
+//	go run ./examples/multifault
+package main
+
+import (
+	"fmt"
+	"log"
+
+	scanbist "repro"
+)
+
+func main() {
+	c := scanbist.MustGenerate("s5378")
+	fmt.Printf("circuit: %s\n\n", c.Stats())
+
+	bench, err := scanbist.NewCircuitBench(c, scanbist.Options{
+		Scheme:     scanbist.TwoStep(),
+		Groups:     8,
+		Partitions: 8,
+		Patterns:   128,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Collect single faults with compact, well-separated failing segments.
+	type seg struct {
+		fault    scanbist.Fault
+		min, max int
+	}
+	var segs []seg
+	for _, f := range scanbist.SampleFaults(bench.Faults(), 400, 9) {
+		fd := bench.DiagnoseFault(f)
+		if !fd.Detected || fd.Actual.Len() < 2 {
+			continue
+		}
+		if span := fd.Actual.Max() - fd.Actual.Min(); span > c.NumDFFs()/10 {
+			continue
+		}
+		segs = append(segs, seg{f, fd.Actual.Min(), fd.Actual.Max()})
+		if len(segs) == 24 {
+			break
+		}
+	}
+	if len(segs) < 4 {
+		log.Fatal("not enough compact-segment faults found")
+	}
+
+	// Non-overlapping cones: pick two faults whose segments are far apart.
+	var far *seg
+	for i := 1; i < len(segs); i++ {
+		if segs[i].min > segs[0].max+20 || segs[i].max+20 < segs[0].min {
+			far = &segs[i]
+			break
+		}
+	}
+	if far != nil {
+		show(bench, c, "non-overlapping cones (Figure 2a)", segs[0].fault, far.fault)
+	}
+
+	// Overlapping cones: pick two faults whose segments intersect.
+	var near *seg
+	for i := 1; i < len(segs); i++ {
+		if segs[i].min <= segs[0].max && segs[0].min <= segs[i].max {
+			near = &segs[i]
+			break
+		}
+	}
+	if near != nil {
+		show(bench, c, "overlapping cones (Figure 2b)", segs[0].fault, near.fault)
+	}
+}
+
+func show(bench *scanbist.CircuitBench, c *scanbist.Circuit, title string, f1, f2 scanbist.Fault) {
+	fd := bench.DiagnoseMulti([]scanbist.Fault{f1, f2})
+	fmt.Printf("%s\n", title)
+	fmt.Printf("  faults:          %s and %s\n", f1.Describe(c), f2.Describe(c))
+	fmt.Printf("  failing cells:   %d cells in %d..%d\n",
+		fd.Actual.Len(), fd.Actual.Min(), fd.Actual.Max())
+	fmt.Printf("  candidates:      %d cells (intersection), %d after pruning\n",
+		fd.Result.Candidates.Len(), fd.Result.Pruned.Len())
+	missed := fd.Actual.Clone()
+	missed.SubtractWith(fd.Result.Pruned)
+	fmt.Printf("  failing cells missed by diagnosis: %d\n\n", missed.Len())
+}

@@ -1,0 +1,81 @@
+// Socdiagnosis demonstrates the paper's Section 5 scenario: a core-based
+// SOC tested through a TestRail whose meta scan chain threads the internal
+// chains of all cores. A spot defect makes exactly one core faulty, so its
+// failing scan cells are clustered in one segment of the meta chain —
+// the situation where two-step partitioning beats random selection by an
+// order of magnitude.
+//
+//	go run ./examples/socdiagnosis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	scanbist "repro"
+)
+
+func main() {
+	// Build the paper's SOC1: the six largest ISCAS-89 cores daisy-chained
+	// on a single meta scan chain.
+	s, err := scanbist.SOC1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SOC %q: %d cores, %d scan cells on one meta chain\n", s.Name, s.NumCores(), s.NumCells())
+	for i, c := range s.Cores {
+		lo, hi := s.CellRange(i)
+		fmt.Printf("  core %-8s cells [%5d, %5d)\n", c.Name, lo, hi)
+	}
+
+	faultyCore, _ := s.CoreByName("s13207")
+	fmt.Printf("\ninjecting faults into core %s only\n\n", s.Cores[faultyCore].Name)
+
+	for _, scheme := range []scanbist.Scheme{scanbist.RandomSelection(), scanbist.TwoStep()} {
+		b, err := scanbist.NewSOCBench(s, scanbist.Options{
+			Scheme:     scheme,
+			Groups:     32,
+			Partitions: 8,
+			Patterns:   128,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		faults := scanbist.SampleFaults(b.CoreFaults(faultyCore), 200, 1)
+		study := b.RunCore(faultyCore, faults)
+		fmt.Printf("%-18s DR=%.3f (pruned %.3f), DR<=0.5 after %s partitions\n",
+			scheme.Name()+":", study.Full.Value(), study.Pruned.Value(),
+			partitionsLabel(study.PartitionsToReachDR(0.5)))
+	}
+
+	// Show one diagnosis in detail with the two-step scheme: the candidates
+	// land inside the faulty core's segment.
+	b, err := scanbist.NewSOCBench(s, scanbist.Options{
+		Scheme: scanbist.TwoStep(), Groups: 32, Partitions: 8, Patterns: 128,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lo, hi := s.CellRange(faultyCore)
+	for _, f := range scanbist.SampleFaults(b.CoreFaults(faultyCore), 50, 3) {
+		fd := b.DiagnoseFault(faultyCore, f)
+		if !fd.Detected || fd.Actual.Len() < 3 {
+			continue
+		}
+		fmt.Printf("\nexample fault %s in %s\n", f.Describe(s.Cores[faultyCore].Circuit), s.Cores[faultyCore].Name)
+		fmt.Printf("  failing cells:  %d, spanning meta-chain positions %d..%d\n",
+			fd.Actual.Len(), fd.Actual.Min(), fd.Actual.Max())
+		fmt.Printf("  candidates:     %d cells, spanning %d..%d\n",
+			fd.Result.Pruned.Len(), fd.Result.Pruned.Min(), fd.Result.Pruned.Max())
+		inside := fd.Result.Pruned.Min() >= lo && fd.Result.Pruned.Max() < hi
+		fmt.Printf("  inside the faulty core's segment [%d, %d): %v\n", lo, hi, inside)
+		break
+	}
+}
+
+func partitionsLabel(k int) string {
+	if k < 0 {
+		return ">8"
+	}
+	return fmt.Sprintf("%d", k)
+}

@@ -1,0 +1,136 @@
+package scanbist_test
+
+// Cross-cutting integration assertions over the public façade: invariants
+// that tie several subsystems together and would catch accidental breakage
+// of the interfaces between them.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	scanbist "repro"
+)
+
+// TestFormatsAgreeOnStructure: the same generated circuit written to both
+// interchange formats and re-read must agree on every structural count.
+func TestFormatsAgreeOnStructure(t *testing.T) {
+	for _, name := range []string{"s298", "s953", "s1423"} {
+		c := scanbist.MustGenerate(name)
+
+		var bbuf bytes.Buffer
+		if err := scanbist.WriteBench(&bbuf, c); err != nil {
+			t.Fatal(err)
+		}
+		fromBench, err := scanbist.ParseBench(name, &bbuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var vbuf bytes.Buffer
+		if err := scanbist.WriteVerilog(&vbuf, c); err != nil {
+			t.Fatal(err)
+		}
+		fromVerilog, err := scanbist.ParseVerilog(strings.NewReader(vbuf.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, view := range []*scanbist.Circuit{fromBench, fromVerilog} {
+			if view.NumInputs() != c.NumInputs() || view.NumOutputs() != c.NumOutputs() ||
+				view.NumDFFs() != c.NumDFFs() || view.NumGates() != c.NumGates() ||
+				view.Depth() != c.Depth() {
+				t.Errorf("%s: re-read view differs structurally", name)
+			}
+		}
+	}
+}
+
+// TestSchemesShareFaultGroundTruth: the fault list, sample, and per-fault
+// ground truth are identical regardless of the diagnosis scheme — only the
+// candidate sets differ — so cross-scheme DR comparisons are apples to
+// apples.
+func TestSchemesShareFaultGroundTruth(t *testing.T) {
+	c := scanbist.MustGenerate("s953")
+	mk := func(s scanbist.Scheme) *scanbist.CircuitBench {
+		b, err := scanbist.NewCircuitBench(c, scanbist.Options{
+			Scheme: s, Groups: 4, Partitions: 4, Patterns: 64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a := mk(scanbist.RandomSelection())
+	b := mk(scanbist.TwoStep())
+	faults := scanbist.SampleFaults(a.Faults(), 40, 17)
+	for _, f := range faults {
+		fa, fb := a.DiagnoseFault(f), b.DiagnoseFault(f)
+		if fa.Detected != fb.Detected {
+			t.Fatalf("fault %s: detection differs across schemes", f.Describe(c))
+		}
+		if fa.Detected && !fa.Actual.Equal(fb.Actual) {
+			t.Fatalf("fault %s: ground-truth failing cells differ across schemes", f.Describe(c))
+		}
+	}
+}
+
+// TestSuspectRegionViaFacade: for clustered faults diagnosed under ideal
+// compaction, the structural suspect region always contains the fault
+// site, end to end through the public API.
+func TestSuspectRegionViaFacade(t *testing.T) {
+	c := scanbist.MustGenerate("s953")
+	bench, err := scanbist.NewCircuitBench(c, scanbist.Options{
+		Scheme: scanbist.TwoStep(), Groups: 4, Partitions: 8, Patterns: 128, Ideal: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := scanbist.SampleFaults(bench.Faults(), 120, 19)
+	checked := 0
+	for _, f := range faults {
+		fd := bench.DiagnoseFault(f)
+		if !fd.Detected || fd.Actual.Len() < 2 {
+			continue
+		}
+		checked++
+		region := c.SuspectRegion(fd.Actual.Elems())
+		// The fault's net must be inside the structural region.
+		in := false
+		for _, id := range region {
+			if id == f.Net {
+				in = true
+				break
+			}
+		}
+		if !in {
+			t.Fatalf("fault %s outside its suspect region", f.Describe(c))
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no multi-cell faults checked")
+	}
+}
+
+// TestCostScalesWithPlan: doubling partitions doubles sessions, clocks, and
+// signature storage, and never touches the selection registers.
+func TestCostScalesWithPlan(t *testing.T) {
+	c := scanbist.MustGenerate("s953")
+	mk := func(partitions int) *scanbist.CircuitBench {
+		b, err := scanbist.NewCircuitBench(c, scanbist.Options{
+			Scheme: scanbist.TwoStep(), Groups: 4, Partitions: partitions, Patterns: 64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	c4, c8 := mk(4).Cost(), mk(8).Cost()
+	if c8.Sessions != 2*c4.Sessions || c8.TotalClocks != 2*c4.TotalClocks ||
+		c8.SignatureBits != 2*c4.SignatureBits {
+		t.Errorf("cost did not scale: %+v vs %+v", c4, c8)
+	}
+	if c8.SelectionRegisterBits != c4.SelectionRegisterBits {
+		t.Error("selection registers depend on partition count")
+	}
+}

@@ -1,0 +1,123 @@
+// Package adaptive implements the binary-search diagnosis baseline of
+// Ghosh-Dastidar & Touba (reference [6] of the paper): instead of a fixed
+// schedule of partitions, each BIST session masks a chosen region of the
+// scan chain and the next region is picked from the previous verdict,
+// recursively halving failing regions until single cells are isolated.
+//
+// The scheme finds the exact failing cells in O(k·log n) sessions for k
+// failing cells, but — the paper's criticism — "test application must be
+// frequently interrupted to execute a binary search procedure": every
+// session's mask depends on the previous outcome, so the flow cannot be
+// streamed through a fixed BIST controller the way the partition schedule
+// can. This package exists to quantify that trade-off.
+package adaptive
+
+import (
+	"repro/internal/bitset"
+)
+
+// Oracle answers whether a BIST session restricted to the masked cells
+// fails. Implementations count the sessions they answer.
+type Oracle interface {
+	// Fails reports whether the session whose compactor sees exactly the
+	// cells in mask produces a signature different from the fault-free one.
+	Fails(mask *bitset.Set) bool
+	// Sessions returns the number of Fails queries answered so far.
+	Sessions() int
+}
+
+// SyndromeOracle evaluates masked sessions over precomputed per-cell error
+// syndromes (bist.Engine.CellSyndromes): by MISR linearity the masked
+// session's error signature is the XOR of the unmasked cells' syndromes,
+// so real-compactor behaviour — including aliasing — is preserved.
+type SyndromeOracle struct {
+	syn      []uint64
+	sessions int
+}
+
+// NewSyndromeOracle wraps per-cell syndromes.
+func NewSyndromeOracle(cellSyndromes []uint64) *SyndromeOracle {
+	return &SyndromeOracle{syn: cellSyndromes}
+}
+
+// Fails implements Oracle.
+func (o *SyndromeOracle) Fails(mask *bitset.Set) bool {
+	o.sessions++
+	var sig uint64
+	for _, cell := range mask.Elems() {
+		if cell < len(o.syn) {
+			sig ^= o.syn[cell]
+		}
+	}
+	return sig != 0
+}
+
+// Sessions implements Oracle.
+func (o *SyndromeOracle) Sessions() int { return o.sessions }
+
+// IdealOracle evaluates masked sessions against the exact failing-cell
+// set: a session fails iff it unmasks at least one failing cell (no
+// aliasing).
+type IdealOracle struct {
+	failing  *bitset.Set
+	sessions int
+}
+
+// NewIdealOracle wraps a ground-truth failing set.
+func NewIdealOracle(failing *bitset.Set) *IdealOracle {
+	return &IdealOracle{failing: failing}
+}
+
+// Fails implements Oracle.
+func (o *IdealOracle) Fails(mask *bitset.Set) bool {
+	o.sessions++
+	return o.failing.IntersectsWith(mask)
+}
+
+// Sessions implements Oracle.
+func (o *IdealOracle) Sessions() int { return o.sessions }
+
+// Diagnose runs the adaptive binary search over chain positions [0, n):
+// a region that passes is discarded; a failing region is split in half
+// until single failing cells are isolated. The returned set holds the
+// identified failing cells. With an ideal oracle the result is exact; with
+// a syndrome oracle, aliasing within a region (XOR-cancelling syndromes)
+// can hide cells, exactly as it would in hardware.
+func Diagnose(o Oracle, n int) *bitset.Set {
+	found := bitset.New(n)
+	full := rangeSet(0, n)
+	if !o.Fails(full) {
+		return found
+	}
+	// search explores a region known to fail. One session decides the left
+	// half; when the left half passes, the right half must fail (the
+	// compactor is linear: parent = left XOR right), so no session is
+	// spent on it.
+	var search func(lo, hi int)
+	search = func(lo, hi int) {
+		if hi-lo == 1 {
+			found.Add(lo)
+			return
+		}
+		mid := (lo + hi) / 2
+		if !o.Fails(rangeSet(lo, mid)) {
+			search(mid, hi)
+			return
+		}
+		search(lo, mid)
+		if o.Fails(rangeSet(mid, hi)) {
+			search(mid, hi)
+		}
+	}
+	search(0, n)
+	return found
+}
+
+// rangeSet builds the mask {lo, …, hi−1}.
+func rangeSet(lo, hi int) *bitset.Set {
+	s := bitset.New(hi)
+	for i := lo; i < hi; i++ {
+		s.Add(i)
+	}
+	return s
+}

@@ -1,0 +1,170 @@
+package adaptive
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/bist"
+	"repro/internal/bitset"
+	"repro/internal/lfsr"
+	"repro/internal/partition"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+func TestDiagnoseIdealExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 50; trial++ {
+		n := 16 + rng.Intn(500)
+		failing := bitset.New(n)
+		for k := rng.Intn(6); k >= 0; k-- {
+			failing.Add(rng.Intn(n))
+		}
+		o := NewIdealOracle(failing)
+		got := Diagnose(o, n)
+		if !got.Equal(failing) {
+			t.Fatalf("n=%d failing=%v got=%v", n, failing, got)
+		}
+	}
+}
+
+func TestDiagnoseNoFailures(t *testing.T) {
+	o := NewIdealOracle(bitset.New(64))
+	got := Diagnose(o, 64)
+	if !got.Empty() {
+		t.Errorf("found %v in a fault-free device", got)
+	}
+	if o.Sessions() != 1 {
+		t.Errorf("fault-free device took %d sessions, want 1", o.Sessions())
+	}
+}
+
+// TestSessionComplexity: k failing cells need O(k log n) sessions.
+func TestSessionComplexity(t *testing.T) {
+	const n = 1024
+	for _, k := range []int{1, 2, 8} {
+		failing := bitset.New(n)
+		rng := rand.New(rand.NewSource(int64(62 + k)))
+		for failing.Len() < k {
+			failing.Add(rng.Intn(n))
+		}
+		o := NewIdealOracle(failing)
+		got := Diagnose(o, n)
+		if !got.Equal(failing) {
+			t.Fatalf("k=%d: wrong answer", k)
+		}
+		bound := 2*k*int(math.Log2(n)) + 2
+		if o.Sessions() > bound {
+			t.Errorf("k=%d: %d sessions, bound %d", k, o.Sessions(), bound)
+		}
+		t.Logf("k=%d: %d sessions (bound %d)", k, o.Sessions(), bound)
+	}
+}
+
+func TestSingleFailingCellSessionCount(t *testing.T) {
+	// One failing cell in 1024 must take about log2(n) sessions, not 2x.
+	failing := bitset.FromSlice([]int{777})
+	o := NewIdealOracle(failing)
+	if got := Diagnose(o, 1024); !got.Equal(failing) {
+		t.Fatal("wrong cell")
+	}
+	// 1 (full) + 10 splits with at most one extra confirmation each.
+	if o.Sessions() > 21 {
+		t.Errorf("%d sessions for a single cell in 1024", o.Sessions())
+	}
+}
+
+// TestSyndromeOracleAgainstSimulation: run real faults, build the syndrome
+// oracle from engine cell syndromes, and verify adaptive diagnosis finds
+// exactly the failing cells (up to region aliasing, which must be rare).
+func TestSyndromeOracleAgainstSimulation(t *testing.T) {
+	c := benchgen.MustGenerate("s5378")
+	cfg := scan.SingleChain(c.NumDFFs())
+	prpg := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1)
+	blocks := bist.GenerateBlocks(prpg, c.NumInputs(), c.NumDFFs(), 128)
+	fs := sim.NewFaultSim(c, blocks)
+	eng, err := bist.NewEngine(cfg, bist.Plan{
+		Scheme: partition.TwoStep{}, Groups: 8, Partitions: 1,
+	}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := make([]*sim.Response, len(blocks))
+	for i := range blocks {
+		good[i] = fs.Good(i)
+	}
+	faults := sim.SampleFaults(sim.FullFaultList(c), 60, 63)
+	exact, total := 0, 0
+	for _, f := range faults {
+		res := fs.Run(f)
+		if !res.Detected() {
+			continue
+		}
+		total++
+		syn := eng.CellSyndromes(good, res.Faulty, blocks)
+		o := NewSyndromeOracle(syn)
+		got := Diagnose(o, c.NumDFFs())
+		if got.Equal(res.FailingCells) {
+			exact++
+		} else {
+			// Any mismatch must be explainable by syndrome cancellation:
+			// identified cells must still be truly failing.
+			for _, cell := range got.Elems() {
+				if !res.FailingCells.Contains(cell) {
+					t.Fatalf("fault %s: adaptive identified non-failing cell %d",
+						f.Describe(c), cell)
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no detected faults")
+	}
+	if float64(exact) < 0.9*float64(total) {
+		t.Errorf("adaptive exact on only %d of %d faults", exact, total)
+	}
+}
+
+// TestAdaptiveVsTwoStepTradeoff quantifies the comparison the paper makes
+// in Section 2: adaptive binary search resolves exactly but needs
+// outcome-dependent sessions; the partition schedule is fixed-session.
+func TestAdaptiveVsTwoStepTradeoff(t *testing.T) {
+	c := benchgen.MustGenerate("s5378")
+	cfg := scan.SingleChain(c.NumDFFs())
+	prpg := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1)
+	blocks := bist.GenerateBlocks(prpg, c.NumInputs(), c.NumDFFs(), 128)
+	fs := sim.NewFaultSim(c, blocks)
+	eng, err := bist.NewEngine(cfg, bist.Plan{
+		Scheme: partition.TwoStep{}, Groups: 8, Partitions: 8,
+	}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := make([]*sim.Response, len(blocks))
+	for i := range blocks {
+		good[i] = fs.Good(i)
+	}
+	faults := sim.SampleFaults(sim.FullFaultList(c), 60, 64)
+	sessionSum, diagnosed := 0, 0
+	for _, f := range faults {
+		res := fs.Run(f)
+		if !res.Detected() {
+			continue
+		}
+		diagnosed++
+		o := NewSyndromeOracle(eng.CellSyndromes(good, res.Faulty, blocks))
+		Diagnose(o, c.NumDFFs())
+		sessionSum += o.Sessions()
+	}
+	if diagnosed == 0 {
+		t.Fatal("nothing diagnosed")
+	}
+	avg := float64(sessionSum) / float64(diagnosed)
+	fixed := 8 * 8 // the two-step schedule: groups x partitions
+	t.Logf("adaptive: %.1f sessions on average (exact cells); two-step: %d fixed sessions", avg, fixed)
+	if avg <= 0 {
+		t.Error("no sessions counted")
+	}
+}

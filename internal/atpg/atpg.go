@@ -1,0 +1,587 @@
+// Package atpg implements deterministic test pattern generation for single
+// stuck-at faults using the PODEM algorithm (Goel, 1981) over the full-scan
+// combinational view of a circuit: primary inputs and scan-cell states are
+// the controllable inputs, primary outputs and scan-cell D-inputs the
+// observable outputs.
+//
+// In this repository ATPG plays a supporting role: it proves which sampled
+// faults are testable at all (so pattern-set fault coverage can be compared
+// against the achievable ceiling), produces the "pattern that detects this
+// fault" the paper's worked example presumes, and cross-validates the fault
+// simulator — every generated test is checked against simulation by the
+// tests.
+package atpg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/sim"
+	"repro/internal/testability"
+)
+
+// tri is a 3-valued logic level on one machine plane.
+type tri uint8
+
+// Three-valued levels.
+const (
+	f0 tri = iota // 0
+	f1            // 1
+	fX            // unassigned / unknown
+)
+
+func (t tri) String() string { return [...]string{"0", "1", "X"}[t] }
+
+func not3(a tri) tri {
+	switch a {
+	case f0:
+		return f1
+	case f1:
+		return f0
+	}
+	return fX
+}
+
+// eval3 evaluates op over 3-valued inputs.
+func eval3(op logic.Op, in []tri) tri {
+	switch op {
+	case logic.OpBuf:
+		return in[0]
+	case logic.OpNot:
+		return not3(in[0])
+	case logic.OpAnd, logic.OpNand:
+		v := f1
+		for _, a := range in {
+			if a == f0 {
+				v = f0
+				break
+			}
+			if a == fX {
+				v = fX
+			}
+		}
+		if op == logic.OpNand {
+			return not3(v)
+		}
+		return v
+	case logic.OpOr, logic.OpNor:
+		v := f0
+		for _, a := range in {
+			if a == f1 {
+				v = f1
+				break
+			}
+			if a == fX {
+				v = fX
+			}
+		}
+		if op == logic.OpNor {
+			return not3(v)
+		}
+		return v
+	case logic.OpXor, logic.OpXnor:
+		v := f0
+		for _, a := range in {
+			if a == fX {
+				return fX
+			}
+			v ^= a
+		}
+		if op == logic.OpXnor {
+			return not3(v)
+		}
+		return v
+	case logic.OpConst0:
+		return f0
+	case logic.OpConst1:
+		return f1
+	}
+	panic(fmt.Sprintf("atpg: eval3 on op %v", op))
+}
+
+// Test is a generated pattern: 3-valued assignments to the primary inputs
+// and the scanned-in state, in circuit declaration order. Unassigned
+// positions are don't-cares.
+type Test struct {
+	PI    []tri
+	State []tri
+}
+
+// Block converts the test into a single-pattern simulation block, filling
+// don't-cares pseudorandomly from seed.
+func (t Test) Block(seed int64) *sim.Block {
+	rng := rand.New(rand.NewSource(seed))
+	fill := func(vals []tri) []uint64 {
+		out := make([]uint64, len(vals))
+		for i, v := range vals {
+			switch v {
+			case f1:
+				out[i] = 1
+			case fX:
+				out[i] = rng.Uint64() & 1
+			}
+		}
+		return out
+	}
+	return &sim.Block{N: 1, PI: fill(t.PI), State: fill(t.State)}
+}
+
+// Care returns the test's assigned bits as (position, value) pairs over
+// the PRPG's per-pattern bit order: scan-state bits first (cell 0 first),
+// then primary-input bits — exactly the order bist.GenerateBlocks draws
+// them, so a reseeding solver can embed the cube in the pattern generator.
+func (t Test) Care() (positions []int, values []bool) {
+	for i, v := range t.State {
+		if v != fX {
+			positions = append(positions, i)
+			values = append(values, v == f1)
+		}
+	}
+	for i, v := range t.PI {
+		if v != fX {
+			positions = append(positions, len(t.State)+i)
+			values = append(values, v == f1)
+		}
+	}
+	return positions, values
+}
+
+// AssignedBits counts the care bits of the test.
+func (t Test) AssignedBits() int {
+	n := 0
+	for _, v := range t.PI {
+		if v != fX {
+			n++
+		}
+	}
+	for _, v := range t.State {
+		if v != fX {
+			n++
+		}
+	}
+	return n
+}
+
+// Outcome classifies a generation attempt.
+type Outcome int
+
+// Generation outcomes.
+const (
+	// Detected: a test was found.
+	Detected Outcome = iota
+	// Untestable: the search space was exhausted — the fault is redundant.
+	Untestable
+	// Aborted: the backtrack limit was hit before a decision.
+	Aborted
+)
+
+func (o Outcome) String() string {
+	return [...]string{"detected", "untestable", "aborted"}[o]
+}
+
+// Compatible reports whether two tests can merge: no position where both
+// assign opposite care values.
+func Compatible(a, b Test) bool {
+	merge := func(x, y []tri) bool {
+		for i := range x {
+			if x[i] != fX && y[i] != fX && x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return merge(a.PI, b.PI) && merge(a.State, b.State)
+}
+
+// Merge combines two compatible tests, keeping every care bit of both.
+func Merge(a, b Test) Test {
+	out := Test{PI: make([]tri, len(a.PI)), State: make([]tri, len(a.State))}
+	pick := func(x, y tri) tri {
+		if x != fX {
+			return x
+		}
+		return y
+	}
+	for i := range a.PI {
+		out.PI[i] = pick(a.PI[i], b.PI[i])
+	}
+	for i := range a.State {
+		out.State[i] = pick(a.State[i], b.State[i])
+	}
+	return out
+}
+
+// Compact merges compatible tests greedily (static compaction): each test
+// is folded into the first already-kept test it does not conflict with.
+// PODEM's sparse care bits typically let several faults share one pattern,
+// shrinking a deterministic test set severalfold.
+func Compact(tests []Test) []Test {
+	var kept []Test
+	for _, t := range tests {
+		merged := false
+		for i := range kept {
+			if Compatible(kept[i], t) {
+				kept[i] = Merge(kept[i], t)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			kept = append(kept, t)
+		}
+	}
+	return kept
+}
+
+// Generator runs PODEM for faults of one circuit.
+type Generator struct {
+	c *circuit.Circuit
+	// BacktrackLimit bounds the search per fault; zero selects 2000.
+	BacktrackLimit int
+
+	goodV, badV []tri
+	piIndex     map[circuit.NetID]int // input net -> PI/state slot
+	isState     map[circuit.NetID]bool
+	isPO        map[circuit.NetID]bool
+	scoap       *testability.Measures // guides backtrace and frontier choice
+}
+
+// New builds a Generator. SCOAP testability measures are computed once and
+// steer the search: backtrace follows the cheapest-to-control input and
+// the D-frontier advances through the cheapest-to-observe gate, which cuts
+// backtracking substantially on reconvergent logic.
+func New(c *circuit.Circuit) *Generator {
+	g := &Generator{
+		c:              c,
+		BacktrackLimit: 2000,
+		goodV:          make([]tri, c.NumNets()),
+		badV:           make([]tri, c.NumNets()),
+		piIndex:        make(map[circuit.NetID]int),
+		isState:        make(map[circuit.NetID]bool),
+		isPO:           make(map[circuit.NetID]bool),
+		scoap:          testability.Compute(c),
+	}
+	for i, id := range c.Inputs {
+		g.piIndex[id] = i
+	}
+	for i, id := range c.DFFs {
+		g.piIndex[id] = i
+		g.isState[id] = true
+	}
+	for _, id := range c.Outputs {
+		g.isPO[id] = true
+	}
+	return g
+}
+
+// Generate attempts to produce a test for fault f.
+func (g *Generator) Generate(f sim.Fault) (Test, Outcome) {
+	t := Test{
+		PI:    make([]tri, g.c.NumInputs()),
+		State: make([]tri, g.c.NumDFFs()),
+	}
+	for i := range t.PI {
+		t.PI[i] = fX
+	}
+	for i := range t.State {
+		t.State[i] = fX
+	}
+
+	type decision struct {
+		net     circuit.NetID
+		value   tri
+		flipped bool
+	}
+	var stack []decision
+	backtracks := 0
+
+	assign := func(net circuit.NetID, v tri) {
+		slot := g.piIndex[net]
+		if g.isState[net] {
+			t.State[slot] = v
+		} else {
+			t.PI[slot] = v
+		}
+	}
+
+	for {
+		g.imply(t, f)
+		switch g.status(f) {
+		case statusDetected:
+			return t, Detected
+		case statusPossible:
+			net, v, ok := g.objective(f)
+			if ok {
+				pi, pv, ok := g.backtrace(net, v)
+				if ok {
+					stack = append(stack, decision{net: pi, value: pv})
+					assign(pi, pv)
+					continue
+				}
+			}
+			// No X-path to drive the objective: treat as a conflict.
+			fallthrough
+		case statusConflict:
+			// Backtrack: flip the most recent unflipped decision.
+			for len(stack) > 0 {
+				d := &stack[len(stack)-1]
+				if !d.flipped {
+					d.flipped = true
+					d.value = not3(d.value)
+					assign(d.net, d.value)
+					break
+				}
+				assign(d.net, fX)
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) == 0 {
+				return Test{}, Untestable
+			}
+			backtracks++
+			if g.BacktrackLimit > 0 && backtracks > g.BacktrackLimit {
+				return Test{}, Aborted
+			}
+		}
+	}
+}
+
+type status int
+
+const (
+	statusDetected status = iota // D/D̄ reached an observable point
+	statusPossible               // undecided: X-paths remain
+	statusConflict               // fault cannot be activated or propagated
+)
+
+// imply runs full 5-valued forward implication: the good plane ignores the
+// fault, the bad plane forces it.
+func (g *Generator) imply(t Test, f sim.Fault) {
+	c := g.c
+	for i, id := range c.Inputs {
+		g.goodV[id] = t.PI[i]
+		g.badV[id] = t.PI[i]
+	}
+	for i, id := range c.DFFs {
+		g.goodV[id] = t.State[i]
+		g.badV[id] = t.State[i]
+	}
+	if f.Stem() && !c.Nets[f.Net].Op.Combinational() {
+		g.badV[f.Net] = tri(f.Stuck)
+	}
+	inBuf := make([]tri, 0, 8)
+	for _, id := range c.TopoOrder() {
+		n := &c.Nets[id]
+		inBuf = inBuf[:0]
+		for _, src := range n.Fanin {
+			inBuf = append(inBuf, g.goodV[src])
+		}
+		g.goodV[id] = eval3(n.Op, inBuf)
+		inBuf = inBuf[:0]
+		for k, src := range n.Fanin {
+			v := g.badV[src]
+			if !f.Stem() && f.Gate == id && f.Pin == k {
+				v = tri(f.Stuck)
+			}
+			inBuf = append(inBuf, v)
+		}
+		bad := eval3(n.Op, inBuf)
+		if f.Stem() && f.Net == id {
+			bad = tri(f.Stuck)
+		}
+		g.badV[id] = bad
+	}
+}
+
+// observedAt reports whether the fault effect (good ≠ bad, both assigned)
+// is visible at net id's observable role.
+func (g *Generator) differsAt(id circuit.NetID) bool {
+	gv, bv := g.goodV[id], g.badV[id]
+	return gv != fX && bv != fX && gv != bv
+}
+
+// status inspects the implied values.
+func (g *Generator) status(f sim.Fault) status {
+	c := g.c
+	// Detected: difference visible at a PO or at a flip-flop's D input
+	// (captured and scanned out). A branch fault into a DFF is checked at
+	// the capture point.
+	for _, id := range c.Outputs {
+		if g.differsAt(id) {
+			return statusDetected
+		}
+	}
+	for _, id := range c.DFFs {
+		d := c.Nets[id].Fanin[0]
+		gv, bv := g.goodV[d], g.badV[d]
+		if !f.Stem() && f.Gate == id {
+			bv = tri(f.Stuck)
+		}
+		if gv != fX && bv != fX && gv != bv {
+			return statusDetected
+		}
+	}
+	// Activation check: the fault site's good value decides.
+	site := f.Net
+	gv := g.goodV[site]
+	if gv == tri(f.Stuck) {
+		return statusConflict
+	}
+	if gv == fX {
+		return statusPossible
+	}
+	// Activated: a D-frontier must exist (some gate sees the difference
+	// and still outputs X), or the difference is blocked everywhere.
+	if g.dFrontierGate(f) >= 0 {
+		return statusPossible
+	}
+	return statusConflict
+}
+
+// dFrontierGate returns the D-frontier gate with the cheapest-to-observe
+// output (a gate whose output is X while at least one input carries the
+// fault difference), or -1.
+func (g *Generator) dFrontierGate(f sim.Fault) circuit.NetID {
+	c := g.c
+	best, bestCO := circuit.NetID(-1), int32(1<<30)
+	for _, id := range c.TopoOrder() {
+		if g.goodV[id] != fX && g.badV[id] != fX {
+			continue
+		}
+		n := &c.Nets[id]
+		for k, src := range n.Fanin {
+			bv := g.badV[src]
+			if !f.Stem() && f.Gate == id && f.Pin == k {
+				bv = tri(f.Stuck)
+			}
+			if g.goodV[src] != fX && bv != fX && g.goodV[src] != bv {
+				if co := g.scoap.CO[id]; co < bestCO {
+					best, bestCO = id, co
+				}
+				break
+			}
+		}
+	}
+	return best
+}
+
+// objective picks the next (net, value) goal: activate the fault if its
+// site is X, otherwise advance the D-frontier by setting an X input of a
+// frontier gate to the gate's non-controlling value.
+func (g *Generator) objective(f sim.Fault) (circuit.NetID, tri, bool) {
+	if g.goodV[f.Net] == fX {
+		return f.Net, not3(tri(f.Stuck)), true
+	}
+	gate := g.dFrontierGate(f)
+	if gate < 0 {
+		return 0, fX, false
+	}
+	n := &g.c.Nets[gate]
+	for _, src := range n.Fanin {
+		if g.goodV[src] == fX {
+			return src, nonControlling(n.Op), true
+		}
+	}
+	return 0, fX, false
+}
+
+// nonControlling returns the value that lets a difference pass through the
+// gate (1 for AND/NAND, 0 for OR/NOR; XOR passes differences regardless, 0
+// keeps parity simple).
+func nonControlling(op logic.Op) tri {
+	switch op {
+	case logic.OpAnd, logic.OpNand:
+		return f1
+	case logic.OpOr, logic.OpNor:
+		return f0
+	}
+	return f0
+}
+
+// controlling returns the value that forces a gate's output on its own.
+func controlling(op logic.Op) (tri, bool) {
+	switch op {
+	case logic.OpAnd, logic.OpNand:
+		return f0, true
+	case logic.OpOr, logic.OpNor:
+		return f1, true
+	}
+	return fX, false
+}
+
+// backtrace walks the objective back to an unassigned primary input or
+// state bit through X-valued nets, tracking inversion parity.
+func (g *Generator) backtrace(net circuit.NetID, v tri) (circuit.NetID, tri, bool) {
+	c := g.c
+	for {
+		n := &c.Nets[net]
+		if !n.Op.Combinational() {
+			if g.goodV[net] != fX {
+				return 0, fX, false // already assigned: conflict upstream
+			}
+			return net, v, true
+		}
+		if n.Op.Inverting() {
+			v = not3(v)
+		}
+		// Choose which input to pursue. If v is the gate's "output forced
+		// by one controlling input" value, one X input suffices; otherwise
+		// all inputs matter and any X input must be set to non-controlling.
+		want := v
+		cv, hasC := controlling(baseOp(n.Op))
+		if hasC && v == cvOut(baseOp(n.Op)) {
+			want = cv
+		} else if hasC {
+			want = not3(cv)
+		}
+		// Among the X inputs, pursue the cheapest to control toward `want`
+		// (SCOAP CC0/CC1); hard-to-control inputs are left for implication.
+		next := circuit.NetID(-1)
+		bestCost := int32(1 << 30)
+		for _, src := range n.Fanin {
+			if g.goodV[src] != fX {
+				continue
+			}
+			cost := g.scoap.CC1[src]
+			if want == f0 {
+				cost = g.scoap.CC0[src]
+			}
+			if cost < bestCost {
+				next, bestCost = src, cost
+			}
+		}
+		if next < 0 {
+			return 0, fX, false
+		}
+		net, v = next, want
+	}
+}
+
+// baseOp strips the inversion: NAND -> AND, NOR -> OR, XNOR -> XOR,
+// NOT -> BUF.
+func baseOp(op logic.Op) logic.Op {
+	switch op {
+	case logic.OpNand:
+		return logic.OpAnd
+	case logic.OpNor:
+		return logic.OpOr
+	case logic.OpXnor:
+		return logic.OpXor
+	case logic.OpNot:
+		return logic.OpBuf
+	}
+	return op
+}
+
+// cvOut is the output value a single controlling input forces on the base
+// (non-inverted) gate.
+func cvOut(op logic.Op) tri {
+	switch op {
+	case logic.OpAnd:
+		return f0
+	case logic.OpOr:
+		return f1
+	}
+	return fX
+}

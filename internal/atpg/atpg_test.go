@@ -1,0 +1,294 @@
+package atpg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/benchgen"
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+const s27 = `
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+func parseS27(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	c, err := bench.Parse("s27", strings.NewReader(s27))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// detects checks by simulation whether the (filled) test pattern makes the
+// fault visible at a scan cell or primary output.
+func detects(t *testing.T, c *circuit.Circuit, f sim.Fault, test Test) bool {
+	t.Helper()
+	b := test.Block(99)
+	s := sim.New(c)
+	good := &sim.Response{Next: make([]uint64, c.NumDFFs()), PO: make([]uint64, c.NumOutputs())}
+	bad := &sim.Response{Next: make([]uint64, c.NumDFFs()), PO: make([]uint64, c.NumOutputs())}
+	s.Good(b, good)
+	s.Faulty(b, f, bad)
+	for i := range good.Next {
+		if (good.Next[i]^bad.Next[i])&1 == 1 {
+			return true
+		}
+	}
+	for i := range good.PO {
+		if (good.PO[i]^bad.PO[i])&1 == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// TestGeneratedTestsDetectTheirFaults is the central cross-validation:
+// every PODEM "detected" outcome must be confirmed by the independent
+// fault simulator.
+func TestGeneratedTestsDetectTheirFaults(t *testing.T) {
+	for _, name := range []string{"s27", "s953", "s5378"} {
+		var c *circuit.Circuit
+		if name == "s27" {
+			c = parseS27(t)
+		} else {
+			c = benchgen.MustGenerate(name)
+		}
+		g := New(c)
+		faults := sim.SampleFaults(sim.CollapseFaults(c, sim.FullFaultList(c)), 120, 71)
+		detected, untestable, aborted := 0, 0, 0
+		for _, f := range faults {
+			test, outcome := g.Generate(f)
+			switch outcome {
+			case Detected:
+				detected++
+				if !detects(t, c, f, test) {
+					t.Fatalf("%s: PODEM test for %s does not detect it (test assigns %d bits)",
+						name, f.Describe(c), test.AssignedBits())
+				}
+			case Untestable:
+				untestable++
+			case Aborted:
+				aborted++
+			}
+		}
+		if detected == 0 {
+			t.Fatalf("%s: PODEM detected nothing", name)
+		}
+		t.Logf("%s: %d detected, %d untestable, %d aborted of %d",
+			name, detected, untestable, aborted, len(faults))
+		if float64(detected) < 0.7*float64(len(faults)) {
+			t.Errorf("%s: detection rate too low", name)
+		}
+	}
+}
+
+// TestUntestableRedundantFault: z = OR(a, NOT(a)) is constant 1, so
+// z s-a-1 is undetectable and PODEM must prove it.
+func TestUntestableRedundantFault(t *testing.T) {
+	b := circuit.NewBuilder("redundant")
+	b.Input("a").Input("pad").Output("zz")
+	b.Gate("na", logic.OpNot, "a")
+	b.Gate("z", logic.OpOr, "a", "na")
+	b.DFF("q", "z")
+	b.Gate("zz", logic.OpAnd, "q", "pad")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(c)
+	z, _ := c.NetByName("z")
+	if _, outcome := g.Generate(sim.Fault{Net: z, Gate: -1, Pin: -1, Stuck: 1}); outcome != Untestable {
+		t.Errorf("z s-a-1 outcome = %v, want untestable", outcome)
+	}
+	// z s-a-0 is testable (any pattern captures 0 instead of 1).
+	test, outcome := g.Generate(sim.Fault{Net: z, Gate: -1, Pin: -1, Stuck: 0})
+	if outcome != Detected {
+		t.Fatalf("z s-a-0 outcome = %v", outcome)
+	}
+	if !detects(t, c, sim.Fault{Net: z, Gate: -1, Pin: -1, Stuck: 0}, test) {
+		t.Error("test does not detect z s-a-0")
+	}
+}
+
+// TestExhaustiveAgreementSmall: on s27, PODEM's testable/untestable verdict
+// must agree with exhaustive simulation over all 2^7 input/state
+// combinations.
+func TestExhaustiveAgreementSmall(t *testing.T) {
+	c := parseS27(t)
+	g := New(c)
+	// Exhaustive detection check: 4 PIs + 3 state bits = 7 bits.
+	exhaustive := func(f sim.Fault) bool {
+		s := sim.New(c)
+		good := &sim.Response{Next: make([]uint64, 3), PO: make([]uint64, 1)}
+		bad := &sim.Response{Next: make([]uint64, 3), PO: make([]uint64, 1)}
+		for v := 0; v < 128; v++ {
+			b := &sim.Block{N: 1, PI: make([]uint64, 4), State: make([]uint64, 3)}
+			for i := 0; i < 4; i++ {
+				b.PI[i] = uint64(v >> uint(i) & 1)
+			}
+			for i := 0; i < 3; i++ {
+				b.State[i] = uint64(v >> uint(4+i) & 1)
+			}
+			s.Good(b, good)
+			s.Faulty(b, f, bad)
+			for i := range good.Next {
+				if (good.Next[i]^bad.Next[i])&1 == 1 {
+					return true
+				}
+			}
+			for i := range good.PO {
+				if (good.PO[i]^bad.PO[i])&1 == 1 {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, f := range sim.FullFaultList(c) {
+		_, outcome := g.Generate(f)
+		want := exhaustive(f)
+		switch outcome {
+		case Detected:
+			if !want {
+				t.Errorf("%s: PODEM detected, exhaustive says untestable", f.Describe(c))
+			}
+		case Untestable:
+			if want {
+				t.Errorf("%s: PODEM says untestable, exhaustive finds a test", f.Describe(c))
+			}
+		case Aborted:
+			t.Errorf("%s: aborted on a 7-input circuit", f.Describe(c))
+		}
+	}
+}
+
+func TestTestBlockFillsDontCares(t *testing.T) {
+	c := parseS27(t)
+	g := New(c)
+	faults := sim.SampleFaults(sim.FullFaultList(c), 10, 72)
+	for _, f := range faults {
+		test, outcome := g.Generate(f)
+		if outcome != Detected {
+			continue
+		}
+		b := test.Block(1)
+		if b.N != 1 || len(b.PI) != 4 || len(b.State) != 3 {
+			t.Fatalf("block shape %d/%d/%d", b.N, len(b.PI), len(b.State))
+		}
+		for _, w := range append(append([]uint64{}, b.PI...), b.State...) {
+			if w > 1 {
+				t.Fatalf("block word %d not a single bit", w)
+			}
+		}
+		if test.AssignedBits() == 0 {
+			t.Error("detected test assigns no bits")
+		}
+	}
+}
+
+func TestEval3TruthTables(t *testing.T) {
+	// AND(0, X) = 0, AND(1, X) = X, OR(1, X) = 1, XOR(anything, X) = X.
+	if eval3(logic.OpAnd, []tri{f0, fX}) != f0 {
+		t.Error("AND(0,X) != 0")
+	}
+	if eval3(logic.OpAnd, []tri{f1, fX}) != fX {
+		t.Error("AND(1,X) != X")
+	}
+	if eval3(logic.OpOr, []tri{f1, fX}) != f1 {
+		t.Error("OR(1,X) != 1")
+	}
+	if eval3(logic.OpXor, []tri{f1, fX}) != fX {
+		t.Error("XOR(1,X) != X")
+	}
+	if eval3(logic.OpNand, []tri{f0, fX}) != f1 {
+		t.Error("NAND(0,X) != 1")
+	}
+	if eval3(logic.OpXnor, []tri{f1, f1}) != f1 {
+		t.Error("XNOR(1,1) != 1")
+	}
+	if eval3(logic.OpNot, []tri{fX}) != fX {
+		t.Error("NOT(X) != X")
+	}
+	if fX.String() != "X" || f0.String() != "0" {
+		t.Error("tri.String wrong")
+	}
+}
+
+func TestCompatibleAndMerge(t *testing.T) {
+	a := Test{PI: []tri{f0, fX, f1}, State: []tri{fX}}
+	b := Test{PI: []tri{fX, f1, f1}, State: []tri{f0}}
+	if !Compatible(a, b) {
+		t.Fatal("compatible tests reported incompatible")
+	}
+	m := Merge(a, b)
+	want := Test{PI: []tri{f0, f1, f1}, State: []tri{f0}}
+	for i := range want.PI {
+		if m.PI[i] != want.PI[i] {
+			t.Errorf("PI[%d] = %v", i, m.PI[i])
+		}
+	}
+	if m.State[0] != f0 {
+		t.Errorf("State[0] = %v", m.State[0])
+	}
+	c := Test{PI: []tri{f1, fX, fX}, State: []tri{fX}}
+	if Compatible(a, c) {
+		t.Error("conflicting tests reported compatible")
+	}
+}
+
+// TestCompactPreservesDetection: compaction must shrink the set while each
+// original fault stays detected by some compacted test.
+func TestCompactPreservesDetection(t *testing.T) {
+	c := benchgen.MustGenerate("s953")
+	g := New(c)
+	faults := sim.SampleFaults(sim.CollapseFaults(c, sim.FullFaultList(c)), 150, 73)
+	var tests []Test
+	var covered []sim.Fault
+	for _, f := range faults {
+		if test, outcome := g.Generate(f); outcome == Detected {
+			tests = append(tests, test)
+			covered = append(covered, f)
+		}
+	}
+	compacted := Compact(tests)
+	if len(compacted) >= len(tests) {
+		t.Errorf("compaction did not shrink: %d -> %d", len(tests), len(compacted))
+	}
+	t.Logf("compacted %d tests to %d patterns", len(tests), len(compacted))
+	// Every covered fault must be detected by at least one compacted test
+	// (care bits only — fill X with zero for determinism).
+	for _, f := range covered {
+		hit := false
+		for _, test := range compacted {
+			if detects(t, c, f, test) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("fault %s lost by compaction", f.Describe(c))
+		}
+	}
+}

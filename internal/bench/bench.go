@@ -1,0 +1,237 @@
+// Package bench reads and writes gate-level netlists in the ISCAS-89
+// ".bench" format used to distribute the s-series benchmark circuits:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G5 = DFF(G10)
+//	G11 = NAND(G5, G9)
+//
+// The parser is tolerant of whitespace and case in function names and
+// accepts the BUF/BUFF and NOT/INV aliases. It exists both so the synthetic
+// benchmark generator can round-trip its circuits through the on-disk
+// format and so genuine ISCAS-89 files can be dropped in when available.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// Parse reads a .bench netlist from r. The circuit name is taken from name
+// (conventionally the file basename without extension).
+func Parse(name string, r io.Reader) (*circuit.Circuit, error) {
+	b := circuit.NewBuilder(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseLine(b, line); err != nil {
+			return nil, fmt.Errorf("bench %s:%d: %w", name, lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench %s: %w", name, err)
+	}
+	return b.Build()
+}
+
+func parseLine(b *circuit.Builder, line string) error {
+	// INPUT(x) / OUTPUT(x)
+	if rest, ok := strippedCall(line, "INPUT"); ok {
+		b.Input(rest)
+		return nil
+	}
+	if rest, ok := strippedCall(line, "OUTPUT"); ok {
+		b.Output(rest)
+		return nil
+	}
+	// name = FUNC(a, b, ...)
+	eq := strings.IndexByte(line, '=')
+	if eq < 0 {
+		return fmt.Errorf("malformed line %q", line)
+	}
+	name := strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.IndexByte(rhs, '(')
+	close_ := strings.LastIndexByte(rhs, ')')
+	if open < 0 || close_ < open {
+		return fmt.Errorf("malformed gate expression %q", rhs)
+	}
+	fn := strings.TrimSpace(rhs[:open])
+	op, err := logic.ParseOp(fn)
+	if err != nil {
+		return err
+	}
+	args := splitArgs(rhs[open+1 : close_])
+	switch op {
+	case logic.OpDFF:
+		if len(args) != 1 {
+			return fmt.Errorf("DFF %q needs exactly 1 input, got %d", name, len(args))
+		}
+		b.DFF(name, args[0])
+	case logic.OpInput:
+		return fmt.Errorf("INPUT used as a gate function for %q", name)
+	default:
+		b.Gate(name, op, args...)
+	}
+	return nil
+}
+
+// strippedCall matches lines of the form KEYWORD(arg) case-insensitively and
+// returns the trimmed argument.
+func strippedCall(line, keyword string) (string, bool) {
+	if len(line) < len(keyword)+2 {
+		return "", false
+	}
+	if !strings.EqualFold(line[:len(keyword)], keyword) {
+		return "", false
+	}
+	rest := strings.TrimSpace(line[len(keyword):])
+	if !strings.HasPrefix(rest, "(") || !strings.HasSuffix(rest, ")") {
+		return "", false
+	}
+	return strings.TrimSpace(rest[1 : len(rest)-1]), true
+}
+
+func splitArgs(s string) []string {
+	parts := strings.Split(s, ",")
+	args := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			args = append(args, p)
+		}
+	}
+	return args
+}
+
+// ParseFile reads a .bench netlist from disk, deriving the circuit name
+// from the file basename.
+func ParseFile(path string) (*circuit.Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	name = strings.TrimSuffix(name, ".bench")
+	return Parse(name, f)
+}
+
+// Write emits c in .bench format: inputs, outputs, flip-flops, then
+// combinational gates in topological order, so the output is always
+// re-parseable without forward references.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d D-type flipflops, %d gates\n",
+		c.NumInputs(), c.NumOutputs(), c.NumDFFs(), c.NumGates())
+	for _, id := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Nets[id].Name)
+	}
+	for _, id := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Nets[id].Name)
+	}
+	fmt.Fprintln(bw)
+	for _, id := range c.DFFs {
+		n := c.Nets[id]
+		fmt.Fprintf(bw, "%s = DFF(%s)\n", n.Name, c.Nets[n.Fanin[0]].Name)
+	}
+	for _, id := range c.TopoOrder() {
+		n := c.Nets[id]
+		names := make([]string, len(n.Fanin))
+		for i, f := range n.Fanin {
+			names[i] = c.Nets[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", n.Name, n.Op, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes c to path in .bench format.
+func WriteFile(path string, c *circuit.Circuit) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Equivalent reports whether two circuits have identical structure up to
+// gate ordering: the same named nets with the same ops and the same
+// (sorted) fan-in names, the same input/output/DFF orders. It is used to
+// verify Parse∘Write is the identity.
+func Equivalent(a, b *circuit.Circuit) error {
+	if a.NumNets() != b.NumNets() {
+		return fmt.Errorf("net counts differ: %d vs %d", a.NumNets(), b.NumNets())
+	}
+	if err := sameOrder(a, b, a.Inputs, b.Inputs, "input"); err != nil {
+		return err
+	}
+	if err := sameOrder(a, b, a.Outputs, b.Outputs, "output"); err != nil {
+		return err
+	}
+	if err := sameOrder(a, b, a.DFFs, b.DFFs, "dff"); err != nil {
+		return err
+	}
+	for _, na := range a.Nets {
+		idB, ok := b.NetByName(na.Name)
+		if !ok {
+			return fmt.Errorf("net %q missing from second circuit", na.Name)
+		}
+		nb := b.Nets[idB]
+		if na.Op != nb.Op {
+			return fmt.Errorf("net %q op differs: %v vs %v", na.Name, na.Op, nb.Op)
+		}
+		fa := faninNames(a, na)
+		fb := faninNames(b, nb)
+		if strings.Join(fa, ",") != strings.Join(fb, ",") {
+			return fmt.Errorf("net %q fan-in differs: %v vs %v", na.Name, fa, fb)
+		}
+	}
+	return nil
+}
+
+func faninNames(c *circuit.Circuit, n circuit.Net) []string {
+	names := make([]string, len(n.Fanin))
+	for i, f := range n.Fanin {
+		names[i] = c.Nets[f].Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sameOrder(a, b *circuit.Circuit, la, lb []circuit.NetID, kind string) error {
+	if len(la) != len(lb) {
+		return fmt.Errorf("%s counts differ: %d vs %d", kind, len(la), len(lb))
+	}
+	for i := range la {
+		if a.Nets[la[i]].Name != b.Nets[lb[i]].Name {
+			return fmt.Errorf("%s %d differs: %q vs %q", kind, i, a.Nets[la[i]].Name, b.Nets[lb[i]].Name)
+		}
+	}
+	return nil
+}

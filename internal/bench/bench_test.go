@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// s27 is the genuine ISCAS-89 s27 netlist, small enough to embed verbatim.
+const s27 = `# s27
+# 4 inputs
+# 1 outputs
+# 3 D-type flipflops
+# 2 inverters
+# 8 gates (1 ANDs + 1 NANDs + 2 ORs + 4 NORs)
+
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+func TestParseS27(t *testing.T) {
+	c, err := Parse("s27", strings.NewReader(s27))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if c.NumInputs() != 4 || c.NumOutputs() != 1 || c.NumDFFs() != 3 || c.NumGates() != 10 {
+		t.Errorf("counts: %d/%d/%d/%d", c.NumInputs(), c.NumOutputs(), c.NumDFFs(), c.NumGates())
+	}
+	id, ok := c.NetByName("G9")
+	if !ok {
+		t.Fatal("G9 missing")
+	}
+	if c.Nets[id].Op != logic.OpNand || len(c.Nets[id].Fanin) != 2 {
+		t.Errorf("G9 = %v fanin %d", c.Nets[id].Op, len(c.Nets[id].Fanin))
+	}
+	// DFF declaration order defines scan order.
+	wantDFFs := []string{"G5", "G6", "G7"}
+	for i, d := range c.DFFs {
+		if c.Nets[d].Name != wantDFFs[i] {
+			t.Errorf("DFF %d = %s, want %s", i, c.Nets[d].Name, wantDFFs[i])
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := Parse("s27", strings.NewReader(s27))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	c2, err := Parse("s27", &buf)
+	if err != nil {
+		t.Fatalf("re-Parse: %v\n%s", err, buf.String())
+	}
+	if err := Equivalent(c, c2); err != nil {
+		t.Errorf("round trip changed circuit: %v", err)
+	}
+}
+
+func TestParseCaseAndWhitespaceTolerance(t *testing.T) {
+	src := `
+  input( a )
+	INPUT(b)
+  output(z)
+  z = nand( a ,  b )
+`
+	c, err := Parse("tol", strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if c.NumInputs() != 2 || c.NumGates() != 1 {
+		t.Errorf("counts %d/%d", c.NumInputs(), c.NumGates())
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := "INPUT(a) # trailing comment\n#full line\nOUTPUT(z)\nz = BUF(a)\n"
+	if _, err := Parse("c", strings.NewReader(src)); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"malformed", "INPUT(a)\nfoo bar\n", "malformed"},
+		{"unknownOp", "INPUT(a)\nOUTPUT(z)\nz = FROB(a)\n", "unknown gate"},
+		{"dffArity", "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = DFF(a,b)\n", "exactly 1"},
+		{"inputAsGate", "INPUT(a)\nOUTPUT(z)\nz = INPUT(a)\n", "INPUT used as"},
+		{"noParens", "INPUT(a)\nz = NOT a\n", "malformed"},
+		{"undriven", "INPUT(a)\nOUTPUT(z)\nz = NOT(ghost)\n", "never driven"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.name, strings.NewReader(c.src))
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasLineNumber(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(z)\nbogus line here\n"
+	_, err := Parse("x", strings.NewReader(src))
+	if err == nil || !strings.Contains(err.Error(), "x:3") {
+		t.Errorf("want line-numbered error, got %v", err)
+	}
+}
+
+func TestWriteOutputIsTopological(t *testing.T) {
+	// Write emits gates so each appears after its fan-in; verify by parsing
+	// with a builder that would still accept forward refs, then checking
+	// textual order directly.
+	c, err := Parse("s27", strings.NewReader(s27))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	defined := map[string]bool{}
+	for _, in := range c.Inputs {
+		defined[c.Nets[in].Name] = true
+	}
+	for _, d := range c.DFFs {
+		defined[c.Nets[d].Name] = true
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") ||
+			strings.HasPrefix(line, "INPUT") || strings.HasPrefix(line, "OUTPUT") {
+			continue
+		}
+		eq := strings.IndexByte(line, '=')
+		name := strings.TrimSpace(line[:eq])
+		if strings.Contains(line, "DFF") {
+			defined[name] = true
+			continue
+		}
+		open := strings.IndexByte(line, '(')
+		cls := strings.LastIndexByte(line, ')')
+		for _, arg := range strings.Split(line[open+1:cls], ",") {
+			arg = strings.TrimSpace(arg)
+			if !defined[arg] {
+				t.Fatalf("gate %s uses %s before definition", name, arg)
+			}
+		}
+		defined[name] = true
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	c, err := Parse("s27", strings.NewReader(s27))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "s27.bench")
+	if err := WriteFile(path, c); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	c2, err := ParseFile(path)
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	if c2.Name != "s27" {
+		t.Errorf("name = %q, want s27", c2.Name)
+	}
+	if err := Equivalent(c, c2); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseFileMissing(t *testing.T) {
+	if _, err := ParseFile(filepath.Join(t.TempDir(), "nope.bench")); err == nil {
+		t.Error("ParseFile on missing file succeeded")
+	}
+}
+
+func TestEquivalentDetectsDifferences(t *testing.T) {
+	c1, _ := Parse("a", strings.NewReader("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n"))
+	c2, _ := Parse("a", strings.NewReader("INPUT(a)\nOUTPUT(z)\nz = BUF(a)\n"))
+	if err := Equivalent(c1, c2); err == nil {
+		t.Error("Equivalent missed an op difference")
+	}
+	c3, _ := Parse("a", strings.NewReader("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a,b)\n"))
+	if err := Equivalent(c1, c3); err == nil {
+		t.Error("Equivalent missed a size difference")
+	}
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the .bench reader: arbitrary input must never panic,
+// and any netlist that parses successfully must re-serialise and re-parse
+// to an equivalent circuit (Write∘Parse is total on Parse's image).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		s27,
+		"INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n",
+		"INPUT(a)\nINPUT(b)\nOUTPUT(z)\nq = DFF(d)\nd = NAND(a, q)\nz = OR(b, q)\n",
+		"# comment only\n",
+		"",
+		"INPUT(a)\nz = BUF(a)\nOUTPUT(z)",
+		"INPUT(a)\nOUTPUT(z)\nz = XOR(a, a)\n",
+		"input(x)\noutput(x)\n",
+		"G1 = AND(G1, G1)\n",
+		"INPUT(a)\nOUTPUT(z)\nz = AND(a,\n",
+		strings.Repeat("INPUT(i)\n", 3),
+		"INPUT(a)\nOUTPUT(z)\nz=NOT(a)#inline\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse("fuzz", strings.NewReader(src))
+		if err != nil {
+			return // rejecting bad input is fine; panicking is not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			t.Fatalf("Write failed on parsed circuit: %v", err)
+		}
+		c2, err := Parse("fuzz", &buf)
+		if err != nil {
+			t.Fatalf("re-parse of own output failed: %v\n%s", err, buf.String())
+		}
+		if err := Equivalent(c, c2); err != nil {
+			t.Fatalf("round trip changed circuit: %v", err)
+		}
+	})
+}

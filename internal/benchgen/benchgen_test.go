@@ -1,0 +1,269 @@
+package benchgen
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+)
+
+func TestProfileTableLookup(t *testing.T) {
+	p, ok := ProfileByName("s953")
+	if !ok {
+		t.Fatal("s953 missing")
+	}
+	if p.Inputs != 16 || p.Outputs != 23 || p.DFFs != 29 || p.Gates != 395 {
+		t.Errorf("s953 profile = %+v", p)
+	}
+	if _, ok := ProfileByName("s999999"); ok {
+		t.Error("found nonexistent profile")
+	}
+	if len(Profiles()) != len(profiles) {
+		t.Error("Profiles() dropped entries")
+	}
+}
+
+func TestSixLargest(t *testing.T) {
+	names := SixLargest()
+	if len(names) != 6 {
+		t.Fatalf("got %d names", len(names))
+	}
+	for _, n := range names {
+		if _, ok := ProfileByName(n); !ok {
+			t.Errorf("SixLargest includes unknown profile %s", n)
+		}
+	}
+}
+
+// TestGeneratedCountsMatchProfile checks the headline contract: generated
+// circuits have exactly the published PI/PO/FF/gate counts.
+func TestGeneratedCountsMatchProfile(t *testing.T) {
+	for _, name := range []string{"s27", "s298", "s838", "s953", "s1423", "s5378"} {
+		p, _ := ProfileByName(name)
+		c, err := Generate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.NumInputs() != p.Inputs || c.NumOutputs() != p.Outputs ||
+			c.NumDFFs() != p.DFFs || c.NumGates() != p.Gates {
+			t.Errorf("%s: got %d/%d/%d/%d want %d/%d/%d/%d", name,
+				c.NumInputs(), c.NumOutputs(), c.NumDFFs(), c.NumGates(),
+				p.Inputs, p.Outputs, p.DFFs, p.Gates)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate("s953")
+	b := MustGenerate("s953")
+	if err := bench.Equivalent(a, b); err != nil {
+		t.Errorf("same profile generated different circuits: %v", err)
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	p, _ := ProfileByName("s953")
+	p.Seed = 12345
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := MustGenerate("s953")
+	if err := bench.Equivalent(a, b); err == nil {
+		t.Error("different seeds produced identical circuits")
+	}
+}
+
+func TestGeneratedRoundTripsThroughBenchFormat(t *testing.T) {
+	c := MustGenerate("s838")
+	var buf bytes.Buffer
+	if err := bench.Write(&buf, c); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	c2, err := bench.Parse("s838", &buf)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := bench.Equivalent(c, c2); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNoDeadLogic: every gate must reach a flip-flop or primary output, or
+// faults on it would be untestable by construction.
+func TestNoDeadLogic(t *testing.T) {
+	c := MustGenerate("s953")
+	// Reverse reachability from DFF D-inputs and POs.
+	live := make(map[circuit.NetID]bool)
+	var stack []circuit.NetID
+	push := func(id circuit.NetID) {
+		if !live[id] {
+			live[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for _, d := range c.DFFs {
+		push(d)
+	}
+	for _, o := range c.Outputs {
+		push(o)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range c.Nets[id].Fanin {
+			push(f)
+		}
+	}
+	dead := 0
+	for _, id := range c.TopoOrder() {
+		if !live[id] {
+			dead++
+		}
+	}
+	if dead > 0 {
+		t.Errorf("%d of %d gates are dead logic", dead, c.NumGates())
+	}
+}
+
+// TestLocalityOfFaultCones is the structural property the whole
+// reproduction rests on: the scan cells reachable from a net should mostly
+// span a small contiguous window of the chain.
+func TestLocalityOfFaultCones(t *testing.T) {
+	c := MustGenerate("s5378")
+	p, _ := ProfileByName("s5378")
+	p = p.withDefaults()
+	spans := 0
+	counted := 0
+	for i, id := range c.TopoOrder() {
+		if i%37 != 0 { // sample to keep the test fast
+			continue
+		}
+		cells := c.ConeCells(id)
+		if len(cells) < 2 {
+			continue
+		}
+		span := cells[len(cells)-1] - cells[0]
+		spans += span
+		counted++
+	}
+	if counted == 0 {
+		t.Fatal("no multi-cell cones sampled")
+	}
+	avg := float64(spans) / float64(counted)
+	// Without locality the expected span of even 2 random cells out of 179
+	// is ~60; the window construction should keep the average far below
+	// that (long-range taps pull in an occasional wide cone).
+	if avg > 45 {
+		t.Errorf("average cone span %.1f cells; locality construction not effective", avg)
+	}
+	t.Logf("sampled %d cones, average span %.1f of %d cells", counted, avg, c.NumDFFs())
+}
+
+func TestConeMultiCellFaultsExist(t *testing.T) {
+	// Shared gates must create cones touching >1 cell, or every gate fault
+	// would fail exactly one cell and partitioning would be trivial.
+	c := MustGenerate("s953")
+	multi := 0
+	for _, id := range c.TopoOrder() {
+		if len(c.ConeCells(id)) > 1 {
+			multi++
+		}
+	}
+	if frac := float64(multi) / float64(c.NumGates()); frac < 0.2 {
+		t.Errorf("only %.1f%% of gates reach multiple cells", frac*100)
+	}
+}
+
+func TestGenerateRejectsDegenerateProfiles(t *testing.T) {
+	if _, err := Generate(Profile{Name: "x", Inputs: 0, Outputs: 1, DFFs: 1, Gates: 5}); err == nil {
+		t.Error("zero inputs accepted")
+	}
+	if _, err := Generate(Profile{Name: "x", Inputs: 1, Outputs: 1, DFFs: 5, Gates: 2}); err == nil {
+		t.Error("gate budget below cone count accepted")
+	}
+}
+
+func TestMustGeneratePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGenerate(unknown) did not panic")
+		}
+	}()
+	MustGenerate("does-not-exist")
+}
+
+func TestSplitBudgetExact(t *testing.T) {
+	for _, tc := range []struct{ total, dffs, outs int }{
+		{10, 3, 1}, {395, 29, 23}, {100, 50, 50}, {4, 3, 1},
+	} {
+		p, _ := ProfileByName("s27")
+		p = p.withDefaults()
+		g := &gen{p: p}
+		_ = g
+		b := splitBudget(tc.total, tc.dffs, tc.outs, newTestRand())
+		sum := 0
+		for _, v := range b {
+			if v < 1 {
+				t.Errorf("budget entry %d < 1", v)
+			}
+			sum += v
+		}
+		if sum != tc.total {
+			t.Errorf("splitBudget(%d) sums to %d", tc.total, sum)
+		}
+	}
+}
+
+func TestLargeProfileGenerates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large profile in -short mode")
+	}
+	c := MustGenerate("s38584")
+	if c.NumGates() != 19253 || c.NumDFFs() != 1426 {
+		t.Errorf("s38584 counts: %d gates, %d FFs", c.NumGates(), c.NumDFFs())
+	}
+}
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(7)) }
+
+// TestHubsCreateHeavyTailCones: the hub construction must give the
+// fault-cone size distribution a heavy tail — a meaningful fraction of
+// gates reaches many scan cells, as in real circuits. Without it the
+// diagnosis problem degenerates and every partitioning scheme looks
+// perfect.
+func TestHubsCreateHeavyTailCones(t *testing.T) {
+	c := MustGenerate("s5378")
+	wide := 0
+	for _, id := range c.TopoOrder() {
+		if len(c.ConeCells(id)) >= 20 {
+			wide++
+		}
+	}
+	frac := float64(wide) / float64(c.NumGates())
+	if frac < 0.03 {
+		t.Errorf("only %.1f%% of gates reach >=20 cells; hub construction ineffective", frac*100)
+	}
+	t.Logf("%.1f%% of gates reach >= 20 cells", frac*100)
+}
+
+// TestHubsDisabled: Hubs = -1 must produce a circuit with no wide cones.
+func TestHubsDisabled(t *testing.T) {
+	p, _ := ProfileByName("s5378")
+	p.Hubs = -1
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != p.Gates {
+		t.Errorf("gate count %d != %d with hubs disabled", c.NumGates(), p.Gates)
+	}
+	for _, id := range c.TopoOrder() {
+		if n := len(c.ConeCells(id)); n >= 30 {
+			t.Errorf("hub-free circuit has a %d-cell cone", n)
+			break
+		}
+	}
+}

@@ -1,0 +1,417 @@
+package bist
+
+import (
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/lfsr"
+	"repro/internal/partition"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+func TestGenerateBlocks(t *testing.T) {
+	prpg := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1)
+	blocks := GenerateBlocks(prpg, 4, 10, 130)
+	if len(blocks) != 3 {
+		t.Fatalf("got %d blocks", len(blocks))
+	}
+	if blocks[0].N != 64 || blocks[1].N != 64 || blocks[2].N != 2 {
+		t.Errorf("block sizes %d/%d/%d", blocks[0].N, blocks[1].N, blocks[2].N)
+	}
+	// Determinism: regenerating from the same seed gives identical blocks.
+	prpg2 := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1)
+	blocks2 := GenerateBlocks(prpg2, 4, 10, 130)
+	for bi := range blocks {
+		for i := range blocks[bi].State {
+			if blocks[bi].State[i] != blocks2[bi].State[i] {
+				t.Fatal("not deterministic")
+			}
+		}
+	}
+	// Bit layout: pattern j of block b must equal the serial LFSR stream.
+	prpg3 := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1)
+	for bi, b := range blocks {
+		for j := 0; j < b.N; j++ {
+			for i := 0; i < 10; i++ {
+				want := prpg3.Step()
+				if got := b.State[i] >> uint(j) & 1; got != want {
+					t.Fatalf("block %d pattern %d state %d: %d != %d", bi, j, i, got, want)
+				}
+			}
+			for i := 0; i < 4; i++ {
+				want := prpg3.Step()
+				if got := b.PI[i] >> uint(j) & 1; got != want {
+					t.Fatalf("block %d pattern %d pi %d mismatch", bi, j, i)
+				}
+			}
+		}
+	}
+}
+
+// TestHardwareMatchesRandomSelectionScheme proves the cycle-accurate
+// Figure-1 model and the algorithmic scheme generate identical partitions,
+// including the IVR update between partitions.
+func TestHardwareMatchesRandomSelectionScheme(t *testing.T) {
+	const n, b, k = 100, 4, 5
+	poly := lfsr.MustPrimitivePoly(16)
+	seed := uint64(0xACE1)
+
+	want, err := partition.RandomSelection{Poly: poly, Seed: seed}.Partitions(n, b, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewSelectionHardware(ModeRandom, poly, b, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.LoadSeed(seed); err != nil {
+		t.Fatal(err)
+	}
+	for pi := 0; pi < k; pi++ {
+		got, err := PartitionFromHardware(h, n)
+		if err != nil {
+			t.Fatalf("partition %d: %v", pi, err)
+		}
+		for j := range got.GroupOf {
+			if got.GroupOf[j] != want[pi].GroupOf[j] {
+				t.Fatalf("partition %d position %d: hardware %d, scheme %d",
+					pi, j, got.GroupOf[j], want[pi].GroupOf[j])
+			}
+		}
+	}
+}
+
+// TestHardwareMatchesIntervalScheme does the same for interval mode.
+func TestHardwareMatchesIntervalScheme(t *testing.T) {
+	const n, b = 52, 4
+	poly := lfsr.MustPrimitivePoly(16)
+	k := partition.AutoLenBits(n, b)
+	seeds, err := partition.FindSeeds(poly, k, n, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := partition.Interval{Poly: poly, LenBits: k, Seeds: seeds}.Partitions(n, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewSelectionHardware(ModeInterval, poly, b, 2, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi := 0; pi < 3; pi++ {
+		if err := h.LoadSeed(seeds[pi]); err != nil {
+			t.Fatal(err)
+		}
+		got, err := PartitionFromHardware(h, n)
+		if err != nil {
+			t.Fatalf("partition %d: %v", pi, err)
+		}
+		for j := range got.GroupOf {
+			if got.GroupOf[j] != want[pi].GroupOf[j] {
+				t.Fatalf("partition %d position %d: hardware %d, scheme %d",
+					pi, j, got.GroupOf[j], want[pi].GroupOf[j])
+			}
+		}
+	}
+}
+
+// TestWorkedExampleFromPaper reproduces the Section 2.2 example: 16 cells,
+// 4 groups, interval lengths 5, 6, 3, 2 select cells 1–5, 6–11, 12–14,
+// 15–16 (1-based).
+func TestWorkedExampleFromPaper(t *testing.T) {
+	// Find a degree-16 seed whose 3-bit readings are 5, 6, 3 (the last
+	// interval is the truncated remainder, so its reading is unconstrained).
+	poly := lfsr.MustPrimitivePoly(16)
+	var seed uint64
+	for s := uint64(1); s < 1<<16; s++ {
+		l := lfsr.MustNew(poly, s)
+		lens := partition.Lengths(l, 3, 4)
+		if lens[0] == 5 && lens[1] == 6 && lens[2] == 3 && lens[3] >= 2 {
+			seed = s
+			break
+		}
+	}
+	if seed == 0 {
+		t.Skip("no degree-16 seed yields the exact 5,6,3 reading sequence")
+	}
+	p, err := partition.Interval{Poly: poly, LenBits: 3, Seeds: []uint64{seed}}.Partitions(16, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGroups := [][]int{{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9, 10}, {11, 12, 13}, {14, 15}}
+	for g, want := range wantGroups {
+		got := p[0].Groups()[g]
+		if len(got) != len(want) {
+			t.Fatalf("group %d = %v, want %v", g, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("group %d = %v, want %v", g, got, want)
+			}
+		}
+	}
+}
+
+func newTestEngine(t *testing.T, c int, plan Plan, nPatterns int) (*Engine, *sim.FaultSim, []*sim.Block) {
+	t.Helper()
+	circ := benchgen.MustGenerate("s953")
+	cfg := scan.SingleChain(circ.NumDFFs())
+	if c > 1 {
+		var err error
+		cfg, err = scan.SplitContiguous(scan.NaturalOrder(circ.NumDFFs()), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	prpg := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1)
+	blocks := GenerateBlocks(prpg, circ.NumInputs(), circ.NumDFFs(), nPatterns)
+	fs := sim.NewFaultSim(circ, blocks)
+	e, err := NewEngine(cfg, plan, nPatterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, fs, blocks
+}
+
+// TestVerdictsMatchFullMISR is the central correctness check of the fast
+// path: for every (partition, group), the sparse syndrome verdict must
+// equal comparing full-stream MISR signatures of good and faulty machines.
+func TestVerdictsMatchFullMISR(t *testing.T) {
+	for _, chains := range []int{1, 3} {
+		plan := Plan{Scheme: partition.TwoStep{}, Groups: 4, Partitions: 3}
+		e, fs, blocks := newTestEngine(t, chains, plan, 40)
+		faults := sim.SampleFaults(sim.CollapseFaults(fs.Circuit(), sim.FullFaultList(fs.Circuit())), 25, 3)
+		good := make([]*sim.Response, len(blocks))
+		for i := range blocks {
+			good[i] = fs.Good(i)
+		}
+		for _, f := range faults {
+			faulty := fs.Faulty(f)
+			v := e.Verdicts(good, faulty, blocks)
+			for pt := 0; pt < plan.Partitions; pt++ {
+				for g := 0; g < e.VerdictGroups(); g++ {
+					sigGood := e.SessionSignature(good, blocks, pt, g)
+					sigBad := e.SessionSignature(faulty, blocks, pt, g)
+					want := sigGood != sigBad
+					if v.Fail[pt][g] != want {
+						t.Fatalf("chains=%d fault %s partition %d group %d: verdict %v, MISR %v",
+							chains, f.Describe(fs.Circuit()), pt, g, v.Fail[pt][g], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIdealVerdictsSupersetOfMISR(t *testing.T) {
+	// Ideal mode cannot alias, so every MISR-failing group must also fail
+	// ideally, and ideal failing groups are exactly groups containing a
+	// failing cell.
+	plan := Plan{Scheme: partition.RandomSelection{}, Groups: 4, Partitions: 4}
+	e, fs, blocks := newTestEngine(t, 1, plan, 64)
+	planI := plan
+	planI.Ideal = true
+	eI, err := NewEngine(e.Config(), planI, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := make([]*sim.Response, len(blocks))
+	for i := range blocks {
+		good[i] = fs.Good(i)
+	}
+	faults := sim.SampleFaults(sim.FullFaultList(fs.Circuit()), 40, 4)
+	for _, f := range faults {
+		faulty := fs.Faulty(f)
+		vm := e.Verdicts(good, faulty, blocks)
+		vi := eI.Verdicts(good, faulty, blocks)
+		for pt := range vm.Fail {
+			for g := range vm.Fail[pt] {
+				if vm.Fail[pt][g] && !vi.Fail[pt][g] {
+					t.Fatalf("fault %s: MISR fails (%d,%d) but ideal does not",
+						f.Describe(fs.Circuit()), pt, g)
+				}
+			}
+		}
+	}
+}
+
+func TestVerdictsNoFaultAllPass(t *testing.T) {
+	plan := Plan{Scheme: partition.RandomSelection{}, Groups: 4, Partitions: 2}
+	e, fs, blocks := newTestEngine(t, 1, plan, 30)
+	good := make([]*sim.Response, len(blocks))
+	for i := range blocks {
+		good[i] = fs.Good(i)
+	}
+	v := e.Verdicts(good, good, blocks)
+	if v.NumFailing() != 0 {
+		t.Errorf("fault-free run has %d failing sessions", v.NumFailing())
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	cfg := scan.SingleChain(10)
+	good := Plan{Scheme: partition.RandomSelection{}, Groups: 2, Partitions: 1}
+	if _, err := NewEngine(cfg, good, 8); err != nil {
+		t.Fatalf("valid engine rejected: %v", err)
+	}
+	if _, err := NewEngine(cfg, Plan{Groups: 2, Partitions: 1}, 8); err == nil {
+		t.Error("nil scheme accepted")
+	}
+	if _, err := NewEngine(cfg, Plan{Scheme: partition.RandomSelection{}, Groups: 0, Partitions: 1}, 8); err == nil {
+		t.Error("zero groups accepted")
+	}
+	if _, err := NewEngine(cfg, good, 0); err == nil {
+		t.Error("zero patterns accepted")
+	}
+	bad := scan.Config{NumCells: 3, Chains: []scan.Chain{{Cells: []int{0, 1}}}}
+	if _, err := NewEngine(bad, good, 8); err == nil {
+		t.Error("invalid scan config accepted")
+	}
+}
+
+func TestVerdictsPanicsOnPatternMismatch(t *testing.T) {
+	plan := Plan{Scheme: partition.RandomSelection{}, Groups: 2, Partitions: 1}
+	e, fs, blocks := newTestEngine(t, 1, plan, 30)
+	good := make([]*sim.Response, len(blocks))
+	for i := range blocks {
+		good[i] = fs.Good(i)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("pattern-count mismatch did not panic")
+		}
+	}()
+	e.Verdicts(good[:0], nil, nil)
+}
+
+func TestSelectionHardwareValidation(t *testing.T) {
+	poly := lfsr.MustPrimitivePoly(8)
+	if _, err := NewSelectionHardware(ModeRandom, poly, 0, 2, 3); err == nil {
+		t.Error("0 groups accepted")
+	}
+	if _, err := NewSelectionHardware(ModeRandom, poly, 4, 0, 3); err == nil {
+		t.Error("0 label bits accepted")
+	}
+	if _, err := NewSelectionHardware(ModeRandom, poly, 4, 9, 3); err == nil {
+		t.Error("label bits > degree accepted")
+	}
+	if _, err := NewSelectionHardware(ModeInterval, poly, 4, 2, 9); err == nil {
+		t.Error("length bits > degree accepted")
+	}
+	h, _ := NewSelectionHardware(ModeRandom, poly, 4, 2, 3)
+	if err := h.LoadSeed(0); err == nil {
+		t.Error("zero seed accepted")
+	}
+	if err := h.BeginGroup(4); err == nil {
+		t.Error("out-of-range group accepted")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	circ := benchgen.MustGenerate("s953")
+	cfg := scan.SingleChain(circ.NumDFFs())
+	mk := func(s partition.Scheme) Cost {
+		eng, err := NewEngine(cfg, Plan{Scheme: s, Groups: 4, Partitions: 8}, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.Cost()
+	}
+	random := mk(partition.RandomSelection{})
+	two := mk(partition.TwoStep{})
+	if random.Sessions != 32 || two.Sessions != 32 {
+		t.Errorf("sessions = %d/%d, want 32", random.Sessions, two.Sessions)
+	}
+	if random.ClocksPerSession != 128*29 {
+		t.Errorf("clocks/session = %d", random.ClocksPerSession)
+	}
+	if random.TotalClocks != 32*128*29 {
+		t.Errorf("total clocks = %d", random.TotalClocks)
+	}
+	if random.SignatureBits != 8*4*32 {
+		t.Errorf("signature bits = %d", random.SignatureBits)
+	}
+	// The paper's claim: two-step needs only the two extra registers.
+	delta := two.SelectionRegisterBits - random.SelectionRegisterBits
+	if delta <= 0 || delta > 16 {
+		t.Errorf("two-step register overhead %d bits; expected a small positive count", delta)
+	}
+	t.Logf("selection registers: random %d bits, two-step %d bits (+%d)",
+		random.SelectionRegisterBits, two.SelectionRegisterBits, delta)
+}
+
+func TestCostMultiChain(t *testing.T) {
+	circ := benchgen.MustGenerate("s5378")
+	cfg, err := scan.SplitContiguous(scan.NaturalOrder(circ.NumDFFs()), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(cfg, Plan{Scheme: partition.TwoStep{}, Groups: 8, Partitions: 8}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := eng.Cost()
+	// Per-chain verdicts: 4 chains x 8 groups x 8 partitions signatures.
+	if c.SignatureBits != 4*8*8*32 {
+		t.Errorf("signature bits = %d", c.SignatureBits)
+	}
+	single, err := NewEngine(scan.SingleChain(circ.NumDFFs()),
+		Plan{Scheme: partition.TwoStep{}, Groups: 8, Partitions: 8}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four shorter chains shift in parallel: diagnosis time divides.
+	if c.TotalClocks >= single.Cost().TotalClocks {
+		t.Errorf("multi-chain total clocks %d not below single-chain %d",
+			c.TotalClocks, single.Cost().TotalClocks)
+	}
+}
+
+// TestGoldenSignaturesMatchReferenceMISR: the one-pass golden-signature
+// computation must equal streaming each session through a real MISR.
+func TestGoldenSignaturesMatchReferenceMISR(t *testing.T) {
+	for _, chains := range []int{1, 3} {
+		plan := Plan{Scheme: partition.TwoStep{}, Groups: 4, Partitions: 2}
+		e, fs, blocks := newTestEngine(t, chains, plan, 40)
+		good := make([]*sim.Response, len(blocks))
+		for i := range blocks {
+			good[i] = fs.Good(i)
+		}
+		sigs := e.GoldenSignatures(good, blocks)
+		for pt := range sigs {
+			for slot := range sigs[pt] {
+				want := e.SessionSignature(good, blocks, pt, slot)
+				if sigs[pt][slot] != want {
+					t.Fatalf("chains=%d partition %d slot %d: %#x != %#x",
+						chains, pt, slot, sigs[pt][slot], want)
+				}
+			}
+		}
+	}
+}
+
+// TestObservedMinusGoldenIsErrSig ties the three signature views together:
+// golden XOR observed == the error signature used for verdicts.
+func TestObservedMinusGoldenIsErrSig(t *testing.T) {
+	plan := Plan{Scheme: partition.TwoStep{}, Groups: 4, Partitions: 2}
+	e, fs, blocks := newTestEngine(t, 1, plan, 40)
+	good := make([]*sim.Response, len(blocks))
+	for i := range blocks {
+		good[i] = fs.Good(i)
+	}
+	golden := e.GoldenSignatures(good, blocks)
+	for _, f := range sim.SampleFaults(sim.FullFaultList(fs.Circuit()), 15, 91) {
+		faulty := fs.Faulty(f)
+		observed := e.GoldenSignatures(faulty, blocks)
+		v := e.Verdicts(good, faulty, blocks)
+		for pt := range golden {
+			for slot := range golden[pt] {
+				if golden[pt][slot]^observed[pt][slot] != v.ErrSig[pt][slot] {
+					t.Fatalf("fault %s: golden^observed != errSig at (%d,%d)",
+						f.Describe(fs.Circuit()), pt, slot)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,419 @@
+package bist
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/lfsr"
+	"repro/internal/partition"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+// GenerateBlocks expands nPatterns pseudorandom test patterns for a DUT
+// with nPI primary inputs and nCells scan cells from the PRPG. For each
+// pattern the PRPG first supplies the scan-in bits (cell 0 first) and then
+// the primary-input bits, mirroring a scan-BIST controller that shifts the
+// chain full and then applies the PI part. Patterns are returned transposed
+// into 64-wide simulation blocks.
+func GenerateBlocks(prpg *lfsr.LFSR, nPI, nCells, nPatterns int) []*sim.Block {
+	var blocks []*sim.Block
+	for done := 0; done < nPatterns; done += 64 {
+		n := nPatterns - done
+		if n > 64 {
+			n = 64
+		}
+		b := &sim.Block{N: n, PI: make([]uint64, nPI), State: make([]uint64, nCells)}
+		for j := 0; j < n; j++ {
+			for i := 0; i < nCells; i++ {
+				b.State[i] |= prpg.Step() << uint(j)
+			}
+			for i := 0; i < nPI; i++ {
+				b.PI[i] |= prpg.Step() << uint(j)
+			}
+		}
+		blocks = append(blocks, b)
+	}
+	return blocks
+}
+
+// Plan configures a diagnosis run: which scheme partitions the chains, into
+// how many groups, how many partitions, and how responses are compacted.
+type Plan struct {
+	Scheme     partition.Scheme
+	Groups     int // groups per partition (b)
+	Partitions int // number of partitions (sessions = Groups × Partitions)
+	// MISRPoly is the compaction polynomial; zero selects degree 32. (The
+	// pattern and partition LFSRs follow the paper's degree 16, but a
+	// 16-bit MISR over session streams of ~10^6 clocks wraps its syndrome
+	// space — x^e mod p has period 2^16−1 — and aliases measurably; 32 bits
+	// matches what production BIST uses for streams of this length.)
+	MISRPoly lfsr.Poly
+	// Ideal bypasses the MISR: a group fails iff any of its cells captures
+	// any error. The real MISR can alias (a nonzero error stream compacting
+	// to the fault-free signature); Ideal mode isolates that effect for the
+	// ablation study.
+	Ideal bool
+	// SharedCompactor merges all chains into one MISR, so a (partition,
+	// group) session yields a single verdict across every chain. The
+	// default (false) gives each chain its own compactor — the usual
+	// multi-chain BIST arrangement — so verdicts are per (chain, group)
+	// and resolution scales with chain length rather than total cells.
+	// Irrelevant for a single chain.
+	SharedCompactor bool
+}
+
+func (p Plan) withDefaults() Plan {
+	if p.MISRPoly == 0 {
+		p.MISRPoly = lfsr.MustPrimitivePoly(32)
+	}
+	return p
+}
+
+// Verdicts holds the outcome of every BIST session of a diagnosis run.
+// Fail[t][g] reports whether the signature for group g of partition t
+// differed from the fault-free signature; ErrSig[t][g] is the error
+// signature itself (observed XOR fault-free, which MISR linearity makes
+// equal to the signature of the group-masked error stream). The error
+// signatures drive superposition-style pruning.
+type Verdicts struct {
+	Fail   [][]bool
+	ErrSig [][]uint64
+}
+
+// NumFailing returns the number of failing (partition, group) sessions.
+func (v *Verdicts) NumFailing() int {
+	n := 0
+	for _, row := range v.Fail {
+		for _, f := range row {
+			if f {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Engine computes session verdicts for faults on a fixed scan
+// configuration and plan. It precomputes the per-chain partitions and the
+// syndrome table x^e mod p used for sparse signature evaluation.
+type Engine struct {
+	cfg  scan.Config
+	plan Plan
+
+	parts   [][]partition.Partition // parts[chain][t]
+	chainOf []int                   // cell -> chain index
+	posOf   []int                   // cell -> position within chain
+	shiftsL int                     // shift clocks per pattern (max chain length)
+	clocks  int                     // shift clocks per session (patterns × shiftsL)
+	xp      []uint64                // xp[e] = x^e mod MISRPoly
+	vgroups int                     // verdict slots per partition
+}
+
+// PerChainVerdicts reports whether verdicts are per (chain, group) rather
+// than shared across chains.
+func (e *Engine) PerChainVerdicts() bool {
+	return !e.plan.SharedCompactor && len(e.cfg.Chains) > 1
+}
+
+// VerdictGroups returns the number of verdict slots per partition:
+// Groups for a shared compactor, Groups × chains otherwise.
+func (e *Engine) VerdictGroups() int { return e.vgroups }
+
+// verdictIndex maps a chain-local group to its verdict slot.
+func (e *Engine) verdictIndex(chain, grp int) int {
+	if e.PerChainVerdicts() {
+		return chain*e.plan.Groups + grp
+	}
+	return grp
+}
+
+// NewEngine validates the configuration and prepares partitions and
+// syndrome tables. nPatterns fixes the session length (clocks = nPatterns ×
+// max chain length).
+func NewEngine(cfg scan.Config, plan Plan, nPatterns int) (*Engine, error) {
+	plan = plan.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if plan.Scheme == nil {
+		return nil, fmt.Errorf("bist: plan has no partitioning scheme")
+	}
+	if plan.Groups < 1 || plan.Partitions < 1 {
+		return nil, fmt.Errorf("bist: plan needs at least 1 group and 1 partition")
+	}
+	if nPatterns < 1 {
+		return nil, fmt.Errorf("bist: pattern count %d < 1", nPatterns)
+	}
+	e := &Engine{
+		cfg:     cfg,
+		plan:    plan,
+		chainOf: make([]int, cfg.NumCells),
+		posOf:   make([]int, cfg.NumCells),
+		shiftsL: cfg.MaxChainLength(),
+	}
+	for ci, ch := range cfg.Chains {
+		p, err := plan.Scheme.Partitions(ch.Len(), plan.Groups, plan.Partitions)
+		if err != nil {
+			return nil, fmt.Errorf("bist: chain %d: %w", ci, err)
+		}
+		e.parts = append(e.parts, p)
+		for pos, cell := range ch.Cells {
+			e.chainOf[cell] = ci
+			e.posOf[cell] = pos
+		}
+	}
+	// Syndrome table: an error bit on chain c at shift clock τ of the
+	// session contributes x^(T−1−τ+c) mod p to the error signature, where
+	// T = nPatterns × shiftsL. One table of x^e covers all (τ, c).
+	e.clocks = nPatterns * e.shiftsL
+	e.xp = make([]uint64, e.clocks+len(cfg.Chains))
+	x := lfsr.MustNew(plan.MISRPoly, 1)
+	for i := range e.xp {
+		e.xp[i] = x.State()
+		x.Step()
+	}
+	e.vgroups = plan.Groups
+	if e.PerChainVerdicts() {
+		e.vgroups = plan.Groups * len(cfg.Chains)
+	}
+	return e, nil
+}
+
+// Plan returns the engine's (defaulted) plan.
+func (e *Engine) Plan() Plan { return e.plan }
+
+// Config returns the scan configuration.
+func (e *Engine) Config() scan.Config { return e.cfg }
+
+// ChainPartitions returns the partitions applied to one chain.
+func (e *Engine) ChainPartitions(chain int) []partition.Partition { return e.parts[chain] }
+
+// Verdicts derives all session verdicts for a fault from its good and
+// faulty responses. Only error bits are visited, so the cost is
+// proportional to the number of cell errors, not to the stream length.
+func (e *Engine) Verdicts(good, faulty []*sim.Response, blocks []*sim.Block) *Verdicts {
+	v := &Verdicts{
+		Fail:   make([][]bool, e.plan.Partitions),
+		ErrSig: make([][]uint64, e.plan.Partitions),
+	}
+	errSig := v.ErrSig
+	for t := range v.Fail {
+		v.Fail[t] = make([]bool, e.vgroups)
+		errSig[t] = make([]uint64, e.vgroups)
+	}
+	patternBase := 0
+	totalClocks := 0
+	for _, b := range blocks {
+		totalClocks += b.N * e.shiftsL
+	}
+	if totalClocks != e.clocks {
+		panic(fmt.Sprintf("bist: blocks hold %d clocks of patterns, engine sized for %d", totalClocks, e.clocks))
+	}
+	for bi, b := range blocks {
+		mask := b.Mask()
+		g, f := good[bi], faulty[bi]
+		for cell := range g.Next {
+			diff := (g.Next[cell] ^ f.Next[cell]) & mask
+			if diff == 0 {
+				continue
+			}
+			chain := e.chainOf[cell]
+			pos := e.posOf[cell]
+			for d := diff; d != 0; d &= d - 1 {
+				p := patternBase + bits.TrailingZeros64(d)
+				// Scan-out streams the chain starting at position 0, so
+				// position pos leaves on shift clock pos of its pattern.
+				tau := p*e.shiftsL + pos
+				syn := e.xp[totalClocks-1-tau+chain]
+				for t := 0; t < e.plan.Partitions; t++ {
+					slot := e.verdictIndex(chain, e.parts[chain][t].GroupOf[pos])
+					errSig[t][slot] ^= syn
+					if e.plan.Ideal {
+						v.Fail[t][slot] = true
+					}
+				}
+			}
+		}
+		patternBase += b.N
+	}
+	if !e.plan.Ideal {
+		for t := range errSig {
+			for g, s := range errSig[t] {
+				v.Fail[t][g] = s != 0
+			}
+		}
+	}
+	return v
+}
+
+// Cost quantifies the test-resource footprint of a plan: diagnosis time
+// (sessions and shift clocks) and hardware (selection registers, golden
+// signature storage) — the axes on which the paper argues two-step
+// partitioning is cheap ("only two additional registers").
+type Cost struct {
+	// Sessions is the number of BIST sessions (groups × partitions,
+	// per-chain sessions running concurrently).
+	Sessions int
+	// ClocksPerSession is the shift clocks one session takes
+	// (patterns × longest chain).
+	ClocksPerSession int64
+	// TotalClocks is the complete diagnosis time in shift clocks.
+	TotalClocks int64
+	// SignatureBits is the golden-signature storage: one MISR signature
+	// per verdict slot per partition.
+	SignatureBits int
+	// SelectionRegisterBits is the register cost of the Figure-1 selection
+	// hardware per chain: LFSR + IVR + Test Counter 1 + Shift Counter 1 +
+	// Pattern Counter, plus the scheme's extra registers (Shift/Test
+	// Counter 2 for interval-capable schemes).
+	SelectionRegisterBits int
+}
+
+// Cost computes the plan's resource footprint.
+func (e *Engine) Cost() Cost {
+	nPatterns := e.clocks / e.shiftsL
+	c := Cost{
+		Sessions:         e.plan.Groups * e.plan.Partitions,
+		ClocksPerSession: int64(nPatterns) * int64(e.shiftsL),
+	}
+	c.TotalClocks = c.ClocksPerSession * int64(c.Sessions)
+	c.SignatureBits = e.vgroups * e.plan.Partitions * e.plan.MISRPoly.Degree()
+	lfsrBits := 16 // the partition LFSR and IVR follow the paper's degree 16
+	base := lfsrBits + lfsrBits + bitsFor(e.plan.Groups) + bitsFor(e.shiftsL) + bitsFor(nPatterns)
+	extra := 0
+	if er, ok := e.plan.Scheme.(partition.ExtraRegisters); ok {
+		extra = er.ExtraRegisterBits(e.shiftsL, e.plan.Groups)
+	}
+	c.SelectionRegisterBits = (base + extra) * len(e.cfg.Chains)
+	return c
+}
+
+// bitsFor returns the register width to count up to n.
+func bitsFor(n int) int {
+	w := 0
+	for v := n; v > 0; v >>= 1 {
+		w++
+	}
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// GoldenSignatures computes the fault-free signature of every (partition,
+// verdict slot) session in one pass over the response stream — the values a
+// deployment stores on the tester (Cost.SignatureBits). Sig[t][slot] equals
+// SessionSignature(good, blocks, t, slot); the syndrome identity makes this
+// O(stream × partitions) instead of O(stream × sessions).
+func (e *Engine) GoldenSignatures(good []*sim.Response, blocks []*sim.Block) [][]uint64 {
+	sigs := make([][]uint64, e.plan.Partitions)
+	for t := range sigs {
+		sigs[t] = make([]uint64, e.vgroups)
+	}
+	totalClocks := 0
+	for _, b := range blocks {
+		totalClocks += b.N * e.shiftsL
+	}
+	if totalClocks != e.clocks {
+		panic(fmt.Sprintf("bist: blocks hold %d clocks of patterns, engine sized for %d", totalClocks, e.clocks))
+	}
+	patternBase := 0
+	for bi, b := range blocks {
+		mask := b.Mask()
+		g := good[bi]
+		for cell := range g.Next {
+			word := g.Next[cell] & mask
+			if word == 0 {
+				continue
+			}
+			chain := e.chainOf[cell]
+			pos := e.posOf[cell]
+			for d := word; d != 0; d &= d - 1 {
+				p := patternBase + bits.TrailingZeros64(d)
+				tau := p*e.shiftsL + pos
+				syn := e.xp[totalClocks-1-tau+chain]
+				for t := 0; t < e.plan.Partitions; t++ {
+					slot := e.verdictIndex(chain, e.parts[chain][t].GroupOf[pos])
+					sigs[t][slot] ^= syn
+				}
+			}
+		}
+		patternBase += b.N
+	}
+	return sigs
+}
+
+// CellSyndromes returns each cell's aggregate error syndrome over the
+// whole session stream: the XOR of x^(T−1−τ+chain) mod p over the cell's
+// error bits. By MISR linearity, a masked session that unmasks a set S of
+// cells fails iff the XOR of their syndromes is nonzero, which lets
+// adaptive diagnosis schemes evaluate arbitrary masks in O(|S|) without
+// re-simulating.
+func (e *Engine) CellSyndromes(good, faulty []*sim.Response, blocks []*sim.Block) []uint64 {
+	syn := make([]uint64, e.cfg.NumCells)
+	totalClocks := 0
+	for _, b := range blocks {
+		totalClocks += b.N * e.shiftsL
+	}
+	if totalClocks != e.clocks {
+		panic(fmt.Sprintf("bist: blocks hold %d clocks of patterns, engine sized for %d", totalClocks, e.clocks))
+	}
+	patternBase := 0
+	for bi, b := range blocks {
+		mask := b.Mask()
+		g, f := good[bi], faulty[bi]
+		for cell := range g.Next {
+			diff := (g.Next[cell] ^ f.Next[cell]) & mask
+			if diff == 0 {
+				continue
+			}
+			chain := e.chainOf[cell]
+			pos := e.posOf[cell]
+			for d := diff; d != 0; d &= d - 1 {
+				p := patternBase + bits.TrailingZeros64(d)
+				tau := p*e.shiftsL + pos
+				syn[cell] ^= e.xp[totalClocks-1-tau+chain]
+			}
+		}
+		patternBase += b.N
+	}
+	return syn
+}
+
+// SessionSignature streams the full response through a real MISR for one
+// verdict slot of the plan, exactly as the hardware would: patterns in
+// order, one shift clock per chain position, masked cells contributing 0,
+// chain c feeding MISR input bit c. With per-chain verdicts the slot
+// selects a (chain, group) pair and only that chain's compactor input is
+// live. It is the reference implementation that validates the sparse
+// syndrome path and computes golden signatures for reporting.
+func (e *Engine) SessionSignature(resp []*sim.Response, blocks []*sim.Block, t, slot int) uint64 {
+	wantChain, g := -1, slot
+	if e.PerChainVerdicts() {
+		wantChain, g = slot/e.plan.Groups, slot%e.plan.Groups
+	}
+	m := lfsr.MustNewMISR(e.plan.MISRPoly)
+	for bi, b := range blocks {
+		for j := 0; j < b.N; j++ {
+			for pos := 0; pos < e.shiftsL; pos++ {
+				var in uint64
+				for ci, ch := range e.cfg.Chains {
+					if pos >= ch.Len() {
+						continue
+					}
+					if wantChain >= 0 && ci != wantChain {
+						continue
+					}
+					if e.parts[ci][t].GroupOf[pos] != g {
+						continue
+					}
+					cell := ch.Cells[pos]
+					in |= (resp[bi].Next[cell] >> uint(j) & 1) << uint(ci)
+				}
+				m.Clock(in)
+			}
+		}
+	}
+	return m.Signature()
+}

@@ -1,0 +1,165 @@
+package bist
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/lfsr"
+	"repro/internal/partition"
+	"repro/internal/scan"
+	"repro/internal/sim"
+	"repro/internal/vcd"
+)
+
+// TestFullModelMatchesEngine is the deepest end-to-end check in the
+// repository: a clock-by-clock simulation of the complete datapath (PRPG
+// serial shift-in, capture, selection-gated shift-out, MISR) must produce
+// exactly the signatures the layered abstraction computes, for golden and
+// faulty machines, for both partitioning modes.
+func TestFullModelMatchesEngine(t *testing.T) {
+	c := benchgen.MustGenerate("s298")
+	n := c.NumDFFs()
+	cfg := scan.SingleChain(n)
+	const nPatterns, groups, partitions = 10, 4, 2
+	misrPoly := lfsr.MustPrimitivePoly(32)
+
+	intervalSeeds, err := partition.FindSeeds(lfsr.MustPrimitivePoly(16), partition.AutoLenBits(n, groups), n, groups, partitions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes := []partition.Scheme{
+		partition.RandomSelection{},
+		partition.Interval{Seeds: intervalSeeds},
+	}
+	for _, scheme := range schemes {
+		t.Run(scheme.Name(), func(t *testing.T) {
+			eng, err := NewEngine(cfg, Plan{
+				Scheme: scheme, Groups: groups, Partitions: partitions, MISRPoly: misrPoly,
+			}, nPatterns)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prpg := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1)
+			blocks := GenerateBlocks(prpg, c.NumInputs(), n, nPatterns)
+			fs := sim.NewFaultSim(c, blocks)
+			good := []*sim.Response{fs.Good(0)}
+
+			model, err := NewFullModel(c, scan.NaturalOrder(n), scheme, groups, misrPoly, 0xACE1)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var fault *sim.Fault
+			for _, f := range sim.SampleFaults(sim.FullFaultList(c), 30, 111) {
+				if fs.Run(f).Detected() {
+					fault = &f
+					break
+				}
+			}
+			if fault == nil {
+				t.Fatal("no detected fault")
+			}
+			faulty := fs.Faulty(*fault)
+
+			for pt := 0; pt < partitions; pt++ {
+				for g := 0; g < groups; g++ {
+					wantGood := eng.SessionSignature(good, blocks, pt, g)
+					gotGood, err := model.SessionSignature(nil, nPatterns, pt, g)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if gotGood != wantGood {
+						t.Fatalf("golden (%d,%d): full model %#x, engine %#x", pt, g, gotGood, wantGood)
+					}
+					wantBad := eng.SessionSignature(faulty, blocks, pt, g)
+					gotBad, err := model.SessionSignature(fault, nPatterns, pt, g)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if gotBad != wantBad {
+						t.Fatalf("faulty (%d,%d): full model %#x, engine %#x", pt, g, gotBad, wantBad)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFullModelValidation(t *testing.T) {
+	c := benchgen.MustGenerate("s298")
+	order := scan.NaturalOrder(c.NumDFFs())
+	misr := lfsr.MustPrimitivePoly(32)
+	if _, err := NewFullModel(c, order[:3], partition.RandomSelection{}, 4, misr, 1); err == nil {
+		t.Error("short order accepted")
+	}
+	if _, err := NewFullModel(c, order, partition.TwoStep{}, 4, misr, 1); err == nil {
+		t.Error("composite scheme accepted")
+	}
+	if _, err := NewFullModel(c, order, partition.Interval{}, 4, misr, 1); err == nil {
+		t.Error("interval without seeds accepted")
+	}
+	m, err := NewFullModel(c, order, partition.Interval{Seeds: []uint64{0x1234}}, 4, misr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SessionSignature(nil, 2, 1, 0); err == nil {
+		t.Error("missing partition seed accepted")
+	}
+}
+
+// TestFullModelVCDTrace dumps one session to a VCD waveform and checks the
+// dump is well-formed and covers every shift clock.
+func TestFullModelVCDTrace(t *testing.T) {
+	c := benchgen.MustGenerate("s298")
+	n := c.NumDFFs()
+	model, err := NewFullModel(c, scan.NaturalOrder(n), partition.RandomSelection{}, 4,
+		lfsr.MustPrimitivePoly(32), 0xACE1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	w := vcd.NewWriter(&sb, "1ns")
+	scanOut, _ := w.Declare("bist", "scan_bit", 1)
+	selV, _ := w.Declare("bist", "selected", 1)
+	misrV, _ := w.Declare("bist", "misr", 32)
+	phaseV, _ := w.Declare("bist", "shift_out", 1)
+	if err := w.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	events := 0
+	model.Trace = func(clock int, phase string, bit uint8, selected bool, misr uint64) {
+		events++
+		w.Set(scanOut, uint64(bit))
+		w.Set(misrV, misr)
+		if phase == "out" {
+			w.Set(phaseV, 1)
+			if selected {
+				w.Set(selV, 1)
+			} else {
+				w.Set(selV, 0)
+			}
+		} else {
+			w.Set(phaseV, 0)
+		}
+		if err := w.At(uint64(clock)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const patterns = 3
+	if _, err := model.SessionSignature(nil, patterns, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if want := patterns * 2 * n; events != want {
+		t.Errorf("traced %d clocks, want %d", events, want)
+	}
+	dump := sb.String()
+	for _, wantSub := range []string{"$enddefinitions", "scan_bit", "misr", "#0"} {
+		if !strings.Contains(dump, wantSub) {
+			t.Errorf("VCD missing %q", wantSub)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package bist models the scan-BIST response side of the paper's
+// architecture (Figure 1): pseudorandom pattern generation, the scan-cell
+// selection hardware (LFSR + Initial Value Register + Test Counters 1/2 +
+// Shift Counter 2 + compare logic), and per-group MISR signature
+// computation across multiple BIST sessions.
+//
+// Two equivalent paths produce group verdicts:
+//
+//   - SelectionHardware is a cycle-accurate model of Figure 1, clocked once
+//     per scan shift. It exists to validate the architecture and to drive
+//     small worked examples.
+//   - Engine computes the same verdicts algebraically: by MISR linearity
+//     the faulty and fault-free signatures of a group differ exactly when
+//     the group-masked error stream has a nonzero syndrome, and the
+//     syndrome of a sparse error stream is the XOR of x^(T−1−τ+c) mod p
+//     over its error bits. This makes a group verdict cost proportional to
+//     the number of error bits instead of patterns × chain length.
+//
+// Tests assert the two paths agree bit-for-bit.
+package bist
+
+import (
+	"fmt"
+
+	"repro/internal/lfsr"
+	"repro/internal/partition"
+)
+
+// Mode selects which partitioning behaviour the selection hardware
+// implements for a session.
+type Mode int
+
+// Selection hardware modes. In ModeRandom the two extra registers of the
+// two-step architecture (Shift Counter 2, Test Counter 2) are bypassed.
+const (
+	ModeRandom Mode = iota
+	ModeInterval
+)
+
+// SelectionHardware is the cycle-accurate Figure-1 model for one scan
+// chain. Drive it as the BIST controller would: LoadSeed once per
+// partition, BeginGroup before each group session, then Shift once per
+// scan-out clock; Shift reports whether the compare logic passes the
+// current cell to the compactor. After the last group of a random-selection
+// partition, call UpdateIVR to capture the LFSR state as the next
+// partition's labels.
+type SelectionHardware struct {
+	mode      Mode
+	lfsr      *lfsr.LFSR
+	ivr       uint64
+	labelBits int // r: label width compared against Test Counter 1
+	lenBits   int // k: interval-length field width
+	groups    int
+
+	testCounter1  int // current group number
+	testCounter2  int // intervals remaining before the selected one (interval mode)
+	shiftCounter2 int // cells remaining in the current interval (interval mode)
+}
+
+// NewSelectionHardware builds the hardware for a chain partitioned into
+// `groups` groups. labelBits is the label width for random mode; lenBits
+// the length-field width for interval mode.
+func NewSelectionHardware(mode Mode, poly lfsr.Poly, groups, labelBits, lenBits int) (*SelectionHardware, error) {
+	if groups < 1 {
+		return nil, fmt.Errorf("bist: group count %d < 1", groups)
+	}
+	l, err := lfsr.New(poly, 1) // placeholder; LoadSeed sets the real state
+	if err != nil {
+		return nil, err
+	}
+	if labelBits < 1 || labelBits > l.Degree() {
+		return nil, fmt.Errorf("bist: label width %d outside [1,%d]", labelBits, l.Degree())
+	}
+	if lenBits < 1 || lenBits > l.Degree() {
+		return nil, fmt.Errorf("bist: length field %d outside [1,%d]", lenBits, l.Degree())
+	}
+	return &SelectionHardware{
+		mode:      mode,
+		lfsr:      l,
+		labelBits: labelBits,
+		lenBits:   lenBits,
+		groups:    groups,
+	}, nil
+}
+
+// LoadSeed writes the IVR, defining the partition that subsequent group
+// sessions select from.
+func (h *SelectionHardware) LoadSeed(seed uint64) error {
+	if seed == 0 {
+		return fmt.Errorf("bist: zero IVR seed")
+	}
+	h.ivr = seed
+	return nil
+}
+
+// UpdateIVR captures the current LFSR state into the IVR, which in the
+// random-selection scheme turns the state reached after a partition into
+// the next partition's labels.
+func (h *SelectionHardware) UpdateIVR() {
+	h.ivr = h.lfsr.State()
+}
+
+// BeginGroup starts the session for one group of the current partition:
+// the LFSR is reloaded from the IVR, Test Counter 1 takes the group number,
+// and in interval mode Test Counter 2 and Shift Counter 2 are initialised
+// from it and from the first length reading.
+func (h *SelectionHardware) BeginGroup(group int) error {
+	if group < 0 || group >= h.groups {
+		return fmt.Errorf("bist: group %d outside [0,%d)", group, h.groups)
+	}
+	if err := h.lfsr.Seed(h.ivr); err != nil {
+		return err
+	}
+	h.testCounter1 = group
+	if h.mode == ModeInterval {
+		h.testCounter2 = h.testCounter1
+		h.shiftCounter2 = h.readLength()
+	}
+	return nil
+}
+
+// readLength reads the interval length from the low lenBits of the LFSR
+// state; a zero reading counts as a full 2^k (Shift Counter 2 wraps through
+// a complete count).
+func (h *SelectionHardware) readLength() int {
+	v := int(h.lfsr.Label(h.lenBits))
+	if v == 0 {
+		v = 1 << uint(h.lenBits)
+	}
+	return v
+}
+
+// Shift advances one scan clock and reports whether the compare logic
+// passes the cell at this position into the compactor.
+func (h *SelectionHardware) Shift() bool {
+	if h.mode == ModeRandom {
+		selected := int(h.lfsr.Label(h.labelBits))%h.groups == h.testCounter1
+		h.lfsr.Step()
+		return selected
+	}
+	selected := h.testCounter2 == 0
+	h.shiftCounter2--
+	if h.shiftCounter2 == 0 {
+		// Carry from Shift Counter 2: the LFSR advances a k-cycle burst so
+		// the next length reading uses fresh state bits, the next length is
+		// loaded, and Test Counter 2 counts down.
+		for s := 0; s < h.lenBits; s++ {
+			h.lfsr.Step()
+		}
+		h.shiftCounter2 = h.readLength()
+		h.testCounter2--
+	}
+	return selected
+}
+
+// PartitionFromHardware runs the hardware over all group sessions of one
+// partition of an n-cell chain and reconstructs the resulting Partition.
+// In random mode the IVR is updated afterwards, mirroring the architecture.
+func PartitionFromHardware(h *SelectionHardware, n int) (partition.Partition, error) {
+	p := partition.Partition{GroupOf: make([]int, n), NumGroups: h.groups}
+	claimed := make([]bool, n)
+	for g := 0; g < h.groups; g++ {
+		if err := h.BeginGroup(g); err != nil {
+			return partition.Partition{}, err
+		}
+		for j := 0; j < n; j++ {
+			if h.Shift() {
+				if claimed[j] {
+					return partition.Partition{}, fmt.Errorf("bist: position %d selected by two groups", j)
+				}
+				claimed[j] = true
+				p.GroupOf[j] = g
+			}
+		}
+	}
+	for j, ok := range claimed {
+		if !ok {
+			return partition.Partition{}, fmt.Errorf("bist: position %d selected by no group", j)
+		}
+	}
+	if h.mode == ModeRandom {
+		h.UpdateIVR()
+	}
+	return p, nil
+}

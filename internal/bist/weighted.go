@@ -1,0 +1,87 @@
+package bist
+
+import (
+	"fmt"
+
+	"repro/internal/lfsr"
+	"repro/internal/sim"
+)
+
+// Weight selects the probability of a 1 for one pattern bit position in
+// weighted-random generation. Weights are restricted to the values the
+// standard hardware realises by AND/OR-combining successive PRPG bits.
+type Weight uint8
+
+// Available weights and the PRPG bits each consumes.
+const (
+	W12 Weight = iota // 1/2: one PRPG bit
+	W14               // 1/4: AND of two bits
+	W34               // 3/4: OR of two bits
+	W18               // 1/8: AND of three bits
+	W78               // 7/8: OR of three bits
+)
+
+// Probability returns the weight as a probability of 1.
+func (w Weight) Probability() float64 {
+	return [...]float64{0.5, 0.25, 0.75, 0.125, 0.875}[w]
+}
+
+func (w Weight) String() string {
+	return [...]string{"1/2", "1/4", "3/4", "1/8", "7/8"}[w]
+}
+
+// draw consumes PRPG bits to produce one weighted bit.
+func (w Weight) draw(prpg *lfsr.LFSR) uint64 {
+	switch w {
+	case W12:
+		return prpg.Step()
+	case W14:
+		return prpg.Step() & prpg.Step()
+	case W34:
+		return prpg.Step() | prpg.Step()
+	case W18:
+		return prpg.Step() & prpg.Step() & prpg.Step()
+	case W78:
+		return prpg.Step() | prpg.Step() | prpg.Step()
+	}
+	panic(fmt.Sprintf("bist: unknown weight %d", w))
+}
+
+// UniformWeights assigns one weight to every bit position of a pattern
+// (nCells scan bits followed by nPI input bits).
+func UniformWeights(w Weight, nPI, nCells int) []Weight {
+	ws := make([]Weight, nCells+nPI)
+	for i := range ws {
+		ws[i] = w
+	}
+	return ws
+}
+
+// WeightedBlocks is GenerateBlocks with per-position weighting: weighted-
+// random BIST biases pattern bits toward the values deep AND/OR logic
+// needs, lifting coverage of random-resistant faults at the cost of a
+// small weight-select ROM. weights must cover nCells+nPatterns positions
+// in PRPG draw order (scan bits of cell 0 first, then primary inputs).
+func WeightedBlocks(prpg *lfsr.LFSR, weights []Weight, nPI, nCells, nPatterns int) ([]*sim.Block, error) {
+	if len(weights) != nCells+nPI {
+		return nil, fmt.Errorf("bist: %d weights for %d pattern bits", len(weights), nCells+nPI)
+	}
+	var blocks []*sim.Block
+	for done := 0; done < nPatterns; done += 64 {
+		n := nPatterns - done
+		if n > 64 {
+			n = 64
+		}
+		b := &sim.Block{N: n, PI: make([]uint64, nPI), State: make([]uint64, nCells)}
+		for j := 0; j < n; j++ {
+			for i := 0; i < nCells; i++ {
+				b.State[i] |= weights[i].draw(prpg) << uint(j)
+			}
+			for i := 0; i < nPI; i++ {
+				b.PI[i] |= weights[nCells+i].draw(prpg) << uint(j)
+			}
+		}
+		blocks = append(blocks, b)
+	}
+	return blocks, nil
+}

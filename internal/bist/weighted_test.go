@@ -1,0 +1,119 @@
+package bist
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/lfsr"
+	"repro/internal/sim"
+)
+
+func TestWeightProbabilities(t *testing.T) {
+	want := map[Weight]float64{W12: 0.5, W14: 0.25, W34: 0.75, W18: 0.125, W78: 0.875}
+	for w, p := range want {
+		if w.Probability() != p {
+			t.Errorf("%v probability %v", w, w.Probability())
+		}
+		if w.String() == "" {
+			t.Errorf("%d has empty name", w)
+		}
+	}
+}
+
+// TestWeightedBitDensity: the observed 1-density of each weighted stream
+// must match the nominal probability within sampling error.
+func TestWeightedBitDensity(t *testing.T) {
+	const nCells, nPI, patterns = 20, 4, 2048
+	for _, w := range []Weight{W12, W14, W34, W18, W78} {
+		prpg := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1)
+		blocks, err := WeightedBlocks(prpg, UniformWeights(w, nPI, nCells), nPI, nCells, patterns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ones, total := 0, 0
+		for _, b := range blocks {
+			for _, word := range append(append([]uint64{}, b.State...), b.PI...) {
+				ones += bits.OnesCount64(word & b.Mask())
+				total += b.N
+			}
+		}
+		got := float64(ones) / float64(total)
+		if math.Abs(got-w.Probability()) > 0.02 {
+			t.Errorf("weight %v: density %.4f, want %.3f", w, got, w.Probability())
+		}
+	}
+}
+
+func TestWeightedBlocksValidation(t *testing.T) {
+	prpg := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 1)
+	if _, err := WeightedBlocks(prpg, make([]Weight, 3), 2, 2, 8); err == nil {
+		t.Error("wrong weight count accepted")
+	}
+}
+
+func TestW12MatchesGenerateBlocks(t *testing.T) {
+	// Weight 1/2 consumes one bit per position, so it must reproduce the
+	// flat generator exactly.
+	const nCells, nPI, patterns = 10, 4, 100
+	a := GenerateBlocks(lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1), nPI, nCells, patterns)
+	b, err := WeightedBlocks(lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1),
+		UniformWeights(W12, nPI, nCells), nPI, nCells, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi := range a {
+		for i := range a[bi].State {
+			if a[bi].State[i] != b[bi].State[i] {
+				t.Fatal("W12 diverges from flat generation")
+			}
+		}
+		for i := range a[bi].PI {
+			if a[bi].PI[i] != b[bi].PI[i] {
+				t.Fatal("W12 diverges from flat generation (PI)")
+			}
+		}
+	}
+}
+
+// TestWeightingShiftsCoverage: on the AND/NAND-heavy benchmark circuits,
+// biasing bits toward 1 changes which faults the session detects; the
+// union of flat and weighted sessions must beat either alone — the premise
+// of weighted-random BIST.
+func TestWeightingShiftsCoverage(t *testing.T) {
+	c := benchgen.MustGenerate("s953")
+	faults := sim.SampleFaults(sim.CollapseFaults(c, sim.FullFaultList(c)), 300, 121)
+	const patterns = 128
+	flat := GenerateBlocks(lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1), c.NumInputs(), c.NumDFFs(), patterns)
+	weighted, err := WeightedBlocks(lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1),
+		UniformWeights(W34, c.NumInputs(), c.NumDFFs()), c.NumInputs(), c.NumDFFs(), patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsFlat := sim.NewFaultSim(c, flat)
+	fsW := sim.NewFaultSim(c, weighted)
+	flatOnly, wOnly, both, neither := 0, 0, 0, 0
+	for _, f := range faults {
+		df := fsFlat.Run(f).Detected()
+		dw := fsW.Run(f).Detected()
+		switch {
+		case df && dw:
+			both++
+		case df:
+			flatOnly++
+		case dw:
+			wOnly++
+		default:
+			neither++
+		}
+	}
+	t.Logf("flat-only %d, weighted-only %d, both %d, neither %d", flatOnly, wOnly, both, neither)
+	if wOnly == 0 {
+		t.Error("weighting detected nothing the flat session missed")
+	}
+	union := both + flatOnly + wOnly
+	if union <= both+flatOnly {
+		t.Error("union coverage no better than flat alone")
+	}
+}

@@ -1,0 +1,208 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Set
+	if !s.Empty() || s.Len() != 0 {
+		t.Error("zero value not empty")
+	}
+	s.Add(100)
+	if !s.Contains(100) || s.Len() != 1 {
+		t.Error("Add on zero value failed")
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(10)
+	for _, e := range []int{0, 7, 63, 64, 65, 500} {
+		s.Add(e)
+	}
+	for _, e := range []int{0, 7, 63, 64, 65, 500} {
+		if !s.Contains(e) {
+			t.Errorf("missing %d", e)
+		}
+	}
+	if s.Contains(1) || s.Contains(66) || s.Contains(10000) || s.Contains(-1) {
+		t.Error("contains absent element")
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Error("Remove failed")
+	}
+	s.Remove(99999) // out of range: no-op
+	s.Remove(-5)    // negative: no-op
+	if s.Len() != 5 {
+		t.Errorf("Len = %d, want 5", s.Len())
+	}
+}
+
+func TestAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add(-1) did not panic")
+		}
+	}()
+	New(4).Add(-1)
+}
+
+func TestElemsSortedAndRoundTrip(t *testing.T) {
+	elems := []int{5, 1, 200, 64, 63}
+	s := FromSlice(elems)
+	want := []int{1, 5, 63, 64, 200}
+	if got := s.Elems(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Elems = %v, want %v", got, want)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	var s Set
+	if s.Min() != -1 || s.Max() != -1 {
+		t.Error("empty set min/max should be -1")
+	}
+	s2 := FromSlice([]int{42, 7, 130})
+	if s2.Min() != 7 || s2.Max() != 130 {
+		t.Errorf("min/max = %d/%d", s2.Min(), s2.Max())
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	a := FromSlice([]int{1, 2, 3, 100})
+	b := FromSlice([]int{2, 3, 4, 200})
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	if got := i.Elems(); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Errorf("intersection = %v", got)
+	}
+
+	u := a.Clone()
+	u.UnionWith(b)
+	if got := u.Elems(); !reflect.DeepEqual(got, []int{1, 2, 3, 4, 100, 200}) {
+		t.Errorf("union = %v", got)
+	}
+
+	d := a.Clone()
+	d.SubtractWith(b)
+	if got := d.Elems(); !reflect.DeepEqual(got, []int{1, 100}) {
+		t.Errorf("difference = %v", got)
+	}
+
+	if !a.IntersectsWith(b) {
+		t.Error("IntersectsWith false negative")
+	}
+	if a.IntersectsWith(FromSlice([]int{9, 999})) {
+		t.Error("IntersectsWith false positive")
+	}
+}
+
+func TestIntersectWithShorter(t *testing.T) {
+	a := FromSlice([]int{1, 500})
+	b := FromSlice([]int{1})
+	a.IntersectWith(b)
+	if got := a.Elems(); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestEqualAcrossLengths(t *testing.T) {
+	a := FromSlice([]int{3})
+	b := New(1000)
+	b.Add(3)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("Equal should ignore trailing zero words")
+	}
+	b.Add(900)
+	if a.Equal(b) {
+		t.Error("Equal missed an element in the longer set")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice([]int{1, 2})
+	c := a.Clone()
+	c.Add(3)
+	if a.Contains(3) {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromSlice([]int{2, 1}).String(); got != "{1, 2}" {
+		t.Errorf("String = %q", got)
+	}
+	var s Set
+	if s.String() != "{}" {
+		t.Errorf("empty String = %q", s.String())
+	}
+}
+
+// TestAgainstMapModel property-tests the Set against a map[int]bool model
+// under a random operation sequence.
+func TestAgainstMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	s := &Set{}
+	model := map[int]bool{}
+	for op := 0; op < 5000; op++ {
+		e := rng.Intn(300)
+		switch rng.Intn(3) {
+		case 0:
+			s.Add(e)
+			model[e] = true
+		case 1:
+			s.Remove(e)
+			delete(model, e)
+		case 2:
+			if s.Contains(e) != model[e] {
+				t.Fatalf("op %d: Contains(%d) = %v, model %v", op, e, s.Contains(e), model[e])
+			}
+		}
+	}
+	if s.Len() != len(model) {
+		t.Errorf("Len = %d, model %d", s.Len(), len(model))
+	}
+}
+
+// Algebraic properties via testing/quick.
+func TestQuickSetAlgebra(t *testing.T) {
+	mk := func(elems []uint16) *Set {
+		s := &Set{}
+		for _, e := range elems {
+			s.Add(int(e) % 512)
+		}
+		return s
+	}
+	// De Morgan-ish: |A ∪ B| + |A ∩ B| == |A| + |B|
+	f := func(ae, be []uint16) bool {
+		a, b := mk(ae), mk(be)
+		u := a.Clone()
+		u.UnionWith(b)
+		i := a.Clone()
+		i.IntersectWith(b)
+		return u.Len()+i.Len() == a.Len()+b.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// (A − B) ∩ B == ∅ and (A − B) ∪ (A ∩ B) == A
+	g := func(ae, be []uint16) bool {
+		a, b := mk(ae), mk(be)
+		d := a.Clone()
+		d.SubtractWith(b)
+		if d.IntersectsWith(b) {
+			return false
+		}
+		i := a.Clone()
+		i.IntersectWith(b)
+		d.UnionWith(i)
+		return d.Equal(a)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,243 @@
+package circuit
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// Builder assembles a Circuit incrementally. Declaration order of inputs,
+// outputs, and flip-flops is preserved; flip-flop declaration order is the
+// default scan-chain order. Errors are accumulated and reported by Build,
+// so construction code can stay free of per-call error plumbing.
+type Builder struct {
+	name    string
+	nets    []Net
+	inputs  []NetID
+	outputs []string
+	dffs    []NetID
+	byName  map[string]NetID
+	pending map[string][]pendingRef // fanin references to nets not yet declared
+	errs    []error
+}
+
+type pendingRef struct {
+	gate NetID
+	pos  int
+}
+
+// NewBuilder returns an empty Builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:    name,
+		byName:  make(map[string]NetID),
+		pending: make(map[string][]pendingRef),
+	}
+}
+
+func (b *Builder) errorf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("circuit %q: "+format, append([]any{b.name}, args...)...))
+}
+
+func (b *Builder) declare(name string, op logic.Op, faninNames []string) NetID {
+	if name == "" {
+		b.errorf("empty net name")
+		return -1
+	}
+	if prev, ok := b.byName[name]; ok {
+		if b.nets[prev].Op != logic.OpInvalid {
+			b.errorf("net %q driven twice", name)
+			return prev
+		}
+		// Placeholder created by a forward reference: fill it in.
+		b.nets[prev].Op = op
+		b.nets[prev].Fanin = b.resolveFanin(faninNames, prev)
+		return prev
+	}
+	id := NetID(len(b.nets))
+	b.nets = append(b.nets, Net{Name: name, Op: op})
+	b.byName[name] = id
+	b.nets[id].Fanin = b.resolveFanin(faninNames, id)
+	return id
+}
+
+func (b *Builder) resolveFanin(names []string, gate NetID) []NetID {
+	fanin := make([]NetID, len(names))
+	for i, n := range names {
+		if n == "" {
+			b.errorf("gate %q has empty fan-in name", b.nets[gate].Name)
+			fanin[i] = -1
+			continue
+		}
+		id, ok := b.byName[n]
+		if !ok {
+			// Forward reference: create an undriven placeholder.
+			id = NetID(len(b.nets))
+			b.nets = append(b.nets, Net{Name: n, Op: logic.OpInvalid})
+			b.byName[n] = id
+		}
+		fanin[i] = id
+	}
+	return fanin
+}
+
+// Input declares a primary input net.
+func (b *Builder) Input(name string) *Builder {
+	id := b.declare(name, logic.OpInput, nil)
+	if id >= 0 {
+		b.inputs = append(b.inputs, id)
+	}
+	return b
+}
+
+// Output declares a primary output. The named net may be driven later.
+func (b *Builder) Output(name string) *Builder {
+	if name == "" {
+		b.errorf("empty output name")
+		return b
+	}
+	b.outputs = append(b.outputs, name)
+	return b
+}
+
+// DFF declares a flip-flop whose output net is name and whose D input is d.
+func (b *Builder) DFF(name, d string) *Builder {
+	id := b.declare(name, logic.OpDFF, []string{d})
+	if id >= 0 {
+		b.dffs = append(b.dffs, id)
+	}
+	return b
+}
+
+// Gate declares a combinational gate driving net name.
+func (b *Builder) Gate(name string, op logic.Op, fanin ...string) *Builder {
+	if !op.Combinational() {
+		b.errorf("gate %q uses non-combinational op %v", name, op)
+		return b
+	}
+	if min := op.MinInputs(); len(fanin) < min {
+		b.errorf("gate %q (%v) has %d inputs, needs at least %d", name, op, len(fanin), min)
+		return b
+	}
+	if max := op.MaxInputs(); max >= 0 && len(fanin) > max {
+		b.errorf("gate %q (%v) has %d inputs, allows at most %d", name, op, len(fanin), max)
+		return b
+	}
+	b.declare(name, op, fanin)
+	return b
+}
+
+// Build validates the accumulated netlist and returns the immutable
+// Circuit. It fails if any net is referenced but never driven, any output
+// is undeclared, or the combinational logic contains a cycle.
+func (b *Builder) Build() (*Circuit, error) {
+	for _, n := range b.nets {
+		if n.Op == logic.OpInvalid {
+			b.errorf("net %q referenced but never driven", n.Name)
+		}
+	}
+	c := &Circuit{
+		Name:   b.name,
+		Nets:   b.nets,
+		Inputs: b.inputs,
+		DFFs:   b.dffs,
+		byName: b.byName,
+		dffIdx: make(map[NetID]int, len(b.dffs)),
+	}
+	for _, name := range b.outputs {
+		id, ok := b.byName[name]
+		if !ok {
+			b.errorf("output %q names an undeclared net", name)
+			continue
+		}
+		c.Outputs = append(c.Outputs, id)
+	}
+	if len(b.errs) > 0 {
+		return nil, joinErrors(b.errs)
+	}
+	for i, id := range c.DFFs {
+		c.dffIdx[id] = i
+	}
+	if err := c.finish(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// finish computes fan-out lists, levelization, and the topological order.
+func (c *Circuit) finish() error {
+	c.fanout = make([][]NetID, len(c.Nets))
+	indeg := make([]int32, len(c.Nets)) // combinational in-degree
+	for id := range c.Nets {
+		n := &c.Nets[id]
+		for _, f := range n.Fanin {
+			c.fanout[f] = append(c.fanout[f], NetID(id))
+		}
+		if n.Op.Combinational() {
+			indeg[id] = int32(len(n.Fanin))
+		}
+	}
+	c.levelOf = make([]int32, len(c.Nets))
+	// Kahn's algorithm seeded from structural nets (inputs and DFF outputs).
+	queue := make([]NetID, 0, len(c.Nets))
+	for id := range c.Nets {
+		if !c.Nets[id].Op.Combinational() || indeg[id] == 0 {
+			queue = append(queue, NetID(id))
+		}
+	}
+	c.topo = make([]NetID, 0, len(c.Nets))
+	visited := 0
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		visited++
+		if c.Nets[id].Op.Combinational() {
+			c.topo = append(c.topo, id)
+			lvl := int32(0)
+			for _, f := range c.Nets[id].Fanin {
+				if c.levelOf[f] >= lvl {
+					lvl = c.levelOf[f] + 1
+				}
+			}
+			c.levelOf[id] = lvl
+		}
+		for _, succ := range c.fanout[id] {
+			if !c.Nets[succ].Op.Combinational() {
+				continue
+			}
+			indeg[succ]--
+			if indeg[succ] == 0 {
+				queue = append(queue, succ)
+			}
+		}
+	}
+	if visited != len(c.Nets) {
+		var cyc []string
+		for id := range c.Nets {
+			if c.Nets[id].Op.Combinational() && indeg[id] > 0 {
+				cyc = append(cyc, c.Nets[id].Name)
+				if len(cyc) == 8 {
+					break
+				}
+			}
+		}
+		sort.Strings(cyc)
+		return fmt.Errorf("circuit %q: combinational cycle involving %v", c.Name, cyc)
+	}
+	return nil
+}
+
+func joinErrors(errs []error) error {
+	if len(errs) == 1 {
+		return errs[0]
+	}
+	msg := errs[0].Error()
+	for _, e := range errs[1:min(len(errs), 10)] {
+		msg += "; " + e.Error()
+	}
+	if len(errs) > 10 {
+		msg += fmt.Sprintf(" (and %d more)", len(errs)-10)
+	}
+	return fmt.Errorf("%s", msg)
+}

@@ -1,0 +1,240 @@
+// Package circuit models a gate-level sequential netlist in the style of
+// the ISCAS-89 benchmarks: primary inputs, primary outputs, D flip-flops,
+// and combinational gates over named nets. It provides construction with
+// validation, levelized topological ordering for compiled simulation, and
+// structural fan-out cones, which determine the set of scan cells a fault
+// can reach (the paper's "fault cone").
+package circuit
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// NetID indexes a net (equivalently, its driving gate) within a Circuit.
+type NetID int32
+
+// Net is a named signal and the gate driving it. For a primary input the Op
+// is logic.OpInput and Fanin is empty; for a flip-flop output the Op is
+// logic.OpDFF and Fanin holds the single D input net.
+type Net struct {
+	Name  string
+	Op    logic.Op
+	Fanin []NetID
+}
+
+// Circuit is an immutable, validated netlist. Build one with a Builder.
+type Circuit struct {
+	Name    string
+	Nets    []Net
+	Inputs  []NetID // primary inputs in declaration order
+	Outputs []NetID // primary outputs in declaration order
+	DFFs    []NetID // flip-flop output nets in declaration order
+
+	byName  map[string]NetID
+	topo    []NetID // combinational gates in evaluation order
+	fanout  [][]NetID
+	dffIdx  map[NetID]int // DFF output net -> position in DFFs
+	levelOf []int32       // per-net level; inputs and DFF outputs are level 0
+}
+
+// NumNets returns the total number of nets.
+func (c *Circuit) NumNets() int { return len(c.Nets) }
+
+// NumGates returns the number of combinational gates (excludes primary
+// inputs and flip-flops).
+func (c *Circuit) NumGates() int { return len(c.topo) }
+
+// NumInputs returns the number of primary inputs.
+func (c *Circuit) NumInputs() int { return len(c.Inputs) }
+
+// NumOutputs returns the number of primary outputs.
+func (c *Circuit) NumOutputs() int { return len(c.Outputs) }
+
+// NumDFFs returns the number of flip-flops.
+func (c *Circuit) NumDFFs() int { return len(c.DFFs) }
+
+// NetByName resolves a net name; ok is false when it does not exist.
+func (c *Circuit) NetByName(name string) (NetID, bool) {
+	id, ok := c.byName[name]
+	return id, ok
+}
+
+// TopoOrder returns the combinational gates in a valid evaluation order:
+// every gate appears after all of its combinational fan-in. The returned
+// slice is shared; callers must not modify it.
+func (c *Circuit) TopoOrder() []NetID { return c.topo }
+
+// Level returns the combinational level of a net: 0 for primary inputs and
+// flip-flop outputs, 1+max(level of fan-in) for gates.
+func (c *Circuit) Level(id NetID) int { return int(c.levelOf[id]) }
+
+// Depth returns the maximum combinational level in the circuit.
+func (c *Circuit) Depth() int {
+	d := 0
+	for _, l := range c.levelOf {
+		if int(l) > d {
+			d = int(l)
+		}
+	}
+	return d
+}
+
+// Fanout returns the nets directly driven by id. The slice is shared;
+// callers must not modify it.
+func (c *Circuit) Fanout(id NetID) []NetID { return c.fanout[id] }
+
+// DFFIndex returns the scan-order index of a flip-flop output net, or -1 if
+// the net is not a flip-flop output.
+func (c *Circuit) DFFIndex(id NetID) int {
+	if i, ok := c.dffIdx[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// FanoutCone returns every net reachable from start (inclusive) by
+// following gate connectivity without passing through a flip-flop: this is
+// the combinational output cone of the net. Flip-flop output nets reached
+// via their D input are included as frontier nodes but not expanded, since
+// an error stops there until the next clock.
+func (c *Circuit) FanoutCone(start NetID) []NetID {
+	seen := make(map[NetID]bool)
+	stack := []NetID{start}
+	var cone []NetID
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		cone = append(cone, id)
+		if c.Nets[id].Op == logic.OpDFF && id != start {
+			continue // error is captured; do not cross the register
+		}
+		stack = append(stack, c.fanout[id]...)
+	}
+	sort.Slice(cone, func(i, j int) bool { return cone[i] < cone[j] })
+	return cone
+}
+
+// ConeCells returns the scan-order indices of the flip-flops whose D inputs
+// lie in the combinational fan-out cone of start: exactly the cells that can
+// capture an error caused by a fault on start within one capture cycle.
+// A flip-flop whose output is start itself is included when its own D input
+// is reachable (a state self-loop).
+func (c *Circuit) ConeCells(start NetID) []int {
+	inCone := make(map[NetID]bool)
+	for _, id := range c.FanoutCone(start) {
+		inCone[id] = true
+	}
+	var cells []int
+	for i, id := range c.DFFs {
+		if inCone[c.Nets[id].Fanin[0]] {
+			cells = append(cells, i)
+		}
+	}
+	sort.Ints(cells)
+	return cells
+}
+
+// FaninCone returns every net the cell's captured value combinationally
+// depends on: the support region of scan cell i (its D input, the gates
+// feeding it, and the primary inputs / flip-flop outputs at the frontier).
+// A fault observed at cell i must lie in this cone.
+func (c *Circuit) FaninCone(cell int) []NetID {
+	seen := make(map[NetID]bool)
+	stack := []NetID{c.Nets[c.DFFs[cell]].Fanin[0]}
+	var cone []NetID
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		cone = append(cone, id)
+		if !c.Nets[id].Op.Combinational() {
+			continue // stop at primary inputs and flip-flop outputs
+		}
+		stack = append(stack, c.Nets[id].Fanin...)
+	}
+	sort.Slice(cone, func(i, j int) bool { return cone[i] < cone[j] })
+	return cone
+}
+
+// SuspectRegion intersects the fan-in cones of the given scan cells: under
+// a single-fault assumption a defect observed at every one of these cells
+// must lie in the returned net set. It is the structural (dictionary-free)
+// defect localisation step that follows failing-cell identification.
+func (c *Circuit) SuspectRegion(failingCells []int) []NetID {
+	if len(failingCells) == 0 {
+		return nil
+	}
+	counts := make(map[NetID]int)
+	for _, cell := range failingCells {
+		for _, id := range c.FaninCone(cell) {
+			counts[id]++
+		}
+	}
+	var region []NetID
+	for id, n := range counts {
+		if n == len(failingCells) {
+			region = append(region, id)
+		}
+	}
+	sort.Slice(region, func(i, j int) bool { return region[i] < region[j] })
+	return region
+}
+
+// ConeOutputs returns the primary outputs in the combinational fan-out cone
+// of start.
+func (c *Circuit) ConeOutputs(start NetID) []NetID {
+	isOut := make(map[NetID]bool, len(c.Outputs))
+	for _, o := range c.Outputs {
+		isOut[o] = true
+	}
+	var outs []NetID
+	for _, id := range c.FanoutCone(start) {
+		if isOut[id] {
+			outs = append(outs, id)
+		}
+	}
+	return outs
+}
+
+// Stats summarises the structural composition of a circuit.
+type Stats struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	DFFs    int
+	Gates   int
+	Depth   int
+	ByOp    map[logic.Op]int
+}
+
+// Stats computes structural statistics.
+func (c *Circuit) Stats() Stats {
+	s := Stats{
+		Name:    c.Name,
+		Inputs:  c.NumInputs(),
+		Outputs: c.NumOutputs(),
+		DFFs:    c.NumDFFs(),
+		Gates:   c.NumGates(),
+		Depth:   c.Depth(),
+		ByOp:    make(map[logic.Op]int),
+	}
+	for _, id := range c.topo {
+		s.ByOp[c.Nets[id].Op]++
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d PI, %d PO, %d DFF, %d gates, depth %d",
+		s.Name, s.Inputs, s.Outputs, s.DFFs, s.Gates, s.Depth)
+}

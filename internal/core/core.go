@@ -1,0 +1,426 @@
+// Package core orchestrates the paper's full diagnosis flow: pattern
+// generation, fault simulation, multi-session signature collection under a
+// partitioning scheme, candidate derivation, and the diagnostic-resolution
+// (DR) metric — for a single full-scan circuit or for a core-based SOC
+// tested through a TestRail. It is the layer the examples, command-line
+// tools, and experiment drivers build on.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bist"
+	"repro/internal/bitset"
+	"repro/internal/circuit"
+	"repro/internal/diagnosis"
+	"repro/internal/lfsr"
+	"repro/internal/partition"
+	"repro/internal/scan"
+	"repro/internal/sim"
+	"repro/internal/soc"
+)
+
+// Options configures a diagnosis study.
+type Options struct {
+	// Scheme partitions the scan chains; required.
+	Scheme partition.Scheme
+	// Groups per partition (the paper's b).
+	Groups int
+	// Partitions to apply (each adds Groups BIST sessions).
+	Partitions int
+	// Patterns per BIST session.
+	Patterns int
+	// PRPGSeed seeds the pattern generator; zero selects 0xACE1.
+	PRPGSeed uint64
+	// PRPGPoly is the pattern-generator polynomial; zero selects the
+	// paper's degree-16 primitive polynomial.
+	PRPGPoly lfsr.Poly
+	// MISRPoly is the compaction polynomial; zero selects degree 16.
+	MISRPoly lfsr.Poly
+	// Ideal bypasses MISR compaction (no aliasing); for ablations.
+	Ideal bool
+	// Chains splits the scan cells into this many balanced chains; zero
+	// selects a single chain.
+	Chains int
+	// ScanOrder optionally overrides the natural (structural) scan order;
+	// must be a permutation of the cell indices.
+	ScanOrder []int
+	// Workers bounds the goroutines used to diagnose faults concurrently.
+	// Zero selects GOMAXPROCS; 1 forces serial execution. Results are
+	// identical regardless of the worker count: each fault's diagnosis is
+	// independent and aggregation preserves fault order.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.PRPGSeed == 0 {
+		o.PRPGSeed = 0xACE1
+	}
+	if o.PRPGPoly == 0 {
+		o.PRPGPoly = lfsr.MustPrimitivePoly(16)
+	}
+	if o.Chains == 0 {
+		o.Chains = 1
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Scheme == nil {
+		return fmt.Errorf("core: options need a partitioning scheme")
+	}
+	if o.Groups < 1 || o.Partitions < 1 || o.Patterns < 1 {
+		return fmt.Errorf("core: groups, partitions and patterns must be positive")
+	}
+	return nil
+}
+
+func (o Options) scanConfig(numCells int) (scan.Config, error) {
+	order := o.ScanOrder
+	if order == nil {
+		order = scan.NaturalOrder(numCells)
+	}
+	if len(order) != numCells {
+		return scan.Config{}, fmt.Errorf("core: scan order covers %d of %d cells", len(order), numCells)
+	}
+	if o.Chains == 1 {
+		return scan.SingleChainOrdered(order), nil
+	}
+	return scan.SplitContiguous(order, o.Chains)
+}
+
+func (o Options) plan() bist.Plan {
+	return bist.Plan{
+		Scheme:     o.Scheme,
+		Groups:     o.Groups,
+		Partitions: o.Partitions,
+		MISRPoly:   o.MISRPoly,
+		Ideal:      o.Ideal,
+	}
+}
+
+// FaultDiagnosis is the per-fault outcome of a study.
+type FaultDiagnosis struct {
+	Fault sim.Fault
+	// Actual holds the truly failing cells (simulation ground truth).
+	Actual *bitset.Set
+	// Detected reports whether any scan cell captured an error; undetected
+	// faults are excluded from DR.
+	Detected bool
+	// Result holds candidate sets (intersection and pruned).
+	Result *diagnosis.Result
+	// CandidatesByPartition[k-1] is the intersection candidate count after
+	// the first k partitions.
+	CandidatesByPartition []int
+}
+
+// Study aggregates a scheme's diagnostic resolution over many faults.
+type Study struct {
+	SchemeName string
+	Groups     int
+	Partitions int
+	Patterns   int
+
+	Diagnosed  int // detected faults included in DR
+	Undetected int // faults with no failing scan cell (excluded)
+
+	// ByPartition[k-1] accumulates DR over the first k partitions, without
+	// pruning.
+	ByPartition []diagnosis.DR
+	// Full is DR with all partitions, without pruning.
+	Full diagnosis.DR
+	// Pruned is DR with all partitions, with superposition pruning.
+	Pruned diagnosis.DR
+}
+
+func newStudy(o Options, schemeName string) *Study {
+	return &Study{
+		SchemeName:  schemeName,
+		Groups:      o.Groups,
+		Partitions:  o.Partitions,
+		Patterns:    o.Patterns,
+		ByPartition: make([]diagnosis.DR, o.Partitions),
+	}
+}
+
+func (s *Study) add(fd *FaultDiagnosis) {
+	if !fd.Detected {
+		s.Undetected++
+		return
+	}
+	s.Diagnosed++
+	actual := fd.Actual.Len()
+	for k := range s.ByPartition {
+		s.ByPartition[k].Add(fd.CandidatesByPartition[k], actual)
+	}
+	s.Full.Add(fd.Result.Candidates.Len(), actual)
+	s.Pruned.Add(fd.Result.Pruned.Len(), actual)
+}
+
+// PartitionsToReachDR returns the smallest partition count k whose
+// unpruned DR is at most the target, or -1 if no prefix reaches it — the
+// paper's Figure 5 quantity.
+func (s *Study) PartitionsToReachDR(target float64) int {
+	for k := range s.ByPartition {
+		if s.ByPartition[k].Value() <= target {
+			return k + 1
+		}
+	}
+	return -1
+}
+
+// CircuitBench couples one full-scan circuit with patterns, engine, and
+// diagnoser for repeated fault studies.
+type CircuitBench struct {
+	Circuit *circuit.Circuit
+	Opts    Options
+
+	fs     *sim.FaultSim
+	eng    *bist.Engine
+	diag   *diagnosis.Diagnoser
+	blocks []*sim.Block
+	good   []*sim.Response
+}
+
+// NewCircuitBench prepares the BIST environment for a circuit: generates
+// the pattern set, simulates the fault-free machine, builds the scan
+// configuration, partitions, and syndrome tables.
+func NewCircuitBench(c *circuit.Circuit, opts Options) (*CircuitBench, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	cfg, err := opts.scanConfig(c.NumDFFs())
+	if err != nil {
+		return nil, err
+	}
+	prpg, err := lfsr.New(opts.PRPGPoly, opts.PRPGSeed)
+	if err != nil {
+		return nil, err
+	}
+	blocks := bist.GenerateBlocks(prpg, c.NumInputs(), c.NumDFFs(), opts.Patterns)
+	eng, err := bist.NewEngine(cfg, opts.plan(), opts.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	diag, err := diagnosis.FromEngine(eng)
+	if err != nil {
+		return nil, err
+	}
+	b := &CircuitBench{Circuit: c, Opts: opts, eng: eng, diag: diag, blocks: blocks}
+	b.fs = sim.NewFaultSim(c, blocks)
+	for i := range blocks {
+		b.good = append(b.good, b.fs.Good(i))
+	}
+	return b, nil
+}
+
+// Engine exposes the underlying BIST engine (partitions, signatures).
+func (b *CircuitBench) Engine() *bist.Engine { return b.eng }
+
+// Cost returns the plan's test-resource footprint.
+func (b *CircuitBench) Cost() bist.Cost { return b.eng.Cost() }
+
+// Faults returns the collapsed stuck-at fault list of the circuit.
+func (b *CircuitBench) Faults() []sim.Fault {
+	return sim.CollapseFaults(b.Circuit, sim.FullFaultList(b.Circuit))
+}
+
+// DiagnoseFault runs the complete flow for one fault.
+func (b *CircuitBench) DiagnoseFault(f sim.Fault) *FaultDiagnosis {
+	return b.diagnose(b.fs.Run(f))
+}
+
+// DiagnoseMulti runs the flow for several simultaneous faults — the
+// paper's multiple-fault scenario, where fault cones produce disjoint or
+// overlapping failing segments (Figure 2). The FaultDiagnosis carries the
+// first fault.
+func (b *CircuitBench) DiagnoseMulti(faults []sim.Fault) *FaultDiagnosis {
+	return b.diagnose(b.fs.RunMulti(faults))
+}
+
+func (b *CircuitBench) diagnose(res *sim.Result) *FaultDiagnosis {
+	fd := &FaultDiagnosis{Fault: res.Fault, Actual: res.FailingCells, Detected: res.Detected()}
+	if !fd.Detected {
+		return fd
+	}
+	v := b.eng.Verdicts(b.good, res.Faulty, b.blocks)
+	fd.Result = b.diag.Diagnose(v)
+	fd.CandidatesByPartition = make([]int, b.Opts.Partitions)
+	for k := 1; k <= b.Opts.Partitions; k++ {
+		fd.CandidatesByPartition[k-1] = b.diag.Candidates(v, k).Len()
+	}
+	return fd
+}
+
+// Run diagnoses every fault and aggregates the study, using
+// Opts.Workers goroutines.
+func (b *CircuitBench) Run(faults []sim.Fault) *Study {
+	return b.RunObserved(faults, nil)
+}
+
+// RunObserved is Run with a per-fault callback, invoked in fault order
+// after all diagnoses complete, for reporting and tracing.
+func (b *CircuitBench) RunObserved(faults []sim.Fault, observe func(*FaultDiagnosis)) *Study {
+	study := newStudy(b.Opts, b.Opts.Scheme.Name())
+	results := make([]*FaultDiagnosis, len(faults))
+	runParallel(b.Opts.Workers, len(faults), func() func(int) {
+		fs := b.fs.Fork()
+		return func(i int) {
+			// diagnose only reads the shared engine/diagnoser/pattern
+			// state; the forked FaultSim provides per-goroutine scratch.
+			results[i] = b.diagnose(fs.Run(faults[i]))
+		}
+	})
+	for _, fd := range results {
+		if observe != nil {
+			observe(fd)
+		}
+		study.add(fd)
+	}
+	return study
+}
+
+// runParallel distributes n independent jobs over workers goroutines; each
+// worker calls mkWorker once to obtain its own job function (carrying
+// per-goroutine scratch state).
+func runParallel(workers, n int, mkWorker func() func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		job := mkWorker()
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			job := mkWorker()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// SOCBench is the SOC-level counterpart: the DUT is a set of cores on a
+// TestRail, the fault lives in one core, and diagnosis runs over the meta
+// scan chains.
+type SOCBench struct {
+	SOC  *soc.SOC
+	Opts Options
+
+	fs   *soc.FaultSim
+	eng  *bist.Engine
+	diag *diagnosis.Diagnoser
+}
+
+// NewSOCBench prepares the BIST environment over the SOC's meta chains
+// (Opts.Chains selects the TAM width; 1 is the single meta chain).
+func NewSOCBench(s *soc.SOC, opts Options) (*SOCBench, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if opts.ScanOrder != nil {
+		return nil, fmt.Errorf("core: custom scan order is not supported at SOC level; the TestRail fixes daisy order")
+	}
+	var cfg scan.Config
+	if opts.Chains == 1 {
+		cfg = s.SingleMetaChain()
+	} else {
+		var err error
+		cfg, err = s.MetaChains(opts.Chains)
+		if err != nil {
+			return nil, err
+		}
+	}
+	prpg, err := lfsr.New(opts.PRPGPoly, opts.PRPGSeed)
+	if err != nil {
+		return nil, err
+	}
+	patterns := s.GeneratePatterns(prpg, opts.Patterns)
+	fs, err := soc.NewFaultSim(s, patterns)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := bist.NewEngine(cfg, opts.plan(), opts.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	diag, err := diagnosis.FromEngine(eng)
+	if err != nil {
+		return nil, err
+	}
+	return &SOCBench{SOC: s, Opts: opts, fs: fs, eng: eng, diag: diag}, nil
+}
+
+// Engine exposes the underlying BIST engine.
+func (b *SOCBench) Engine() *bist.Engine { return b.eng }
+
+// Cost returns the plan's test-resource footprint over the TAM.
+func (b *SOCBench) Cost() bist.Cost { return b.eng.Cost() }
+
+// CoreFaults returns the collapsed fault list of core i.
+func (b *SOCBench) CoreFaults(i int) []sim.Fault { return b.fs.CoreFaults(i) }
+
+// DiagnoseFault runs the flow for a fault injected into one core.
+func (b *SOCBench) DiagnoseFault(core int, f sim.Fault) *FaultDiagnosis {
+	return b.diagnose(b.fs.Run(core, f))
+}
+
+// DiagnoseMultiCore runs the flow with one fault in each of several cores
+// simultaneously — multiple spot defects, each contributing a clustered
+// failing segment to the meta chain.
+func (b *SOCBench) DiagnoseMultiCore(coreFaults map[int]sim.Fault) *FaultDiagnosis {
+	return b.diagnose(b.fs.RunMulti(coreFaults))
+}
+
+func (b *SOCBench) diagnose(res *soc.Result) *FaultDiagnosis {
+	fd := &FaultDiagnosis{Fault: res.Fault, Actual: res.FailingCells, Detected: res.Detected()}
+	if !fd.Detected {
+		return fd
+	}
+	v := b.eng.Verdicts(b.fs.Good(), res.Faulty, b.fs.Blocks())
+	fd.Result = b.diag.Diagnose(v)
+	fd.CandidatesByPartition = make([]int, b.Opts.Partitions)
+	for k := 1; k <= b.Opts.Partitions; k++ {
+		fd.CandidatesByPartition[k-1] = b.diag.Candidates(v, k).Len()
+	}
+	return fd
+}
+
+// RunCore diagnoses a set of faults all injected into one core (the
+// paper's one-faulty-core-per-session assumption), using Opts.Workers
+// goroutines.
+func (b *SOCBench) RunCore(core int, faults []sim.Fault) *Study {
+	study := newStudy(b.Opts, b.Opts.Scheme.Name())
+	results := make([]*FaultDiagnosis, len(faults))
+	runParallel(b.Opts.Workers, len(faults), func() func(int) {
+		fs := b.fs.Fork()
+		return func(i int) {
+			results[i] = b.diagnose(fs.Run(core, faults[i]))
+		}
+	})
+	for _, fd := range results {
+		study.add(fd)
+	}
+	return study
+}

@@ -1,0 +1,261 @@
+// Package dictionary implements fault-dictionary-based defect localisation,
+// the step that follows failing-scan-cell identification in a failure
+// analysis flow (the application the paper's title points at). A dictionary
+// maps every collapsed stuck-at fault to the set of scan cells it fails
+// under the BIST pattern set; given the candidate cell set produced by
+// partition-based diagnosis, Lookup ranks the faults whose signatures are
+// consistent with it, turning "which cells failed" into "which defect
+// sites to inspect".
+package dictionary
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/circuit"
+	"repro/internal/sim"
+)
+
+// Entry is one dictionary row: a fault and the cells it fails.
+type Entry struct {
+	Fault sim.Fault
+	Cells *bitset.Set
+}
+
+// Dictionary maps faults to failing-cell signatures for a fixed pattern
+// set.
+type Dictionary struct {
+	circuit *circuit.Circuit
+	entries []Entry
+	// byCell[i] lists entry indices whose signature contains cell i,
+	// enabling candidate-driven lookup without a full scan.
+	byCell [][]int32
+}
+
+// Build simulates every fault and records its failing cells. Undetected
+// faults (no failing cell) are excluded: they can never explain an observed
+// failure.
+func Build(fs *sim.FaultSim, faults []sim.Fault) *Dictionary {
+	d := &Dictionary{
+		circuit: fs.Circuit(),
+		byCell:  make([][]int32, fs.Circuit().NumDFFs()),
+	}
+	for _, f := range faults {
+		res := fs.Run(f)
+		if !res.Detected() {
+			continue
+		}
+		idx := int32(len(d.entries))
+		d.entries = append(d.entries, Entry{Fault: f, Cells: res.FailingCells})
+		for _, cell := range res.FailingCells.Elems() {
+			d.byCell[cell] = append(d.byCell[cell], idx)
+		}
+	}
+	return d
+}
+
+// Len returns the number of detected faults in the dictionary.
+func (d *Dictionary) Len() int { return len(d.entries) }
+
+// Entries returns the dictionary rows (shared; do not modify).
+func (d *Dictionary) Entries() []Entry { return d.entries }
+
+// Match is a ranked lookup result.
+type Match struct {
+	Fault sim.Fault
+	// Score in [0,1]: the Jaccard similarity between the fault's failing
+	// cells and the candidate set.
+	Score float64
+	// Missed counts the fault's failing cells absent from the candidates;
+	// with a sound candidate set (a superset of the true failing cells) the
+	// true fault has Missed = 0.
+	Missed int
+	// Extra counts candidate cells the fault does not fail. Intersection
+	// candidates legitimately over-approximate, so Extra > 0 does not
+	// disqualify a fault, it only lowers its rank.
+	Extra int
+}
+
+// Lookup ranks dictionary faults against a candidate cell set: faults that
+// fail cells outside the candidates are penalised hard (the candidate set
+// is a superset of the truth for a sound diagnosis), then ranked by Jaccard
+// similarity. At most k matches are returned (k ≤ 0 means all).
+func (d *Dictionary) Lookup(candidates *bitset.Set, k int) []Match {
+	// Candidate-driven: only faults overlapping the candidate set can score
+	// above zero.
+	seen := make(map[int32]bool)
+	var matches []Match
+	for _, cell := range candidates.Elems() {
+		if cell >= len(d.byCell) {
+			continue
+		}
+		for _, idx := range d.byCell[cell] {
+			if seen[idx] {
+				continue
+			}
+			seen[idx] = true
+			e := d.entries[idx]
+			inter := e.Cells.Clone()
+			inter.IntersectWith(candidates)
+			union := e.Cells.Clone()
+			union.UnionWith(candidates)
+			matches = append(matches, Match{
+				Fault:  e.Fault,
+				Score:  float64(inter.Len()) / float64(union.Len()),
+				Missed: e.Cells.Len() - inter.Len(),
+				Extra:  candidates.Len() - inter.Len(),
+			})
+		}
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Missed != matches[j].Missed {
+			return matches[i].Missed < matches[j].Missed
+		}
+		if matches[i].Score != matches[j].Score {
+			return matches[i].Score > matches[j].Score
+		}
+		return less(matches[i].Fault, matches[j].Fault)
+	})
+	if k > 0 && len(matches) > k {
+		matches = matches[:k]
+	}
+	return matches
+}
+
+func less(a, b sim.Fault) bool {
+	if a.Net != b.Net {
+		return a.Net < b.Net
+	}
+	if a.Gate != b.Gate {
+		return a.Gate < b.Gate
+	}
+	if a.Pin != b.Pin {
+		return a.Pin < b.Pin
+	}
+	return a.Stuck < b.Stuck
+}
+
+// Rank returns the 1-based position of target in the Lookup ranking for
+// the candidate set, or 0 if it does not appear. It is the standard
+// diagnosability metric: rank 1 means the true fault tops the suspect
+// list. Ties by the sort key count the better position.
+func (d *Dictionary) Rank(candidates *bitset.Set, target sim.Fault) int {
+	for i, m := range d.Lookup(candidates, 0) {
+		if m.Fault == target {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// savedEntry is the serialisation form of one dictionary row.
+type savedEntry struct {
+	Net, Gate int32
+	Pin       int
+	Stuck     uint8
+	Cells     []int
+}
+
+// savedDict is the on-disk form of a dictionary.
+type savedDict struct {
+	Circuit string
+	Cells   int
+	Entries []savedEntry
+}
+
+// Save writes the dictionary in a compact binary form (encoding/gob).
+// Building a dictionary costs a full fault-simulation campaign; saving it
+// amortises that over every failing device of the same design and pattern
+// set.
+func (d *Dictionary) Save(w io.Writer) error {
+	out := savedDict{
+		Circuit: d.circuit.Name,
+		Cells:   d.circuit.NumDFFs(),
+	}
+	for _, e := range d.entries {
+		out.Entries = append(out.Entries, savedEntry{
+			Net:   int32(e.Fault.Net),
+			Gate:  int32(e.Fault.Gate),
+			Pin:   e.Fault.Pin,
+			Stuck: e.Fault.Stuck,
+			Cells: e.Cells.Elems(),
+		})
+	}
+	return gob.NewEncoder(w).Encode(out)
+}
+
+// Load restores a dictionary saved with Save. The circuit must be the one
+// the dictionary was built for (matched by name and cell count; the cells
+// and fault identifiers are indices into it).
+func Load(r io.Reader, c *circuit.Circuit) (*Dictionary, error) {
+	var in savedDict
+	if err := gob.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("dictionary: %w", err)
+	}
+	if in.Circuit != c.Name || in.Cells != c.NumDFFs() {
+		return nil, fmt.Errorf("dictionary: saved for %s/%d cells, circuit is %s/%d",
+			in.Circuit, in.Cells, c.Name, c.NumDFFs())
+	}
+	d := &Dictionary{
+		circuit: c,
+		byCell:  make([][]int32, c.NumDFFs()),
+	}
+	for _, se := range in.Entries {
+		for _, cell := range se.Cells {
+			if cell < 0 || cell >= c.NumDFFs() {
+				return nil, fmt.Errorf("dictionary: saved cell %d outside circuit", cell)
+			}
+		}
+		idx := int32(len(d.entries))
+		d.entries = append(d.entries, Entry{
+			Fault: sim.Fault{
+				Net:   circuit.NetID(se.Net),
+				Gate:  circuit.NetID(se.Gate),
+				Pin:   se.Pin,
+				Stuck: se.Stuck,
+			},
+			Cells: bitset.FromSlice(se.Cells),
+		})
+		for _, cell := range se.Cells {
+			d.byCell[cell] = append(d.byCell[cell], idx)
+		}
+	}
+	return d, nil
+}
+
+// Stats summarises dictionary distinguishability: how many faults share
+// identical failing-cell signatures (equivalence classes the cell-level
+// view cannot split).
+type Stats struct {
+	Faults    int
+	Classes   int
+	Singleton int // classes with exactly one fault (fully distinguishable)
+	Largest   int // size of the largest indistinguishable class
+}
+
+// Stats computes signature-equivalence statistics.
+func (d *Dictionary) Stats() Stats {
+	classes := make(map[string][]int)
+	for i, e := range d.entries {
+		key := e.Cells.String()
+		classes[key] = append(classes[key], i)
+	}
+	s := Stats{Faults: len(d.entries), Classes: len(classes)}
+	for _, members := range classes {
+		if len(members) == 1 {
+			s.Singleton++
+		}
+		if len(members) > s.Largest {
+			s.Largest = len(members)
+		}
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d faults in %d signature classes (%d singleton, largest %d)",
+		s.Faults, s.Classes, s.Singleton, s.Largest)
+}

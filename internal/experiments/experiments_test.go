@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quick shrinks the fault sample so the full experiment suite stays fast in
+// CI; the qualitative claims below must hold at this size too.
+var quick = Config{Faults: 80, FaultSeed: 1}
+
+// TestTable1Shape asserts the paper's Table 1 claims:
+//  1. with few partitions the interval scheme resolves better than random
+//     selection;
+//  2. with many partitions random selection overtakes interval;
+//  3. two-step is at least as good as random selection everywhere and
+//     strictly better overall.
+func TestTable1Shape(t *testing.T) {
+	rows, err := Table1(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Interval >= rows[0].Random {
+		t.Errorf("1 partition: interval %.3f should beat random %.3f", rows[0].Interval, rows[0].Random)
+	}
+	last := rows[len(rows)-1]
+	if last.Random >= last.Interval {
+		t.Errorf("8 partitions: random %.3f should beat interval %.3f", last.Random, last.Interval)
+	}
+	for _, r := range rows {
+		if r.TwoStep > r.Random+0.15 && r.TwoStep > r.Interval+0.15 {
+			t.Errorf("%d partitions: two-step %.3f worse than both random %.3f and interval %.3f",
+				r.Partitions, r.TwoStep, r.Random, r.Interval)
+		}
+	}
+	if last.TwoStep > last.Random {
+		t.Errorf("8 partitions: two-step %.3f should not trail random %.3f", last.TwoStep, last.Random)
+	}
+	// DR decreases with more partitions for every scheme.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Random > rows[i-1].Random+1e-9 || rows[i].TwoStep > rows[i-1].TwoStep+1e-9 ||
+			rows[i].Interval > rows[i-1].Interval+1e-9 {
+			t.Errorf("row %d: DR increased with an extra partition", i)
+		}
+	}
+}
+
+// TestTable2Shape asserts the Table 2 claims: two-step beats random
+// selection on every circuit, and pruning improves (or preserves) both.
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large circuits in -short mode")
+	}
+	rows, err := Table2(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.TwoStep >= r.Random {
+			t.Errorf("%s: two-step %.3f not better than random %.3f", r.Circuit, r.TwoStep, r.Random)
+		}
+		if r.RandomPruned > r.Random+1e-9 || r.TwoStepPruned > r.TwoStep+1e-9 {
+			t.Errorf("%s: pruning made DR worse", r.Circuit)
+		}
+		if r.Diagnosed == 0 {
+			t.Errorf("%s: nothing diagnosed", r.Circuit)
+		}
+	}
+}
+
+// TestTable3Shape asserts the SOC1 claims: two-step significantly
+// outperforms random selection for every faulty core (the paper reports up
+// to ~10x), with and without pruning.
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SOC experiment in -short mode")
+	}
+	rows, err := Table3(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	bigWins := 0
+	for _, r := range rows {
+		if r.TwoStep >= r.Random {
+			t.Errorf("%s: two-step %.3f not better than random %.3f", r.Core, r.TwoStep, r.Random)
+		}
+		if r.Random > 0 && r.TwoStep < r.Random/5 {
+			bigWins++
+		}
+	}
+	if bigWins < 3 {
+		t.Errorf("only %d cores show a >5x improvement; paper reports up to 10x", bigWins)
+	}
+}
+
+// TestTable4Shape asserts the SOC2 (multi-chain) claims.
+func TestTable4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SOC experiment in -short mode")
+	}
+	rows, err := Table4(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	worse := 0
+	for _, r := range rows {
+		if r.TwoStep > r.Random {
+			worse++
+		}
+	}
+	if worse > 1 {
+		t.Errorf("two-step trails random on %d of 8 cores", worse)
+	}
+}
+
+// TestFigure5Shape asserts that two-step needs no more partitions than
+// random selection to reach DR 0.5 for every faulty core.
+func TestFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SOC experiment in -short mode")
+	}
+	rows, err := Figure5(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		rnd, two := r.Random, r.TwoStep
+		if rnd < 0 {
+			rnd = figure5MaxPartitions + 1
+		}
+		if two < 0 {
+			two = figure5MaxPartitions + 1
+		}
+		if two > rnd {
+			t.Errorf("%s: two-step needs %d partitions, random %d", r.Core, two, rnd)
+		}
+	}
+}
+
+func TestFigure3Example(t *testing.T) {
+	r, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.FailingCells) < 2 {
+		t.Fatalf("example fault fails %d cells, want >= 2", len(r.FailingCells))
+	}
+	// The candidates of both schemes must contain the true failing cells.
+	for _, scheme := range []struct {
+		name  string
+		cands []int
+	}{{"interval", r.IntervalCandidates}, {"random", r.RandomCandidates}} {
+		set := map[int]bool{}
+		for _, c := range scheme.cands {
+			set[c] = true
+		}
+		for _, cell := range r.FailingCells {
+			if !set[cell] {
+				t.Errorf("%s: failing cell %d not in candidates", scheme.name, cell)
+			}
+		}
+	}
+	// The headline of Figure 3: interval-based candidates are fewer.
+	if len(r.IntervalCandidates) >= len(r.RandomCandidates) {
+		t.Errorf("interval candidates (%d) should be fewer than random (%d)",
+			len(r.IntervalCandidates), len(r.RandomCandidates))
+	}
+	// Each scheme's partition must have 4 groups covering all 29 cells.
+	for _, groups := range [][][]int{r.IntervalGroups, r.RandomGroups} {
+		total := 0
+		for _, g := range groups {
+			total += len(g)
+		}
+		if len(groups) != 4 || total != 29 {
+			t.Errorf("partition shape: %d groups, %d cells", len(groups), total)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	t1 := []Table1Row{{Partitions: 1, Interval: 1, Random: 2, TwoStep: 0.5}}
+	if s := FormatTable1(t1); !strings.Contains(s, "0.500") {
+		t.Error("FormatTable1 missing values")
+	}
+	t2 := []Table2Row{{Circuit: "s5378", Groups: 8, Partitions: 8, Random: 1, TwoStep: 0.2}}
+	if s := FormatTable2(t2); !strings.Contains(s, "s5378") {
+		t.Error("FormatTable2 missing circuit")
+	}
+	t3 := []SOCRow{{Core: "s9234", Random: 3, TwoStep: 0.3}}
+	if s := FormatSOCTable("Table 3", t3); !strings.Contains(s, "s9234") {
+		t.Error("FormatSOCTable missing core")
+	}
+	f5 := []Figure5Row{{Core: "s9234", Random: -1, TwoStep: 3}}
+	out := FormatFigure5(f5)
+	if !strings.Contains(out, ">32") || !strings.Contains(out, "3") {
+		t.Errorf("FormatFigure5 output %q", out)
+	}
+}
+
+// TestBaselinesShape: two-step must beat every fixed-schedule baseline,
+// and the adaptive baseline must resolve exactly (or nearly) while needing
+// outcome-dependent sessions.
+func TestBaselinesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline comparison in -short mode")
+	}
+	rows, err := Baselines(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]BaselineRow{}
+	for _, r := range rows {
+		byName[r.Strategy] = r
+	}
+	two := byName["two-step"]
+	for _, name := range []string{"random-selection", "interval"} {
+		if two.DR >= byName[name].DR {
+			t.Errorf("two-step DR %.3f not better than %s %.3f", two.DR, name, byName[name].DR)
+		}
+	}
+	// Fixed-interval may match or beat two-step on DR (every one of its
+	// partitions is interval-shaped); the paper rejects it on hardware
+	// cost, which the register model must reflect.
+	if byName["fixed-interval"].ExtraRegisterBits <= two.ExtraRegisterBits {
+		t.Errorf("fixed-interval register cost %d not above two-step %d",
+			byName["fixed-interval"].ExtraRegisterBits, two.ExtraRegisterBits)
+	}
+	ad := byName["adaptive-binary-search"]
+	if !ad.Adaptive {
+		t.Error("adaptive row not flagged adaptive")
+	}
+	if ad.DR > 0.05 {
+		t.Errorf("adaptive DR %.3f; binary search should be near-exact", ad.DR)
+	}
+	if ad.Sessions <= 0 {
+		t.Error("adaptive sessions not measured")
+	}
+	// The paper's hardware claim: two-step costs a handful of extra bits.
+	if two.ExtraRegisterBits <= 0 || two.ExtraRegisterBits > 24 {
+		t.Errorf("two-step extra register bits = %d", two.ExtraRegisterBits)
+	}
+	if byName["random-selection"].ExtraRegisterBits != 0 {
+		t.Error("random-selection should need no extra registers")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	check := func(rows any, wantHeader string, wantLines int) {
+		t.Helper()
+		var buf strings.Builder
+		if err := WriteCSV(&buf, rows); err != nil {
+			t.Fatalf("%T: %v", rows, err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if len(lines) != wantLines {
+			t.Errorf("%T: %d lines, want %d", rows, len(lines), wantLines)
+		}
+		if !strings.HasPrefix(lines[0], wantHeader) {
+			t.Errorf("%T: header %q", rows, lines[0])
+		}
+	}
+	check([]Table1Row{{Partitions: 1}, {Partitions: 2}}, "partitions,", 3)
+	check([]Table2Row{{Circuit: "s5378"}}, "circuit,", 2)
+	check([]SOCRow{{Core: "s9234"}}, "core,", 2)
+	check([]Figure5Row{{Core: "s9234", Random: -1, TwoStep: 3}}, "core,", 2)
+	check([]BaselineRow{{Strategy: "two-step"}}, "strategy,", 2)
+	var buf strings.Builder
+	if err := WriteCSV(&buf, 42); err == nil {
+		t.Error("unsupported type accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serialises experiment rows as CSV with a header row, for
+// downstream plotting. Supported row types: []Table1Row, []Table2Row,
+// []SOCRow, []Figure5Row, []BaselineRow.
+func WriteCSV(w io.Writer, rows any) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+	d := strconv.Itoa
+	switch rs := rows.(type) {
+	case []Table1Row:
+		if err := cw.Write([]string{"partitions", "interval", "random_selection", "two_step"}); err != nil {
+			return err
+		}
+		for _, r := range rs {
+			if err := cw.Write([]string{d(r.Partitions), f(r.Interval), f(r.Random), f(r.TwoStep)}); err != nil {
+				return err
+			}
+		}
+	case []Table2Row:
+		if err := cw.Write([]string{"circuit", "groups", "partitions",
+			"dr_random", "dr_two_step", "dr_random_pruned", "dr_two_step_pruned", "diagnosed"}); err != nil {
+			return err
+		}
+		for _, r := range rs {
+			if err := cw.Write([]string{r.Circuit, d(r.Groups), d(r.Partitions),
+				f(r.Random), f(r.TwoStep), f(r.RandomPruned), f(r.TwoStepPruned), d(r.Diagnosed)}); err != nil {
+				return err
+			}
+		}
+	case []SOCRow:
+		if err := cw.Write([]string{"core",
+			"dr_random", "dr_two_step", "dr_random_pruned", "dr_two_step_pruned", "diagnosed"}); err != nil {
+			return err
+		}
+		for _, r := range rs {
+			if err := cw.Write([]string{r.Core,
+				f(r.Random), f(r.TwoStep), f(r.RandomPruned), f(r.TwoStepPruned), d(r.Diagnosed)}); err != nil {
+				return err
+			}
+		}
+	case []Figure5Row:
+		if err := cw.Write([]string{"core", "random_selection", "two_step"}); err != nil {
+			return err
+		}
+		for _, r := range rs {
+			if err := cw.Write([]string{r.Core, d(r.Random), d(r.TwoStep)}); err != nil {
+				return err
+			}
+		}
+	case []TAMWidthRow:
+		if err := cw.Write([]string{"chains", "dr_random", "dr_two_step", "dr_two_step_pruned",
+			"total_clocks", "signature_bits"}); err != nil {
+			return err
+		}
+		for _, r := range rs {
+			if err := cw.Write([]string{d(r.Chains), f(r.Random), f(r.TwoStep), f(r.TwoStepPruned),
+				strconv.FormatInt(r.TotalClocks, 10), d(r.SignatureBits)}); err != nil {
+				return err
+			}
+		}
+	case []TransitionRow:
+		if err := cw.Write([]string{"circuit", "dr_random", "dr_two_step", "diagnosed"}); err != nil {
+			return err
+		}
+		for _, r := range rs {
+			if err := cw.Write([]string{r.Circuit, f(r.Random), f(r.TwoStep), d(r.Diagnosed)}); err != nil {
+				return err
+			}
+		}
+	case []BaselineRow:
+		if err := cw.Write([]string{"strategy", "dr", "dr_pruned", "sessions", "adaptive", "extra_register_bits"}); err != nil {
+			return err
+		}
+		for _, r := range rs {
+			if err := cw.Write([]string{r.Strategy, f(r.DR), f(r.DRPruned),
+				f(r.Sessions), strconv.FormatBool(r.Adaptive), d(r.ExtraRegisterBits)}); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("experiments: unsupported row type %T", rows)
+	}
+	return nil
+}

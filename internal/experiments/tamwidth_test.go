@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+// TestTAMWidthShape: widening the TAM must cut diagnosis time roughly
+// linearly while two-step keeps beating random selection at every width.
+func TestTAMWidthShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SOC sweep in -short mode")
+	}
+	rows, err := TAMWidth(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.TwoStep >= r.Random {
+			t.Errorf("chains=%d: two-step %.3f not better than random %.3f", r.Chains, r.TwoStep, r.Random)
+		}
+		if r.TwoStepPruned > r.TwoStep+1e-9 {
+			t.Errorf("chains=%d: pruning worsened DR", r.Chains)
+		}
+		if i > 0 && r.TotalClocks >= rows[i-1].TotalClocks {
+			t.Errorf("chains=%d: shift clocks did not shrink (%d vs %d)",
+				r.Chains, r.TotalClocks, rows[i-1].TotalClocks)
+		}
+	}
+}
+
+// TestTransitionShape: two-step must beat random selection for transition
+// faults as well — the clustering argument is fault-model-independent.
+func TestTransitionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transition study in -short mode")
+	}
+	rows, err := Transition(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Diagnosed == 0 {
+			t.Errorf("%s: no transition faults diagnosed", r.Circuit)
+		}
+		if r.TwoStep >= r.Random {
+			t.Errorf("%s: two-step %.3f not better than random %.3f", r.Circuit, r.TwoStep, r.Random)
+		}
+	}
+}

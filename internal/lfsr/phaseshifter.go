@@ -1,0 +1,144 @@
+package lfsr
+
+import "fmt"
+
+// PhaseShifter derives W parallel pseudorandom channels from one LFSR, the
+// STUMPS arrangement for loading W scan chains simultaneously. Each
+// channel XORs a distinct subset of register stages; by LFSR linearity a
+// channel's bit stream equals the base m-sequence at some large phase
+// offset, so adjacent chains do not receive shifted copies of each other
+// (the "structural dependency" a naive multi-tap PRPG suffers from).
+type PhaseShifter struct {
+	l     *LFSR
+	masks []uint64 // per channel, the XORed register stages
+}
+
+// phaseGuard is the alignment window used to verify channel separation at
+// construction: no channel's stream may match another's within this many
+// clocks of shift.
+const phaseGuard = 32
+
+// NewPhaseShifter builds a shifter with `channels` outputs over the LFSR.
+// Any XOR of register stages yields the base m-sequence at *some* phase,
+// but naively chosen tap sets land at adjacent phases (stage t is stage
+// t−1 delayed one clock), which is exactly the structural correlation the
+// shifter must remove. Candidate tap masks are therefore drawn from a
+// deterministic scrambler and each is accepted only after verifying its
+// stream does not align with any accepted channel within ±32 clocks.
+func NewPhaseShifter(l *LFSR, channels int) (*PhaseShifter, error) {
+	d := l.Degree()
+	if channels < 1 {
+		return nil, fmt.Errorf("lfsr: phase shifter needs at least 1 channel")
+	}
+	if channels > 64 {
+		return nil, fmt.Errorf("lfsr: at most 64 channels per shifter, requested %d", channels)
+	}
+	if uint64(channels) >= uint64(1)<<uint(d) {
+		return nil, fmt.Errorf("lfsr: %d channels exceed the tap subsets of a degree-%d register", channels, d)
+	}
+	ps := &PhaseShifter{l: l}
+
+	// Reference stream of states from the canonical state 1, long enough
+	// to check ±phaseGuard alignment over a 3×guard window.
+	const window = 6 * phaseGuard
+	ref, err := New(l.Poly(), 1)
+	if err != nil {
+		return nil, err
+	}
+	states := make([]uint64, window)
+	for i := range states {
+		states[i] = ref.State()
+		ref.Step()
+	}
+	streamOf := func(mask uint64) []uint8 {
+		s := make([]uint8, window)
+		for i, st := range states {
+			s[i] = parity(st & mask)
+		}
+		return s
+	}
+	aligns := func(a, b []uint8) bool {
+		for off := -phaseGuard; off <= phaseGuard; off++ {
+			same := true
+			for k := 0; k < window; k++ {
+				j := k + off
+				if j < 0 || j >= window {
+					continue
+				}
+				if a[k] != b[j] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Deterministic candidate masks from a scrambler over the same field.
+	scramble, err := New(l.Poly(), 0x5A5A%((1<<uint(d))-1)+1)
+	if err != nil {
+		return nil, err
+	}
+	var accepted [][]uint8
+	tries := 0
+	for len(ps.masks) < channels {
+		tries++
+		if tries > 1<<uint(min(d, 20)) {
+			return nil, fmt.Errorf("lfsr: could not find %d separated channels for degree %d", channels, d)
+		}
+		mask := scramble.State()
+		scramble.Step()
+		if mask == 0 {
+			continue
+		}
+		cand := streamOf(mask)
+		ok := true
+		for _, prev := range accepted {
+			if aligns(cand, prev) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		accepted = append(accepted, cand)
+		ps.masks = append(ps.masks, mask)
+	}
+	return ps, nil
+}
+
+func parity(v uint64) uint8 {
+	v ^= v >> 32
+	v ^= v >> 16
+	v ^= v >> 8
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return uint8(v & 1)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Channels returns the channel count.
+func (ps *PhaseShifter) Channels() int { return len(ps.masks) }
+
+// Step produces one bit per channel (bit c of the result) and advances the
+// LFSR one clock.
+func (ps *PhaseShifter) Step() uint64 {
+	var out uint64
+	state := ps.l.State()
+	for c, mask := range ps.masks {
+		out |= uint64(parity(state&mask)) << uint(c)
+	}
+	ps.l.Step()
+	return out
+}

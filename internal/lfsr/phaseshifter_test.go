@@ -1,0 +1,107 @@
+package lfsr
+
+import "testing"
+
+func TestPhaseShifterValidation(t *testing.T) {
+	l := MustNew(MustPrimitivePoly(16), 1)
+	if _, err := NewPhaseShifter(l, 0); err == nil {
+		t.Error("0 channels accepted")
+	}
+	if _, err := NewPhaseShifter(l, 16*15/2+1); err == nil {
+		t.Error("too many channels accepted")
+	}
+	ps, err := NewPhaseShifter(l, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Channels() != 8 {
+		t.Errorf("channels = %d", ps.Channels())
+	}
+}
+
+// TestChannelsAreShiftedMSequences: each channel of a maximal-length LFSR
+// is itself an m-sequence (same period, balanced), since an XOR of stages
+// is the base sequence at another phase.
+func TestChannelsAreShiftedMSequences(t *testing.T) {
+	const d = 10
+	period := 1<<d - 1
+	l := MustNew(MustPrimitivePoly(d), 1)
+	ps, err := NewPhaseShifter(l, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := make([][]uint8, ps.Channels())
+	for i := range streams {
+		streams[i] = make([]uint8, period)
+	}
+	for k := 0; k < period; k++ {
+		w := ps.Step()
+		for c := range streams {
+			streams[c][k] = uint8(w >> uint(c) & 1)
+		}
+	}
+	for c, s := range streams {
+		ones := 0
+		for _, b := range s {
+			ones += int(b)
+		}
+		if ones != 1<<(d-1) {
+			t.Errorf("channel %d: %d ones per period, want %d", c, ones, 1<<(d-1))
+		}
+	}
+}
+
+// TestChannelsPairwiseDistinct: no two channels may be identical or
+// short-offset copies of each other (the property the shifter exists for).
+func TestChannelsPairwiseDistinct(t *testing.T) {
+	l := MustNew(MustPrimitivePoly(16), 0xACE1)
+	ps, err := NewPhaseShifter(l, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 256
+	streams := make([][]uint8, ps.Channels())
+	for i := range streams {
+		streams[i] = make([]uint8, window)
+	}
+	for k := 0; k < window; k++ {
+		w := ps.Step()
+		for c := range streams {
+			streams[c][k] = uint8(w >> uint(c) & 1)
+		}
+	}
+	for a := 0; a < len(streams); a++ {
+		for b := a + 1; b < len(streams); b++ {
+			for off := 0; off < 8; off++ {
+				same := true
+				for k := 0; k+off < window; k++ {
+					if streams[a][k] != streams[b][k+off] {
+						same = false
+						break
+					}
+				}
+				if same {
+					t.Errorf("channel %d equals channel %d at offset %d", a, b, off)
+				}
+			}
+		}
+	}
+}
+
+func TestPhaseShifterDeterministic(t *testing.T) {
+	mk := func() []uint64 {
+		l := MustNew(MustPrimitivePoly(16), 7)
+		ps, _ := NewPhaseShifter(l, 4)
+		out := make([]uint64, 50)
+		for i := range out {
+			out[i] = ps.Step()
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package lfsr provides the linear-feedback machinery of a scan-BIST
+// architecture: polynomial arithmetic over GF(2), primitivity testing, a
+// table of verified primitive polynomials, maximal-length LFSRs (the PRPG
+// and the interval/label generator of the selection hardware), and MISRs
+// for response compaction.
+package lfsr
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Poly is a polynomial over GF(2); bit i holds the coefficient of x^i.
+// The zero value is the zero polynomial. Degrees up to 63 are supported.
+type Poly uint64
+
+// PolyFromTaps builds x^degree + Σ x^tap + 1. The constant term is always
+// included (a feedback polynomial without it is degenerate), as is the
+// leading term. Taps equal to 0 or degree are accepted and ignored.
+func PolyFromTaps(degree int, taps ...int) Poly {
+	p := Poly(1) | Poly(1)<<uint(degree)
+	for _, t := range taps {
+		if t > 0 && t < degree {
+			p |= 1 << uint(t)
+		}
+	}
+	return p
+}
+
+// Degree returns the degree of p, or -1 for the zero polynomial.
+func (p Poly) Degree() int {
+	if p == 0 {
+		return -1
+	}
+	return 63 - bits.LeadingZeros64(uint64(p))
+}
+
+// String renders p in conventional notation, e.g. "x^4 + x^3 + 1".
+func (p Poly) String() string {
+	if p == 0 {
+		return "0"
+	}
+	var terms []string
+	for i := p.Degree(); i >= 0; i-- {
+		if p>>uint(i)&1 == 0 {
+			continue
+		}
+		switch i {
+		case 0:
+			terms = append(terms, "1")
+		case 1:
+			terms = append(terms, "x")
+		default:
+			terms = append(terms, fmt.Sprintf("x^%d", i))
+		}
+	}
+	return strings.Join(terms, " + ")
+}
+
+// mulMod returns a*b mod m over GF(2). m must be nonzero with degree ≤ 32
+// so intermediate products fit in 64 bits after reduction-as-we-go.
+func mulMod(a, b, m Poly) Poly {
+	a = a.mod(m)
+	var r Poly
+	for b != 0 {
+		if b&1 == 1 {
+			r ^= a
+		}
+		b >>= 1
+		a <<= 1
+		if a.Degree() >= m.Degree() {
+			a ^= m
+		}
+	}
+	return r.mod(m)
+}
+
+// mod reduces p modulo m over GF(2).
+func (p Poly) mod(m Poly) Poly {
+	dm := m.Degree()
+	for p.Degree() >= dm {
+		p ^= m << uint(p.Degree()-dm)
+	}
+	return p
+}
+
+// gcd returns the polynomial GCD of a and b over GF(2).
+func gcd(a, b Poly) Poly {
+	for b != 0 {
+		a, b = b, a.mod(b)
+	}
+	return a
+}
+
+// powMod returns base^exp mod m over GF(2).
+func powMod(base Poly, exp uint64, m Poly) Poly {
+	r := Poly(1)
+	base = base.mod(m)
+	for exp > 0 {
+		if exp&1 == 1 {
+			r = mulMod(r, base, m)
+		}
+		base = mulMod(base, base, m)
+		exp >>= 1
+	}
+	return r
+}
+
+// frobenius returns x^(2^k) mod m by repeated squaring of x, avoiding any
+// need to represent the huge exponent.
+func frobenius(k int, m Poly) Poly {
+	t := Poly(2).mod(m) // the polynomial x
+	for i := 0; i < k; i++ {
+		t = mulMod(t, t, m)
+	}
+	return t
+}
+
+// Irreducible reports whether p is irreducible over GF(2), using Rabin's
+// test: x^(2^d) ≡ x (mod p), and gcd(x^(2^(d/q)) − x, p) = 1 for every
+// prime divisor q of d. Polynomials of degree < 1 are not irreducible.
+func (p Poly) Irreducible() bool {
+	d := p.Degree()
+	if d < 1 {
+		return false
+	}
+	if d == 1 {
+		return true
+	}
+	if p&1 == 0 {
+		return false // divisible by x
+	}
+	x := Poly(2)
+	if frobenius(d, p) != x.mod(p) {
+		return false
+	}
+	for _, q := range primeFactors(uint64(d)) {
+		sub := frobenius(d/int(q), p) ^ x.mod(p)
+		if g := gcd(sub, p); g.Degree() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Primitive reports whether p is a primitive polynomial over GF(2): it is
+// irreducible and x generates the full multiplicative group of GF(2^d),
+// i.e. ord(x) = 2^d − 1. An LFSR with a primitive feedback polynomial is
+// maximal-length. Degrees up to 32 are supported (2^d − 1 must be
+// factorised); higher degrees return false.
+func (p Poly) Primitive() bool {
+	d := p.Degree()
+	if d < 1 || d > 32 {
+		return false
+	}
+	if !p.Irreducible() {
+		return false
+	}
+	order := uint64(1)<<uint(d) - 1
+	if powMod(2, order, p) != 1 {
+		return false
+	}
+	for _, q := range primeFactors(order) {
+		if powMod(2, order/q, p) == 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// primeFactors returns the distinct prime factors of n by trial division.
+// n up to 2^32 factorises instantly; larger n are still correct, just slow.
+func primeFactors(n uint64) []uint64 {
+	var fs []uint64
+	for _, p := range []uint64{2, 3} {
+		if n%p == 0 {
+			fs = append(fs, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	for p := uint64(5); p*p <= n; p += 6 {
+		for _, c := range []uint64{p, p + 2} {
+			if n%c == 0 {
+				fs = append(fs, c)
+				for n%c == 0 {
+					n /= c
+				}
+			}
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	return fs
+}
+
+// primitiveTaps lists, per degree, the non-edge tap exponents of a known
+// primitive polynomial (XAPP052 table). Degree 16 is the polynomial the
+// paper's experiments use: x^16 + x^15 + x^13 + x^4 + 1.
+var primitiveTaps = map[int][]int{
+	2:  {1},
+	3:  {2},
+	4:  {3},
+	5:  {3},
+	6:  {5},
+	7:  {6},
+	8:  {6, 5, 4},
+	9:  {5},
+	10: {7},
+	11: {9},
+	12: {6, 4, 1},
+	13: {4, 3, 1},
+	14: {5, 3, 1},
+	15: {14},
+	16: {15, 13, 4},
+	17: {14},
+	18: {11},
+	19: {6, 2, 1},
+	20: {17},
+	21: {19},
+	22: {21},
+	23: {18},
+	24: {23, 22, 17},
+	25: {22},
+	26: {6, 2, 1},
+	27: {5, 2, 1},
+	28: {25},
+	29: {27},
+	30: {6, 4, 1},
+	31: {28},
+	32: {22, 2, 1},
+}
+
+// PrimitivePoly returns a verified primitive polynomial of the given degree
+// (2 ≤ degree ≤ 32).
+func PrimitivePoly(degree int) (Poly, error) {
+	taps, ok := primitiveTaps[degree]
+	if !ok {
+		return 0, fmt.Errorf("lfsr: no primitive polynomial tabulated for degree %d", degree)
+	}
+	return PolyFromTaps(degree, taps...), nil
+}
+
+// MustPrimitivePoly is PrimitivePoly for known-good degrees; it panics on
+// error and is intended for package-level initialisation.
+func MustPrimitivePoly(degree int) Poly {
+	p, err := PrimitivePoly(degree)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

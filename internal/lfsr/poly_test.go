@@ -1,0 +1,206 @@
+package lfsr
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestPolyDegreeAndString(t *testing.T) {
+	p := PolyFromTaps(16, 15, 13, 4)
+	if p.Degree() != 16 {
+		t.Errorf("degree = %d, want 16", p.Degree())
+	}
+	if got, want := p.String(), "x^16 + x^15 + x^13 + x^4 + 1"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if Poly(0).Degree() != -1 || Poly(0).String() != "0" {
+		t.Error("zero polynomial misreported")
+	}
+	if Poly(3).String() != "x + 1" {
+		t.Errorf("x+1 rendered as %q", Poly(3).String())
+	}
+}
+
+func TestPolyFromTapsIgnoresEdges(t *testing.T) {
+	// Taps at 0 and degree must not duplicate the implicit terms.
+	if PolyFromTaps(4, 0, 4, 3) != PolyFromTaps(4, 3) {
+		t.Error("edge taps changed the polynomial")
+	}
+}
+
+func TestMod(t *testing.T) {
+	// (x^4 + x + 1) mod (x^2 + x + 1):
+	// x^4 = (x^2+x+1)(x^2+x) + 1... verify via brute force multiply-back.
+	m := Poly(0b111)
+	p := Poly(0b10011)
+	r := p.mod(m)
+	if r.Degree() >= m.Degree() {
+		t.Fatalf("mod did not reduce: %v", r)
+	}
+	// Check p ≡ r by adding multiples of m back: exhaustive small search.
+	found := false
+	for q := Poly(0); q < 64; q++ {
+		prod := mulNaive(q, m)
+		if prod^r == p {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("mod result %v inconsistent with %v mod %v", r, p, m)
+	}
+}
+
+// mulNaive multiplies two GF(2) polynomials without reduction.
+func mulNaive(a, b Poly) Poly {
+	var r Poly
+	for i := 0; i <= b.Degree(); i++ {
+		if b>>uint(i)&1 == 1 {
+			r ^= a << uint(i)
+		}
+	}
+	return r
+}
+
+func TestMulModMatchesNaive(t *testing.T) {
+	m := PolyFromTaps(8, 6, 5, 4)
+	for a := Poly(1); a < 64; a += 7 {
+		for b := Poly(1); b < 64; b += 5 {
+			want := mulNaive(a, b).mod(m)
+			if got := mulMod(a, b, m); got != want {
+				t.Fatalf("mulMod(%v,%v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestPowMod(t *testing.T) {
+	m := PolyFromTaps(8, 6, 5, 4)
+	// x^(2^8-1) must be 1 for a primitive polynomial of degree 8.
+	if powMod(2, 255, m) != 1 {
+		t.Error("x^255 != 1 mod primitive degree-8 polynomial")
+	}
+	// powMod must agree with iterated multiplication.
+	got := powMod(3, 13, m)
+	want := Poly(1)
+	for i := 0; i < 13; i++ {
+		want = mulMod(want, 3, m)
+	}
+	if got != want {
+		t.Errorf("powMod = %v, want %v", got, want)
+	}
+}
+
+func TestIrreducible(t *testing.T) {
+	// x^2 + x + 1 is irreducible; x^2 + 1 = (x+1)^2 is not.
+	if !Poly(0b111).Irreducible() {
+		t.Error("x^2+x+1 reported reducible")
+	}
+	if Poly(0b101).Irreducible() {
+		t.Error("x^2+1 reported irreducible")
+	}
+	// x^4 + x^2 + 1 = (x^2+x+1)^2 reducible.
+	if Poly(0b10101).Irreducible() {
+		t.Error("(x^2+x+1)^2 reported irreducible")
+	}
+	// Anything without constant term is divisible by x.
+	if Poly(0b110).Irreducible() {
+		t.Error("x^2+x reported irreducible")
+	}
+}
+
+func TestPrimitiveSmallExhaustive(t *testing.T) {
+	// Degree 4: the primitive polynomials are exactly x^4+x+1 and x^4+x^3+1
+	// (x^4+x^3+x^2+x+1 is irreducible but has order 5).
+	var prim []Poly
+	for p := Poly(1 << 4); p < 1<<5; p++ {
+		if p.Primitive() {
+			prim = append(prim, p)
+		}
+	}
+	want := []Poly{0b10011, 0b11001}
+	sort.Slice(prim, func(i, j int) bool { return prim[i] < prim[j] })
+	if len(prim) != 2 || prim[0] != want[0] || prim[1] != want[1] {
+		t.Errorf("degree-4 primitives = %v, want %v", prim, want)
+	}
+	if !Poly(0b11111).Irreducible() {
+		t.Error("x^4+x^3+x^2+x+1 should be irreducible")
+	}
+	if Poly(0b11111).Primitive() {
+		t.Error("x^4+x^3+x^2+x+1 should not be primitive (order 5)")
+	}
+}
+
+// TestPrimitiveTableVerified proves every tabulated polynomial really is
+// primitive — the property the paper's "primitive-polynomial LFSR of degree
+// 16" depends on.
+func TestPrimitiveTableVerified(t *testing.T) {
+	for d := 2; d <= 32; d++ {
+		p, err := PrimitivePoly(d)
+		if err != nil {
+			t.Fatalf("degree %d: %v", d, err)
+		}
+		if p.Degree() != d {
+			t.Errorf("degree %d: polynomial %v has degree %d", d, p, p.Degree())
+		}
+		if !p.Primitive() {
+			t.Errorf("degree %d: tabulated polynomial %v is not primitive", d, p)
+		}
+	}
+}
+
+func TestPrimitivePolyUnknownDegree(t *testing.T) {
+	if _, err := PrimitivePoly(33); err == nil {
+		t.Error("degree 33 accepted")
+	}
+	if _, err := PrimitivePoly(1); err == nil {
+		t.Error("degree 1 accepted")
+	}
+}
+
+func TestMustPrimitivePolyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustPrimitivePoly(99) did not panic")
+		}
+	}()
+	MustPrimitivePoly(99)
+}
+
+func TestPrimeFactors(t *testing.T) {
+	cases := map[uint64][]uint64{
+		1:          nil,
+		2:          {2},
+		12:         {2, 3},
+		255:        {3, 5, 17},
+		65535:      {3, 5, 17, 257},
+		4294967295: {3, 5, 17, 257, 65537},
+		7:          {7},
+		8191:       {8191}, // Mersenne prime 2^13-1
+	}
+	for n, want := range cases {
+		got := primeFactors(n)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != len(want) {
+			t.Errorf("primeFactors(%d) = %v, want %v", n, got, want)
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("primeFactors(%d) = %v, want %v", n, got, want)
+				break
+			}
+		}
+	}
+}
+
+func TestGCD(t *testing.T) {
+	a := mulNaive(0b111, 0b1011) // (x^2+x+1)(x^3+x+1)
+	b := mulNaive(0b111, 0b11)   // (x^2+x+1)(x+1)
+	if g := gcd(a, b); g != 0b111 {
+		t.Errorf("gcd = %v, want x^2+x+1", g)
+	}
+	if g := gcd(0b1011, 0b111); g.Degree() != 0 {
+		t.Errorf("gcd of coprime polynomials = %v", g)
+	}
+}

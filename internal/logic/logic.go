@@ -1,0 +1,210 @@
+// Package logic defines the gate alphabet shared by the netlist, the
+// ISCAS-89 bench format, and the simulator, together with bit-parallel
+// evaluation semantics: every signal is carried in a uint64 word holding 64
+// independent pattern values, so one gate evaluation advances 64 test
+// patterns at once.
+package logic
+
+import "fmt"
+
+// Op identifies a gate function. The zero value is OpInvalid so that
+// uninitialized gates are caught by validation rather than silently
+// simulating as a constant.
+type Op uint8
+
+// Gate operations. OpInput and OpDFF are structural: OpInput marks a primary
+// input and OpDFF a scan flip-flop; neither is evaluated combinationally.
+const (
+	OpInvalid Op = iota
+	OpInput
+	OpDFF
+	OpBuf
+	OpNot
+	OpAnd
+	OpNand
+	OpOr
+	OpNor
+	OpXor
+	OpXnor
+	OpConst0
+	OpConst1
+)
+
+var opNames = [...]string{
+	OpInvalid: "INVALID",
+	OpInput:   "INPUT",
+	OpDFF:     "DFF",
+	OpBuf:     "BUFF",
+	OpNot:     "NOT",
+	OpAnd:     "AND",
+	OpNand:    "NAND",
+	OpOr:      "OR",
+	OpNor:     "NOR",
+	OpXor:     "XOR",
+	OpXnor:    "XNOR",
+	OpConst0:  "CONST0",
+	OpConst1:  "CONST1",
+}
+
+// String returns the canonical ISCAS-89 spelling of the operation.
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// ParseOp maps an ISCAS-89 function name (case-insensitive) to an Op.
+// Both "BUF" and "BUFF" are accepted for buffers.
+func ParseOp(name string) (Op, error) {
+	switch upper(name) {
+	case "INPUT":
+		return OpInput, nil
+	case "DFF":
+		return OpDFF, nil
+	case "BUF", "BUFF":
+		return OpBuf, nil
+	case "NOT", "INV":
+		return OpNot, nil
+	case "AND":
+		return OpAnd, nil
+	case "NAND":
+		return OpNand, nil
+	case "OR":
+		return OpOr, nil
+	case "NOR":
+		return OpNor, nil
+	case "XOR":
+		return OpXor, nil
+	case "XNOR":
+		return OpXnor, nil
+	case "CONST0":
+		return OpConst0, nil
+	case "CONST1":
+		return OpConst1, nil
+	}
+	return OpInvalid, fmt.Errorf("logic: unknown gate function %q", name)
+}
+
+func upper(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'a' <= c && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return string(b)
+}
+
+// Combinational reports whether the op computes a boolean function of its
+// inputs during a single evaluation pass (as opposed to structural ops).
+func (op Op) Combinational() bool {
+	switch op {
+	case OpBuf, OpNot, OpAnd, OpNand, OpOr, OpNor, OpXor, OpXnor, OpConst0, OpConst1:
+		return true
+	}
+	return false
+}
+
+// MinInputs returns the minimum legal fan-in for the op.
+func (op Op) MinInputs() int {
+	switch op {
+	case OpInput, OpConst0, OpConst1:
+		return 0
+	case OpBuf, OpNot, OpDFF:
+		return 1
+	case OpXor, OpXnor:
+		return 2
+	case OpAnd, OpNand, OpOr, OpNor:
+		return 1 // degenerate 1-input AND/OR appear in some netlists
+	}
+	return 0
+}
+
+// MaxInputs returns the maximum legal fan-in for the op, or -1 when
+// unbounded.
+func (op Op) MaxInputs() int {
+	switch op {
+	case OpInput, OpConst0, OpConst1:
+		return 0
+	case OpBuf, OpNot, OpDFF:
+		return 1
+	}
+	return -1
+}
+
+// Inverting reports whether the op complements the underlying monotone
+// function (NOT, NAND, NOR, XNOR).
+func (op Op) Inverting() bool {
+	switch op {
+	case OpNot, OpNand, OpNor, OpXnor:
+		return true
+	}
+	return false
+}
+
+// Eval computes the op over the fan-in words. Each bit position of the
+// words is an independent pattern. Structural ops (INPUT, DFF) must not be
+// passed to Eval; they panic, because reaching them indicates a compiler
+// bug, not bad user input.
+func Eval(op Op, in []uint64) uint64 {
+	switch op {
+	case OpBuf:
+		return in[0]
+	case OpNot:
+		return ^in[0]
+	case OpAnd:
+		v := in[0]
+		for _, w := range in[1:] {
+			v &= w
+		}
+		return v
+	case OpNand:
+		v := in[0]
+		for _, w := range in[1:] {
+			v &= w
+		}
+		return ^v
+	case OpOr:
+		v := in[0]
+		for _, w := range in[1:] {
+			v |= w
+		}
+		return v
+	case OpNor:
+		v := in[0]
+		for _, w := range in[1:] {
+			v |= w
+		}
+		return ^v
+	case OpXor:
+		v := in[0]
+		for _, w := range in[1:] {
+			v ^= w
+		}
+		return v
+	case OpXnor:
+		v := in[0]
+		for _, w := range in[1:] {
+			v ^= w
+		}
+		return ^v
+	case OpConst0:
+		return 0
+	case OpConst1:
+		return ^uint64(0)
+	}
+	panic(fmt.Sprintf("logic: Eval called on non-combinational op %v", op))
+}
+
+// EvalBit evaluates the op over single-bit inputs; it is the scalar
+// reference semantics used by tests to cross-check Eval.
+func EvalBit(op Op, in []bool) bool {
+	words := make([]uint64, len(in))
+	for i, b := range in {
+		if b {
+			words[i] = 1
+		}
+	}
+	return Eval(op, words)&1 == 1
+}

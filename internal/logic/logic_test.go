@@ -1,0 +1,215 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseOpRoundTrip(t *testing.T) {
+	ops := []Op{OpInput, OpDFF, OpBuf, OpNot, OpAnd, OpNand, OpOr, OpNor, OpXor, OpXnor, OpConst0, OpConst1}
+	for _, op := range ops {
+		got, err := ParseOp(op.String())
+		if err != nil {
+			t.Fatalf("ParseOp(%q): %v", op.String(), err)
+		}
+		if got != op {
+			t.Errorf("ParseOp(%q) = %v, want %v", op.String(), got, op)
+		}
+	}
+}
+
+func TestParseOpAliases(t *testing.T) {
+	cases := map[string]Op{
+		"buf":  OpBuf,
+		"BUFF": OpBuf,
+		"inv":  OpNot,
+		"not":  OpNot,
+		"dff":  OpDFF,
+		"Nand": OpNand,
+	}
+	for name, want := range cases {
+		got, err := ParseOp(name)
+		if err != nil {
+			t.Fatalf("ParseOp(%q): %v", name, err)
+		}
+		if got != want {
+			t.Errorf("ParseOp(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestParseOpUnknown(t *testing.T) {
+	if _, err := ParseOp("MUX7"); err == nil {
+		t.Error("ParseOp(MUX7) succeeded, want error")
+	}
+	if _, err := ParseOp(""); err == nil {
+		t.Error("ParseOp(\"\") succeeded, want error")
+	}
+}
+
+func TestEvalTwoInputTruthTables(t *testing.T) {
+	type tt struct {
+		op   Op
+		want [4]bool // indexed by a<<1|b for (a,b) in 00,01,10,11
+	}
+	cases := []tt{
+		{OpAnd, [4]bool{false, false, false, true}},
+		{OpNand, [4]bool{true, true, true, false}},
+		{OpOr, [4]bool{false, true, true, true}},
+		{OpNor, [4]bool{true, false, false, false}},
+		{OpXor, [4]bool{false, true, true, false}},
+		{OpXnor, [4]bool{true, false, false, true}},
+	}
+	for _, c := range cases {
+		for i := 0; i < 4; i++ {
+			a, b := i>>1 == 1, i&1 == 1
+			got := EvalBit(c.op, []bool{a, b})
+			if got != c.want[i] {
+				t.Errorf("%v(%v,%v) = %v, want %v", c.op, a, b, got, c.want[i])
+			}
+		}
+	}
+}
+
+func TestEvalUnary(t *testing.T) {
+	for _, v := range []bool{false, true} {
+		if got := EvalBit(OpBuf, []bool{v}); got != v {
+			t.Errorf("BUFF(%v) = %v", v, got)
+		}
+		if got := EvalBit(OpNot, []bool{v}); got == v {
+			t.Errorf("NOT(%v) = %v", v, got)
+		}
+	}
+}
+
+func TestEvalConstants(t *testing.T) {
+	if Eval(OpConst0, nil) != 0 {
+		t.Error("CONST0 produced nonzero word")
+	}
+	if Eval(OpConst1, nil) != ^uint64(0) {
+		t.Error("CONST1 produced non-all-ones word")
+	}
+}
+
+func TestEvalWideFanIn(t *testing.T) {
+	// AND over 5 inputs: only the pattern where all five are 1 yields 1.
+	in := []uint64{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(1)}
+	if got := Eval(OpAnd, in); got != ^uint64(1) {
+		t.Errorf("AND5 = %x, want %x", got, ^uint64(1))
+	}
+	if got := Eval(OpNor, in); got != 0 {
+		t.Errorf("NOR5 = %x, want 0", got)
+	}
+}
+
+// TestEvalBitParallelConsistency is the core invariant of the simulator:
+// evaluating 64 patterns in one word must equal 64 scalar evaluations.
+func TestEvalBitParallelConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ops := []Op{OpBuf, OpNot, OpAnd, OpNand, OpOr, OpNor, OpXor, OpXnor}
+	for _, op := range ops {
+		fanin := 1
+		if op.MinInputs() > 1 {
+			fanin = op.MinInputs()
+		}
+		for trial := 0; trial < 20; trial++ {
+			n := fanin + rng.Intn(4)
+			if op.MaxInputs() == 1 {
+				n = 1
+			}
+			words := make([]uint64, n)
+			for i := range words {
+				words[i] = rng.Uint64()
+			}
+			got := Eval(op, words)
+			for bit := 0; bit < 64; bit++ {
+				in := make([]bool, n)
+				for i := range in {
+					in[i] = words[i]>>uint(bit)&1 == 1
+				}
+				want := EvalBit(op, in)
+				if (got>>uint(bit)&1 == 1) != want {
+					t.Fatalf("%v bit %d: parallel=%v scalar=%v", op, bit, !want, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEvalDeMorganProperty(t *testing.T) {
+	// NAND(a,b) == NOT(AND(a,b)) and NOR(a,b) == NOT(OR(a,b)) over random words.
+	f := func(a, b uint64) bool {
+		return Eval(OpNand, []uint64{a, b}) == ^Eval(OpAnd, []uint64{a, b}) &&
+			Eval(OpNor, []uint64{a, b}) == ^Eval(OpOr, []uint64{a, b}) &&
+			Eval(OpXnor, []uint64{a, b}) == ^Eval(OpXor, []uint64{a, b})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalAssociativityProperty(t *testing.T) {
+	// n-ary AND equals folding binary ANDs, same for OR/XOR.
+	f := func(a, b, c, d uint64) bool {
+		in := []uint64{a, b, c, d}
+		and2 := Eval(OpAnd, []uint64{Eval(OpAnd, []uint64{a, b}), Eval(OpAnd, []uint64{c, d})})
+		or2 := Eval(OpOr, []uint64{Eval(OpOr, []uint64{a, b}), Eval(OpOr, []uint64{c, d})})
+		xor2 := Eval(OpXor, []uint64{Eval(OpXor, []uint64{a, b}), Eval(OpXor, []uint64{c, d})})
+		return Eval(OpAnd, in) == and2 && Eval(OpOr, in) == or2 && Eval(OpXor, in) == xor2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalPanicsOnStructural(t *testing.T) {
+	for _, op := range []Op{OpInput, OpDFF, OpInvalid} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Eval(%v) did not panic", op)
+				}
+			}()
+			Eval(op, []uint64{0})
+		}()
+	}
+}
+
+func TestInverting(t *testing.T) {
+	inv := map[Op]bool{
+		OpNot: true, OpNand: true, OpNor: true, OpXnor: true,
+		OpBuf: false, OpAnd: false, OpOr: false, OpXor: false,
+	}
+	for op, want := range inv {
+		if op.Inverting() != want {
+			t.Errorf("%v.Inverting() = %v, want %v", op, op.Inverting(), want)
+		}
+	}
+}
+
+func TestCombinational(t *testing.T) {
+	if OpInput.Combinational() || OpDFF.Combinational() || OpInvalid.Combinational() {
+		t.Error("structural op reported combinational")
+	}
+	for _, op := range []Op{OpBuf, OpNot, OpAnd, OpNand, OpOr, OpNor, OpXor, OpXnor, OpConst0, OpConst1} {
+		if !op.Combinational() {
+			t.Errorf("%v not reported combinational", op)
+		}
+	}
+}
+
+func TestFanInBounds(t *testing.T) {
+	if OpNot.MaxInputs() != 1 || OpNot.MinInputs() != 1 {
+		t.Error("NOT fan-in bounds wrong")
+	}
+	if OpAnd.MaxInputs() != -1 {
+		t.Error("AND should be unbounded")
+	}
+	if OpXor.MinInputs() != 2 {
+		t.Error("XOR minimum fan-in should be 2")
+	}
+	if OpInput.MaxInputs() != 0 {
+		t.Error("INPUT should take no inputs")
+	}
+}

@@ -1,0 +1,168 @@
+// Package reseed implements LFSR reseeding (Könemann's technique): given a
+// deterministic test cube — the care bits of an ATPG pattern — solve a
+// linear system over GF(2) for a PRPG seed whose pseudorandom expansion
+// reproduces exactly those bits. The resulting mixed-mode BIST applies
+// mostly pseudorandom patterns and, for the random-resistant faults they
+// miss, loads a stored seed per deterministic cube instead of the full
+// pattern: a cube with s care bits needs one L-bit seed (feasible with high
+// probability when s ≤ L−20 or so), not nCells+nPI pattern bits.
+//
+// Every output bit of an LFSR is a linear function of its seed bits, so
+// the per-pattern bit stream is a GF(2) matrix applied to the seed; the
+// solver builds the matrix by simulating the L basis seeds and solves the
+// care-bit rows by Gaussian elimination.
+package reseed
+
+import (
+	"fmt"
+
+	"repro/internal/lfsr"
+)
+
+// Solver precomputes the seed-dependency matrix of one PRPG pattern and
+// solves cubes against it.
+type Solver struct {
+	poly   lfsr.Poly
+	degree int
+	// rowOf[k] is the dependency mask of stream bit k (one pattern's worth
+	// of bits): bit i set means seed bit i feeds stream bit k.
+	rowOf []uint64
+}
+
+// NewSolver builds the dependency matrix for a PRPG with the given
+// feedback polynomial expanding patterns of patternBits bits (scan cells
+// plus primary inputs).
+func NewSolver(poly lfsr.Poly, patternBits int) (*Solver, error) {
+	d := poly.Degree()
+	if d < 2 || d > 63 {
+		return nil, fmt.Errorf("reseed: polynomial degree %d out of range [2,63]", d)
+	}
+	if patternBits < 1 {
+		return nil, fmt.Errorf("reseed: pattern of %d bits", patternBits)
+	}
+	s := &Solver{poly: poly, degree: d, rowOf: make([]uint64, patternBits)}
+	// Column i of the matrix is the output stream of basis seed e_i. The
+	// LFSR is linear: stream(seed) = Σ seed_i · stream(e_i).
+	for i := 0; i < d; i++ {
+		l, err := lfsr.New(poly, 1<<uint(i))
+		if err != nil {
+			return nil, err
+		}
+		for k := 0; k < patternBits; k++ {
+			s.rowOf[k] |= l.Step() << uint(i)
+		}
+	}
+	return s, nil
+}
+
+// PatternBits returns the pattern width the solver was built for.
+func (s *Solver) PatternBits() int { return len(s.rowOf) }
+
+// Degree returns the PRPG length (the seed width).
+func (s *Solver) Degree() int { return s.degree }
+
+// SeedFor solves for a nonzero seed whose pattern expansion matches the
+// cube: values[j] at stream position positions[j]. ok is false when the
+// care bits are inconsistent with the LFSR's linear structure (more
+// independent constraints than seed bits, or an unlucky dependency) or
+// when only the zero seed satisfies them.
+func (s *Solver) SeedFor(positions []int, values []bool) (seed uint64, ok bool) {
+	if len(positions) != len(values) {
+		panic("reseed: positions and values length mismatch")
+	}
+	// Gaussian elimination over GF(2): rows are (mask, rhs).
+	type row struct {
+		mask uint64
+		rhs  bool
+	}
+	var sys []row
+	for j, pos := range positions {
+		if pos < 0 || pos >= len(s.rowOf) {
+			return 0, false
+		}
+		sys = append(sys, row{mask: s.rowOf[pos], rhs: values[j]})
+	}
+	pivotOf := make([]int, s.degree) // seed bit -> row index, -1 = free
+	for i := range pivotOf {
+		pivotOf[i] = -1
+	}
+	nextRow := 0
+	for col := s.degree - 1; col >= 0; col-- {
+		// Find a row at or below nextRow with this column set.
+		pivot := -1
+		for r := nextRow; r < len(sys); r++ {
+			if sys[r].mask>>uint(col)&1 == 1 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		sys[nextRow], sys[pivot] = sys[pivot], sys[nextRow]
+		for r := 0; r < len(sys); r++ {
+			if r != nextRow && sys[r].mask>>uint(col)&1 == 1 {
+				sys[r].mask ^= sys[nextRow].mask
+				sys[r].rhs = sys[r].rhs != sys[nextRow].rhs
+			}
+		}
+		pivotOf[col] = nextRow
+		nextRow++
+	}
+	// Inconsistency: a zero row demanding 1.
+	for r := nextRow; r < len(sys); r++ {
+		if sys[r].mask == 0 && sys[r].rhs {
+			return 0, false
+		}
+	}
+	// Back-substitute with free variables zero.
+	for col := 0; col < s.degree; col++ {
+		r := pivotOf[col]
+		if r < 0 {
+			continue
+		}
+		if sys[r].rhs {
+			seed |= 1 << uint(col)
+		}
+	}
+	if seed == 0 {
+		// The zero seed is a fixed point the hardware cannot use. Flip a
+		// free variable if one exists; otherwise the cube forces all-zero
+		// and is unreachable.
+		flipped := false
+		for col := 0; col < s.degree; col++ {
+			if pivotOf[col] < 0 {
+				seed |= 1 << uint(col)
+				flipped = true
+				break
+			}
+		}
+		if !flipped {
+			return 0, false
+		}
+		// The flipped free variable does not disturb any pivot equation:
+		// after full elimination each pivot row's mask covers its pivot
+		// column and free columns only, so re-solve pivots against it.
+		for col := 0; col < s.degree; col++ {
+			r := pivotOf[col]
+			if r < 0 {
+				continue
+			}
+			// pivot value = rhs XOR (free bits of the row AND seed).
+			v := sys[r].rhs
+			m := sys[r].mask &^ (1 << uint(col))
+			for b := m & seed; b != 0; b &= b - 1 {
+				v = !v
+			}
+			if v {
+				seed |= 1 << uint(col)
+			} else {
+				seed &^= 1 << uint(col)
+			}
+		}
+		if seed == 0 {
+			return 0, false
+		}
+	}
+	return seed, true
+}

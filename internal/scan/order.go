@@ -1,0 +1,165 @@
+package scan
+
+import (
+	"sort"
+
+	"repro/internal/circuit"
+)
+
+// StructuralOrder derives a scan order from circuit structure alone: cells
+// whose next-state logic is intertwined are placed adjacently, so fault
+// cones map to contiguous runs of the chain — the property interval-based
+// partitioning exploits. Use it when flip-flop declaration order carries no
+// locality (e.g. an alphabetically sorted netlist): the paper's technique
+// assumes scan stitching follows structure, and this is the stitching step.
+//
+// The heuristic builds a cell-affinity graph (cells i and j are affine when
+// flip-flop i's output cone captures into cell j) and chains cells greedily
+// by strongest affinity to the most recently placed cell.
+func StructuralOrder(c *circuit.Circuit) []int {
+	n := c.NumDFFs()
+	if n == 0 {
+		return nil
+	}
+	aff := make([]map[int]int, n)
+	for i := range aff {
+		aff[i] = make(map[int]int)
+	}
+	addEdge := func(i, j, w int) {
+		if i == j {
+			return
+		}
+		aff[i][j] += w
+		aff[j][i] += w
+	}
+	for i, q := range c.DFFs {
+		cells := c.ConeCells(q)
+		// Source-to-sink affinity: cell i feeds each capturing cell.
+		for _, j := range cells {
+			addEdge(i, j, 2)
+		}
+		// Sibling affinity: cells reading the same source belong together.
+		// Wide cones (hub-style control signals) carry no locality
+		// information and would connect everything to everything, so they
+		// are skipped.
+		if len(cells) <= 10 {
+			for a := 0; a < len(cells); a++ {
+				for b := a + 1; b < len(cells); b++ {
+					addEdge(cells[a], cells[b], 1)
+				}
+			}
+		}
+	}
+
+	// Greedy edge matching (the classic greedy TSP-path construction):
+	// process affinity edges strongest-first, joining two cells when both
+	// still have a free path end and the join creates no cycle. The result
+	// is a set of paths; concatenating them yields the order.
+	type edge struct{ w, i, j int }
+	var edges []edge
+	for i := range aff {
+		for j, w := range aff[i] {
+			if i < j {
+				edges = append(edges, edge{w, i, j})
+			}
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].w != edges[b].w {
+			return edges[a].w > edges[b].w
+		}
+		if edges[a].i != edges[b].i {
+			return edges[a].i < edges[b].i
+		}
+		return edges[a].j < edges[b].j
+	})
+
+	degree := make([]int, n)
+	links := make([][2]int, n) // up to two path neighbours per cell
+	for i := range links {
+		links[i] = [2]int{-1, -1}
+	}
+	parent := make([]int, n) // DSU over path components
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		if degree[e.i] >= 2 || degree[e.j] >= 2 {
+			continue
+		}
+		ri, rj := find(e.i), find(e.j)
+		if ri == rj {
+			continue // would close a cycle
+		}
+		parent[ri] = rj
+		links[e.i][degree[e.i]] = e.j
+		links[e.j][degree[e.j]] = e.i
+		degree[e.i]++
+		degree[e.j]++
+	}
+
+	// Walk each path from its lowest-index endpoint; isolated cells are
+	// paths of length one. Paths are emitted in order of their endpoint
+	// index for determinism.
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if visited[s] || degree[s] == 2 {
+			continue
+		}
+		prev := -1
+		cur := s
+		for cur >= 0 && !visited[cur] {
+			visited[cur] = true
+			order = append(order, cur)
+			next := -1
+			for _, nb := range links[cur] {
+				if nb >= 0 && nb != prev && !visited[nb] {
+					next = nb
+					break
+				}
+			}
+			prev, cur = cur, next
+		}
+	}
+	return order
+}
+
+// OrderLocality scores how well a scan order preserves structural
+// locality: the mean, over all flip-flop output cones with two or more
+// captured cells, of the cone's span in chain positions divided by its
+// cell count. 1.0 is perfect (every cone a contiguous run); large values
+// mean fragmentation.
+func OrderLocality(c *circuit.Circuit, order []int) float64 {
+	pos := make([]int, c.NumDFFs())
+	for p, cell := range order {
+		pos[cell] = p
+	}
+	sum, count := 0.0, 0
+	for _, q := range c.DFFs {
+		cells := c.ConeCells(q)
+		if len(cells) < 2 {
+			continue
+		}
+		positions := make([]int, len(cells))
+		for i, cell := range cells {
+			positions[i] = pos[cell]
+		}
+		sort.Ints(positions)
+		span := positions[len(positions)-1] - positions[0] + 1
+		sum += float64(span) / float64(len(cells))
+		count++
+	}
+	if count == 0 {
+		return 1
+	}
+	return sum / float64(count)
+}

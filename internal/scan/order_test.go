@@ -1,0 +1,75 @@
+package scan
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/benchgen"
+)
+
+func TestStructuralOrderIsPermutation(t *testing.T) {
+	c := benchgen.MustGenerate("s953")
+	order := StructuralOrder(c)
+	if len(order) != c.NumDFFs() {
+		t.Fatalf("order length %d", len(order))
+	}
+	sorted := append([]int(nil), order...)
+	sort.Ints(sorted)
+	for i, v := range sorted {
+		if v != i {
+			t.Fatalf("not a permutation at %d: %d", i, v)
+		}
+	}
+}
+
+func TestStructuralOrderDeterministic(t *testing.T) {
+	c := benchgen.MustGenerate("s953")
+	a := StructuralOrder(c)
+	b := StructuralOrder(c)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+// TestStructuralOrderRecoversLocality is the point of the exercise: the
+// derived order must score close to the (locality-built) natural order and
+// far better than a random permutation.
+func TestStructuralOrderRecoversLocality(t *testing.T) {
+	c := benchgen.MustGenerate("s5378")
+	natural := OrderLocality(c, NaturalOrder(c.NumDFFs()))
+	structural := OrderLocality(c, StructuralOrder(c))
+	random := OrderLocality(c, RandomOrder(c.NumDFFs(), 7))
+	t.Logf("locality: natural %.2f, structural %.2f, random %.2f", natural, structural, random)
+	// The greedy reconstruction cannot beat the generator's own layout, but
+	// it must land near it and far from a random stitch.
+	if structural > natural*1.6 {
+		t.Errorf("structural order locality %.2f far worse than natural %.2f", structural, natural)
+	}
+	if structural > random*0.65 {
+		t.Errorf("structural order %.2f not clearly better than random %.2f", structural, random)
+	}
+}
+
+func TestOrderLocalityBounds(t *testing.T) {
+	c := benchgen.MustGenerate("s953")
+	nat := OrderLocality(c, NaturalOrder(c.NumDFFs()))
+	if nat < 1 {
+		t.Errorf("locality %.3f below the 1.0 floor", nat)
+	}
+	// Reversal preserves locality exactly (spans are symmetric).
+	rev := OrderLocality(c, ReverseOrder(c.NumDFFs()))
+	if rev != nat {
+		t.Errorf("reverse order locality %.3f != natural %.3f", rev, nat)
+	}
+}
+
+func TestStructuralOrderEmptyCircuit(t *testing.T) {
+	// A circuit without flip-flops yields an empty order.
+	c := benchgen.MustGenerate("s27")
+	order := StructuralOrder(c)
+	if len(order) != 3 {
+		t.Fatalf("s27 order length %d", len(order))
+	}
+}

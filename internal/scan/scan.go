@@ -1,0 +1,150 @@
+// Package scan models the scan structure of a device under test: which
+// flip-flops form which scan chains and in what shift order. A single full
+// scan chain over a circuit's flip-flops is the paper's Sections 2–4
+// setting; multiple balanced chains model the W-bit TAM of Section 5. The
+// package is deliberately independent of circuits and SOCs: a "cell" is an
+// index into some universe (a circuit's flip-flops, or the union of all
+// cores' flip-flops), and higher layers define the mapping.
+package scan
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Chain is an ordered shift register of scan cells; Cells[0] is the cell
+// closest to the scan output (the first response bit shifted out).
+type Chain struct {
+	Cells []int
+}
+
+// Len returns the chain length.
+func (ch Chain) Len() int { return len(ch.Cells) }
+
+// Config is the complete scan structure of a device: one or more chains
+// partitioning a universe of NumCells cells.
+type Config struct {
+	NumCells int
+	Chains   []Chain
+}
+
+// SingleChain returns a one-chain configuration in natural cell order.
+func SingleChain(numCells int) Config {
+	return SingleChainOrdered(NaturalOrder(numCells))
+}
+
+// SingleChainOrdered returns a one-chain configuration with the given shift
+// order over cells 0..len(order)-1.
+func SingleChainOrdered(order []int) Config {
+	cells := make([]int, len(order))
+	copy(cells, order)
+	return Config{NumCells: len(order), Chains: []Chain{{Cells: cells}}}
+}
+
+// SplitContiguous deals the order into w chains of near-equal length,
+// keeping contiguous runs together (the balanced meta-chain construction of
+// the paper's Section 5: cores' cells are re-organized into w balanced meta
+// scan chains).
+func SplitContiguous(order []int, w int) (Config, error) {
+	if w < 1 {
+		return Config{}, fmt.Errorf("scan: chain count %d < 1", w)
+	}
+	if w > len(order) {
+		return Config{}, fmt.Errorf("scan: %d chains for %d cells", w, len(order))
+	}
+	cfg := Config{NumCells: len(order)}
+	n := len(order)
+	start := 0
+	for i := 0; i < w; i++ {
+		// Distribute the remainder one cell at a time so lengths differ by
+		// at most one.
+		size := n / w
+		if i < n%w {
+			size++
+		}
+		cells := make([]int, size)
+		copy(cells, order[start:start+size])
+		cfg.Chains = append(cfg.Chains, Chain{Cells: cells})
+		start += size
+	}
+	return cfg, nil
+}
+
+// NumChains returns the number of scan chains.
+func (cfg Config) NumChains() int { return len(cfg.Chains) }
+
+// MaxChainLength returns the longest chain length, which sets the shift
+// cycle count per pattern.
+func (cfg Config) MaxChainLength() int {
+	maxLen := 0
+	for _, ch := range cfg.Chains {
+		if ch.Len() > maxLen {
+			maxLen = ch.Len()
+		}
+	}
+	return maxLen
+}
+
+// Validate checks that every cell in [0, NumCells) appears in exactly one
+// chain position.
+func (cfg Config) Validate() error {
+	seen := make([]bool, cfg.NumCells)
+	total := 0
+	for ci, ch := range cfg.Chains {
+		for _, cell := range ch.Cells {
+			if cell < 0 || cell >= cfg.NumCells {
+				return fmt.Errorf("scan: chain %d holds out-of-range cell %d", ci, cell)
+			}
+			if seen[cell] {
+				return fmt.Errorf("scan: cell %d appears in more than one chain position", cell)
+			}
+			seen[cell] = true
+			total++
+		}
+	}
+	if total != cfg.NumCells {
+		return fmt.Errorf("scan: %d of %d cells are not in any chain", cfg.NumCells-total, cfg.NumCells)
+	}
+	return nil
+}
+
+// Position locates a cell, returning its chain index and position within
+// the chain, or ok=false if the cell is not scanned.
+func (cfg Config) Position(cell int) (chain, pos int, ok bool) {
+	for ci, ch := range cfg.Chains {
+		for pi, c := range ch.Cells {
+			if c == cell {
+				return ci, pi, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// NaturalOrder returns 0..n-1: flip-flop declaration order, which for the
+// generated benchmarks follows structural locality (the realistic case the
+// paper assumes).
+func NaturalOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// ReverseOrder returns n-1..0.
+func ReverseOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = n - 1 - i
+	}
+	return order
+}
+
+// RandomOrder returns a deterministic pseudorandom permutation of 0..n-1.
+// Scanning in random order destroys the correlation between structure and
+// chain position; it is the ablation that should erase interval-based
+// partitioning's advantage.
+func RandomOrder(n int, seed int64) []int {
+	return rand.New(rand.NewSource(seed)).Perm(n)
+}

@@ -1,0 +1,112 @@
+package scan
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestSingleChain(t *testing.T) {
+	cfg := SingleChain(5)
+	if cfg.NumChains() != 1 || cfg.MaxChainLength() != 5 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfg.Chains[0].Cells, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("cells = %v", cfg.Chains[0].Cells)
+	}
+}
+
+func TestSingleChainOrderedCopies(t *testing.T) {
+	order := []int{2, 0, 1}
+	cfg := SingleChainOrdered(order)
+	order[0] = 99
+	if cfg.Chains[0].Cells[0] != 2 {
+		t.Error("SingleChainOrdered shares caller's slice")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitContiguousBalanced(t *testing.T) {
+	cfg, err := SplitContiguous(NaturalOrder(10), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lens := []int{cfg.Chains[0].Len(), cfg.Chains[1].Len(), cfg.Chains[2].Len()}
+	if !reflect.DeepEqual(lens, []int{4, 3, 3}) {
+		t.Errorf("lengths = %v", lens)
+	}
+	// Contiguity: chain 0 holds 0..3.
+	if !reflect.DeepEqual(cfg.Chains[0].Cells, []int{0, 1, 2, 3}) {
+		t.Errorf("chain 0 = %v", cfg.Chains[0].Cells)
+	}
+}
+
+func TestSplitContiguousErrors(t *testing.T) {
+	if _, err := SplitContiguous(NaturalOrder(3), 0); err == nil {
+		t.Error("0 chains accepted")
+	}
+	if _, err := SplitContiguous(NaturalOrder(3), 4); err == nil {
+		t.Error("more chains than cells accepted")
+	}
+}
+
+func TestValidateCatchesDuplicates(t *testing.T) {
+	cfg := Config{NumCells: 3, Chains: []Chain{{Cells: []int{0, 1, 1}}}}
+	if err := cfg.Validate(); err == nil {
+		t.Error("duplicate cell accepted")
+	}
+	cfg2 := Config{NumCells: 3, Chains: []Chain{{Cells: []int{0, 1}}}}
+	if err := cfg2.Validate(); err == nil {
+		t.Error("missing cell accepted")
+	}
+	cfg3 := Config{NumCells: 3, Chains: []Chain{{Cells: []int{0, 1, 5}}}}
+	if err := cfg3.Validate(); err == nil {
+		t.Error("out-of-range cell accepted")
+	}
+}
+
+func TestPosition(t *testing.T) {
+	cfg, _ := SplitContiguous(NaturalOrder(10), 3)
+	chain, pos, ok := cfg.Position(5)
+	if !ok || chain != 1 || pos != 1 {
+		t.Errorf("Position(5) = %d,%d,%v", chain, pos, ok)
+	}
+	if _, _, ok := cfg.Position(42); ok {
+		t.Error("found non-existent cell")
+	}
+}
+
+func TestOrders(t *testing.T) {
+	if !reflect.DeepEqual(ReverseOrder(4), []int{3, 2, 1, 0}) {
+		t.Error("ReverseOrder wrong")
+	}
+	r1 := RandomOrder(50, 7)
+	r2 := RandomOrder(50, 7)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("RandomOrder not deterministic")
+	}
+	r3 := RandomOrder(50, 8)
+	if reflect.DeepEqual(r1, r3) {
+		t.Error("RandomOrder ignores seed")
+	}
+	sorted := append([]int(nil), r1...)
+	sort.Ints(sorted)
+	if !reflect.DeepEqual(sorted, NaturalOrder(50)) {
+		t.Error("RandomOrder is not a permutation")
+	}
+}
+
+func TestMaxChainLengthEmpty(t *testing.T) {
+	var cfg Config
+	if cfg.MaxChainLength() != 0 {
+		t.Error("empty config max length != 0")
+	}
+}

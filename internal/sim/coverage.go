@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Coverage summarises how effectively a pattern set detects a fault list:
+// the standard fault-coverage figure of merit for a BIST pattern source,
+// and the cumulative detection curve used to judge whether a session is
+// long enough.
+type Coverage struct {
+	Total    int
+	Detected int
+	// FirstDetection[i] is the index of the first pattern on which fault i
+	// produces a scan-cell error, or -1 if it never does.
+	FirstDetection []int
+	patterns       int
+}
+
+// MeasureCoverage fault-simulates every fault and records its first
+// detecting pattern.
+func MeasureCoverage(fs *FaultSim, faults []Fault) *Coverage {
+	cov := &Coverage{
+		Total:          len(faults),
+		FirstDetection: make([]int, len(faults)),
+		patterns:       fs.NumPatterns(),
+	}
+	for i, f := range faults {
+		cov.FirstDetection[i] = fs.firstDetection(f)
+		if cov.FirstDetection[i] >= 0 {
+			cov.Detected++
+		}
+	}
+	return cov
+}
+
+// firstDetection returns the first pattern index with a scan-cell error
+// for fault f, or -1.
+func (fs *FaultSim) firstDetection(f Fault) int {
+	base := 0
+	r := newResponse(fs.sim.c)
+	for bi, b := range fs.blocks {
+		fs.sim.Faulty(b, f, r)
+		good := fs.good[bi]
+		var anyErr uint64
+		for i := range good.Next {
+			anyErr |= (good.Next[i] ^ r.Next[i]) & b.Mask()
+		}
+		if anyErr != 0 {
+			return base + bits.TrailingZeros64(anyErr)
+		}
+		base += b.N
+	}
+	return -1
+}
+
+// Rate returns the detected fraction.
+func (c *Coverage) Rate() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.Detected) / float64(c.Total)
+}
+
+// CurveAt returns the fraction of faults detected within the first p
+// patterns.
+func (c *Coverage) CurveAt(p int) float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	n := 0
+	for _, fd := range c.FirstDetection {
+		if fd >= 0 && fd < p {
+			n++
+		}
+	}
+	return float64(n) / float64(c.Total)
+}
+
+func (c *Coverage) String() string {
+	return fmt.Sprintf("fault coverage %.1f%% (%d/%d over %d patterns)",
+		100*c.Rate(), c.Detected, c.Total, c.patterns)
+}

@@ -1,0 +1,181 @@
+// Package sim provides compiled, levelized, 64-way bit-parallel logic
+// simulation of circuit netlists with single stuck-at fault injection, plus
+// stuck-at fault list generation, equivalence collapsing, and deterministic
+// fault sampling. It is the engine behind every experiment: for each
+// injected fault it produces the exact set of scan cells that capture
+// errors, which the paper's diagnosis schemes then try to identify from
+// compacted signatures.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// Fault is a single stuck-at fault. Output (stem) faults set Gate to -1 and
+// affect every reader of Net; input (branch) faults name the reading gate
+// and pin and affect only that connection.
+type Fault struct {
+	Net   circuit.NetID // the faulty net
+	Gate  circuit.NetID // reading gate for a branch fault; -1 for a stem fault
+	Pin   int           // fan-in index within Gate; -1 for a stem fault
+	Stuck uint8         // stuck-at value, 0 or 1
+}
+
+// Stem reports whether f is an output (stem) fault.
+func (f Fault) Stem() bool { return f.Gate < 0 }
+
+// Describe renders the fault using net names from c.
+func (f Fault) Describe(c *circuit.Circuit) string {
+	if f.Stem() {
+		return fmt.Sprintf("%s s-a-%d", c.Nets[f.Net].Name, f.Stuck)
+	}
+	return fmt.Sprintf("%s->%s/%d s-a-%d", c.Nets[f.Net].Name, c.Nets[f.Gate].Name, f.Pin, f.Stuck)
+}
+
+// FullFaultList enumerates the uncollapsed single stuck-at faults of c:
+// two stem faults per net, and two branch faults per gate input whose
+// driving net has fan-out greater than one (with fan-out of one the branch
+// fault is identical to the stem fault and is omitted at generation time).
+func FullFaultList(c *circuit.Circuit) []Fault {
+	var faults []Fault
+	for id := range c.Nets {
+		for _, v := range []uint8{0, 1} {
+			faults = append(faults, Fault{Net: circuit.NetID(id), Gate: -1, Pin: -1, Stuck: v})
+		}
+	}
+	for id := range c.Nets {
+		n := &c.Nets[id]
+		for pin, src := range n.Fanin {
+			if len(c.Fanout(src)) <= 1 {
+				continue
+			}
+			for _, v := range []uint8{0, 1} {
+				faults = append(faults, Fault{Net: src, Gate: circuit.NetID(id), Pin: pin, Stuck: v})
+			}
+		}
+	}
+	return faults
+}
+
+// CollapseFaults reduces a fault list by structural equivalence: faults
+// guaranteed to produce identical behaviour on all inputs are merged, and
+// one representative per class is kept. The rules are the classical local
+// ones:
+//
+//   - BUF: input s-a-v ≡ output s-a-v; NOT: input s-a-v ≡ output s-a-(1−v)
+//   - AND: any input s-a-0 ≡ output s-a-0; NAND: any input s-a-0 ≡ output s-a-1
+//   - OR: any input s-a-1 ≡ output s-a-1; NOR: any input s-a-1 ≡ output s-a-0
+//
+// A gate-input equivalence applies to the branch fault when the driving net
+// fans out only to this gate (then the stem fault is the branch fault).
+//
+// Note that the classical DFF rule (input s-a-v ≡ output s-a-v) is *not*
+// applied: in a scan environment the D-input fault corrupts the value
+// captured and shifted out by that cell, while the Q-output fault only
+// corrupts downstream logic — observably different behaviours.
+func CollapseFaults(c *circuit.Circuit, faults []Fault) []Fault {
+	idx := make(map[Fault]int, len(faults))
+	for i, f := range faults {
+		idx[f] = i
+	}
+	parent := make([]int, len(faults))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b Fault) {
+		ia, oka := idx[a]
+		ib, okb := idx[b]
+		if !oka || !okb {
+			return
+		}
+		ra, rb := find(ia), find(ib)
+		if ra != rb {
+			// Prefer the earlier (stem) fault as representative.
+			if ra < rb {
+				parent[rb] = ra
+			} else {
+				parent[ra] = rb
+			}
+		}
+	}
+
+	// inputFault returns the fault on pin `pin` of gate g: the branch fault
+	// if the driver fans out, otherwise the driver's stem fault.
+	inputFault := func(g circuit.NetID, pin int, v uint8) Fault {
+		src := c.Nets[g].Fanin[pin]
+		if len(c.Fanout(src)) > 1 {
+			return Fault{Net: src, Gate: g, Pin: pin, Stuck: v}
+		}
+		return Fault{Net: src, Gate: -1, Pin: -1, Stuck: v}
+	}
+
+	for id := range c.Nets {
+		g := circuit.NetID(id)
+		n := &c.Nets[id]
+		out := func(v uint8) Fault { return Fault{Net: g, Gate: -1, Pin: -1, Stuck: v} }
+		switch n.Op {
+		case logic.OpBuf:
+			union(inputFault(g, 0, 0), out(0))
+			union(inputFault(g, 0, 1), out(1))
+		case logic.OpNot:
+			union(inputFault(g, 0, 0), out(1))
+			union(inputFault(g, 0, 1), out(0))
+		case logic.OpAnd:
+			for pin := range n.Fanin {
+				union(inputFault(g, pin, 0), out(0))
+			}
+		case logic.OpNand:
+			for pin := range n.Fanin {
+				union(inputFault(g, pin, 0), out(1))
+			}
+		case logic.OpOr:
+			for pin := range n.Fanin {
+				union(inputFault(g, pin, 1), out(1))
+			}
+		case logic.OpNor:
+			for pin := range n.Fanin {
+				union(inputFault(g, pin, 1), out(0))
+			}
+		}
+	}
+
+	var out []Fault
+	for i, f := range faults {
+		if find(i) == i {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// SampleFaults deterministically samples up to n faults without
+// replacement. With n >= len(faults) a copy of the full list is returned.
+// Sampling is order-stable for a fixed seed regardless of platform.
+func SampleFaults(faults []Fault, n int, seed int64) []Fault {
+	if n >= len(faults) {
+		out := make([]Fault, len(faults))
+		copy(out, faults)
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(faults))[:n]
+	sort.Ints(perm)
+	out := make([]Fault, n)
+	for i, p := range perm {
+		out[i] = faults[p]
+	}
+	return out
+}

@@ -1,0 +1,381 @@
+// Package soc models a core-based system-on-chip tested through a
+// TestRail-style daisy-chain test access mechanism (TAM), the paper's
+// Section 5 setting: the internal scan chains of the embedded cores are
+// threaded into meta scan chains on the SOC, patterns are transported to
+// all cores in a single test session, and a spot defect confines failing
+// scan cells to one core's contiguous segment of the meta chain.
+//
+// Cells live in a global index space: core i's flip-flop j is global cell
+// offset(i)+j. A TAM configuration is expressed as a scan.Config over the
+// global cells, either one meta chain threading all cores in daisy order or
+// W balanced meta chains (the paper's 8-bit TAM).
+package soc
+
+import (
+	"fmt"
+
+	"repro/internal/benchgen"
+	"repro/internal/bitset"
+	"repro/internal/circuit"
+	"repro/internal/lfsr"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+// Core is an embedded core: a named netlist.
+type Core struct {
+	Name    string
+	Circuit *circuit.Circuit
+}
+
+// SOC is an ordered set of cores; the order is the daisy-chain (TestRail)
+// order in which meta chains thread through them.
+type SOC struct {
+	Name    string
+	Cores   []*Core
+	offsets []int // global cell offset per core
+	total   int
+}
+
+// New assembles an SOC from cores in daisy-chain order.
+func New(name string, cores ...*Core) (*SOC, error) {
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("soc %s: no cores", name)
+	}
+	s := &SOC{Name: name, Cores: cores}
+	for _, c := range cores {
+		if c.Circuit == nil {
+			return nil, fmt.Errorf("soc %s: core %s has no netlist", name, c.Name)
+		}
+		s.offsets = append(s.offsets, s.total)
+		s.total += c.Circuit.NumDFFs()
+	}
+	return s, nil
+}
+
+// NumCells returns the total scan cell count across cores.
+func (s *SOC) NumCells() int { return s.total }
+
+// NumCores returns the core count.
+func (s *SOC) NumCores() int { return len(s.Cores) }
+
+// CellRange returns the global cell interval [lo, hi) of core i.
+func (s *SOC) CellRange(i int) (lo, hi int) {
+	lo = s.offsets[i]
+	hi = lo + s.Cores[i].Circuit.NumDFFs()
+	return lo, hi
+}
+
+// CoreOfCell returns the index of the core owning a global cell.
+func (s *SOC) CoreOfCell(cell int) (int, error) {
+	if cell < 0 || cell >= s.total {
+		return 0, fmt.Errorf("soc %s: cell %d outside [0,%d)", s.Name, cell, s.total)
+	}
+	for i := range s.Cores {
+		if lo, hi := s.CellRange(i); cell >= lo && cell < hi {
+			return i, nil
+		}
+	}
+	panic("unreachable: offsets cover the full range")
+}
+
+// CoreByName finds a core index by name.
+func (s *SOC) CoreByName(name string) (int, bool) {
+	for i, c := range s.Cores {
+		if c.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// SingleMetaChain returns the one-chain TAM: a single meta scan chain
+// threading every core's internal chain in daisy order.
+func (s *SOC) SingleMetaChain() scan.Config {
+	return scan.SingleChain(s.total)
+}
+
+// MetaChains returns the W-chain TAM: the daisy-order cell sequence is
+// re-organised into w balanced meta scan chains (contiguous runs, so each
+// chain still visits the cores in daisy order).
+func (s *SOC) MetaChains(w int) (scan.Config, error) {
+	return scan.SplitContiguous(scan.NaturalOrder(s.total), w)
+}
+
+// Bypass returns the SOC view after by-passing the given cores (the
+// TestRail removes a core from the meta chains when it runs out of test
+// patterns). The returned SOC has its own, denser global cell space.
+func (s *SOC) Bypass(bypassed ...int) (*SOC, error) {
+	skip := make(map[int]bool, len(bypassed))
+	for _, i := range bypassed {
+		if i < 0 || i >= len(s.Cores) {
+			return nil, fmt.Errorf("soc %s: bypass of nonexistent core %d", s.Name, i)
+		}
+		skip[i] = true
+	}
+	var kept []*Core
+	for i, c := range s.Cores {
+		if !skip[i] {
+			kept = append(kept, c)
+		}
+	}
+	return New(s.Name+"-bypassed", kept...)
+}
+
+// Phase is one stage of a daisy-chain test schedule: the cores still on
+// the TestRail, the patterns applied during the stage, and the resulting
+// meta-chain length.
+type Phase struct {
+	ActiveCores []int
+	Patterns    int
+	ChainLen    int
+}
+
+// Clocks returns the shift clocks the phase takes on a single meta chain.
+func (p Phase) Clocks() int64 { return int64(p.Patterns) * int64(p.ChainLen) }
+
+// Schedule computes the TestRail session plan of the paper's Section 5:
+// all cores are tested together until the core with the smallest pattern
+// budget runs out; that core is by-passed (shortening the meta chain) and
+// the process repeats until every budget is exhausted. budgets[i] is the
+// number of patterns core i needs.
+func (s *SOC) Schedule(budgets []int) ([]Phase, error) {
+	if len(budgets) != len(s.Cores) {
+		return nil, fmt.Errorf("soc %s: %d budgets for %d cores", s.Name, len(budgets), len(s.Cores))
+	}
+	remaining := make([]int, len(budgets))
+	copy(remaining, budgets)
+	var phases []Phase
+	applied := 0
+	for {
+		var active []int
+		minLeft := 0
+		chainLen := 0
+		for i, r := range remaining {
+			if r <= 0 {
+				continue
+			}
+			active = append(active, i)
+			chainLen += s.Cores[i].Circuit.NumDFFs()
+			if minLeft == 0 || r < minLeft {
+				minLeft = r
+			}
+		}
+		if len(active) == 0 {
+			return phases, nil
+		}
+		phases = append(phases, Phase{ActiveCores: active, Patterns: minLeft, ChainLen: chainLen})
+		applied += minLeft
+		for _, i := range active {
+			remaining[i] -= minLeft
+		}
+	}
+}
+
+// ScheduleClocks sums a schedule's shift clocks.
+func ScheduleClocks(phases []Phase) int64 {
+	var total int64
+	for _, p := range phases {
+		total += p.Clocks()
+	}
+	return total
+}
+
+// SOC1 is the paper's first crafted SOC: the six largest ISCAS-89 circuits
+// stitched together with a single meta scan chain threaded through their
+// internal chains.
+func SOC1() (*SOC, error) {
+	return fromProfiles("soc1", benchgen.SixLargest())
+}
+
+// SOC2 is the paper's second SOC, a variant of d695 from the ITC'02 SOC
+// Test benchmarks restricted to its full-scan ISCAS-89 modules, tested over
+// an 8-bit-wide TAM (Figure 4's daisy order).
+func SOC2() (*SOC, error) {
+	return fromProfiles("d695ish", []string{
+		"s838", "s9234", "s5378", "s38584", "s13207", "s38417", "s35932", "s15850",
+	})
+}
+
+func fromProfiles(name string, profiles []string) (*SOC, error) {
+	var cores []*Core
+	for _, p := range profiles {
+		prof, ok := benchgen.ProfileByName(p)
+		if !ok {
+			return nil, fmt.Errorf("soc %s: unknown profile %s", name, p)
+		}
+		c, err := benchgen.Generate(prof)
+		if err != nil {
+			return nil, err
+		}
+		cores = append(cores, &Core{Name: p, Circuit: c})
+	}
+	return New(name, cores...)
+}
+
+// GeneratePatterns expands nPatterns pseudorandom patterns from a single
+// shared PRPG for every core: per pattern, the PRPG first fills all scan
+// cells in daisy order (as the TestRail would shift them through the meta
+// chain) and then every core's primary inputs in core order. It returns one
+// block list per core, aligned pattern-for-pattern.
+func (s *SOC) GeneratePatterns(prpg *lfsr.LFSR, nPatterns int) [][]*sim.Block {
+	perCore := make([][]*sim.Block, len(s.Cores))
+	for done := 0; done < nPatterns; done += 64 {
+		n := nPatterns - done
+		if n > 64 {
+			n = 64
+		}
+		blocks := make([]*sim.Block, len(s.Cores))
+		for i, c := range s.Cores {
+			blocks[i] = &sim.Block{
+				N:     n,
+				PI:    make([]uint64, c.Circuit.NumInputs()),
+				State: make([]uint64, c.Circuit.NumDFFs()),
+			}
+		}
+		for j := 0; j < n; j++ {
+			for i := range s.Cores {
+				for cell := range blocks[i].State {
+					blocks[i].State[cell] |= prpg.Step() << uint(j)
+				}
+			}
+			for i := range s.Cores {
+				for pi := range blocks[i].PI {
+					blocks[i].PI[pi] |= prpg.Step() << uint(j)
+				}
+			}
+		}
+		for i := range s.Cores {
+			perCore[i] = append(perCore[i], blocks[i])
+		}
+	}
+	return perCore
+}
+
+// FaultSim runs fault simulation at SOC scope: a fault lives in one core,
+// every other core responds fault-free, and responses are assembled into
+// the global cell space for the BIST engine.
+type FaultSim struct {
+	soc      *SOC
+	sims     []*sim.FaultSim
+	patterns [][]*sim.Block
+	good     []*sim.Response // global good responses per block
+	shape    []*sim.Block    // global-shaped blocks (N only) for the engine
+}
+
+// NewFaultSim simulates all cores' fault-free machines over the pattern
+// set.
+func NewFaultSim(s *SOC, patterns [][]*sim.Block) (*FaultSim, error) {
+	if len(patterns) != len(s.Cores) {
+		return nil, fmt.Errorf("soc %s: %d pattern lists for %d cores", s.Name, len(patterns), len(s.Cores))
+	}
+	fs := &FaultSim{soc: s, patterns: patterns}
+	for i, c := range s.Cores {
+		fs.sims = append(fs.sims, sim.NewFaultSim(c.Circuit, patterns[i]))
+	}
+	nBlocks := len(patterns[0])
+	for bi := 0; bi < nBlocks; bi++ {
+		g := &sim.Response{Next: make([]uint64, s.total)}
+		for i := range s.Cores {
+			lo, _ := s.CellRange(i)
+			copy(g.Next[lo:], fs.sims[i].Good(bi).Next)
+		}
+		fs.good = append(fs.good, g)
+		fs.shape = append(fs.shape, &sim.Block{N: patterns[0][bi].N})
+	}
+	return fs, nil
+}
+
+// SOC returns the simulated system.
+func (fs *FaultSim) SOC() *SOC { return fs.soc }
+
+// Fork returns a FaultSim sharing the pattern set and cached fault-free
+// responses (read-only) with per-core scratch simulators of its own, for
+// concurrent fault injection — one Fork per goroutine.
+func (fs *FaultSim) Fork() *FaultSim {
+	forked := &FaultSim{
+		soc:      fs.soc,
+		patterns: fs.patterns,
+		good:     fs.good,
+		shape:    fs.shape,
+	}
+	for _, s := range fs.sims {
+		forked.sims = append(forked.sims, s.Fork())
+	}
+	return forked
+}
+
+// Good returns the global fault-free responses per block.
+func (fs *FaultSim) Good() []*sim.Response { return fs.good }
+
+// Blocks returns global-shaped blocks (pattern counts only) suitable for
+// bist.Engine.Verdicts.
+func (fs *FaultSim) Blocks() []*sim.Block { return fs.shape }
+
+// NumPatterns returns the pattern count.
+func (fs *FaultSim) NumPatterns() int {
+	n := 0
+	for _, b := range fs.shape {
+		n += b.N
+	}
+	return n
+}
+
+// CoreFaults returns the collapsed stuck-at fault list of core i.
+func (fs *FaultSim) CoreFaults(i int) []sim.Fault {
+	c := fs.soc.Cores[i].Circuit
+	return sim.CollapseFaults(c, sim.FullFaultList(c))
+}
+
+// Result is the SOC-scope outcome of one core fault.
+type Result struct {
+	Core         int
+	Fault        sim.Fault
+	FailingCells *bitset.Set     // global cell indices
+	Faulty       []*sim.Response // global responses per block
+}
+
+// Detected reports whether any scan cell captured an error.
+func (r *Result) Detected() bool { return !r.FailingCells.Empty() }
+
+// Run injects fault f into core i and assembles the global responses:
+// the faulty core's captured values replace its segment, every other
+// segment stays fault-free.
+func (fs *FaultSim) Run(core int, f sim.Fault) *Result {
+	return fs.RunMulti(map[int]sim.Fault{core: f})
+}
+
+// RunMulti injects one fault into each of several cores simultaneously —
+// the multi-faulty-core variant of the paper's Figure 2 scenario: each
+// defective core contributes its own clustered failing segment to the meta
+// chain. The Result's Core and Fault fields describe the lowest-indexed
+// faulty core.
+func (fs *FaultSim) RunMulti(coreFaults map[int]sim.Fault) *Result {
+	if len(coreFaults) == 0 {
+		panic("soc: RunMulti with no faults")
+	}
+	out := &Result{Core: -1, FailingCells: bitset.New(fs.soc.total)}
+	for bi := range fs.good {
+		r := &sim.Response{Next: make([]uint64, fs.soc.total)}
+		copy(r.Next, fs.good[bi].Next)
+		out.Faulty = append(out.Faulty, r)
+	}
+	for core := 0; core < len(fs.soc.Cores); core++ {
+		f, ok := coreFaults[core]
+		if !ok {
+			continue
+		}
+		if out.Core < 0 {
+			out.Core, out.Fault = core, f
+		}
+		res := fs.sims[core].Run(f)
+		lo, _ := fs.soc.CellRange(core)
+		for _, cell := range res.FailingCells.Elems() {
+			out.FailingCells.Add(lo + cell)
+		}
+		for bi := range out.Faulty {
+			copy(out.Faulty[bi].Next[lo:], res.Faulty[bi].Next)
+		}
+	}
+	return out
+}

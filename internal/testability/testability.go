@@ -1,0 +1,198 @@
+// Package testability computes the SCOAP (Sandia Controllability /
+// Observability Analysis Program) measures of a full-scan netlist:
+// CC0/CC1 estimate how many circuit nodes must be set to drive a net to
+// 0/1, and CO how many to propagate the net's value to an observable point
+// (a primary output or a scan cell's D input). The measures guide ATPG
+// decision-making — PODEM backtraces toward the cheapest controlling
+// input and advances the cheapest-to-observe D-frontier — and identify
+// random-resistant regions for weighted-pattern selection.
+package testability
+
+import (
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// Saturation bound: costs accumulate but never overflow.
+const maxCost = 1 << 28
+
+// Measures holds the SCOAP values per net.
+type Measures struct {
+	CC0 []int32 // cost of setting the net to 0
+	CC1 []int32 // cost of setting the net to 1
+	CO  []int32 // cost of observing the net
+}
+
+func sat(v int64) int32 {
+	if v > maxCost {
+		return maxCost
+	}
+	return int32(v)
+}
+
+// Compute derives the measures for the full-scan view of c: primary inputs
+// and scan-cell outputs are directly controllable (cost 1), primary
+// outputs and scan-cell D inputs directly observable (cost 0).
+func Compute(c *circuit.Circuit) *Measures {
+	n := c.NumNets()
+	m := &Measures{
+		CC0: make([]int32, n),
+		CC1: make([]int32, n),
+		CO:  make([]int32, n),
+	}
+	for i := range m.CO {
+		m.CO[i] = maxCost
+	}
+	for _, id := range c.Inputs {
+		m.CC0[id], m.CC1[id] = 1, 1
+	}
+	for _, id := range c.DFFs {
+		m.CC0[id], m.CC1[id] = 1, 1
+	}
+	// Controllability: forward over the topological order.
+	for _, id := range c.TopoOrder() {
+		net := &c.Nets[id]
+		m.CC0[id], m.CC1[id] = gateCC(m, net)
+	}
+	// Observability: primary outputs and D inputs are observation points.
+	for _, id := range c.Outputs {
+		m.CO[id] = 0
+	}
+	for _, id := range c.DFFs {
+		d := c.Nets[id].Fanin[0]
+		m.CO[d] = 0
+	}
+	// Backward over the reversed topological order; a net's CO is the
+	// cheapest of its fanout branches.
+	topo := c.TopoOrder()
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		net := &c.Nets[id]
+		for k, src := range net.Fanin {
+			if co := branchCO(m, net, int32(mCO(m, id)), k); co < m.CO[src] {
+				m.CO[src] = co
+			}
+		}
+	}
+	return m
+}
+
+func mCO(m *Measures, id circuit.NetID) int32 { return m.CO[id] }
+
+// gateCC computes (CC0, CC1) for a gate from its fan-in measures.
+func gateCC(m *Measures, net *circuit.Net) (cc0, cc1 int32) {
+	in := net.Fanin
+	sum := func(pick func(circuit.NetID) int32) int64 {
+		var s int64 = 1
+		for _, f := range in {
+			s += int64(pick(f))
+		}
+		return s
+	}
+	minOf := func(pick func(circuit.NetID) int32) int64 {
+		best := int64(maxCost)
+		for _, f := range in {
+			if v := int64(pick(f)); v < best {
+				best = v
+			}
+		}
+		return best + 1
+	}
+	cc0of := func(f circuit.NetID) int32 { return m.CC0[f] }
+	cc1of := func(f circuit.NetID) int32 { return m.CC1[f] }
+
+	switch net.Op {
+	case logic.OpBuf:
+		return sat(int64(m.CC0[in[0]]) + 1), sat(int64(m.CC1[in[0]]) + 1)
+	case logic.OpNot:
+		return sat(int64(m.CC1[in[0]]) + 1), sat(int64(m.CC0[in[0]]) + 1)
+	case logic.OpAnd:
+		return sat(minOf(cc0of)), sat(sum(cc1of))
+	case logic.OpNand:
+		return sat(sum(cc1of)), sat(minOf(cc0of))
+	case logic.OpOr:
+		return sat(sum(cc0of)), sat(minOf(cc1of))
+	case logic.OpNor:
+		return sat(minOf(cc1of)), sat(sum(cc0of))
+	case logic.OpXor, logic.OpXnor:
+		// Fold pairwise: cost of parity p over inputs.
+		c0, c1 := int64(m.CC0[in[0]]), int64(m.CC1[in[0]])
+		for _, f := range in[1:] {
+			f0, f1 := int64(m.CC0[f]), int64(m.CC1[f])
+			nc0 := min64(c0+f0, c1+f1)
+			nc1 := min64(c0+f1, c1+f0)
+			c0, c1 = nc0, nc1
+		}
+		if net.Op == logic.OpXnor {
+			c0, c1 = c1, c0
+		}
+		return sat(c0 + 1), sat(c1 + 1)
+	case logic.OpConst0:
+		return 0, maxCost
+	case logic.OpConst1:
+		return maxCost, 0
+	}
+	return maxCost, maxCost
+}
+
+// branchCO computes the observability of fan-in k through its gate: the
+// gate's own observability plus the cost of making every other input
+// non-controlling (AND/OR families) or known (XOR family).
+func branchCO(m *Measures, net *circuit.Net, outCO int32, k int) int32 {
+	if outCO >= maxCost {
+		return maxCost
+	}
+	cost := int64(outCO) + 1
+	for i, f := range net.Fanin {
+		if i == k {
+			continue
+		}
+		switch net.Op {
+		case logic.OpAnd, logic.OpNand:
+			cost += int64(m.CC1[f])
+		case logic.OpOr, logic.OpNor:
+			cost += int64(m.CC0[f])
+		case logic.OpXor, logic.OpXnor:
+			cost += min64(int64(m.CC0[f]), int64(m.CC1[f]))
+		}
+	}
+	return sat(cost)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Hardest returns the k nets with the highest combined testability cost
+// (min(CC0,CC1) + CO), the candidates for test points or weighted
+// patterns.
+func (m *Measures) Hardest(c *circuit.Circuit, k int) []circuit.NetID {
+	type scored struct {
+		id   circuit.NetID
+		cost int64
+	}
+	var all []scored
+	for id := range c.Nets {
+		cc := min64(int64(m.CC0[id]), int64(m.CC1[id]))
+		all = append(all, scored{circuit.NetID(id), cc + int64(m.CO[id])})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].cost != all[j].cost {
+			return all[i].cost > all[j].cost
+		}
+		return all[i].id < all[j].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]circuit.NetID, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].id
+	}
+	return out
+}

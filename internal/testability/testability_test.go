@@ -1,0 +1,157 @@
+package testability
+
+import (
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// buildKnown constructs a circuit whose SCOAP values are computable by
+// hand:
+//
+//	a, b, c inputs; q = DFF(d)
+//	w = AND(a, b)      CC0 = min(1,1)+1 = 2, CC1 = 1+1+1 = 3
+//	d = OR(w, c)       CC0 = 2+1+1 = 4,   CC1 = min(3,1)+1 = 2
+//	z = NOT(w)         CC0 = 3+1 = 4,     CC1 = 2+1 = 3   (z is a PO)
+func buildKnown(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder("known")
+	b.Input("a").Input("b").Input("c").Output("z")
+	b.DFF("q", "d")
+	b.Gate("w", logic.OpAnd, "a", "b")
+	b.Gate("d", logic.OpOr, "w", "c")
+	b.Gate("z", logic.OpNot, "w")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestControllabilityHandComputed(t *testing.T) {
+	c := buildKnown(t)
+	m := Compute(c)
+	get := func(name string) (int32, int32) {
+		id, ok := c.NetByName(name)
+		if !ok {
+			t.Fatalf("net %s missing", name)
+		}
+		return m.CC0[id], m.CC1[id]
+	}
+	for _, tc := range []struct {
+		net      string
+		cc0, cc1 int32
+	}{
+		{"a", 1, 1}, {"q", 1, 1},
+		{"w", 2, 3},
+		{"d", 4, 2},
+		{"z", 4, 3},
+	} {
+		cc0, cc1 := get(tc.net)
+		if cc0 != tc.cc0 || cc1 != tc.cc1 {
+			t.Errorf("%s: CC0/CC1 = %d/%d, want %d/%d", tc.net, cc0, cc1, tc.cc0, tc.cc1)
+		}
+	}
+}
+
+func TestObservabilityHandComputed(t *testing.T) {
+	c := buildKnown(t)
+	m := Compute(c)
+	get := func(name string) int32 {
+		id, _ := c.NetByName(name)
+		return m.CO[id]
+	}
+	// z is a PO: CO = 0. d is a DFF D input: CO = 0.
+	if get("z") != 0 || get("d") != 0 {
+		t.Errorf("observation points: z=%d d=%d, want 0/0", get("z"), get("d"))
+	}
+	// w observes through z (CO 0+1=1) or through d's OR (0+CC0(c)+1=2): min 1.
+	if get("w") != 1 {
+		t.Errorf("CO(w) = %d, want 1", get("w"))
+	}
+	// c observes through d: 0 + CC0(w) + 1 = 3.
+	if get("c") != 3 {
+		t.Errorf("CO(c) = %d, want 3", get("c"))
+	}
+	// a observes through w: CO(w) + CC1(b) + 1 = 3.
+	if get("a") != 3 {
+		t.Errorf("CO(a) = %d, want 3", get("a"))
+	}
+}
+
+func TestXORControllability(t *testing.T) {
+	b := circuit.NewBuilder("xor")
+	b.Input("a").Input("b").Output("z")
+	b.Gate("z", logic.OpXor, "a", "b")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Compute(c)
+	z, _ := c.NetByName("z")
+	// CC1 = min(1+1, 1+1)+1 = 3, CC0 likewise.
+	if m.CC0[z] != 3 || m.CC1[z] != 3 {
+		t.Errorf("XOR CC = %d/%d, want 3/3", m.CC0[z], m.CC1[z])
+	}
+}
+
+func TestMonotoneWithDepth(t *testing.T) {
+	// Deeper logic must never be easier to control than its own inputs'
+	// minimum (every gate adds at least 1).
+	c := benchgen.MustGenerate("s953")
+	m := Compute(c)
+	for _, id := range c.TopoOrder() {
+		n := c.Nets[id]
+		minIn := int32(1 << 30)
+		for _, f := range n.Fanin {
+			if v := min32(m.CC0[f], m.CC1[f]); v < minIn {
+				minIn = v
+			}
+		}
+		if out := min32(m.CC0[id], m.CC1[id]); out <= minIn && len(n.Fanin) > 0 && out < maxCost {
+			t.Fatalf("gate %s controllability %d not above its easiest input %d", n.Name, out, minIn)
+		}
+	}
+}
+
+func TestEveryNetObservable(t *testing.T) {
+	// The generator produces no dead logic, so every net must have a
+	// finite observability.
+	c := benchgen.MustGenerate("s953")
+	m := Compute(c)
+	for id := range c.Nets {
+		if m.CO[id] >= maxCost {
+			t.Errorf("net %s unobservable", c.Nets[id].Name)
+		}
+	}
+}
+
+func TestHardestReturnsSortedWorst(t *testing.T) {
+	c := benchgen.MustGenerate("s953")
+	m := Compute(c)
+	hard := m.Hardest(c, 10)
+	if len(hard) != 10 {
+		t.Fatalf("got %d nets", len(hard))
+	}
+	cost := func(id circuit.NetID) int64 {
+		return int64(min32(m.CC0[id], m.CC1[id])) + int64(m.CO[id])
+	}
+	for i := 1; i < len(hard); i++ {
+		if cost(hard[i]) > cost(hard[i-1]) {
+			t.Errorf("Hardest not sorted at %d", i)
+		}
+	}
+	// Oversized k clips.
+	if len(m.Hardest(c, 1<<20)) != c.NumNets() {
+		t.Error("oversized k not clipped")
+	}
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}

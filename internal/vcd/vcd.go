@@ -1,0 +1,178 @@
+// Package vcd writes Value Change Dump (IEEE 1364) waveform files, the
+// lingua franca of logic-level debug: the full hardware models in this
+// repository can dump their scan/MISR activity for inspection in GTKWave
+// or any other waveform viewer.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// VarID identifies a declared signal.
+type VarID int
+
+// Writer emits a VCD file: declare variables, call Begin, then Set values
+// and advance time with At.
+type Writer struct {
+	w     *bufio.Writer
+	scale string
+
+	names   []string
+	widths  []int
+	scopes  []string
+	current []uint64
+	valid   []bool
+
+	began   bool
+	time    uint64
+	pending map[VarID]uint64
+	err     error
+}
+
+// NewWriter builds a Writer with the given timescale (e.g. "1ns").
+func NewWriter(w io.Writer, timescale string) *Writer {
+	return &Writer{
+		w:       bufio.NewWriter(w),
+		scale:   timescale,
+		pending: make(map[VarID]uint64),
+	}
+}
+
+// Declare registers a signal of the given bit width under a scope
+// (a module path; empty means top). Must precede Begin.
+func (vw *Writer) Declare(scope, name string, width int) (VarID, error) {
+	if vw.began {
+		return 0, fmt.Errorf("vcd: Declare after Begin")
+	}
+	if width < 1 || width > 64 {
+		return 0, fmt.Errorf("vcd: width %d outside [1,64]", width)
+	}
+	if name == "" {
+		return 0, fmt.Errorf("vcd: empty signal name")
+	}
+	if scope == "" {
+		scope = "top"
+	}
+	id := VarID(len(vw.names))
+	vw.names = append(vw.names, name)
+	vw.widths = append(vw.widths, width)
+	vw.scopes = append(vw.scopes, scope)
+	vw.current = append(vw.current, 0)
+	vw.valid = append(vw.valid, false)
+	return id, nil
+}
+
+// ident derives the short VCD identifier of a variable.
+func ident(id VarID) string {
+	// Base-94 over the printable range '!'..'~'.
+	n := int(id)
+	s := ""
+	for {
+		s += string(rune('!' + n%94))
+		n /= 94
+		if n == 0 {
+			return s
+		}
+	}
+}
+
+// Begin writes the header. Call after all Declares.
+func (vw *Writer) Begin() error {
+	if vw.began {
+		return fmt.Errorf("vcd: Begin called twice")
+	}
+	vw.began = true
+	fmt.Fprintf(vw.w, "$date %s $end\n", time.Unix(0, 0).UTC().Format("2006-01-02"))
+	fmt.Fprintf(vw.w, "$version scanbist vcd writer $end\n")
+	fmt.Fprintf(vw.w, "$timescale %s $end\n", vw.scale)
+	// Group variables by scope, scopes in first-seen order.
+	order := []string{}
+	seen := map[string]bool{}
+	for _, s := range vw.scopes {
+		if !seen[s] {
+			seen[s] = true
+			order = append(order, s)
+		}
+	}
+	for _, scope := range order {
+		fmt.Fprintf(vw.w, "$scope module %s $end\n", scope)
+		var ids []int
+		for i, s := range vw.scopes {
+			if s == scope {
+				ids = append(ids, i)
+			}
+		}
+		sort.Ints(ids)
+		for _, i := range ids {
+			fmt.Fprintf(vw.w, "$var wire %d %s %s $end\n", vw.widths[i], ident(VarID(i)), vw.names[i])
+		}
+		fmt.Fprintf(vw.w, "$upscope $end\n")
+	}
+	fmt.Fprintf(vw.w, "$enddefinitions $end\n")
+	return nil
+}
+
+// Set records a new value for a signal; it is emitted at the next At (or
+// immediately for the current time if At was already called this step).
+func (vw *Writer) Set(id VarID, value uint64) {
+	if int(id) < 0 || int(id) >= len(vw.names) {
+		vw.err = fmt.Errorf("vcd: unknown var %d", id)
+		return
+	}
+	if vw.widths[id] < 64 {
+		value &= 1<<uint(vw.widths[id]) - 1
+	}
+	vw.pending[id] = value
+}
+
+// At advances simulation time and flushes pending changes. Times must be
+// non-decreasing.
+func (vw *Writer) At(t uint64) error {
+	if !vw.began {
+		return fmt.Errorf("vcd: At before Begin")
+	}
+	if vw.err != nil {
+		return vw.err
+	}
+	if t < vw.time {
+		return fmt.Errorf("vcd: time going backwards (%d after %d)", t, vw.time)
+	}
+	// Emit only real changes, in deterministic order.
+	var changed []VarID
+	for id, v := range vw.pending {
+		if !vw.valid[id] || vw.current[id] != v {
+			changed = append(changed, id)
+		}
+	}
+	if len(changed) == 0 {
+		vw.pending = map[VarID]uint64{}
+		return nil
+	}
+	sort.Slice(changed, func(i, j int) bool { return changed[i] < changed[j] })
+	fmt.Fprintf(vw.w, "#%d\n", t)
+	vw.time = t
+	for _, id := range changed {
+		v := vw.pending[id]
+		vw.current[id] = v
+		vw.valid[id] = true
+		if vw.widths[id] == 1 {
+			fmt.Fprintf(vw.w, "%d%s\n", v&1, ident(id))
+		} else {
+			fmt.Fprintf(vw.w, "b%b %s\n", v, ident(id))
+		}
+	}
+	vw.pending = map[VarID]uint64{}
+	return nil
+}
+
+// Close flushes the file.
+func (vw *Writer) Close() error {
+	if vw.err != nil {
+		return vw.err
+	}
+	return vw.w.Flush()
+}

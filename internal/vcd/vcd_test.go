@@ -1,0 +1,128 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBasicDump(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb, "1ns")
+	clk, err := w.Declare("top", "clk", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misr, err := w.Declare("bist", "misr", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	w.Set(clk, 0)
+	w.Set(misr, 0xBEEF)
+	if err := w.At(0); err != nil {
+		t.Fatal(err)
+	}
+	w.Set(clk, 1)
+	if err := w.At(1); err != nil {
+		t.Fatal(err)
+	}
+	// Unchanged value: no emission.
+	w.Set(clk, 1)
+	if err := w.At(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module top $end",
+		"$scope module bist $end",
+		"$var wire 1 ! clk $end",
+		"$var wire 16 \" misr $end",
+		"$enddefinitions $end",
+		"#0",
+		"0!",
+		"b1011111011101111 \"",
+		"#1",
+		"1!",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "#2") {
+		t.Error("no-change step emitted a timestamp")
+	}
+}
+
+func TestWriterErrors(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb, "1ns")
+	if _, err := w.Declare("", "x", 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := w.Declare("", "", 1); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := w.At(0); err == nil {
+		t.Error("At before Begin accepted")
+	}
+	id, _ := w.Declare("", "x", 1)
+	if err := w.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Begin(); err == nil {
+		t.Error("double Begin accepted")
+	}
+	if _, err := w.Declare("", "late", 1); err == nil {
+		t.Error("Declare after Begin accepted")
+	}
+	w.Set(id, 1)
+	if err := w.At(5); err != nil {
+		t.Fatal(err)
+	}
+	w.Set(id, 0)
+	if err := w.At(3); err == nil {
+		t.Error("time reversal accepted")
+	}
+	w2 := NewWriter(&strings.Builder{}, "1ns")
+	w2.Declare("", "y", 1)
+	w2.Begin()
+	w2.Set(VarID(99), 1)
+	if err := w2.At(0); err == nil {
+		t.Error("unknown var accepted")
+	}
+}
+
+func TestIdentUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := ident(VarID(i))
+		if seen[id] {
+			t.Fatalf("identifier collision at %d", i)
+		}
+		seen[id] = true
+		for _, c := range id {
+			if c < '!' || c > '~' {
+				t.Fatalf("identifier %q has non-printable rune", id)
+			}
+		}
+	}
+}
+
+func TestWidthMasking(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb, "1ns")
+	v, _ := w.Declare("", "nib", 4)
+	w.Begin()
+	w.Set(v, 0xFF)
+	w.At(0)
+	w.Close()
+	if !strings.Contains(sb.String(), "b1111 ") {
+		t.Errorf("value not masked to width:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,239 @@
+// Package vectors identifies failing test vectors (patterns) in a
+// scan-BIST environment — the companion problem to failing-cell
+// identification, solved by the same authors with interval-based
+// partitioning in reference [4] of the paper (Liu, Chakrabarty, Gössel,
+// DATE 2002). The pattern sequence is partitioned into groups; one BIST
+// session per group compacts only the responses of that group's patterns,
+// and a pattern is a candidate failing vector exactly when its group's
+// signature differs from the fault-free signature in every partition.
+//
+// The same scheme algebra applies on the time axis as on the cell axis:
+// interval partitions exploit the temporal clustering of failing vectors
+// (a detected fault typically fails bursts of related patterns), random
+// selection provides fine-grained resolution, and superposition pruning
+// over MISR error signatures refines the intersection set.
+package vectors
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitset"
+	"repro/internal/lfsr"
+	"repro/internal/partition"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+// Plan configures a failing-vector diagnosis run.
+type Plan struct {
+	Scheme     partition.Scheme
+	Groups     int
+	Partitions int
+	MISRPoly   lfsr.Poly // zero selects degree 32
+	Ideal      bool      // bypass compaction (no aliasing)
+}
+
+// Engine computes per-session verdicts over the pattern axis and derives
+// candidate failing vectors.
+type Engine struct {
+	cfg       scan.Config
+	plan      Plan
+	nPatterns int
+	shiftsL   int
+	parts     []partition.Partition // over patterns
+	posOf     []int                 // cell -> chain position
+	chainOf   []int
+	xp        []uint64
+}
+
+// NewEngine prepares the partitions (over the nPatterns pattern indices)
+// and syndrome tables.
+func NewEngine(cfg scan.Config, plan Plan, nPatterns int) (*Engine, error) {
+	if plan.MISRPoly == 0 {
+		plan.MISRPoly = lfsr.MustPrimitivePoly(32)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if plan.Scheme == nil {
+		return nil, fmt.Errorf("vectors: plan has no partitioning scheme")
+	}
+	if plan.Groups < 1 || plan.Partitions < 1 || nPatterns < 1 {
+		return nil, fmt.Errorf("vectors: groups, partitions and patterns must be positive")
+	}
+	parts, err := plan.Scheme.Partitions(nPatterns, plan.Groups, plan.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:       cfg,
+		plan:      plan,
+		nPatterns: nPatterns,
+		shiftsL:   cfg.MaxChainLength(),
+		parts:     parts,
+		posOf:     make([]int, cfg.NumCells),
+		chainOf:   make([]int, cfg.NumCells),
+	}
+	for ci, ch := range cfg.Chains {
+		for pos, cell := range ch.Cells {
+			e.chainOf[cell] = ci
+			e.posOf[cell] = pos
+		}
+	}
+	clocks := nPatterns * e.shiftsL
+	e.xp = make([]uint64, clocks+len(cfg.Chains))
+	x := lfsr.MustNew(plan.MISRPoly, 1)
+	for i := range e.xp {
+		e.xp[i] = x.State()
+		x.Step()
+	}
+	return e, nil
+}
+
+// PatternPartitions returns the partitions over the pattern sequence.
+func (e *Engine) PatternPartitions() []partition.Partition { return e.parts }
+
+// Result is a failing-vector diagnosis.
+type Result struct {
+	// Actual holds the patterns on which at least one cell errs.
+	Actual *bitset.Set
+	// Candidates is the intersection candidate set of failing vectors.
+	Candidates *bitset.Set
+	// Pruned is the candidate set after superposition pruning.
+	Pruned *bitset.Set
+}
+
+// Detected reports whether any pattern produced an error.
+func (r *Result) Detected() bool { return !r.Actual.Empty() }
+
+// Diagnose computes the failing-vector candidates for one fault from its
+// good and faulty responses.
+func (e *Engine) Diagnose(good, faulty []*sim.Response, blocks []*sim.Block) *Result {
+	res := &Result{
+		Actual:     bitset.New(e.nPatterns),
+		Candidates: bitset.New(e.nPatterns),
+	}
+	errSig := make([][]uint64, e.plan.Partitions)
+	idealFail := make([][]bool, e.plan.Partitions)
+	for t := range errSig {
+		errSig[t] = make([]uint64, e.plan.Groups)
+		idealFail[t] = make([]bool, e.plan.Groups)
+	}
+	totalClocks := e.nPatterns * e.shiftsL
+	patternBase := 0
+	for bi, b := range blocks {
+		mask := b.Mask()
+		g, f := good[bi], faulty[bi]
+		for cell := range g.Next {
+			diff := (g.Next[cell] ^ f.Next[cell]) & mask
+			if diff == 0 {
+				continue
+			}
+			pos, chain := e.posOf[cell], e.chainOf[cell]
+			for d := diff; d != 0; d &= d - 1 {
+				p := patternBase + bits.TrailingZeros64(d)
+				tau := p*e.shiftsL + pos
+				syn := e.xp[totalClocks-1-tau+chain]
+				res.Actual.Add(p)
+				for t := 0; t < e.plan.Partitions; t++ {
+					grp := e.parts[t].GroupOf[p]
+					errSig[t][grp] ^= syn
+					idealFail[t][grp] = true
+				}
+			}
+		}
+		patternBase += b.N
+	}
+	fail := make([][]bool, e.plan.Partitions)
+	for t := range fail {
+		fail[t] = make([]bool, e.plan.Groups)
+		for g := range fail[t] {
+			if e.plan.Ideal {
+				fail[t][g] = idealFail[t][g]
+			} else {
+				fail[t][g] = errSig[t][g] != 0
+			}
+		}
+	}
+	// Intersection: a pattern is a candidate iff its group fails in every
+	// partition.
+	for p := 0; p < e.nPatterns; p++ {
+		in := true
+		for t := 0; t < e.plan.Partitions; t++ {
+			if !fail[t][e.parts[t].GroupOf[p]] {
+				in = false
+				break
+			}
+		}
+		if in {
+			res.Candidates.Add(p)
+		}
+	}
+	res.Pruned = e.prune(fail, errSig, res.Candidates)
+	return res
+}
+
+// prune applies the superposition refinement on the pattern axis: a
+// pattern's error syndrome is identical in every session that includes it,
+// so singleton sessions isolate syndromes and fully-explained sessions
+// prune their remaining candidates.
+func (e *Engine) prune(fail [][]bool, errSig [][]uint64, cand *bitset.Set) *bitset.Set {
+	pruned := cand.Clone()
+	if e.plan.Ideal {
+		return pruned
+	}
+	syndrome := make(map[int]uint64)
+	for changed := true; changed; {
+		changed = false
+		for t := range fail {
+			for g, f := range fail[t] {
+				if !f {
+					continue
+				}
+				residual := errSig[t][g]
+				var unknown []int
+				for _, p := range pruned.Elems() {
+					if e.parts[t].GroupOf[p] != g {
+						continue
+					}
+					if syn, ok := syndrome[p]; ok {
+						residual ^= syn
+					} else {
+						unknown = append(unknown, p)
+					}
+				}
+				switch {
+				case len(unknown) == 1 && residual != 0:
+					syndrome[unknown[0]] = residual
+					changed = true
+				case len(unknown) > 0 && residual == 0:
+					for _, p := range unknown {
+						pruned.Remove(p)
+					}
+					changed = true
+				}
+			}
+		}
+	}
+	for p := range syndrome {
+		pruned.Add(p)
+	}
+	return pruned
+}
+
+// DR is the diagnostic-resolution metric on the vector axis.
+func DR(results []*Result) float64 {
+	cand, actual := 0, 0
+	for _, r := range results {
+		if !r.Detected() {
+			continue
+		}
+		cand += r.Pruned.Len()
+		actual += r.Actual.Len()
+	}
+	if actual == 0 {
+		return 0
+	}
+	return float64(cand-actual) / float64(actual)
+}

@@ -1,0 +1,184 @@
+package vectors
+
+import (
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/bist"
+	"repro/internal/lfsr"
+	"repro/internal/partition"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+type fixture struct {
+	eng    *Engine
+	fs     *sim.FaultSim
+	blocks []*sim.Block
+	good   []*sim.Response
+}
+
+func newFixture(t *testing.T, plan Plan, nPatterns int) *fixture {
+	t.Helper()
+	c := benchgen.MustGenerate("s953")
+	cfg := scan.SingleChain(c.NumDFFs())
+	prpg := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1)
+	blocks := bist.GenerateBlocks(prpg, c.NumInputs(), c.NumDFFs(), nPatterns)
+	fs := sim.NewFaultSim(c, blocks)
+	eng, err := NewEngine(cfg, plan, nPatterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := make([]*sim.Response, len(blocks))
+	for i := range blocks {
+		good[i] = fs.Good(i)
+	}
+	return &fixture{eng: eng, fs: fs, blocks: blocks, good: good}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	cfg := scan.SingleChain(8)
+	if _, err := NewEngine(cfg, Plan{Groups: 2, Partitions: 1}, 16); err == nil {
+		t.Error("nil scheme accepted")
+	}
+	if _, err := NewEngine(cfg, Plan{Scheme: partition.RandomSelection{}, Groups: 0, Partitions: 1}, 16); err == nil {
+		t.Error("zero groups accepted")
+	}
+	if _, err := NewEngine(cfg, Plan{Scheme: partition.RandomSelection{}, Groups: 2, Partitions: 1}, 0); err == nil {
+		t.Error("zero patterns accepted")
+	}
+	bad := scan.Config{NumCells: 2, Chains: []scan.Chain{{Cells: []int{0}}}}
+	if _, err := NewEngine(bad, Plan{Scheme: partition.RandomSelection{}, Groups: 2, Partitions: 1}, 16); err == nil {
+		t.Error("invalid scan config accepted")
+	}
+}
+
+// TestCandidatesContainActualFailingVectors: with ideal compaction, every
+// actually failing pattern survives intersection and pruning.
+func TestCandidatesContainActualFailingVectors(t *testing.T) {
+	fx := newFixture(t, Plan{
+		Scheme: partition.TwoStep{}, Groups: 8, Partitions: 4, Ideal: true,
+	}, 128)
+	faults := sim.SampleFaults(sim.FullFaultList(fx.fs.Circuit()), 60, 51)
+	checked := 0
+	for _, f := range faults {
+		res := fx.fs.Run(f)
+		if !res.Detected() {
+			continue
+		}
+		checked++
+		vr := fx.eng.Diagnose(fx.good, res.Faulty, fx.blocks)
+		if !vr.Detected() {
+			t.Fatalf("fault %s: simulation detected but vector diagnosis empty", f.Describe(fx.fs.Circuit()))
+		}
+		for _, p := range vr.Actual.Elems() {
+			if !vr.Candidates.Contains(p) {
+				t.Fatalf("fault %s: failing pattern %d dropped by intersection", f.Describe(fx.fs.Circuit()), p)
+			}
+			if !vr.Pruned.Contains(p) {
+				t.Fatalf("fault %s: failing pattern %d dropped by pruning", f.Describe(fx.fs.Circuit()), p)
+			}
+		}
+		// Actual failing patterns must match DetectingPatterns from the
+		// simulator.
+		if vr.Actual.Len() != res.DetectingPatterns {
+			t.Fatalf("fault %s: %d failing vectors vs %d detecting patterns",
+				f.Describe(fx.fs.Circuit()), vr.Actual.Len(), res.DetectingPatterns)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no detected faults")
+	}
+}
+
+// TestPruningRefines: with a real MISR, pruning only removes candidates and
+// resolution improves over plain intersection in aggregate.
+func TestPruningRefines(t *testing.T) {
+	fx := newFixture(t, Plan{
+		Scheme: partition.TwoStep{}, Groups: 8, Partitions: 4,
+	}, 128)
+	faults := sim.SampleFaults(sim.FullFaultList(fx.fs.Circuit()), 80, 52)
+	var results []*Result
+	interTotal, prunedTotal := 0, 0
+	for _, f := range faults {
+		res := fx.fs.Run(f)
+		if !res.Detected() {
+			continue
+		}
+		vr := fx.eng.Diagnose(fx.good, res.Faulty, fx.blocks)
+		results = append(results, vr)
+		interTotal += vr.Candidates.Len()
+		prunedTotal += vr.Pruned.Len()
+		sub := vr.Pruned.Clone()
+		sub.SubtractWith(vr.Candidates)
+		if !sub.Empty() {
+			t.Fatalf("pruning added patterns for %s", f.Describe(fx.fs.Circuit()))
+		}
+	}
+	if prunedTotal > interTotal {
+		t.Errorf("pruning grew candidates: %d > %d", prunedTotal, interTotal)
+	}
+	if dr := DR(results); dr < 0 {
+		t.Errorf("vector DR = %.3f < 0", dr)
+	}
+}
+
+// TestVectorDiagnosisResolves: with 8 partitions of 8 groups over 128
+// patterns the candidate set must close in on the actual failing vectors.
+// Failing vectors of pseudorandom patterns are scattered in time (each
+// pattern detects independently), so easy faults that fail on a third of
+// all patterns keep every group failing and bound the achievable DR well
+// above zero — the metric just has to be finite and useful.
+func TestVectorDiagnosisResolves(t *testing.T) {
+	fx := newFixture(t, Plan{
+		Scheme: partition.TwoStep{}, Groups: 8, Partitions: 8,
+	}, 128)
+	faults := sim.SampleFaults(sim.FullFaultList(fx.fs.Circuit()), 100, 53)
+	var results []*Result
+	for _, f := range faults {
+		res := fx.fs.Run(f)
+		if !res.Detected() {
+			continue
+		}
+		results = append(results, fx.eng.Diagnose(fx.good, res.Faulty, fx.blocks))
+	}
+	dr := DR(results)
+	if dr > 3.0 {
+		t.Errorf("vector DR = %.3f after 8 partitions; diagnosis ineffective", dr)
+	}
+	t.Logf("vector DR = %.4f over %d faults", dr, len(results))
+}
+
+func TestNoFaultNoCandidates(t *testing.T) {
+	fx := newFixture(t, Plan{
+		Scheme: partition.RandomSelection{}, Groups: 4, Partitions: 2,
+	}, 64)
+	vr := fx.eng.Diagnose(fx.good, fx.good, fx.blocks)
+	if vr.Detected() || vr.Candidates.Len() != 0 || vr.Pruned.Len() != 0 {
+		t.Error("fault-free run produced candidates")
+	}
+}
+
+func TestDREmptyAndUndetected(t *testing.T) {
+	if DR(nil) != 0 {
+		t.Error("DR(nil) != 0")
+	}
+	fx := newFixture(t, Plan{Scheme: partition.RandomSelection{}, Groups: 4, Partitions: 2}, 64)
+	undetected := fx.eng.Diagnose(fx.good, fx.good, fx.blocks)
+	if DR([]*Result{undetected}) != 0 {
+		t.Error("undetected results should not contribute to DR")
+	}
+}
+
+func TestPatternPartitionsShape(t *testing.T) {
+	fx := newFixture(t, Plan{Scheme: partition.Interval{}, Groups: 8, Partitions: 2}, 128)
+	parts := fx.eng.PatternPartitions()
+	if len(parts) != 2 {
+		t.Fatalf("got %d partitions", len(parts))
+	}
+	for _, p := range parts {
+		if p.Len() != 128 || !p.IsIntervalPartition() {
+			t.Error("pattern partition malformed")
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// FuzzParse hardens the Verilog reader: arbitrary input must never panic,
+// and anything that parses must round-trip through Write∘Parse unchanged.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		tiny,
+		"module m (a, z);\ninput a;\noutput z;\nnot (z, a);\nendmodule\n",
+		"module m (a);\ninput a;\nendmodule",
+		"module m (a); input a; wire w; buf (w, a); endmodule",
+		"// nothing",
+		"module",
+		"module m (a; input a; endmodule",
+		"module m (a, z); input a; output z; dff (z, a); endmodule",
+		"module m (a, z); input a; output z; xor (z, a, a); endmodule",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if err := Write(&buf, c); err != nil {
+			// Only reachable for ops without primitives, which Parse
+			// cannot produce.
+			t.Fatalf("Write failed on parsed circuit: %v", err)
+		}
+		c2, err := ParseString(buf.String())
+		if err != nil {
+			t.Fatalf("re-parse of own output failed: %v\n%s", err, buf.String())
+		}
+		if err := bench.Equivalent(c, c2); err != nil {
+			t.Fatalf("round trip changed circuit: %v", err)
+		}
+	})
+}

@@ -1,0 +1,349 @@
+// Package verilog reads and writes gate-level netlists in a structural
+// Verilog subset, the other interchange format the ISCAS benchmarks
+// circulate in. The subset covers exactly what the circuit model needs:
+//
+//	module name (port, ...);
+//	  input  a, b;
+//	  output z;
+//	  wire   w1, w2;
+//	  nand g1 (w1, a, b);   // primitive: output first, then inputs
+//	  dff  r1 (q, d);       // flip-flop: Q output, D input
+//	endmodule
+//
+// Primitives: and, nand, or, nor, xor, xnor, not, buf, dff. Comments (//
+// and /* */) are stripped. Instance names are optional on primitives, as
+// in Verilog itself.
+package verilog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// primOf maps Verilog primitive names to gate operations.
+var primOf = map[string]logic.Op{
+	"and":  logic.OpAnd,
+	"nand": logic.OpNand,
+	"or":   logic.OpOr,
+	"nor":  logic.OpNor,
+	"xor":  logic.OpXor,
+	"xnor": logic.OpXnor,
+	"not":  logic.OpNot,
+	"buf":  logic.OpBuf,
+}
+
+// nameOf is the inverse of primOf.
+var nameOf = map[logic.Op]string{}
+
+func init() {
+	for n, op := range primOf {
+		nameOf[op] = n
+	}
+}
+
+// Parse reads a structural Verilog module.
+func Parse(r io.Reader) (*circuit.Circuit, error) {
+	toks, err := tokenize(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.module()
+}
+
+// ParseString parses Verilog source held in a string.
+func ParseString(src string) (*circuit.Circuit, error) {
+	return Parse(strings.NewReader(src))
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(want string) error {
+	if got := p.next(); got != want {
+		return fmt.Errorf("verilog: expected %q, got %q", want, got)
+	}
+	return nil
+}
+
+// identList parses "a, b, c ;" (or up to a closing paren).
+func (p *parser) identList(terminator string) ([]string, error) {
+	var names []string
+	for {
+		name := p.next()
+		if name == "" {
+			return nil, fmt.Errorf("verilog: unexpected end of input in identifier list")
+		}
+		if !isIdent(name) {
+			return nil, fmt.Errorf("verilog: expected identifier, got %q", name)
+		}
+		names = append(names, name)
+		switch t := p.next(); t {
+		case ",":
+		case terminator:
+			return names, nil
+		default:
+			return nil, fmt.Errorf("verilog: expected %q or ',', got %q", terminator, t)
+		}
+	}
+}
+
+func (p *parser) module() (*circuit.Circuit, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	name := p.next()
+	if !isIdent(name) {
+		return nil, fmt.Errorf("verilog: bad module name %q", name)
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	ports, err := p.identList(")")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+
+	b := circuit.NewBuilder(name)
+	declared := map[string]string{} // port name -> direction
+	for {
+		switch t := p.next(); t {
+		case "input", "output", "wire":
+			names, err := p.identList(";")
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range names {
+				switch t {
+				case "input":
+					b.Input(n)
+					declared[n] = "input"
+				case "output":
+					b.Output(n)
+					declared[n] = "output"
+				}
+				// wires carry no declaration in the circuit model
+			}
+		case "endmodule":
+			for _, port := range ports {
+				if declared[port] == "" {
+					return nil, fmt.Errorf("verilog: port %q has no input/output declaration", port)
+				}
+			}
+			return b.Build()
+		case "":
+			return nil, fmt.Errorf("verilog: unexpected end of input, missing endmodule")
+		default:
+			if err := p.instance(b, t); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// instance parses "prim [name] ( out, in... ) ;" or "dff [name] ( q, d ) ;".
+func (p *parser) instance(b *circuit.Builder, prim string) error {
+	op, isDFF := logic.OpInvalid, false
+	if prim == "dff" {
+		isDFF = true
+	} else {
+		var ok bool
+		op, ok = primOf[prim]
+		if !ok {
+			return fmt.Errorf("verilog: unknown primitive %q", prim)
+		}
+	}
+	// Optional instance name.
+	if isIdent(p.peek()) {
+		p.next()
+	}
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	conns, err := p.identList(")")
+	if err != nil {
+		return err
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	if len(conns) < 2 {
+		return fmt.Errorf("verilog: primitive %q needs an output and at least one input", prim)
+	}
+	if isDFF {
+		if len(conns) != 2 {
+			return fmt.Errorf("verilog: dff takes (Q, D), got %d terminals", len(conns))
+		}
+		b.DFF(conns[0], conns[1])
+		return nil
+	}
+	b.Gate(conns[0], op, conns[1:]...)
+	return nil
+}
+
+// Write emits the circuit as a structural Verilog module, gates in
+// topological order.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	bw := bufio.NewWriter(w)
+	var ports []string
+	for _, id := range c.Inputs {
+		ports = append(ports, c.Nets[id].Name)
+	}
+	for _, id := range c.Outputs {
+		ports = append(ports, c.Nets[id].Name)
+	}
+	fmt.Fprintf(bw, "module %s (%s);\n", sanitize(c.Name), strings.Join(ports, ", "))
+	writeDecl := func(kind string, ids []circuit.NetID) {
+		if len(ids) == 0 {
+			return
+		}
+		names := make([]string, len(ids))
+		for i, id := range ids {
+			names[i] = c.Nets[id].Name
+		}
+		fmt.Fprintf(bw, "  %s %s;\n", kind, strings.Join(names, ", "))
+	}
+	writeDecl("input", c.Inputs)
+	writeDecl("output", c.Outputs)
+	// Wires: every net that is not a port.
+	isPort := map[circuit.NetID]bool{}
+	for _, id := range c.Inputs {
+		isPort[id] = true
+	}
+	for _, id := range c.Outputs {
+		isPort[id] = true
+	}
+	var wires []string
+	for id := range c.Nets {
+		if !isPort[circuit.NetID(id)] {
+			wires = append(wires, c.Nets[id].Name)
+		}
+	}
+	if len(wires) > 0 {
+		fmt.Fprintf(bw, "  wire %s;\n", strings.Join(wires, ", "))
+	}
+	fmt.Fprintln(bw)
+	for i, id := range c.DFFs {
+		n := c.Nets[id]
+		fmt.Fprintf(bw, "  dff r%d (%s, %s);\n", i, n.Name, c.Nets[n.Fanin[0]].Name)
+	}
+	for i, id := range c.TopoOrder() {
+		n := c.Nets[id]
+		prim, ok := nameOf[n.Op]
+		if !ok {
+			return fmt.Errorf("verilog: no primitive for op %v", n.Op)
+		}
+		conns := make([]string, 0, len(n.Fanin)+1)
+		conns = append(conns, n.Name)
+		for _, f := range n.Fanin {
+			conns = append(conns, c.Nets[f].Name)
+		}
+		fmt.Fprintf(bw, "  %s g%d (%s);\n", prim, i, strings.Join(conns, ", "))
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+// tokenize splits the source into identifiers and the punctuation the
+// subset uses, stripping // and /* */ comments.
+func tokenize(r io.Reader) ([]string, error) {
+	var src strings.Builder
+	if _, err := io.Copy(&src, bufio.NewReader(r)); err != nil {
+		return nil, err
+	}
+	s := src.String()
+	var toks []string
+	i := 0
+	for i < len(s) {
+		ch := s[i]
+		switch {
+		case ch == '/' && i+1 < len(s) && s[i+1] == '/':
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+		case ch == '/' && i+1 < len(s) && s[i+1] == '*':
+			end := strings.Index(s[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("verilog: unterminated block comment")
+			}
+			i += end + 4
+		case unicode.IsSpace(rune(ch)):
+			i++
+		case ch == '(' || ch == ')' || ch == ',' || ch == ';':
+			toks = append(toks, string(ch))
+			i++
+		case isIdentByte(ch):
+			j := i
+			for j < len(s) && isIdentByte(s[j]) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		default:
+			return nil, fmt.Errorf("verilog: unexpected character %q", ch)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c == '$' || c == '.' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isIdentByte(s[i]) {
+			return false
+		}
+	}
+	switch s {
+	case "module", "endmodule", "input", "output", "wire", "(", ")", ",", ";":
+		return false
+	}
+	return true
+}
+
+// sanitize makes a circuit name a legal Verilog identifier.
+func sanitize(name string) string {
+	out := []byte(name)
+	for i, c := range out {
+		if !isIdentByte(c) {
+			out[i] = '_'
+		}
+	}
+	if len(out) == 0 {
+		return "top"
+	}
+	if out[0] >= '0' && out[0] <= '9' {
+		return "m" + string(out)
+	}
+	return string(out)
+}

@@ -1,0 +1,140 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/benchgen"
+	"repro/internal/logic"
+)
+
+const tiny = `
+// a tiny sequential module
+module tiny (a, b, z);
+  input a, b;
+  output z;
+  wire q, d;
+
+  dff r0 (q, d);
+  nand g0 (d, a, q);   /* feedback */
+  or   g1 (z, b, q);
+endmodule
+`
+
+func TestParseTiny(t *testing.T) {
+	c, err := ParseString(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "tiny" {
+		t.Errorf("name = %q", c.Name)
+	}
+	if c.NumInputs() != 2 || c.NumOutputs() != 1 || c.NumDFFs() != 1 || c.NumGates() != 2 {
+		t.Errorf("counts %d/%d/%d/%d", c.NumInputs(), c.NumOutputs(), c.NumDFFs(), c.NumGates())
+	}
+	d, ok := c.NetByName("d")
+	if !ok || c.Nets[d].Op != logic.OpNand {
+		t.Error("nand gate missing")
+	}
+}
+
+func TestParseAnonymousInstances(t *testing.T) {
+	src := `module m (a, z);
+input a; output z;
+not (z, a);
+endmodule`
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 1 {
+		t.Errorf("gates = %d", c.NumGates())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := ParseString(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ParseString(buf.String())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if err := bench.Equivalent(c, c2); err != nil {
+		t.Errorf("round trip changed circuit: %v", err)
+	}
+}
+
+// TestBenchToVerilogBridge: generated benchmark circuits convert to
+// Verilog and back unchanged, so both interchange formats are equivalent
+// views of the same model.
+func TestBenchToVerilogBridge(t *testing.T) {
+	for _, name := range []string{"s27", "s953"} {
+		c := benchgen.MustGenerate(name)
+		var buf strings.Builder
+		if err := Write(&buf, c); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		c2, err := ParseString(buf.String())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := bench.Equivalent(c, c2); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"noModule", "input a;", "expected \"module\""},
+		{"badPrim", "module m (a); input a; frob (a, a); endmodule", "unknown primitive"},
+		{"dffArity", "module m (a,z); input a; output z; dff (z, a, a); endmodule", "dff takes"},
+		{"undeclaredPort", "module m (a, ghost); input a; endmodule", "no input/output declaration"},
+		{"unterminatedComment", "module m (a); /* oops", "unterminated"},
+		{"truncated", "module m (a); input a;", "unexpected end"},
+		{"missingSemi", "module m (a) input a; endmodule", "expected \";\""},
+		{"onePin", "module m (a,z); input a; output z; not (z); endmodule", "needs an output"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseString(tc.src)
+			if err == nil {
+				t.Fatalf("parse succeeded, want error with %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q missing %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"s953":    "s953",
+		"my-chip": "my_chip",
+		"9lives":  "m9lives",
+		"":        "top",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks, err := tokenize(strings.NewReader("a // line\n b /* block */ c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0] != "a" || toks[1] != "b" || toks[2] != "c" {
+		t.Errorf("toks = %v", toks)
+	}
+}
