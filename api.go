@@ -7,10 +7,12 @@ import (
 	"repro/internal/atpg"
 	"repro/internal/bench"
 	"repro/internal/benchgen"
+	"repro/internal/bist"
 	"repro/internal/bitset"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/dictionary"
+	"repro/internal/noise"
 	"repro/internal/partition"
 	"repro/internal/scan"
 	"repro/internal/sim"
@@ -49,6 +51,25 @@ type (
 	SOCCore = soc.Core
 	// ScanConfig describes scan chains over a cell universe.
 	ScanConfig = scan.Config
+	// NoiseModel describes an unreliable tester: intermittent fault
+	// activation, verdict flips, and session aborts, all deterministic
+	// under a seed.
+	NoiseModel = noise.Model
+	// RetryPolicy schedules repeated session executions whose completed
+	// runs vote on the tri-state verdict.
+	RetryPolicy = bist.RetryPolicy
+	// Reliability summarises the tester noise absorbed and the retry
+	// budget spent by a diagnosis run.
+	Reliability = bist.Reliability
+	// Verdict is a tri-state BIST session outcome.
+	Verdict = bist.Verdict
+)
+
+// Tri-state session verdicts. Unknown verdicts never prune candidates.
+const (
+	VerdictPass    = bist.VerdictPass
+	VerdictFail    = bist.VerdictFail
+	VerdictUnknown = bist.VerdictUnknown
 )
 
 // TwoStep returns the paper's proposed scheme: one interval-based partition

@@ -29,6 +29,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if *stuck != 0 && *stuck != 1 {
+		usageError(fmt.Errorf("-stuck must be 0 or 1, got %d", *stuck))
+	}
+	if *position < 0 {
+		usageError(fmt.Errorf("-position must not be negative, got %d", *position))
+	}
 	p, ok := benchgen.ProfileByName(*name)
 	if !ok {
 		fatal(fmt.Errorf("unknown circuit %q", *name))
@@ -36,6 +42,9 @@ func main() {
 	c, err := benchgen.Generate(p)
 	if err != nil {
 		fatal(err)
+	}
+	if !*healthy && !*sweep && *position >= c.NumDFFs() {
+		usageError(fmt.Errorf("-position %d outside the %d-cell chain of %s", *position, c.NumDFFs(), *name))
 	}
 	order := scan.NaturalOrder(c.NumDFFs())
 	fmt.Printf("circuit: %s (chain of %d cells)\n", c.Stats(), c.NumDFFs())
@@ -47,7 +56,7 @@ func main() {
 
 	var fault *chaindiag.ChainFault
 	if !*healthy {
-		fault = &chaindiag.ChainFault{Position: *position, Stuck: uint8(*stuck & 1)}
+		fault = &chaindiag.ChainFault{Position: *position, Stuck: uint8(*stuck)}
 		fmt.Printf("injected: %v\n", *fault)
 	} else {
 		fmt.Println("injected: none (healthy chain)")
@@ -102,4 +111,12 @@ func runSweep(c *circuit.Circuit, order []int) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "chaindiag:", err)
 	os.Exit(1)
+}
+
+// usageError reports a bad flag combination: the error, then the flag
+// summary, then a non-zero exit (2, matching flag's own parse failures).
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "chaindiag:", err)
+	flag.Usage()
+	os.Exit(2)
 }

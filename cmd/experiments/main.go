@@ -8,20 +8,22 @@
 //	experiments -faults 100           # faster, smaller fault sample
 //
 // Experiments: table1, table2, table3, table4, figure3, figure5,
-// baselines, all.
+// baselines, noise, all.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: baselines|tamwidth|transition|table1|table2|table3|table4|figure3|figure5|all")
+	exp := flag.String("exp", "all", "experiment to run: baselines|tamwidth|transition|noise|table1|table2|table3|table4|figure3|figure5|all")
 	faults := flag.Int("faults", 500, "stuck-at faults sampled per circuit or per faulty core")
 	seed := flag.Int64("seed", 1, "fault sampling seed")
 	format := flag.String("format", "text", "output format: text|csv (csv not available for figure3)")
@@ -29,6 +31,17 @@ func main() {
 	if *format != "text" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)
 		os.Exit(1)
+	}
+	known := []string{"all", "figure3", "table1", "table2", "table3", "table4",
+		"figure5", "baselines", "tamwidth", "transition", "noise"}
+	if !slices.Contains(known, *exp) {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (expected one of %s)\n",
+			*exp, strings.Join(known, "|"))
+		os.Exit(2)
+	}
+	if *faults < 1 {
+		fmt.Fprintf(os.Stderr, "experiments: -faults must be at least 1, got %d\n", *faults)
+		os.Exit(2)
 	}
 
 	cfg := experiments.Config{Faults: *faults, FaultSeed: *seed}
@@ -95,5 +108,9 @@ func main() {
 	run("transition", func() (any, string, error) {
 		rows, err := experiments.Transition(cfg)
 		return rows, experiments.FormatTransition(rows), err
+	})
+	run("noise", func() (any, string, error) {
+		rows, err := experiments.NoiseSweep(cfg)
+		return rows, experiments.FormatNoiseSweep(rows), err
 	})
 }

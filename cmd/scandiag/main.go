@@ -7,6 +7,7 @@
 //
 //	scandiag -circuit s953 -scheme two-step -groups 4 -partitions 8
 //	scandiag -bench mydesign.bench -scheme random -faults 100 -verbose
+//	scandiag -circuit s1423 -intermittent 0.3 -flip 0.02 -abort 0.02 -retries 8 -vote 2
 package main
 
 import (
@@ -16,8 +17,10 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/benchgen"
+	"repro/internal/bist"
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/noise"
 	"repro/internal/partition"
 	"repro/internal/scan"
 	"repro/internal/sim"
@@ -25,20 +28,48 @@ import (
 
 func main() {
 	var (
-		name       = flag.String("circuit", "s953", "built-in benchmark profile to generate")
-		benchPath  = flag.String("bench", "", "path to an ISCAS-89 .bench netlist (overrides -circuit)")
-		schemeName = flag.String("scheme", "two-step", "partitioning scheme: two-step|random|interval|fixed")
-		groups     = flag.Int("groups", 4, "groups per partition")
-		partitions = flag.Int("partitions", 8, "number of partitions")
-		patterns   = flag.Int("patterns", 128, "pseudorandom patterns per BIST session")
-		faults     = flag.Int("faults", 500, "stuck-at faults to sample")
-		seed       = flag.Int64("seed", 1, "fault sampling seed")
-		chains     = flag.Int("chains", 1, "number of balanced scan chains")
-		order      = flag.String("order", "natural", "scan order: natural|random|reverse")
-		ideal      = flag.Bool("ideal", false, "bypass the MISR (alias-free compaction)")
-		verbose    = flag.Bool("verbose", false, "print each fault's candidate set")
+		name         = flag.String("circuit", "s953", "built-in benchmark profile to generate")
+		benchPath    = flag.String("bench", "", "path to an ISCAS-89 .bench netlist (overrides -circuit)")
+		schemeName   = flag.String("scheme", "two-step", "partitioning scheme: two-step|random|interval|fixed")
+		groups       = flag.Int("groups", 4, "groups per partition")
+		partitions   = flag.Int("partitions", 8, "number of partitions")
+		patterns     = flag.Int("patterns", 128, "pseudorandom patterns per BIST session")
+		faults       = flag.Int("faults", 500, "stuck-at faults to sample")
+		seed         = flag.Int64("seed", 1, "fault sampling seed")
+		chains       = flag.Int("chains", 1, "number of balanced scan chains")
+		order        = flag.String("order", "natural", "scan order: natural|random|reverse")
+		ideal        = flag.Bool("ideal", false, "bypass the MISR (alias-free compaction)")
+		verbose      = flag.Bool("verbose", false, "print each fault's candidate set")
+		intermittent = flag.Float64("intermittent", 1, "probability the fault is active on a given pattern (1 = deterministic fault)")
+		flip         = flag.Float64("flip", 0, "probability the tester flips a session's pass/fail verdict")
+		abort        = flag.Float64("abort", 0, "probability a session execution aborts and yields no signature")
+		retries      = flag.Int("retries", 0, "extra executions per session; completed executions vote on the verdict")
+		vote         = flag.Int("vote", 1, "prune a cell only if its group passed in at least this many partitions")
+		noiseSeed    = flag.Uint64("noise-seed", 7, "seed for the unreliable-tester noise streams")
 	)
 	flag.Parse()
+
+	if *groups < 1 {
+		usageError(fmt.Errorf("-groups must be at least 1, got %d", *groups))
+	}
+	if *partitions < 1 {
+		usageError(fmt.Errorf("-partitions must be at least 1, got %d", *partitions))
+	}
+	if *patterns < 1 {
+		usageError(fmt.Errorf("-patterns must be at least 1, got %d", *patterns))
+	}
+	if *faults < 1 {
+		usageError(fmt.Errorf("-faults must be at least 1, got %d", *faults))
+	}
+	if *chains < 1 {
+		usageError(fmt.Errorf("-chains must be at least 1, got %d", *chains))
+	}
+	if *retries < 0 {
+		usageError(fmt.Errorf("-retries must not be negative, got %d", *retries))
+	}
+	if *vote < 1 || *vote > *partitions {
+		usageError(fmt.Errorf("-vote must be in [1, %d], got %d", *partitions, *vote))
+	}
 
 	c, err := loadCircuit(*benchPath, *name)
 	if err != nil {
@@ -49,12 +80,18 @@ func main() {
 		fatal(err)
 	}
 	opts := core.Options{
-		Scheme:     scheme,
-		Groups:     *groups,
-		Partitions: *partitions,
-		Patterns:   *patterns,
-		Chains:     *chains,
-		Ideal:      *ideal,
+		Scheme:        scheme,
+		Groups:        *groups,
+		Partitions:    *partitions,
+		Patterns:      *patterns,
+		Chains:        *chains,
+		Ideal:         *ideal,
+		Noise:         noise.Model{Intermittent: *intermittent, Flip: *flip, Abort: *abort, Seed: *noiseSeed},
+		Retry:         bist.RetryPolicy{MaxRetries: *retries},
+		VoteThreshold: *vote,
+	}
+	if err := opts.Noise.Validate(); err != nil {
+		usageError(err)
 	}
 	switch *order {
 	case "natural":
@@ -63,7 +100,7 @@ func main() {
 	case "reverse":
 		opts.ScanOrder = scan.ReverseOrder(c.NumDFFs())
 	default:
-		fatal(fmt.Errorf("unknown scan order %q", *order))
+		usageError(fmt.Errorf("unknown scan order %q", *order))
 	}
 
 	b, err := core.NewCircuitBench(c, opts)
@@ -74,6 +111,10 @@ func main() {
 	fmt.Printf("circuit:  %s\n", stats)
 	fmt.Printf("plan:     %s, %d groups x %d partitions, %d patterns/session, %d chains\n",
 		scheme.Name(), *groups, *partitions, *patterns, *chains)
+	if opts.Noise.Enabled() {
+		fmt.Printf("tester:   intermittent p=%.2f, flip q=%.3f, abort %.3f, %d retries/session, vote threshold %d\n",
+			*intermittent, *flip, *abort, *retries, *vote)
+	}
 
 	sample := sim.SampleFaults(b.Faults(), *faults, *seed)
 	var observe func(*core.FaultDiagnosis)
@@ -96,6 +137,12 @@ func main() {
 		len(sample), study.Diagnosed, study.Undetected)
 	fmt.Printf("DR:        %.4f without pruning\n", study.Full.Value())
 	fmt.Printf("DR:        %.4f with pruning\n", study.Pruned.Value())
+	if opts.Noise.Enabled() {
+		fmt.Printf("\nrobust:    %d misses (faults whose pruned set lost a truly failing cell)\n", study.Misses)
+		fmt.Printf("baseline:  %d misses, DR %.4f (hard intersection over the same noisy verdicts)\n",
+			study.BaselineMisses, study.BaselineFull.Value())
+		fmt.Printf("tester:    %s\n", &study.Reliability)
+	}
 	fmt.Println("\nDR by number of partitions (without pruning):")
 	for k, dr := range study.ByPartition {
 		fmt.Printf("  %2d: %.4f\n", k+1, dr.Value())
@@ -138,4 +185,12 @@ func schemeByName(name string) (partition.Scheme, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "scandiag:", err)
 	os.Exit(1)
+}
+
+// usageError reports a bad flag combination: the error, then the flag
+// summary, then a non-zero exit (2, matching flag's own parse failures).
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "scandiag:", err)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -34,6 +34,22 @@ func main() {
 	)
 	flag.Parse()
 
+	if *groups < 0 {
+		usageError(fmt.Errorf("-groups must not be negative, got %d", *groups))
+	}
+	if *partitions < 1 {
+		usageError(fmt.Errorf("-partitions must be at least 1, got %d", *partitions))
+	}
+	if *patterns < 1 {
+		usageError(fmt.Errorf("-patterns must be at least 1, got %d", *patterns))
+	}
+	if *chains < 0 {
+		usageError(fmt.Errorf("-chains must not be negative, got %d", *chains))
+	}
+	if *faults < 1 {
+		usageError(fmt.Errorf("-faults must be at least 1, got %d", *faults))
+	}
+
 	var (
 		s   *soc.SOC
 		err error
@@ -129,4 +145,12 @@ func schemeByName(name string) (partition.Scheme, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "socdiag:", err)
 	os.Exit(1)
+}
+
+// usageError reports a bad flag combination: the error, then the flag
+// summary, then a non-zero exit (2, matching flag's own parse failures).
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "socdiag:", err)
+	flag.Usage()
+	os.Exit(2)
 }

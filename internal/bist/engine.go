@@ -70,15 +70,56 @@ func (p Plan) withDefaults() Plan {
 	return p
 }
 
+// Verdict is the tri-state outcome of one BIST session. A perfect tester
+// only ever produces Pass or Fail; Unknown appears when an unreliable
+// tester aborts every execution of a session or its repeated executions
+// disagree without a decidable majority.
+type Verdict uint8
+
+const (
+	VerdictPass Verdict = iota
+	VerdictFail
+	VerdictUnknown
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictPass:
+		return "pass"
+	case VerdictFail:
+		return "fail"
+	case VerdictUnknown:
+		return "unknown"
+	}
+	return fmt.Sprintf("verdict(%d)", uint8(v))
+}
+
 // Verdicts holds the outcome of every BIST session of a diagnosis run.
 // Fail[t][g] reports whether the signature for group g of partition t
 // differed from the fault-free signature; ErrSig[t][g] is the error
 // signature itself (observed XOR fault-free, which MISR linearity makes
 // equal to the signature of the group-masked error stream). The error
 // signatures drive superposition-style pruning.
+//
+// Unknown[t][g] marks sessions that produced no usable verdict under an
+// unreliable tester (every execution aborted, or votes tied); it is nil
+// for deterministic runs, where every session has a Pass/Fail outcome.
+// When Unknown[t][g] is set, Fail[t][g] is false and ErrSig[t][g] is zero.
 type Verdicts struct {
-	Fail   [][]bool
-	ErrSig [][]uint64
+	Fail    [][]bool
+	ErrSig  [][]uint64
+	Unknown [][]bool
+}
+
+// State returns the tri-state verdict of session (t, g).
+func (v *Verdicts) State(t, g int) Verdict {
+	if v.Unknown != nil && v.Unknown[t][g] {
+		return VerdictUnknown
+	}
+	if v.Fail[t][g] {
+		return VerdictFail
+	}
+	return VerdictPass
 }
 
 // NumFailing returns the number of failing (partition, group) sessions.
@@ -93,6 +134,22 @@ func (v *Verdicts) NumFailing() int {
 	}
 	return n
 }
+
+// NumUnknown returns the number of sessions without a usable verdict.
+func (v *Verdicts) NumUnknown() int {
+	n := 0
+	for _, row := range v.Unknown {
+		for _, u := range row {
+			if u {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// HasUnknown reports whether any session lacks a verdict.
+func (v *Verdicts) HasUnknown() bool { return v.NumUnknown() > 0 }
 
 // Engine computes session verdicts for faults on a fixed scan
 // configuration and plan. It precomputes the per-chain partitions and the

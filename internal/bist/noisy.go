@@ -1,0 +1,241 @@
+package bist
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/noise"
+	"repro/internal/sim"
+)
+
+// RetryPolicy schedules repeated executions of every BIST session under an
+// unreliable tester. Each session runs 1+MaxRetries times; executions that
+// abort contribute nothing, and the completed executions vote on the
+// session's tri-state verdict:
+//
+//   - Fail when a strict majority of completed executions observed a
+//     signature mismatch (majority voting over the repeated signatures
+//     absorbs occasional verdict flips);
+//   - Pass only when every completed execution matched the golden
+//     signature (a unanimous pass — under an intermittent fault a lone
+//     failing execution is strong evidence, so a mixed outcome without a
+//     failing majority must not be read as a clean pass);
+//   - Unknown otherwise (no execution completed, or the executions
+//     disagree without a failing majority).
+type RetryPolicy struct {
+	// MaxRetries is the number of extra executions of each session beyond
+	// the first. Zero keeps the single-shot schedule of a perfect-tester
+	// run.
+	MaxRetries int
+}
+
+// Runs returns the number of executions scheduled per session.
+func (rp RetryPolicy) Runs() int {
+	if rp.MaxRetries < 0 {
+		return 1
+	}
+	return 1 + rp.MaxRetries
+}
+
+// Reliability summarises how much tester noise one diagnosis run absorbed
+// and what the retry budget cost — the per-run health report the robust
+// path attaches to its result.
+type Reliability struct {
+	// Sessions is the number of scheduled sessions (partitions × verdict
+	// slots).
+	Sessions int
+	// Executions is the total session-execution budget actually spent,
+	// including retries (Sessions × RetryPolicy.Runs()).
+	Executions int
+	// Aborted counts executions that yielded no signature.
+	Aborted int
+	// Completed counts executions that produced a signature.
+	Completed int
+	// Unknown counts sessions whose final verdict is Unknown.
+	Unknown int
+	// Disagreed counts completed executions whose pass/fail observation
+	// disagreed with their session's final verdict — the raw material for
+	// the flip-rate estimate.
+	Disagreed int
+}
+
+// Retried returns the extra executions beyond one per session.
+func (r *Reliability) Retried() int { return r.Executions - r.Sessions }
+
+// EstimatedFlipRate estimates the tester's verdict-flip rate as the
+// fraction of completed executions that disagreed with their session's
+// final verdict. Under a deterministic fault this converges on the true
+// flip probability; under an intermittent fault it also absorbs genuine
+// pattern-to-pattern variation and reads as an upper bound.
+func (r *Reliability) EstimatedFlipRate() float64 {
+	if r.Completed == 0 {
+		return 0
+	}
+	return float64(r.Disagreed) / float64(r.Completed)
+}
+
+// Merge accumulates another run's counters (e.g. across the faults of a
+// study).
+func (r *Reliability) Merge(o *Reliability) {
+	r.Sessions += o.Sessions
+	r.Executions += o.Executions
+	r.Aborted += o.Aborted
+	r.Completed += o.Completed
+	r.Unknown += o.Unknown
+	r.Disagreed += o.Disagreed
+}
+
+func (r *Reliability) String() string {
+	return fmt.Sprintf("%d sessions, %d executions (%d retries), %d aborted, %d unknown verdicts, est. flip rate %.4f",
+		r.Sessions, r.Executions, r.Retried(), r.Aborted, r.Unknown, r.EstimatedFlipRate())
+}
+
+// patContrib is the signature contribution of one error bit: the pattern
+// it occurs on (whose activation coin gates it) and its syndrome.
+type patContrib struct {
+	pat int
+	syn uint64
+}
+
+// NoisyVerdicts derives tri-state session verdicts for a fault under an
+// unreliable tester. The deterministic error stream of Verdicts is the
+// substrate; on top of it, each session execution draws per-pattern
+// activation coins (intermittent fault), may abort, and may flip its
+// reported signature, and the RetryPolicy's repeated executions vote on
+// the outcome. With a disabled model and zero retries the result equals
+// Verdicts bit-for-bit (no Unknowns, identical Fail and ErrSig).
+//
+// Reliability reports the session budget spent and the noise absorbed.
+func (e *Engine) NoisyVerdicts(good, faulty []*sim.Response, blocks []*sim.Block, m noise.Model, rp RetryPolicy) (*Verdicts, *Reliability) {
+	contrib := e.sessionContribs(good, faulty, blocks)
+	v := &Verdicts{
+		Fail:    make([][]bool, e.plan.Partitions),
+		ErrSig:  make([][]uint64, e.plan.Partitions),
+		Unknown: make([][]bool, e.plan.Partitions),
+	}
+	for t := range v.Fail {
+		v.Fail[t] = make([]bool, e.vgroups)
+		v.ErrSig[t] = make([]uint64, e.vgroups)
+		v.Unknown[t] = make([]bool, e.vgroups)
+	}
+	rel := &Reliability{Sessions: e.plan.Partitions * e.vgroups}
+	runs := rp.Runs()
+	type exec struct {
+		fail bool
+		sig  uint64
+	}
+	execs := make([]exec, 0, runs)
+	for t := 0; t < e.plan.Partitions; t++ {
+		for slot := 0; slot < e.vgroups; slot++ {
+			execs = execs[:0]
+			for a := 0; a < runs; a++ {
+				rel.Executions++
+				if m.Aborts(t, slot, a) {
+					rel.Aborted++
+					continue
+				}
+				var sig uint64
+				active := false
+				for _, en := range contrib[t][slot] {
+					if m.ActiveAt(t, slot, a, en.pat) {
+						sig ^= en.syn
+						active = true
+					}
+				}
+				fail := sig != 0
+				if e.plan.Ideal {
+					fail = active
+				}
+				if m.Flips(t, slot, a) {
+					fail = !fail
+					if fail {
+						sig = m.Corrupt(t, slot, a)
+					} else {
+						sig = 0
+					}
+				}
+				execs = append(execs, exec{fail, sig})
+				rel.Completed++
+			}
+			nFail := 0
+			for _, x := range execs {
+				if x.fail {
+					nFail++
+				}
+			}
+			switch {
+			case 2*nFail > len(execs):
+				// Majority fail: report the modal failing signature.
+				v.Fail[t][slot] = true
+				best, bestCount := uint64(0), 0
+				for i, x := range execs {
+					if !x.fail {
+						continue
+					}
+					count := 0
+					for _, y := range execs[i:] {
+						if y.fail && y.sig == x.sig {
+							count++
+						}
+					}
+					if count > bestCount {
+						best, bestCount = x.sig, count
+					}
+				}
+				v.ErrSig[t][slot] = best
+				rel.Disagreed += len(execs) - nFail
+			case nFail == 0 && len(execs) > 0:
+				// Unanimous pass; Fail and ErrSig stay zero.
+			default:
+				// No completed execution, or disagreement without a
+				// failing majority: no usable verdict.
+				v.Unknown[t][slot] = true
+				rel.Unknown++
+				rel.Disagreed += nFail
+			}
+		}
+	}
+	return v, rel
+}
+
+// sessionContribs gathers, per (partition, verdict slot), the signature
+// contribution of every error bit together with the pattern it occurs on —
+// the sparse substrate NoisyVerdicts replays once per session execution
+// under fresh activation coins.
+func (e *Engine) sessionContribs(good, faulty []*sim.Response, blocks []*sim.Block) [][][]patContrib {
+	contrib := make([][][]patContrib, e.plan.Partitions)
+	for t := range contrib {
+		contrib[t] = make([][]patContrib, e.vgroups)
+	}
+	totalClocks := 0
+	for _, b := range blocks {
+		totalClocks += b.N * e.shiftsL
+	}
+	if totalClocks != e.clocks {
+		panic(fmt.Sprintf("bist: blocks hold %d clocks of patterns, engine sized for %d", totalClocks, e.clocks))
+	}
+	patternBase := 0
+	for bi, b := range blocks {
+		mask := b.Mask()
+		g, f := good[bi], faulty[bi]
+		for cell := range g.Next {
+			diff := (g.Next[cell] ^ f.Next[cell]) & mask
+			if diff == 0 {
+				continue
+			}
+			chain := e.chainOf[cell]
+			pos := e.posOf[cell]
+			for d := diff; d != 0; d &= d - 1 {
+				p := patternBase + bits.TrailingZeros64(d)
+				tau := p*e.shiftsL + pos
+				syn := e.xp[totalClocks-1-tau+chain]
+				for t := 0; t < e.plan.Partitions; t++ {
+					slot := e.verdictIndex(chain, e.parts[chain][t].GroupOf[pos])
+					contrib[t][slot] = append(contrib[t][slot], patContrib{pat: p, syn: syn})
+				}
+			}
+		}
+		patternBase += b.N
+	}
+	return contrib
+}

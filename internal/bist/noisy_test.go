@@ -1,0 +1,208 @@
+package bist
+
+import (
+	"testing"
+
+	"repro/internal/noise"
+	"repro/internal/partition"
+	"repro/internal/sim"
+)
+
+func noisyFixture(t *testing.T, chains, nPatterns int) (*Engine, []*sim.Response, []*sim.Block, []sim.Fault, *sim.FaultSim) {
+	t.Helper()
+	plan := Plan{Scheme: partition.TwoStep{}, Groups: 4, Partitions: 4}
+	e, fs, blocks := newTestEngine(t, chains, plan, nPatterns)
+	good := make([]*sim.Response, len(blocks))
+	for i := range blocks {
+		good[i] = fs.Good(i)
+	}
+	faults := sim.SampleFaults(sim.CollapseFaults(fs.Circuit(), sim.FullFaultList(fs.Circuit())), 12, 5)
+	return e, good, blocks, faults, fs
+}
+
+// TestNoisyVerdictsPerfectTesterMatchesVerdicts: a disabled noise model must
+// reproduce the deterministic path bit-for-bit — same Fail matrix, same
+// error signatures, no Unknowns — regardless of how many retries the policy
+// schedules.
+func TestNoisyVerdictsPerfectTesterMatchesVerdicts(t *testing.T) {
+	for _, chains := range []int{1, 3} {
+		e, good, blocks, faults, fs := noisyFixture(t, chains, 40)
+		for _, rp := range []RetryPolicy{{}, {MaxRetries: 3}} {
+			for _, f := range faults {
+				faulty := fs.Faulty(f)
+				want := e.Verdicts(good, faulty, blocks)
+				got, rel := e.NoisyVerdicts(good, faulty, blocks, noise.Model{}, rp)
+				if got.HasUnknown() {
+					t.Fatalf("chains=%d retries=%d: perfect tester produced Unknown verdicts", chains, rp.MaxRetries)
+				}
+				for pt := range want.Fail {
+					for g := range want.Fail[pt] {
+						if got.Fail[pt][g] != want.Fail[pt][g] || got.ErrSig[pt][g] != want.ErrSig[pt][g] {
+							t.Fatalf("chains=%d retries=%d fault %s (%d,%d): noisy (%v,%#x) != deterministic (%v,%#x)",
+								chains, rp.MaxRetries, f.Describe(fs.Circuit()), pt, g,
+								got.Fail[pt][g], got.ErrSig[pt][g], want.Fail[pt][g], want.ErrSig[pt][g])
+						}
+					}
+				}
+				if rel.Aborted != 0 || rel.Unknown != 0 || rel.Disagreed != 0 {
+					t.Fatalf("perfect tester reliability records noise: %s", rel)
+				}
+				if wantExec := rel.Sessions * rp.Runs(); rel.Executions != wantExec {
+					t.Fatalf("executions = %d, want sessions(%d) x runs(%d) = %d",
+						rel.Executions, rel.Sessions, rp.Runs(), wantExec)
+				}
+			}
+		}
+	}
+}
+
+// TestNoisyVerdictsAllAbort: a tester that aborts every execution yields
+// Unknown everywhere and a full abort count.
+func TestNoisyVerdictsAllAbort(t *testing.T) {
+	e, good, blocks, faults, fs := noisyFixture(t, 1, 30)
+	m := noise.Model{Abort: 1, Seed: 11}
+	rp := RetryPolicy{MaxRetries: 2}
+	faulty := fs.Faulty(faults[0])
+	v, rel := e.NoisyVerdicts(good, faulty, blocks, m, rp)
+	if v.NumUnknown() != rel.Sessions {
+		t.Fatalf("%d Unknown sessions, want all %d", v.NumUnknown(), rel.Sessions)
+	}
+	if v.NumFailing() != 0 {
+		t.Errorf("aborted-everywhere run reports %d failing sessions", v.NumFailing())
+	}
+	if rel.Aborted != rel.Executions || rel.Completed != 0 {
+		t.Errorf("reliability %s: want every execution aborted", rel)
+	}
+	if rel.Unknown != rel.Sessions {
+		t.Errorf("reliability counts %d Unknown, want %d", rel.Unknown, rel.Sessions)
+	}
+}
+
+// TestNoisyVerdictsAllFlipOnFaultFree: with flip probability 1 and a
+// fault-free machine, every session's executions unanimously (and wrongly)
+// fail, so every verdict is Fail with a corrupted nonzero signature.
+func TestNoisyVerdictsAllFlipOnFaultFree(t *testing.T) {
+	e, good, blocks, _, _ := noisyFixture(t, 1, 30)
+	m := noise.Model{Flip: 1, Seed: 5}
+	v, rel := e.NoisyVerdicts(good, good, blocks, m, RetryPolicy{MaxRetries: 1})
+	if v.NumFailing() != rel.Sessions {
+		t.Fatalf("%d failing sessions, want all %d", v.NumFailing(), rel.Sessions)
+	}
+	for pt := range v.Fail {
+		for g := range v.Fail[pt] {
+			if v.ErrSig[pt][g] == 0 {
+				t.Fatalf("flipped pass at (%d,%d) reported a zero (golden) signature", pt, g)
+			}
+		}
+	}
+}
+
+// TestNoisyVerdictsDeterministic: same model, same fault, same policy —
+// identical verdicts and reliability across calls.
+func TestNoisyVerdictsDeterministic(t *testing.T) {
+	e, good, blocks, faults, fs := noisyFixture(t, 1, 40)
+	m := noise.Model{Intermittent: 0.4, Flip: 0.1, Abort: 0.1, Seed: 99}
+	rp := RetryPolicy{MaxRetries: 4}
+	for _, f := range faults[:4] {
+		faulty := fs.Faulty(f)
+		v1, r1 := e.NoisyVerdicts(good, faulty, blocks, m, rp)
+		v2, r2 := e.NoisyVerdicts(good, faulty, blocks, m, rp)
+		if *r1 != *r2 {
+			t.Fatalf("reliability differs across identical calls: %s vs %s", r1, r2)
+		}
+		for pt := range v1.Fail {
+			for g := range v1.Fail[pt] {
+				if v1.Fail[pt][g] != v2.Fail[pt][g] || v1.Unknown[pt][g] != v2.Unknown[pt][g] ||
+					v1.ErrSig[pt][g] != v2.ErrSig[pt][g] {
+					t.Fatalf("verdict (%d,%d) differs across identical calls", pt, g)
+				}
+			}
+		}
+	}
+}
+
+// TestNoisyVerdictsVoteAbsorbsFlips: with a modest flip rate and enough
+// retries, majority voting recovers the deterministic verdicts for a
+// hard (always-active) fault on almost all sessions — and never leaves a
+// majority-fail session looking like a clean pass.
+func TestNoisyVerdictsVoteAbsorbsFlips(t *testing.T) {
+	e, good, blocks, faults, fs := noisyFixture(t, 1, 40)
+	m := noise.Model{Flip: 0.05, Seed: 21}
+	rp := RetryPolicy{MaxRetries: 10}
+	for _, f := range faults[:6] {
+		faulty := fs.Faulty(f)
+		want := e.Verdicts(good, faulty, blocks)
+		got, _ := e.NoisyVerdicts(good, faulty, blocks, m, rp)
+		for pt := range want.Fail {
+			for g := range want.Fail[pt] {
+				state := got.State(pt, g)
+				if want.Fail[pt][g] && state == VerdictPass {
+					t.Fatalf("fault %s (%d,%d): truly failing session voted an unanimous pass",
+						f.Describe(fs.Circuit()), pt, g)
+				}
+				if want.Fail[pt][g] && state == VerdictFail && got.ErrSig[pt][g] != want.ErrSig[pt][g] {
+					t.Fatalf("fault %s (%d,%d): modal signature %#x != true error signature %#x",
+						f.Describe(fs.Circuit()), pt, g, got.ErrSig[pt][g], want.ErrSig[pt][g])
+				}
+			}
+		}
+	}
+}
+
+func TestVerdictStateAndCounts(t *testing.T) {
+	v := &Verdicts{
+		Fail:    [][]bool{{true, false, false}},
+		ErrSig:  [][]uint64{{7, 0, 0}},
+		Unknown: [][]bool{{false, false, true}},
+	}
+	if v.State(0, 0) != VerdictFail || v.State(0, 1) != VerdictPass || v.State(0, 2) != VerdictUnknown {
+		t.Errorf("states = %v %v %v", v.State(0, 0), v.State(0, 1), v.State(0, 2))
+	}
+	if !v.HasUnknown() || v.NumUnknown() != 1 {
+		t.Errorf("HasUnknown=%v NumUnknown=%d", v.HasUnknown(), v.NumUnknown())
+	}
+	det := &Verdicts{Fail: [][]bool{{true, false}}, ErrSig: [][]uint64{{7, 0}}}
+	if det.HasUnknown() || det.NumUnknown() != 0 {
+		t.Error("deterministic verdicts report Unknowns")
+	}
+	if det.State(0, 0) != VerdictFail || det.State(0, 1) != VerdictPass {
+		t.Error("deterministic states wrong")
+	}
+	for want, s := range map[Verdict]string{VerdictPass: "pass", VerdictFail: "fail", VerdictUnknown: "unknown"} {
+		if want.String() != s {
+			t.Errorf("Verdict(%d).String() = %q, want %q", want, want.String(), s)
+		}
+	}
+}
+
+func TestRetryPolicyRuns(t *testing.T) {
+	if (RetryPolicy{}).Runs() != 1 {
+		t.Error("zero policy must schedule exactly one run")
+	}
+	if (RetryPolicy{MaxRetries: 4}).Runs() != 5 {
+		t.Error("4 retries must schedule 5 runs")
+	}
+	if (RetryPolicy{MaxRetries: -3}).Runs() != 1 {
+		t.Error("negative retries must clamp to one run")
+	}
+}
+
+func TestReliabilityAccessors(t *testing.T) {
+	r := &Reliability{Sessions: 10, Executions: 30, Aborted: 4, Completed: 26, Unknown: 2, Disagreed: 13}
+	if r.Retried() != 20 {
+		t.Errorf("Retried = %d", r.Retried())
+	}
+	if got := r.EstimatedFlipRate(); got != 0.5 {
+		t.Errorf("EstimatedFlipRate = %v", got)
+	}
+	empty := &Reliability{}
+	if empty.EstimatedFlipRate() != 0 {
+		t.Error("flip rate with no completions must be 0")
+	}
+	var acc Reliability
+	acc.Merge(r)
+	acc.Merge(r)
+	if acc.Sessions != 20 || acc.Executions != 60 || acc.Disagreed != 26 {
+		t.Errorf("Merge accumulated %+v", acc)
+	}
+}

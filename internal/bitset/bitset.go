@@ -131,6 +131,20 @@ func (s *Set) IntersectsWith(t *Set) bool {
 	return false
 }
 
+// SupersetOf reports whether s contains every element of t.
+func (s *Set) SupersetOf(t *Set) bool {
+	for i, w := range t.words {
+		var sw uint64
+		if i < len(s.words) {
+			sw = s.words[i]
+		}
+		if w&^sw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Equal reports whether s and t contain the same elements.
 func (s *Set) Equal(t *Set) bool {
 	longer, shorter := s.words, t.words

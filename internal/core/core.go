@@ -17,6 +17,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/diagnosis"
 	"repro/internal/lfsr"
+	"repro/internal/noise"
 	"repro/internal/partition"
 	"repro/internal/scan"
 	"repro/internal/sim"
@@ -53,6 +54,21 @@ type Options struct {
 	// identical regardless of the worker count: each fault's diagnosis is
 	// independent and aggregation preserves fault order.
 	Workers int
+	// Noise models an unreliable tester (intermittent fault activation,
+	// verdict flips, session aborts). The zero value is a perfect tester
+	// and keeps the exact deterministic code path. Each fault draws an
+	// independent, reproducible noise substream derived from Noise.Seed
+	// and the fault's identity, so results do not depend on diagnosis
+	// order or worker count.
+	Noise noise.Model
+	// Retry schedules repeated executions of every session under noise;
+	// completed executions vote on the tri-state verdict. Ignored for a
+	// perfect tester.
+	Retry bist.RetryPolicy
+	// VoteThreshold K makes pruning demand corroboration: a cell is pruned
+	// only when its group passed in at least K partitions (Unknown
+	// verdicts never prune). 0 or 1 is the paper's hard intersection.
+	VoteThreshold int
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +90,18 @@ func (o Options) validate() error {
 	}
 	if o.Groups < 1 || o.Partitions < 1 || o.Patterns < 1 {
 		return fmt.Errorf("core: groups, partitions and patterns must be positive")
+	}
+	if err := o.Noise.Validate(); err != nil {
+		return err
+	}
+	if o.Retry.MaxRetries < 0 {
+		return fmt.Errorf("core: retry count %d < 0", o.Retry.MaxRetries)
+	}
+	if o.VoteThreshold < 0 {
+		return fmt.Errorf("core: vote threshold %d < 0", o.VoteThreshold)
+	}
+	if o.VoteThreshold > o.Partitions {
+		return fmt.Errorf("core: vote threshold %d exceeds %d partitions (nothing could ever be pruned)", o.VoteThreshold, o.Partitions)
 	}
 	return nil
 }
@@ -110,11 +138,26 @@ type FaultDiagnosis struct {
 	// Detected reports whether any scan cell captured an error; undetected
 	// faults are excluded from DR.
 	Detected bool
-	// Result holds candidate sets (intersection and pruned).
+	// Result holds candidate sets (intersection and pruned). Under a noisy
+	// tester this is the robust (vote-threshold) outcome.
 	Result *diagnosis.Result
+	// Baseline is the hard-intersection result over the same noisy
+	// verdicts — what the paper's pipeline would have concluded from this
+	// unreliable run. Nil for a perfect tester, where it would equal
+	// Result.
+	Baseline *diagnosis.Result
+	// Reliability summarises the tester noise absorbed and the retry
+	// budget spent for this fault. Nil for a perfect tester.
+	Reliability *bist.Reliability
 	// CandidatesByPartition[k-1] is the intersection candidate count after
 	// the first k partitions.
 	CandidatesByPartition []int
+}
+
+// Missed reports whether the final (pruned) candidate set lost a truly
+// failing cell — the unsoundness a robust diagnosis must avoid.
+func (fd *FaultDiagnosis) Missed() bool {
+	return fd.Detected && !fd.Result.Pruned.SupersetOf(fd.Actual)
 }
 
 // Study aggregates a scheme's diagnostic resolution over many faults.
@@ -134,6 +177,18 @@ type Study struct {
 	Full diagnosis.DR
 	// Pruned is DR with all partitions, with superposition pruning.
 	Pruned diagnosis.DR
+
+	// Misses counts diagnosed faults whose final candidate set lost a
+	// truly failing cell (zero for a sound diagnosis).
+	Misses int
+	// BaselineFull and BaselineMisses mirror Full and Misses for the
+	// hard-intersection baseline over the same noisy verdicts; populated
+	// only when the tester model injects noise.
+	BaselineFull   diagnosis.DR
+	BaselineMisses int
+	// Reliability aggregates tester noise and retry spend across the run's
+	// diagnosed faults (all-zero for a perfect tester).
+	Reliability bist.Reliability
 }
 
 func newStudy(o Options, schemeName string) *Study {
@@ -158,6 +213,18 @@ func (s *Study) add(fd *FaultDiagnosis) {
 	}
 	s.Full.Add(fd.Result.Candidates.Len(), actual)
 	s.Pruned.Add(fd.Result.Pruned.Len(), actual)
+	if fd.Missed() {
+		s.Misses++
+	}
+	if fd.Baseline != nil {
+		s.BaselineFull.Add(fd.Baseline.Candidates.Len(), actual)
+		if !fd.Baseline.Pruned.SupersetOf(fd.Actual) {
+			s.BaselineMisses++
+		}
+	}
+	if fd.Reliability != nil {
+		s.Reliability.Merge(fd.Reliability)
+	}
 }
 
 // PartitionsToReachDR returns the smallest partition count k whose
@@ -244,16 +311,36 @@ func (b *CircuitBench) DiagnoseMulti(faults []sim.Fault) *FaultDiagnosis {
 
 func (b *CircuitBench) diagnose(res *sim.Result) *FaultDiagnosis {
 	fd := &FaultDiagnosis{Fault: res.Fault, Actual: res.FailingCells, Detected: res.Detected()}
-	if !fd.Detected {
-		return fd
-	}
-	v := b.eng.Verdicts(b.good, res.Faulty, b.blocks)
-	fd.Result = b.diag.Diagnose(v)
-	fd.CandidatesByPartition = make([]int, b.Opts.Partitions)
-	for k := 1; k <= b.Opts.Partitions; k++ {
-		fd.CandidatesByPartition[k-1] = b.diag.Candidates(v, k).Len()
-	}
+	diagnoseFault(b.Opts, b.eng, b.diag, b.good, b.blocks, res.Faulty, fd)
 	return fd
+}
+
+// diagnoseFault derives session verdicts — deterministic for a perfect
+// tester, tri-state with retries and voting under noise — and fills in the
+// candidate sets. Shared by the circuit- and SOC-level benches.
+func diagnoseFault(o Options, eng *bist.Engine, diag *diagnosis.Diagnoser, good []*sim.Response, blocks []*sim.Block, faulty []*sim.Response, fd *FaultDiagnosis) {
+	if !fd.Detected {
+		return
+	}
+	var v *bist.Verdicts
+	if o.Noise.Enabled() {
+		// Fork a per-fault substream keyed by the fault's identity so the
+		// noise a fault sees is independent of diagnosis order.
+		m := o.Noise.Fork(uint64(int64(fd.Fault.Net)+1), uint64(int64(fd.Fault.Gate)+1),
+			uint64(int64(fd.Fault.Pin)+1), uint64(fd.Fault.Stuck))
+		var rel *bist.Reliability
+		v, rel = eng.NoisyVerdicts(good, faulty, blocks, m, o.Retry)
+		fd.Reliability = rel
+		fd.Baseline = diag.Diagnose(v)
+		fd.Result = diag.DiagnoseRobust(v, o.VoteThreshold)
+	} else {
+		v = eng.Verdicts(good, faulty, blocks)
+		fd.Result = diag.DiagnoseRobust(v, o.VoteThreshold)
+	}
+	fd.CandidatesByPartition = make([]int, o.Partitions)
+	for k := 1; k <= o.Partitions; k++ {
+		fd.CandidatesByPartition[k-1] = diag.Candidates(v, k).Len()
+	}
 }
 
 // Run diagnoses every fault and aggregates the study, using
@@ -395,15 +482,7 @@ func (b *SOCBench) DiagnoseMultiCore(coreFaults map[int]sim.Fault) *FaultDiagnos
 
 func (b *SOCBench) diagnose(res *soc.Result) *FaultDiagnosis {
 	fd := &FaultDiagnosis{Fault: res.Fault, Actual: res.FailingCells, Detected: res.Detected()}
-	if !fd.Detected {
-		return fd
-	}
-	v := b.eng.Verdicts(b.fs.Good(), res.Faulty, b.fs.Blocks())
-	fd.Result = b.diag.Diagnose(v)
-	fd.CandidatesByPartition = make([]int, b.Opts.Partitions)
-	for k := 1; k <= b.Opts.Partitions; k++ {
-		fd.CandidatesByPartition[k-1] = b.diag.Candidates(v, k).Len()
-	}
+	diagnoseFault(b.Opts, b.eng, b.diag, b.fs.Good(), b.fs.Blocks(), res.Faulty, fd)
 	return fd
 }
 

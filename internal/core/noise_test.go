@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/bist"
+	"repro/internal/noise"
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/soc"
+)
+
+// noisyOpts is the acceptance configuration: heavy intermittence (the fault
+// manifests on only 30% of patterns per execution), a 2% verdict-flip rate,
+// 2% session aborts, 8 retries per session and a vote threshold of 2.
+func noisyOpts() Options {
+	return Options{
+		Scheme:        partition.TwoStep{},
+		Groups:        4,
+		Partitions:    8,
+		Patterns:      200,
+		Noise:         noise.Model{Intermittent: 0.3, Flip: 0.02, Abort: 0.02, Seed: 7},
+		Retry:         bist.RetryPolicy{MaxRetries: 8},
+		VoteThreshold: 2,
+	}
+}
+
+// TestRobustDiagnosisSoundUnderNoise is the headline acceptance test: with
+// p=0.3 intermittence, 2% flips and 2% aborts, robust diagnosis never
+// prunes a truly failing cell across a seeded 200-fault sample on s953 and
+// s1423, while the hard-intersection baseline over the same noisy verdicts
+// demonstrably does.
+func TestRobustDiagnosisSoundUnderNoise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("noise acceptance sweep is slow")
+	}
+	for _, name := range []string{"s953", "s1423"} {
+		t.Run(name, func(t *testing.T) {
+			c := benchgen.MustGenerate(name)
+			b, err := NewCircuitBench(c, noisyOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			faults := sim.SampleFaults(b.Faults(), 200, 1)
+			study := b.Run(faults)
+			if study.Diagnosed < 100 {
+				t.Fatalf("only %d faults diagnosed; sample too weak", study.Diagnosed)
+			}
+			if study.Misses != 0 {
+				t.Errorf("robust diagnosis pruned truly failing cells on %d faults", study.Misses)
+			}
+			if study.BaselineMisses == 0 {
+				t.Error("hard-intersection baseline survived the noise; test exerts no pressure")
+			}
+			if study.Reliability.Unknown == 0 || study.Reliability.Aborted == 0 {
+				t.Errorf("noise left no trace in reliability: %s", &study.Reliability)
+			}
+			wantBudget := study.Reliability.Sessions * 9 // 1 + 8 retries
+			if study.Reliability.Executions != wantBudget {
+				t.Errorf("executions %d, want %d", study.Reliability.Executions, wantBudget)
+			}
+			t.Logf("%s: diagnosed=%d baselineMisses=%d DR(robust)=%.3f DR(baseline)=%.3f reliability: %s",
+				name, study.Diagnosed, study.BaselineMisses,
+				study.Pruned.Value(), study.BaselineFull.Value(), &study.Reliability)
+		})
+	}
+}
+
+// TestDisabledNoiseReproducesSeedBitForBit: p=1, q=0, no aborts must take
+// the exact deterministic path — per-fault candidate and pruned sets equal
+// the plain configuration's, element for element, and no noise fields are
+// populated.
+func TestDisabledNoiseReproducesSeedBitForBit(t *testing.T) {
+	c := benchgen.MustGenerate("s953")
+	plain := Options{Scheme: partition.TwoStep{}, Groups: 4, Partitions: 4, Patterns: 64}
+	declared := plain
+	declared.Noise = noise.Model{Intermittent: 1, Seed: 42} // p=1: never drops a pattern
+	declared.Retry = bist.RetryPolicy{MaxRetries: 3}        // irrelevant without noise
+	bp, err := NewCircuitBench(c, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := NewCircuitBench(c, declared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := sim.SampleFaults(bp.Faults(), 80, 13)
+	for _, f := range faults {
+		want := bp.DiagnoseFault(f)
+		got := bd.DiagnoseFault(f)
+		if want.Detected != got.Detected {
+			t.Fatalf("fault %v: detection differs", f)
+		}
+		if !want.Detected {
+			continue
+		}
+		if !got.Result.Candidates.Equal(want.Result.Candidates) ||
+			!got.Result.Pruned.Equal(want.Result.Pruned) ||
+			!got.Result.Confirmed.Equal(want.Result.Confirmed) {
+			t.Fatalf("fault %v: disabled noise changed the diagnosis", f)
+		}
+		if got.Baseline != nil || got.Reliability != nil {
+			t.Fatalf("fault %v: perfect tester populated noise fields", f)
+		}
+	}
+}
+
+// TestNoisyStudyWorkerIndependence: per-fault noise substreams are keyed on
+// fault identity, so the study must not depend on the worker count.
+func TestNoisyStudyWorkerIndependence(t *testing.T) {
+	c := benchgen.MustGenerate("s953")
+	o := noisyOpts()
+	o.Patterns = 64
+	o.Retry.MaxRetries = 2
+	run := func(workers int) *Study {
+		o := o
+		o.Workers = workers
+		b, err := NewCircuitBench(c, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.Run(sim.SampleFaults(b.Faults(), 40, 9))
+	}
+	serial, parallel := run(1), run(4)
+	if serial.Diagnosed != parallel.Diagnosed || serial.Misses != parallel.Misses ||
+		serial.BaselineMisses != parallel.BaselineMisses ||
+		serial.Reliability != parallel.Reliability ||
+		serial.Pruned != parallel.Pruned || serial.BaselineFull != parallel.BaselineFull {
+		t.Errorf("study depends on worker count:\n  serial:   %+v\n  parallel: %+v", serial, parallel)
+	}
+}
+
+// TestOptionsValidateNoise: malformed noise options are rejected up front.
+func TestOptionsValidateNoise(t *testing.T) {
+	c := benchgen.MustGenerate("s953")
+	base := Options{Scheme: partition.TwoStep{}, Groups: 4, Partitions: 4, Patterns: 32}
+	bad := []func(*Options){
+		func(o *Options) { o.Noise.Flip = 1.5 },
+		func(o *Options) { o.Noise.Intermittent = -0.2 },
+		func(o *Options) { o.Retry.MaxRetries = -1 },
+		func(o *Options) { o.VoteThreshold = -1 },
+		func(o *Options) { o.VoteThreshold = 5 }, // > Partitions
+	}
+	for i, mutate := range bad {
+		o := base
+		mutate(&o)
+		if _, err := NewCircuitBench(c, o); err == nil {
+			t.Errorf("case %d: invalid noise options accepted", i)
+		}
+	}
+	good := base
+	good.Noise = noise.Model{Intermittent: 0.5, Flip: 0.01}
+	good.Retry.MaxRetries = 2
+	good.VoteThreshold = 4
+	if _, err := NewCircuitBench(c, good); err != nil {
+		t.Errorf("valid noise options rejected: %v", err)
+	}
+}
+
+// TestSOCBenchNoise: the SOC flow shares the same robust path; a noisy run
+// on a small SOC stays sound and records reliability.
+func TestSOCBenchNoise(t *testing.T) {
+	var cores []*soc.Core
+	for _, name := range []string{"s298", "s953"} {
+		cores = append(cores, &soc.Core{Name: name, Circuit: benchgen.MustGenerate(name)})
+	}
+	s, err := soc.New("duo", cores...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{
+		Scheme:        partition.TwoStep{},
+		Groups:        4,
+		Partitions:    6,
+		Patterns:      96,
+		Noise:         noise.Model{Intermittent: 0.4, Flip: 0.02, Abort: 0.02, Seed: 3},
+		Retry:         bist.RetryPolicy{MaxRetries: 8},
+		VoteThreshold: 2,
+	}
+	b, err := NewSOCBench(s, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := sim.SampleFaults(b.CoreFaults(0), 30, 5)
+	study := b.RunCore(0, faults)
+	if study.Diagnosed == 0 {
+		t.Fatal("no faults diagnosed")
+	}
+	if study.Misses != 0 {
+		t.Errorf("SOC robust diagnosis missed cells on %d faults", study.Misses)
+	}
+	if study.Reliability.Executions == 0 {
+		t.Error("SOC noisy run recorded no executions")
+	}
+}

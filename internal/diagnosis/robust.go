@@ -1,0 +1,59 @@
+package diagnosis
+
+import (
+	"repro/internal/bist"
+	"repro/internal/bitset"
+)
+
+// CandidatesVoted is the vote-threshold counterpart of Candidates over the
+// first k partitions: a cell is pruned only when its group's verdict is
+// Pass in at least voteK of those partitions, and Unknown verdicts never
+// prune. voteK ≤ 1 with fully-determined verdicts reduces to the hard
+// intersection (one pass anywhere prunes); higher thresholds trade
+// resolution for soundness under a tester whose pass verdicts cannot be
+// trusted individually — a wrong pass must be corroborated by voteK−1
+// further independent partitions before it costs a candidate.
+func (d *Diagnoser) CandidatesVoted(v *bist.Verdicts, k, voteK int) *bitset.Set {
+	if k > len(v.Fail) {
+		k = len(v.Fail)
+	}
+	if voteK < 1 {
+		voteK = 1
+	}
+	cand := bitset.New(d.cfg.NumCells)
+	for ci, ch := range d.cfg.Chains {
+		for pos, cell := range ch.Cells {
+			passes := 0
+			for t := 0; t < k; t++ {
+				if v.State(t, d.groupOf(ci, pos, t)) == bist.VerdictPass {
+					passes++
+				}
+			}
+			if passes < voteK {
+				cand.Add(cell)
+			}
+		}
+	}
+	return cand
+}
+
+// DiagnoseRobust runs the noise-tolerant flow: vote-threshold candidate
+// derivation over all partitions, with graceful degradation of the
+// signature-based refinements. With voteK ≤ 1 and fully-determined
+// verdicts it is exactly Diagnose — same candidate set, same
+// superposition pruning, bit-for-bit. Otherwise the verdicts came from an
+// unreliable tester, where per-session error signatures are not
+// reproducible (an intermittent fault excites a different error subset in
+// every execution), so superposition pruning and confirmation are skipped
+// and the result is the widened-but-sound voted candidate set.
+func (d *Diagnoser) DiagnoseRobust(v *bist.Verdicts, voteK int) *Result {
+	if voteK <= 1 && !v.HasUnknown() {
+		return d.Diagnose(v)
+	}
+	cand := d.CandidatesVoted(v, len(v.Fail), voteK)
+	return &Result{
+		Candidates: cand,
+		Pruned:     cand.Clone(),
+		Confirmed:  bitset.New(d.cfg.NumCells),
+	}
+}

@@ -276,6 +276,7 @@ func TestWriteCSV(t *testing.T) {
 	check([]SOCRow{{Core: "s9234"}}, "core,", 2)
 	check([]Figure5Row{{Core: "s9234", Random: -1, TwoStep: 3}}, "core,", 2)
 	check([]BaselineRow{{Strategy: "two-step"}}, "strategy,", 2)
+	check([]NoiseRow{{Circuit: "s5378", Intermittent: 0.3}, {Circuit: "s9234"}}, "circuit,groups,intermittent,", 3)
 	var buf strings.Builder
 	if err := WriteCSV(&buf, 42); err == nil {
 		t.Error("unsupported type accepted")

@@ -9,7 +9,8 @@ import (
 
 // WriteCSV serialises experiment rows as CSV with a header row, for
 // downstream plotting. Supported row types: []Table1Row, []Table2Row,
-// []SOCRow, []Figure5Row, []BaselineRow.
+// []SOCRow, []Figure5Row, []BaselineRow, []TAMWidthRow, []TransitionRow,
+// []NoiseRow.
 func WriteCSV(w io.Writer, rows any) error {
 	cw := csv.NewWriter(w)
 	defer cw.Flush()
@@ -83,6 +84,19 @@ func WriteCSV(w io.Writer, rows any) error {
 		for _, r := range rs {
 			if err := cw.Write([]string{r.Strategy, f(r.DR), f(r.DRPruned),
 				f(r.Sessions), strconv.FormatBool(r.Adaptive), d(r.ExtraRegisterBits)}); err != nil {
+				return err
+			}
+		}
+	case []NoiseRow:
+		if err := cw.Write([]string{"circuit", "groups", "intermittent", "flip", "abort",
+			"retries", "vote", "diagnosed", "dr_robust", "misses_robust",
+			"dr_baseline", "misses_baseline", "unknown_frac", "est_flip_rate"}); err != nil {
+			return err
+		}
+		for _, r := range rs {
+			if err := cw.Write([]string{r.Circuit, d(r.Groups), f(r.Intermittent), f(r.Flip), f(r.Abort),
+				d(r.Retries), d(r.Vote), d(r.Diagnosed), f(r.RobustDR), d(r.RobustMisses),
+				f(r.BaselineDR), d(r.BaselineMisses), f(r.UnknownFrac), f(r.FlipRate)}); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNoiseSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large circuits in -short mode")
+	}
+	rows, err := NoiseSweep(Config{Faults: 15, FaultSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6*len(noiseLevels) {
+		t.Fatalf("got %d rows, want %d", len(rows), 6*len(noiseLevels))
+	}
+	for i := 0; i < len(rows); i += len(noiseLevels) {
+		perfect := rows[i]
+		if perfect.Intermittent != 1 || perfect.Flip != 0 || perfect.Abort != 0 {
+			t.Fatalf("row %d is not the perfect-tester level: %+v", i, perfect)
+		}
+		if perfect.RobustMisses != 0 || perfect.BaselineMisses != 0 || perfect.UnknownFrac != 0 {
+			t.Errorf("%s perfect tester shows noise artifacts: %+v", perfect.Circuit, perfect)
+		}
+		if perfect.BaselineDR != perfect.RobustDR {
+			t.Errorf("%s perfect tester: baseline and robust DR differ", perfect.Circuit)
+		}
+		for _, r := range rows[i+1 : i+len(noiseLevels)] {
+			if r.Circuit != perfect.Circuit {
+				t.Fatalf("row grouping broken at %s/%s", perfect.Circuit, r.Circuit)
+			}
+			if r.Diagnosed == 0 {
+				t.Errorf("%s noisy level diagnosed nothing", r.Circuit)
+			}
+			// The robustness claim in miniature: the vote-threshold path is
+			// at least as sound as hard intersection over the same verdicts.
+			if r.RobustMisses > r.BaselineMisses {
+				t.Errorf("%s p=%.2f: robust misses %d exceed baseline misses %d",
+					r.Circuit, r.Intermittent, r.RobustMisses, r.BaselineMisses)
+			}
+			if r.UnknownFrac < 0 || r.UnknownFrac > 1 {
+				t.Errorf("%s: unknown fraction %v out of range", r.Circuit, r.UnknownFrac)
+			}
+		}
+	}
+	text := FormatNoiseSweep(rows)
+	for _, want := range []string{"Noise sweep", "robust DR", "baseline DR", "s38584"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted sweep missing %q", want)
+		}
+	}
+}

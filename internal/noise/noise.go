@@ -1,0 +1,143 @@
+// Package noise models an unreliable tester for scan-BIST diagnosis: an
+// intermittent (marginal) defect that is active on only a fraction of
+// patterns, session verdicts that are occasionally reported wrong by the
+// ATE, and sessions that abort without producing any verdict. All noise is
+// deterministic for a fixed seed — every coin is a stateless hash of
+// (seed, session coordinates), so a run can be replayed bit-for-bit and
+// independent sessions draw independent coins regardless of evaluation
+// order.
+package noise
+
+import "fmt"
+
+// Model configures the unreliable-tester fault-injection layer. The zero
+// value is a perfect tester: the fault is active on every pattern, no
+// verdict is flipped, and no session aborts.
+type Model struct {
+	// Intermittent is the probability that the injected fault is active on
+	// any one pattern of a session. Zero means 1 (a deterministic,
+	// always-active fault); values in (0, 1) model marginal defects that
+	// fire only sometimes. Each session execution draws fresh per-pattern
+	// activity.
+	Intermittent float64
+	// Flip is the probability that one session execution reports the wrong
+	// verdict: an observed failure comes back as the golden signature, or a
+	// clean run comes back with a corrupted signature.
+	Flip float64
+	// Abort is the probability that one session execution aborts and
+	// yields no signature at all.
+	Abort float64
+	// Seed makes the whole noise process reproducible. Runs with equal
+	// seeds and parameters draw identical coins.
+	Seed uint64
+}
+
+// ActivationProb returns the effective per-pattern activation probability
+// (the zero value of Intermittent normalises to 1).
+func (m Model) ActivationProb() float64 {
+	if m.Intermittent == 0 {
+		return 1
+	}
+	return m.Intermittent
+}
+
+// Enabled reports whether the model injects any noise at all. A disabled
+// model lets callers keep the exact deterministic code path.
+func (m Model) Enabled() bool {
+	return m.ActivationProb() < 1 || m.Flip > 0 || m.Abort > 0
+}
+
+// Validate checks that every probability is a probability.
+func (m Model) Validate() error {
+	if p := m.Intermittent; p < 0 || p > 1 {
+		return fmt.Errorf("noise: intermittent probability %v outside [0, 1]", p)
+	}
+	if m.Flip < 0 || m.Flip > 1 {
+		return fmt.Errorf("noise: flip probability %v outside [0, 1]", m.Flip)
+	}
+	if m.Abort < 0 || m.Abort > 1 {
+		return fmt.Errorf("noise: abort probability %v outside [0, 1]", m.Abort)
+	}
+	return nil
+}
+
+// Fork derives a model with the same parameters but an independent seed
+// substream, e.g. one per injected fault, so per-fault noise is independent
+// yet reproducible and insensitive to the order faults are diagnosed in.
+func (m Model) Fork(ids ...uint64) Model {
+	h := m.Seed
+	for _, id := range ids {
+		h = mix(h, id)
+	}
+	m.Seed = h
+	return m
+}
+
+// Coin-stream tags keep the different noise processes decorrelated even
+// when their session coordinates coincide.
+const (
+	tagActive uint64 = 0xA11CE + iota
+	tagFlip
+	tagAbort
+	tagCorrupt
+)
+
+// ActiveAt draws the per-pattern activation coin for one session execution:
+// true when the fault fires on pattern `pat` during attempt `attempt` of
+// session (t, slot). All error bits of one pattern share the coin.
+func (m Model) ActiveAt(t, slot, attempt, pat int) bool {
+	p := m.ActivationProb()
+	if p >= 1 {
+		return true
+	}
+	return coin(m.Seed, tagActive, uint64(t), uint64(slot), uint64(attempt), uint64(pat)) < p
+}
+
+// Flips draws the verdict-flip coin for one session execution.
+func (m Model) Flips(t, slot, attempt int) bool {
+	if m.Flip <= 0 {
+		return false
+	}
+	return coin(m.Seed, tagFlip, uint64(t), uint64(slot), uint64(attempt)) < m.Flip
+}
+
+// Aborts draws the abort coin for one session execution.
+func (m Model) Aborts(t, slot, attempt int) bool {
+	if m.Abort <= 0 {
+		return false
+	}
+	return coin(m.Seed, tagAbort, uint64(t), uint64(slot), uint64(attempt)) < m.Abort
+}
+
+// Corrupt returns the nonzero garbage signature a pass-to-fail flip
+// reports for one session execution.
+func (m Model) Corrupt(t, slot, attempt int) uint64 {
+	v := hash(m.Seed, tagCorrupt, uint64(t), uint64(slot), uint64(attempt))
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+// coin maps a hash of the ids to [0, 1).
+func coin(ids ...uint64) float64 {
+	return float64(hash(ids...)>>11) * (1.0 / (1 << 53))
+}
+
+// hash folds the ids into one well-mixed 64-bit value.
+func hash(ids ...uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, id := range ids {
+		h = mix(h, id)
+	}
+	return h
+}
+
+// mix is the splitmix64 finalizer over h ^ v — a cheap, high-quality
+// stateless PRF step.
+func mix(h, v uint64) uint64 {
+	z := h ^ v + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

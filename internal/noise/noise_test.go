@@ -1,0 +1,144 @@
+package noise
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	ok := []Model{
+		{},
+		{Intermittent: 1},
+		{Intermittent: 0.3, Flip: 0.05, Abort: 0.1},
+	}
+	for _, m := range ok {
+		if err := m.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", m, err)
+		}
+	}
+	bad := []Model{
+		{Intermittent: -0.1},
+		{Intermittent: 1.1},
+		{Flip: -1},
+		{Flip: 2},
+		{Abort: -0.5},
+		{Abort: 1.5},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an out-of-range probability", m)
+		}
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	disabled := []Model{{}, {Intermittent: 1}, {Intermittent: 1, Seed: 99}}
+	for _, m := range disabled {
+		if m.Enabled() {
+			t.Errorf("%+v should be a perfect tester", m)
+		}
+	}
+	enabled := []Model{
+		{Intermittent: 0.5},
+		{Flip: 0.01},
+		{Abort: 0.01},
+	}
+	for _, m := range enabled {
+		if !m.Enabled() {
+			t.Errorf("%+v should inject noise", m)
+		}
+	}
+}
+
+// TestCoinsAreDeterministic: identical coordinates draw identical coins;
+// the coins are pure functions of (seed, ids).
+func TestCoinsAreDeterministic(t *testing.T) {
+	m := Model{Intermittent: 0.4, Flip: 0.1, Abort: 0.1, Seed: 42}
+	n := Model{Intermittent: 0.4, Flip: 0.1, Abort: 0.1, Seed: 42}
+	for i := 0; i < 200; i++ {
+		if m.ActiveAt(1, 2, 3, i) != n.ActiveAt(1, 2, 3, i) {
+			t.Fatal("ActiveAt not deterministic")
+		}
+		if m.Flips(i, 0, 0) != n.Flips(i, 0, 0) {
+			t.Fatal("Flips not deterministic")
+		}
+		if m.Aborts(0, i, 1) != n.Aborts(0, i, 1) {
+			t.Fatal("Aborts not deterministic")
+		}
+		if m.Corrupt(0, 0, i) != n.Corrupt(0, 0, i) {
+			t.Fatal("Corrupt not deterministic")
+		}
+	}
+}
+
+// TestCoinFrequencies: each coin's empirical rate matches its probability
+// over many independent coordinates.
+func TestCoinFrequencies(t *testing.T) {
+	const draws = 100000
+	m := Model{Intermittent: 0.3, Flip: 0.05, Abort: 0.1, Seed: 7}
+	active, flips, aborts := 0, 0, 0
+	for i := 0; i < draws; i++ {
+		if m.ActiveAt(0, 0, 0, i) {
+			active++
+		}
+		if m.Flips(0, 0, i) {
+			flips++
+		}
+		if m.Aborts(0, 0, i) {
+			aborts++
+		}
+	}
+	check := func(name string, got int, p float64) {
+		rate := float64(got) / draws
+		if math.Abs(rate-p) > 0.01 {
+			t.Errorf("%s rate %.4f, want %.2f ± 0.01", name, rate, p)
+		}
+	}
+	check("active", active, 0.3)
+	check("flip", flips, 0.05)
+	check("abort", aborts, 0.1)
+}
+
+// TestSeedAndForkChangeTheStream: different seeds (and different Fork ids)
+// yield different coin streams.
+func TestSeedAndForkChangeTheStream(t *testing.T) {
+	a := Model{Intermittent: 0.5, Seed: 1}
+	b := Model{Intermittent: 0.5, Seed: 2}
+	c := a.Fork(9)
+	d := a.Fork(10)
+	if c.Seed == a.Seed || c.Seed == d.Seed {
+		t.Fatalf("Fork did not derive a fresh substream: %d %d %d", a.Seed, c.Seed, d.Seed)
+	}
+	diffAB, diffCD := 0, 0
+	for i := 0; i < 1000; i++ {
+		if a.ActiveAt(0, 0, 0, i) != b.ActiveAt(0, 0, 0, i) {
+			diffAB++
+		}
+		if c.ActiveAt(0, 0, 0, i) != d.ActiveAt(0, 0, 0, i) {
+			diffCD++
+		}
+	}
+	if diffAB == 0 || diffCD == 0 {
+		t.Errorf("streams coincide: seed diff %d, fork diff %d over 1000 draws", diffAB, diffCD)
+	}
+}
+
+// TestDeterministicEdges: p=1 always fires without consuming entropy;
+// q=0 and abort=0 never fire; corruption is never the golden signature.
+func TestDeterministicEdges(t *testing.T) {
+	m := Model{} // perfect tester
+	for i := 0; i < 100; i++ {
+		if !m.ActiveAt(0, 0, 0, i) {
+			t.Fatal("p=1 fault must be active on every pattern")
+		}
+		if m.Flips(0, 0, i) || m.Aborts(0, 0, i) {
+			t.Fatal("perfect tester flipped or aborted")
+		}
+	}
+	n := Model{Flip: 1, Seed: 3}
+	for i := 0; i < 100; i++ {
+		if n.Corrupt(0, 0, i) == 0 {
+			t.Fatal("corrupted signature must differ from golden (nonzero error signature)")
+		}
+	}
+}

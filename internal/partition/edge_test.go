@@ -1,0 +1,187 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lfsr"
+)
+
+func allSchemes() []Scheme {
+	return []Scheme{
+		RandomSelection{},
+		Interval{},
+		FixedInterval{},
+		TwoStep{},
+	}
+}
+
+// checkCovering asserts ps is a valid covering family: k partitions over n
+// positions, every partition passing Validate with every position assigned
+// an in-range group.
+func checkCovering(t *testing.T, ps []Partition, n, b, k int, scheme string) {
+	t.Helper()
+	if len(ps) != k {
+		t.Fatalf("%s(n=%d,b=%d,k=%d): got %d partitions", scheme, n, b, k, len(ps))
+	}
+	for i, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s(n=%d,b=%d,k=%d) partition %d: %v", scheme, n, b, k, i, err)
+		}
+		if p.Len() != n {
+			t.Fatalf("%s(n=%d,b=%d,k=%d) partition %d covers %d positions", scheme, n, b, k, i, p.Len())
+		}
+		if p.NumGroups != b {
+			t.Fatalf("%s(n=%d,b=%d,k=%d) partition %d has %d groups, want %d", scheme, n, b, k, i, p.NumGroups, b)
+		}
+	}
+}
+
+// TestEdgeCases drives every scheme through the boundary geometries: a
+// single-cell chain, a single group, as many groups as cells, and group
+// counts exceeding the chain length. Each call must either return a valid
+// covering partition family or a descriptive error — never panic, never a
+// malformed partition.
+func TestEdgeCases(t *testing.T) {
+	cases := []struct {
+		n, b, k int
+		wantErr bool // must error for every scheme
+	}{
+		{n: 0, b: 1, k: 1, wantErr: true},  // empty chain
+		{n: -3, b: 1, k: 1, wantErr: true}, // negative chain
+		{n: 5, b: 0, k: 1, wantErr: true},  // no groups
+		{n: 5, b: -1, k: 1, wantErr: true}, // negative groups
+		{n: 5, b: 6, k: 1, wantErr: true},  // b > n
+		{n: 1, b: 2, k: 1, wantErr: true},  // b > n at the smallest chain
+		{n: 5, b: 2, k: -1, wantErr: true}, // negative partition count
+		{n: 1, b: 1, k: 1},                 // one cell, one group
+		{n: 5, b: 1, k: 3},                 // single group swallows the chain
+		{n: 5, b: 5, k: 2},                 // every cell its own group
+		{n: 7, b: 3, k: 4},                 // non-dividing group count
+		{n: 64, b: 4, k: 0},                // zero partitions is an empty family
+	}
+	for _, s := range allSchemes() {
+		for _, tc := range cases {
+			ps, err := s.Partitions(tc.n, tc.b, tc.k)
+			if tc.wantErr {
+				if err == nil {
+					t.Errorf("%s(n=%d,b=%d,k=%d): invalid geometry accepted", s.Name(), tc.n, tc.b, tc.k)
+				} else if strings.TrimSpace(err.Error()) == "" {
+					t.Errorf("%s(n=%d,b=%d,k=%d): empty error message", s.Name(), tc.n, tc.b, tc.k)
+				}
+				continue
+			}
+			if err != nil {
+				// Distinct-partition exhaustion is a legitimate descriptive
+				// error for degenerate geometries (e.g. Interval with n=1 can
+				// realise only one distinct cut sequence).
+				if tc.n <= tc.b || tc.b == 1 {
+					t.Logf("%s(n=%d,b=%d,k=%d): declined degenerate geometry: %v", s.Name(), tc.n, tc.b, tc.k, err)
+					continue
+				}
+				t.Errorf("%s(n=%d,b=%d,k=%d): %v", s.Name(), tc.n, tc.b, tc.k, err)
+				continue
+			}
+			checkCovering(t, ps, tc.n, tc.b, tc.k, s.Name())
+		}
+	}
+}
+
+// TestSingleGroupIsTotal: with b=1, every position must land in group 0.
+func TestSingleGroupIsTotal(t *testing.T) {
+	for _, s := range allSchemes() {
+		ps, err := s.Partitions(9, 1, 2)
+		if err != nil {
+			t.Logf("%s: declined b=1: %v", s.Name(), err)
+			continue
+		}
+		for i, p := range ps {
+			for pos, g := range p.GroupOf {
+				if g != 0 {
+					t.Errorf("%s partition %d position %d in group %d, want 0", s.Name(), i, pos, g)
+				}
+			}
+		}
+	}
+}
+
+// TestMaxGroupsGeometry: b=n is a legal geometry for every scheme — a
+// valid covering family or a descriptive error, never a malformed
+// partition. The random-label schemes may leave groups empty or multiply
+// occupied; FixedInterval alone guarantees exactly one cell per group.
+func TestMaxGroupsGeometry(t *testing.T) {
+	const n = 6
+	for _, s := range allSchemes() {
+		ps, err := s.Partitions(n, n, 2)
+		if err != nil {
+			t.Logf("%s: declined b=n: %v", s.Name(), err)
+			continue
+		}
+		checkCovering(t, ps, n, n, 2, s.Name())
+	}
+	ps, err := FixedInterval{}.Partitions(n, n, 2)
+	if err != nil {
+		t.Fatalf("fixed-interval declined b=n: %v", err)
+	}
+	for i, p := range ps {
+		seen := make([]bool, n)
+		for pos, g := range p.GroupOf {
+			if seen[g] {
+				t.Errorf("fixed-interval partition %d: group %d holds more than one cell (position %d)", i, g, pos)
+			}
+			seen[g] = true
+		}
+	}
+}
+
+// FuzzPartitionSchemes feeds arbitrary geometries to all four schemes and
+// checks the universal contract: valid covering family or error, no panics.
+func FuzzPartitionSchemes(f *testing.F) {
+	f.Add(10, 4, 3)
+	f.Add(1, 1, 1)
+	f.Add(0, 1, 1)
+	f.Add(5, 6, 2)
+	f.Add(64, 1, 4)
+	f.Add(29, 29, 2)
+	f.Add(100, 7, 8)
+	f.Fuzz(func(t *testing.T, n, b, k int) {
+		if n > 512 || k > 16 || b > 512 {
+			t.Skip("bound the work per input")
+		}
+		for _, s := range allSchemes() {
+			ps, err := s.Partitions(n, b, k)
+			if err != nil {
+				if strings.TrimSpace(err.Error()) == "" {
+					t.Errorf("%s(n=%d,b=%d,k=%d): empty error message", s.Name(), n, b, k)
+				}
+				continue
+			}
+			if n < 1 || b < 1 || b > n || k < 0 {
+				t.Fatalf("%s(n=%d,b=%d,k=%d): invalid geometry accepted", s.Name(), n, b, k)
+			}
+			checkCovering(t, ps, n, b, k, s.Name())
+		}
+	})
+}
+
+// FuzzIntervalSeeds fuzzes Interval's seed/length-bit surface: arbitrary
+// explicit seeds must produce interval partitions or a descriptive error.
+func FuzzIntervalSeeds(f *testing.F) {
+	f.Add(16, 4, uint64(0xACE1), 4)
+	f.Add(29, 4, uint64(1), 3)
+	f.Add(8, 2, uint64(0xFFFF), 2)
+	f.Fuzz(func(t *testing.T, n, b int, seed uint64, lenBits int) {
+		if n > 256 || b > 256 || lenBits > 16 || lenBits < 1 {
+			t.Skip()
+		}
+		s := Interval{Poly: lfsr.MustPrimitivePoly(16), LenBits: lenBits, Seeds: []uint64{seed}}
+		ps, err := s.Partitions(n, b, 1)
+		if err != nil {
+			return
+		}
+		checkCovering(t, ps, n, b, 1, s.Name())
+		if !ps[0].IsIntervalPartition() {
+			t.Fatalf("Interval(n=%d,b=%d,seed=%#x,lenBits=%d) produced a non-interval partition", n, b, seed, lenBits)
+		}
+	})
+}
