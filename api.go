@@ -14,6 +14,7 @@ import (
 	"repro/internal/dictionary"
 	"repro/internal/noise"
 	"repro/internal/partition"
+	"repro/internal/pipeline"
 	"repro/internal/scan"
 	"repro/internal/sim"
 	"repro/internal/soc"
@@ -63,6 +64,14 @@ type (
 	Reliability = bist.Reliability
 	// Verdict is a tri-state BIST session outcome.
 	Verdict = bist.Verdict
+	// ArtifactCache content-addresses diagnosis build artifacts (pattern
+	// blocks, fault-free responses, partitions, golden signatures) so
+	// benches and sweep points sharing a configuration reuse one build.
+	// Set Options.Cache to share it across NewCircuitBench/NewSOCBench
+	// calls; a nil cache is valid and builds fresh every time.
+	ArtifactCache = pipeline.ArtifactCache
+	// CacheStats is a snapshot of artifact-cache hit/miss counters.
+	CacheStats = pipeline.Stats
 )
 
 // Tri-state session verdicts. Unknown verdicts never prune candidates.
@@ -120,6 +129,9 @@ func CollapseFaults(c *Circuit, faults []Fault) []Fault { return sim.CollapseFau
 func SampleFaults(faults []Fault, n int, seed int64) []Fault {
 	return sim.SampleFaults(faults, n, seed)
 }
+
+// NewArtifactCache returns an empty artifact cache for Options.Cache.
+func NewArtifactCache() *ArtifactCache { return pipeline.NewCache() }
 
 // NewCircuitBench prepares a BIST diagnosis environment for a circuit.
 func NewCircuitBench(c *Circuit, opts Options) (*CircuitBench, error) {

@@ -561,6 +561,70 @@ func BenchmarkTransitionFaultSim(b *testing.B) {
 	}
 }
 
+// --- Pipeline: artifact cache and pooled fault loop ----------------------
+
+// BenchmarkArtifactCache contrasts the cold artifact build (pattern
+// expansion, whole-machine fault-free simulation, partition tables, golden
+// signatures) with a content-keyed cache hit on an s9234-class circuit. The
+// hit path skips the golden re-simulation entirely, so it should run orders
+// of magnitude faster and nearly allocation-free.
+func BenchmarkArtifactCache(b *testing.B) {
+	c := benchgen.MustGenerate("s9234")
+	opts := scanbist.Options{Scheme: scanbist.TwoStep(), Groups: 16, Partitions: 8, Patterns: 128}
+	b.Run("miss", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := scanbist.NewCircuitBench(c, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		b.ReportAllocs()
+		opts := opts
+		opts.Cache = scanbist.NewArtifactCache()
+		if _, err := scanbist.NewCircuitBench(c, opts); err != nil {
+			b.Fatal(err) // cold build warms the cache
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := scanbist.NewCircuitBench(c, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPooledFaultLoop contrasts the reference per-fault DiagnoseFault
+// path (allocating verdicts, responses, and per-prefix candidate bitsets
+// every call) with the pooled Run path (per-worker reusable scratch,
+// in-place verdicts, histogram candidate counts). Both run serially so the
+// allocs/op column isolates pooling, not parallelism.
+func BenchmarkPooledFaultLoop(b *testing.B) {
+	c := benchgen.MustGenerate("s9234")
+	cb, err := scanbist.NewCircuitBench(c, scanbist.Options{
+		Scheme: scanbist.TwoStep(), Groups: 16, Partitions: 8, Patterns: 128, Workers: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := scanbist.SampleFaults(cb.Faults(), 32, 1)
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, f := range faults {
+				cb.DiagnoseFault(f)
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cb.Run(faults)
+		}
+	})
+}
+
 func BenchmarkFullModelSession(b *testing.B) {
 	c := benchgen.MustGenerate("s298")
 	model, err := bist.NewFullModel(c, scan.NaturalOrder(c.NumDFFs()),

@@ -36,6 +36,16 @@ func main() {
 	)
 	flag.Parse()
 
+	if *faults < 1 {
+		usageError(fmt.Errorf("-faults must be at least 1, got %d", *faults))
+	}
+	if *patterns < 1 {
+		usageError(fmt.Errorf("-patterns must be at least 1, got %d", *patterns))
+	}
+	if *limit < 1 {
+		usageError(fmt.Errorf("-limit must be at least 1, got %d", *limit))
+	}
+
 	var (
 		c   *circuit.Circuit
 		err error
@@ -45,7 +55,7 @@ func main() {
 	} else {
 		p, ok := benchgen.ProfileByName(*name)
 		if !ok {
-			fatal(fmt.Errorf("unknown circuit %q", *name))
+			usageError(fmt.Errorf("unknown circuit %q", *name))
 		}
 		c, err = benchgen.Generate(p)
 	}
@@ -111,4 +121,12 @@ func pct(n, total int) float64 {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "atpg:", err)
 	os.Exit(1)
+}
+
+// usageError reports a bad flag combination: the error, then the flag
+// reference, then exit status 2 (the conventional usage-error code).
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "atpg:", err)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -31,6 +31,11 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate flags before any generation work so a typo fails fast.
+	if *format != "bench" && *format != "verilog" {
+		usageError(fmt.Errorf("unknown format %q (expected bench|verilog)", *format))
+	}
+
 	if *list {
 		fmt.Printf("%-9s %7s %7s %7s %8s\n", "name", "inputs", "outputs", "FFs", "gates")
 		for _, p := range benchgen.Profiles() {
@@ -39,11 +44,11 @@ func main() {
 		return
 	}
 	if *name == "" {
-		fatal(fmt.Errorf("missing -circuit (or use -list)"))
+		usageError(fmt.Errorf("missing -circuit (or use -list)"))
 	}
 	p, ok := benchgen.ProfileByName(*name)
 	if !ok {
-		fatal(fmt.Errorf("unknown profile %q", *name))
+		usageError(fmt.Errorf("unknown profile %q", *name))
 	}
 	if *seed != 0 {
 		p.Seed = *seed
@@ -81,12 +86,18 @@ func main() {
 		if err := verilog.Write(w, c); err != nil {
 			fatal(err)
 		}
-	default:
-		fatal(fmt.Errorf("unknown format %q", *format))
 	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchgen:", err)
 	os.Exit(1)
+}
+
+// usageError reports a bad flag combination: the error, then the flag
+// reference, then exit status 2 (the conventional usage-error code).
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -15,11 +15,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"slices"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/pipeline"
 )
 
 func main() {
@@ -27,6 +30,8 @@ func main() {
 	faults := flag.Int("faults", 500, "stuck-at faults sampled per circuit or per faulty core")
 	seed := flag.Int64("seed", 1, "fault sampling seed")
 	format := flag.String("format", "text", "output format: text|csv (csv not available for figure3)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run")
 	flag.Parse()
 	if *format != "text" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)
@@ -44,7 +49,23 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := experiments.Config{Faults: *faults, FaultSeed: *seed}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
+
+	// One artifact cache spans every experiment of the invocation, so
+	// drivers revisiting a circuit (or plan) reuse its build artifacts.
+	cfg := experiments.Config{Faults: *faults, FaultSeed: *seed, Cache: pipeline.NewCache()}
 	run := func(name string, f func() (rows any, text string, err error)) {
 		if *exp != "all" && *exp != name {
 			return
@@ -113,4 +134,22 @@ func main() {
 		rows, err := experiments.NoiseSweep(cfg)
 		return rows, experiments.FormatNoiseSweep(rows), err
 	})
+}
+
+// writeMemProfile snapshots the heap after a GC so the profile reflects
+// retained memory, not transient garbage. A no-op for an empty path.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+	}
 }

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 	"repro/internal/benchgen"
@@ -46,6 +48,8 @@ func main() {
 		retries      = flag.Int("retries", 0, "extra executions per session; completed executions vote on the verdict")
 		vote         = flag.Int("vote", 1, "prune a cell only if its group passed in at least this many partitions")
 		noiseSeed    = flag.Uint64("noise-seed", 7, "seed for the unreliable-tester noise streams")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	flag.Parse()
 
@@ -70,6 +74,18 @@ func main() {
 	if *vote < 1 || *vote > *partitions {
 		usageError(fmt.Errorf("-vote must be in [1, %d], got %d", *partitions, *vote))
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
 
 	c, err := loadCircuit(*benchPath, *name)
 	if err != nil {
@@ -185,6 +201,24 @@ func schemeByName(name string) (partition.Scheme, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "scandiag:", err)
 	os.Exit(1)
+}
+
+// writeMemProfile snapshots the heap after a GC so the profile reflects
+// retained memory, not transient garbage. A no-op for an empty path.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scandiag:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "scandiag:", err)
+	}
 }
 
 // usageError reports a bad flag combination: the error, then the flag

@@ -70,6 +70,12 @@ func (p Plan) withDefaults() Plan {
 	return p
 }
 
+// Normalized returns the plan with defaults applied (zero MISRPoly →
+// degree 32), the form NewEngine uses internally. Callers that key caches
+// on plan contents should normalize first so equal effective plans
+// compare equal.
+func (p Plan) Normalized() Plan { return p.withDefaults() }
+
 // Verdict is the tri-state outcome of one BIST session. A perfect tester
 // only ever produces Pass or Fail; Unknown appears when an unreliable
 // tester aborts every execution of a session or its repeated executions
@@ -246,19 +252,43 @@ func (e *Engine) Config() scan.Config { return e.cfg }
 // ChainPartitions returns the partitions applied to one chain.
 func (e *Engine) ChainPartitions(chain int) []partition.Partition { return e.parts[chain] }
 
-// Verdicts derives all session verdicts for a fault from its good and
-// faulty responses. Only error bits are visited, so the cost is
-// proportional to the number of cell errors, not to the stream length.
-func (e *Engine) Verdicts(good, faulty []*sim.Response, blocks []*sim.Block) *Verdicts {
+// NewVerdicts allocates a Verdicts shaped for this engine's plan, for
+// reuse across a fault loop via VerdictsInto.
+func (e *Engine) NewVerdicts() *Verdicts {
 	v := &Verdicts{
 		Fail:   make([][]bool, e.plan.Partitions),
 		ErrSig: make([][]uint64, e.plan.Partitions),
 	}
-	errSig := v.ErrSig
 	for t := range v.Fail {
 		v.Fail[t] = make([]bool, e.vgroups)
-		errSig[t] = make([]uint64, e.vgroups)
+		v.ErrSig[t] = make([]uint64, e.vgroups)
 	}
+	return v
+}
+
+// Verdicts derives all session verdicts for a fault from its good and
+// faulty responses. Only error bits are visited, so the cost is
+// proportional to the number of cell errors, not to the stream length.
+func (e *Engine) Verdicts(good, faulty []*sim.Response, blocks []*sim.Block) *Verdicts {
+	v := e.NewVerdicts()
+	e.VerdictsInto(good, faulty, blocks, v)
+	return v
+}
+
+// VerdictsInto recomputes v in place from a fault's responses — the
+// pooled equivalent of Verdicts: the rows are zeroed and refilled, so one
+// per-worker Verdicts serves the whole fault loop without allocating. v
+// must come from NewVerdicts on this engine.
+func (e *Engine) VerdictsInto(good, faulty []*sim.Response, blocks []*sim.Block, v *Verdicts) {
+	errSig := v.ErrSig
+	for t := range v.Fail {
+		fr, sr := v.Fail[t], errSig[t]
+		for i := range fr {
+			fr[i] = false
+			sr[i] = 0
+		}
+	}
+	v.Unknown = nil
 	patternBase := 0
 	totalClocks := 0
 	for _, b := range blocks {
@@ -301,7 +331,6 @@ func (e *Engine) Verdicts(good, faulty []*sim.Response, blocks []*sim.Block) *Ve
 			}
 		}
 	}
-	return v
 }
 
 // Cost quantifies the test-resource footprint of a plan: diagnosis time

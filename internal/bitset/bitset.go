@@ -80,6 +80,14 @@ func (s *Set) Empty() bool {
 	return true
 }
 
+// Reset removes every element, keeping the allocated capacity — the
+// building block for buffer reuse in the diagnosis hot loop.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
 // Clone returns an independent copy.
 func (s *Set) Clone() *Set {
 	w := make([]uint64, len(s.words))
@@ -162,6 +170,17 @@ func (s *Set) Equal(t *Set) bool {
 		}
 	}
 	return true
+}
+
+// ForEach calls fn for each element in ascending order without allocating.
+func (s *Set) ForEach(fn func(int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &= w - 1
+		}
+	}
 }
 
 // Elems returns the elements in ascending order.

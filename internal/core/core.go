@@ -4,13 +4,17 @@
 // (DR) metric — for a single full-scan circuit or for a core-based SOC
 // tested through a TestRail. It is the layer the examples, command-line
 // tools, and experiment drivers build on.
+//
+// The heavy lifting lives in internal/pipeline: a bench borrows an
+// immutable artifact set (patterns, fault-free responses, partitions,
+// golden signatures) — deduplicated by Options.Cache when several benches
+// share a content key — and drives the fault loop over a batched worker
+// pool with per-worker reusable scratch buffers, so the steady-state loop
+// stays allocation-free.
 package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/bist"
 	"repro/internal/bitset"
@@ -19,7 +23,7 @@ import (
 	"repro/internal/lfsr"
 	"repro/internal/noise"
 	"repro/internal/partition"
-	"repro/internal/scan"
+	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/soc"
 )
@@ -69,6 +73,12 @@ type Options struct {
 	// only when its group passed in at least K partitions (Unknown
 	// verdicts never prune). 0 or 1 is the paper's hard intersection.
 	VoteThreshold int
+	// Cache deduplicates build artifacts (pattern blocks, fault-free
+	// responses, partitions, golden signatures) across benches that share
+	// a content key. Nil builds fresh artifacts per bench. Runtime knobs —
+	// Workers, Noise, Retry, VoteThreshold, and the cache itself — are not
+	// part of the key, so sweeps over them reuse one artifact set.
+	Cache *pipeline.ArtifactCache
 }
 
 func (o Options) withDefaults() Options {
@@ -106,28 +116,21 @@ func (o Options) validate() error {
 	return nil
 }
 
-func (o Options) scanConfig(numCells int) (scan.Config, error) {
-	order := o.ScanOrder
-	if order == nil {
-		order = scan.NaturalOrder(numCells)
-	}
-	if len(order) != numCells {
-		return scan.Config{}, fmt.Errorf("core: scan order covers %d of %d cells", len(order), numCells)
-	}
-	if o.Chains == 1 {
-		return scan.SingleChainOrdered(order), nil
-	}
-	return scan.SplitContiguous(order, o.Chains)
-}
-
-func (o Options) plan() bist.Plan {
-	return bist.Plan{
+// spec extracts the artifact content key: exactly the Options fields that
+// shape build artifacts, with defaults resolved.
+func (o Options) spec() pipeline.Spec {
+	return pipeline.Spec{
 		Scheme:     o.Scheme,
 		Groups:     o.Groups,
 		Partitions: o.Partitions,
+		Patterns:   o.Patterns,
+		PRPGSeed:   o.PRPGSeed,
+		PRPGPoly:   o.PRPGPoly,
 		MISRPoly:   o.MISRPoly,
 		Ideal:      o.Ideal,
-	}
+		Chains:     o.Chains,
+		ScanOrder:  o.ScanOrder,
+	}.Normalized()
 }
 
 // FaultDiagnosis is the per-fault outcome of a study.
@@ -239,64 +242,55 @@ func (s *Study) PartitionsToReachDR(target float64) int {
 	return -1
 }
 
-// CircuitBench couples one full-scan circuit with patterns, engine, and
-// diagnoser for repeated fault studies.
+// CircuitBench couples one full-scan circuit with its build artifacts
+// (patterns, fault-free responses, engine, diagnoser) for repeated fault
+// studies.
 type CircuitBench struct {
 	Circuit *circuit.Circuit
 	Opts    Options
 
-	fs     *sim.FaultSim
-	eng    *bist.Engine
-	diag   *diagnosis.Diagnoser
-	blocks []*sim.Block
-	good   []*sim.Response
+	art *pipeline.CircuitArtifacts
+	fs  *sim.FaultSim // per-bench fork of the (possibly shared) simulator
 }
 
 // NewCircuitBench prepares the BIST environment for a circuit: generates
 // the pattern set, simulates the fault-free machine, builds the scan
-// configuration, partitions, and syndrome tables.
+// configuration, partitions, and syndrome tables. With Opts.Cache set,
+// benches sharing a content key borrow one artifact set instead of
+// rebuilding it.
 func NewCircuitBench(c *circuit.Circuit, opts Options) (*CircuitBench, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	cfg, err := opts.scanConfig(c.NumDFFs())
+	art, err := opts.Cache.Circuit(c, opts.spec())
 	if err != nil {
 		return nil, err
 	}
-	prpg, err := lfsr.New(opts.PRPGPoly, opts.PRPGSeed)
-	if err != nil {
-		return nil, err
-	}
-	blocks := bist.GenerateBlocks(prpg, c.NumInputs(), c.NumDFFs(), opts.Patterns)
-	eng, err := bist.NewEngine(cfg, opts.plan(), opts.Patterns)
-	if err != nil {
-		return nil, err
-	}
-	diag, err := diagnosis.FromEngine(eng)
-	if err != nil {
-		return nil, err
-	}
-	b := &CircuitBench{Circuit: c, Opts: opts, eng: eng, diag: diag, blocks: blocks}
-	b.fs = sim.NewFaultSim(c, blocks)
-	for i := range blocks {
-		b.good = append(b.good, b.fs.Good(i))
-	}
-	return b, nil
+	return &CircuitBench{Circuit: c, Opts: opts, art: art, fs: art.Sim.Fork()}, nil
 }
 
 // Engine exposes the underlying BIST engine (partitions, signatures).
-func (b *CircuitBench) Engine() *bist.Engine { return b.eng }
+func (b *CircuitBench) Engine() *bist.Engine { return b.art.Engine }
+
+// Artifacts exposes the bench's immutable build artifacts (shared with
+// other benches when Opts.Cache deduplicated the build).
+func (b *CircuitBench) Artifacts() *pipeline.CircuitArtifacts { return b.art }
+
+// GoldenSignatures returns the precomputed fault-free signature per
+// (partition, verdict slot) — the tester-side storage.
+func (b *CircuitBench) GoldenSignatures() [][]uint64 { return b.art.Golden }
 
 // Cost returns the plan's test-resource footprint.
-func (b *CircuitBench) Cost() bist.Cost { return b.eng.Cost() }
+func (b *CircuitBench) Cost() bist.Cost { return b.art.Engine.Cost() }
 
 // Faults returns the collapsed stuck-at fault list of the circuit.
 func (b *CircuitBench) Faults() []sim.Fault {
 	return sim.CollapseFaults(b.Circuit, sim.FullFaultList(b.Circuit))
 }
 
-// DiagnoseFault runs the complete flow for one fault.
+// DiagnoseFault runs the complete flow for one fault on the reference
+// (unpooled) path; Run uses the pooled batch path with identical results.
 func (b *CircuitBench) DiagnoseFault(f sim.Fault) *FaultDiagnosis {
 	return b.diagnose(b.fs.Run(f))
 }
@@ -311,13 +305,16 @@ func (b *CircuitBench) DiagnoseMulti(faults []sim.Fault) *FaultDiagnosis {
 
 func (b *CircuitBench) diagnose(res *sim.Result) *FaultDiagnosis {
 	fd := &FaultDiagnosis{Fault: res.Fault, Actual: res.FailingCells, Detected: res.Detected()}
-	diagnoseFault(b.Opts, b.eng, b.diag, b.good, b.blocks, res.Faulty, fd)
+	diagnoseFault(b.Opts, b.art.Engine, b.art.Diag, b.art.Good, b.art.Blocks, res.Faulty, fd)
 	return fd
 }
 
 // diagnoseFault derives session verdicts — deterministic for a perfect
 // tester, tri-state with retries and voting under noise — and fills in the
-// candidate sets. Shared by the circuit- and SOC-level benches.
+// candidate sets. Shared by the circuit- and SOC-level benches. This is
+// the reference implementation the pooled worker path must match
+// bit-for-bit; it allocates per call and is kept for single-fault APIs and
+// equivalence tests.
 func diagnoseFault(o Options, eng *bist.Engine, diag *diagnosis.Diagnoser, good []*sim.Response, blocks []*sim.Block, faulty []*sim.Response, fd *FaultDiagnosis) {
 	if !fd.Detected {
 		return
@@ -343,6 +340,56 @@ func diagnoseFault(o Options, eng *bist.Engine, diag *diagnosis.Diagnoser, good 
 	}
 }
 
+// diagWorker carries one worker's reusable diagnosis buffers — a pooled
+// Verdicts and the candidate-count scratch — so the steady-state fault
+// loop only allocates what escapes into the FaultDiagnosis.
+type diagWorker struct {
+	o      Options
+	eng    *bist.Engine
+	diag   *diagnosis.Diagnoser
+	good   []*sim.Response
+	blocks []*sim.Block
+	v      *bist.Verdicts
+	counts []int
+}
+
+func newDiagWorker(o Options, eng *bist.Engine, diag *diagnosis.Diagnoser, good []*sim.Response, blocks []*sim.Block) *diagWorker {
+	return &diagWorker{
+		o: o, eng: eng, diag: diag, good: good, blocks: blocks,
+		v:      eng.NewVerdicts(),
+		counts: make([]int, o.Partitions),
+	}
+}
+
+// diagnose is the pooled counterpart of diagnoseFault: verdicts land in
+// the worker's reused buffers and candidate counts come from the
+// O(cells × partitions) histogram pass instead of one bitset per prefix.
+// actual and faulty may alias worker scratch; everything escaping into the
+// FaultDiagnosis is copied.
+func (w *diagWorker) diagnose(f sim.Fault, actual *bitset.Set, detected bool, faulty []*sim.Response) *FaultDiagnosis {
+	fd := &FaultDiagnosis{Fault: f, Actual: actual.Clone(), Detected: detected}
+	if !detected {
+		return fd
+	}
+	var v *bist.Verdicts
+	if w.o.Noise.Enabled() {
+		m := w.o.Noise.Fork(uint64(int64(f.Net)+1), uint64(int64(f.Gate)+1),
+			uint64(int64(f.Pin)+1), uint64(f.Stuck))
+		var rel *bist.Reliability
+		v, rel = w.eng.NoisyVerdicts(w.good, faulty, w.blocks, m, w.o.Retry)
+		fd.Reliability = rel
+		fd.Baseline = w.diag.Diagnose(v)
+		fd.Result = w.diag.DiagnoseRobust(v, w.o.VoteThreshold)
+	} else {
+		w.eng.VerdictsInto(w.good, faulty, w.blocks, w.v)
+		v = w.v
+		fd.Result = w.diag.DiagnoseRobust(v, w.o.VoteThreshold)
+	}
+	w.diag.CandidateCounts(v, w.counts)
+	fd.CandidatesByPartition = append([]int(nil), w.counts...)
+	return fd
+}
+
 // Run diagnoses every fault and aggregates the study, using
 // Opts.Workers goroutines.
 func (b *CircuitBench) Run(faults []sim.Fault) *Study {
@@ -350,16 +397,20 @@ func (b *CircuitBench) Run(faults []sim.Fault) *Study {
 }
 
 // RunObserved is Run with a per-fault callback, invoked in fault order
-// after all diagnoses complete, for reporting and tracing.
+// after all diagnoses complete, for reporting and tracing. Faults are
+// scheduled in deterministic batches over the worker pool; each worker
+// owns forked simulator scratch and pooled verdict buffers, so results
+// are identical for every worker count.
 func (b *CircuitBench) RunObserved(faults []sim.Fault, observe func(*FaultDiagnosis)) *Study {
 	study := newStudy(b.Opts, b.Opts.Scheme.Name())
 	results := make([]*FaultDiagnosis, len(faults))
-	runParallel(b.Opts.Workers, len(faults), func() func(int) {
+	pipeline.Executor{Workers: b.Opts.Workers}.Run(len(faults), func() func(int) {
 		fs := b.fs.Fork()
+		sc := fs.NewScratch()
+		w := newDiagWorker(b.Opts, b.art.Engine, b.art.Diag, b.art.Good, b.art.Blocks)
 		return func(i int) {
-			// diagnose only reads the shared engine/diagnoser/pattern
-			// state; the forked FaultSim provides per-goroutine scratch.
-			results[i] = b.diagnose(fs.Run(faults[i]))
+			res := fs.RunInto(faults[i], sc)
+			results[i] = w.diagnose(res.Fault, res.FailingCells, res.Detected(), res.Faulty)
 		}
 	})
 	for _, fd := range results {
@@ -371,42 +422,6 @@ func (b *CircuitBench) RunObserved(faults []sim.Fault, observe func(*FaultDiagno
 	return study
 }
 
-// runParallel distributes n independent jobs over workers goroutines; each
-// worker calls mkWorker once to obtain its own job function (carrying
-// per-goroutine scratch state).
-func runParallel(workers, n int, mkWorker func() func(int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		job := mkWorker()
-		for i := 0; i < n; i++ {
-			job(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			job := mkWorker()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				job(i)
-			}
-		}()
-	}
-	wg.Wait()
-}
-
 // SOCBench is the SOC-level counterpart: the DUT is a set of cores on a
 // TestRail, the fault lives in one core, and diagnosis runs over the meta
 // scan chains.
@@ -414,9 +429,8 @@ type SOCBench struct {
 	SOC  *soc.SOC
 	Opts Options
 
-	fs   *soc.FaultSim
-	eng  *bist.Engine
-	diag *diagnosis.Diagnoser
+	art *pipeline.SOCArtifacts
+	fs  *soc.FaultSim // per-bench fork of the (possibly shared) simulator
 }
 
 // NewSOCBench prepares the BIST environment over the SOC's meta chains
@@ -429,46 +443,31 @@ func NewSOCBench(s *soc.SOC, opts Options) (*SOCBench, error) {
 	if opts.ScanOrder != nil {
 		return nil, fmt.Errorf("core: custom scan order is not supported at SOC level; the TestRail fixes daisy order")
 	}
-	var cfg scan.Config
-	if opts.Chains == 1 {
-		cfg = s.SingleMetaChain()
-	} else {
-		var err error
-		cfg, err = s.MetaChains(opts.Chains)
-		if err != nil {
-			return nil, err
-		}
-	}
-	prpg, err := lfsr.New(opts.PRPGPoly, opts.PRPGSeed)
+	art, err := opts.Cache.SOC(s, opts.spec())
 	if err != nil {
 		return nil, err
 	}
-	patterns := s.GeneratePatterns(prpg, opts.Patterns)
-	fs, err := soc.NewFaultSim(s, patterns)
-	if err != nil {
-		return nil, err
-	}
-	eng, err := bist.NewEngine(cfg, opts.plan(), opts.Patterns)
-	if err != nil {
-		return nil, err
-	}
-	diag, err := diagnosis.FromEngine(eng)
-	if err != nil {
-		return nil, err
-	}
-	return &SOCBench{SOC: s, Opts: opts, fs: fs, eng: eng, diag: diag}, nil
+	return &SOCBench{SOC: s, Opts: opts, art: art, fs: art.Sim.Fork()}, nil
 }
 
 // Engine exposes the underlying BIST engine.
-func (b *SOCBench) Engine() *bist.Engine { return b.eng }
+func (b *SOCBench) Engine() *bist.Engine { return b.art.Engine }
+
+// Artifacts exposes the bench's immutable build artifacts.
+func (b *SOCBench) Artifacts() *pipeline.SOCArtifacts { return b.art }
+
+// GoldenSignatures returns the precomputed fault-free signature per
+// (partition, verdict slot).
+func (b *SOCBench) GoldenSignatures() [][]uint64 { return b.art.Golden }
 
 // Cost returns the plan's test-resource footprint over the TAM.
-func (b *SOCBench) Cost() bist.Cost { return b.eng.Cost() }
+func (b *SOCBench) Cost() bist.Cost { return b.art.Engine.Cost() }
 
 // CoreFaults returns the collapsed fault list of core i.
 func (b *SOCBench) CoreFaults(i int) []sim.Fault { return b.fs.CoreFaults(i) }
 
-// DiagnoseFault runs the flow for a fault injected into one core.
+// DiagnoseFault runs the flow for a fault injected into one core on the
+// reference (unpooled) path.
 func (b *SOCBench) DiagnoseFault(core int, f sim.Fault) *FaultDiagnosis {
 	return b.diagnose(b.fs.Run(core, f))
 }
@@ -482,20 +481,23 @@ func (b *SOCBench) DiagnoseMultiCore(coreFaults map[int]sim.Fault) *FaultDiagnos
 
 func (b *SOCBench) diagnose(res *soc.Result) *FaultDiagnosis {
 	fd := &FaultDiagnosis{Fault: res.Fault, Actual: res.FailingCells, Detected: res.Detected()}
-	diagnoseFault(b.Opts, b.eng, b.diag, b.fs.Good(), b.fs.Blocks(), res.Faulty, fd)
+	diagnoseFault(b.Opts, b.art.Engine, b.art.Diag, b.fs.Good(), b.fs.Blocks(), res.Faulty, fd)
 	return fd
 }
 
 // RunCore diagnoses a set of faults all injected into one core (the
 // paper's one-faulty-core-per-session assumption), using Opts.Workers
-// goroutines.
+// goroutines over the same batched, pooled engine as CircuitBench.Run.
 func (b *SOCBench) RunCore(core int, faults []sim.Fault) *Study {
 	study := newStudy(b.Opts, b.Opts.Scheme.Name())
 	results := make([]*FaultDiagnosis, len(faults))
-	runParallel(b.Opts.Workers, len(faults), func() func(int) {
+	pipeline.Executor{Workers: b.Opts.Workers}.Run(len(faults), func() func(int) {
 		fs := b.fs.Fork()
+		sc := fs.NewScratch()
+		w := newDiagWorker(b.Opts, b.art.Engine, b.art.Diag, fs.Good(), fs.Blocks())
 		return func(i int) {
-			results[i] = b.diagnose(fs.Run(core, faults[i]))
+			res := fs.RunInto(core, faults[i], sc)
+			results[i] = w.diagnose(res.Fault, res.FailingCells, res.Detected(), res.Faulty)
 		}
 	})
 	for _, fd := range results {

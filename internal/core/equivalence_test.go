@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/bist"
+	"repro/internal/bitset"
+	"repro/internal/diagnosis"
+	"repro/internal/noise"
+	"repro/internal/partition"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/soc"
+)
+
+// equivNoisyOpts layers the unreliable-tester knobs over baseOpts so the
+// equivalence tests cover the tri-state verdict path too.
+func equivNoisyOpts(scheme partition.Scheme) Options {
+	o := baseOpts(scheme)
+	o.Noise = noise.Model{Intermittent: 0.5, Flip: 0.02, Abort: 0.02, Seed: 7}
+	o.Retry = bist.RetryPolicy{MaxRetries: 4}
+	o.VoteThreshold = 2
+	return o
+}
+
+func setsEqual(a, b *bitset.Set) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || a.Equal(b)
+}
+
+func resultsEqual(a, b *diagnosis.Result) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || (setsEqual(a.Candidates, b.Candidates) &&
+		setsEqual(a.Pruned, b.Pruned) && setsEqual(a.Confirmed, b.Confirmed))
+}
+
+// requireSameDiagnosis asserts that two FaultDiagnosis values agree on every
+// field a caller can observe.
+func requireSameDiagnosis(t *testing.T, label string, got, want *FaultDiagnosis) {
+	t.Helper()
+	if got.Fault != want.Fault {
+		t.Fatalf("%s: fault %+v, want %+v", label, got.Fault, want.Fault)
+	}
+	if got.Detected != want.Detected {
+		t.Fatalf("%s: detected %t, want %t", label, got.Detected, want.Detected)
+	}
+	if !setsEqual(got.Actual, want.Actual) {
+		t.Fatalf("%s: actual cells %v, want %v", label, got.Actual.Elems(), want.Actual.Elems())
+	}
+	if !resultsEqual(got.Result, want.Result) {
+		t.Fatalf("%s: result differs: got %+v, want %+v", label, got.Result, want.Result)
+	}
+	if !resultsEqual(got.Baseline, want.Baseline) {
+		t.Fatalf("%s: baseline differs: got %+v, want %+v", label, got.Baseline, want.Baseline)
+	}
+	if !reflect.DeepEqual(got.Reliability, want.Reliability) {
+		t.Fatalf("%s: reliability %+v, want %+v", label, got.Reliability, want.Reliability)
+	}
+	if !reflect.DeepEqual(got.CandidatesByPartition, want.CandidatesByPartition) {
+		t.Fatalf("%s: candidates by partition %v, want %v",
+			label, got.CandidatesByPartition, want.CandidatesByPartition)
+	}
+}
+
+// TestPooledRunMatchesReference pins the tentpole invariant: the pooled,
+// batched Run path must reproduce the reference per-fault DiagnoseFault
+// path bit-for-bit, across schemes and with the tester noise model both off
+// and on.
+func TestPooledRunMatchesReference(t *testing.T) {
+	c := benchgen.MustGenerate("s953")
+	schemes := []partition.Scheme{partition.Interval{}, partition.RandomSelection{}, partition.TwoStep{}}
+	for _, scheme := range schemes {
+		for _, noisy := range []bool{false, true} {
+			o := baseOpts(scheme)
+			if noisy {
+				o = equivNoisyOpts(scheme)
+			}
+			o.Workers = 4
+			t.Run(fmt.Sprintf("%s/noisy=%t", scheme.Name(), noisy), func(t *testing.T) {
+				b, err := NewCircuitBench(c, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				faults := sim.SampleFaults(b.Faults(), 40, 11)
+				var pooled []*FaultDiagnosis
+				b.RunObserved(faults, func(fd *FaultDiagnosis) { pooled = append(pooled, fd) })
+				if len(pooled) != len(faults) {
+					t.Fatalf("observed %d diagnoses for %d faults", len(pooled), len(faults))
+				}
+				for i, f := range faults {
+					ref := b.DiagnoseFault(f)
+					requireSameDiagnosis(t, fmt.Sprintf("fault %d (%+v)", i, f), pooled[i], ref)
+				}
+			})
+		}
+	}
+}
+
+// TestStudyDeterministicAcrossWorkers asserts identical Studies — including
+// Reliability and the robust-mode outputs — for every worker count.
+func TestStudyDeterministicAcrossWorkers(t *testing.T) {
+	c := benchgen.MustGenerate("s953")
+	for _, noisy := range []bool{false, true} {
+		o := baseOpts(partition.TwoStep{})
+		if noisy {
+			o = equivNoisyOpts(partition.TwoStep{})
+		}
+		var want *Study
+		for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+			o.Workers = workers
+			b, err := NewCircuitBench(c, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			faults := sim.SampleFaults(b.Faults(), 60, 5)
+			study := b.Run(faults)
+			if want == nil {
+				want = study
+				continue
+			}
+			if !reflect.DeepEqual(study, want) {
+				t.Errorf("noisy=%t workers=%d: study %+v differs from workers=1 study %+v",
+					noisy, workers, study, want)
+			}
+		}
+	}
+}
+
+// TestCacheHitMatchesCacheMiss asserts that a bench built from cached
+// artifacts behaves identically to one that built everything fresh.
+func TestCacheHitMatchesCacheMiss(t *testing.T) {
+	c := benchgen.MustGenerate("s953")
+	cache := pipeline.NewCache()
+	o := equivNoisyOpts(partition.TwoStep{})
+	o.Cache = cache
+
+	warm, err := NewCircuitBench(c, o) // cold build populates the cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := NewCircuitBench(c, o) // same key: artifact-cache hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("cache stats %+v, want one miss then one hit", s)
+	}
+	o.Cache = nil
+	fresh, err := NewCircuitBench(c, o) // no cache: builds from scratch
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(hit.GoldenSignatures(), fresh.GoldenSignatures()) {
+		t.Error("golden signatures differ between cache-hit and fresh builds")
+	}
+	faults := sim.SampleFaults(fresh.Faults(), 40, 3)
+	want := fresh.Run(faults)
+	for label, b := range map[string]*CircuitBench{"warm": warm, "hit": hit} {
+		if got := b.Run(faults); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s bench study %+v differs from fresh build %+v", label, got, want)
+		}
+	}
+}
+
+// TestSOCPooledMatchesReference is the SOC-level counterpart of
+// TestPooledRunMatchesReference: RunCore's pooled path against the
+// per-fault DiagnoseFault path, with and without noise.
+func TestSOCPooledMatchesReference(t *testing.T) {
+	var cores []*soc.Core
+	for _, name := range []string{"s298", "s953", "s526"} {
+		cores = append(cores, &soc.Core{Name: name, Circuit: benchgen.MustGenerate(name)})
+	}
+	s, err := soc.New("mini", cores...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, noisy := range []bool{false, true} {
+		o := baseOpts(partition.TwoStep{})
+		if noisy {
+			o = equivNoisyOpts(partition.TwoStep{})
+		}
+		o.Workers = 4
+		b, err := NewSOCBench(s, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const core = 1
+		faults := sim.SampleFaults(b.CoreFaults(core), 30, 17)
+
+		// RunCore has no observe hook; aggregate both paths into Studies and
+		// also spot-check per-fault equality through the reference API.
+		pooled := b.RunCore(core, faults)
+		ref := newStudy(o, o.Scheme.Name())
+		for i, f := range faults {
+			fd := b.DiagnoseFault(core, f)
+			ref.add(fd)
+			again := b.DiagnoseFault(core, f)
+			requireSameDiagnosis(t, fmt.Sprintf("noisy=%t fault %d", noisy, i), again, fd)
+		}
+		if !reflect.DeepEqual(pooled, ref) {
+			t.Errorf("noisy=%t: pooled SOC study %+v differs from reference %+v", noisy, pooled, ref)
+		}
+
+		o.Workers = 1
+		b1, err := NewSOCBench(s, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial := b1.RunCore(core, faults); !reflect.DeepEqual(serial, pooled) {
+			t.Errorf("noisy=%t: serial SOC study differs from pooled", noisy)
+		}
+	}
+}

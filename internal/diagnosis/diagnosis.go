@@ -130,6 +130,46 @@ func (d *Diagnoser) Candidates(v *bist.Verdicts, k int) *bitset.Set {
 	return cand
 }
 
+// CandidateCounts fills counts[k-1] with Candidates(v, k).Len() for every
+// prefix length k in 1..len(counts), in one O(cells × partitions) pass
+// without allocating. Each cell contributes the length of its longest
+// all-failing partition prefix to an in-place histogram, and a suffix sum
+// turns exact prefix lengths into "candidate after k partitions" counts.
+func (d *Diagnoser) CandidateCounts(v *bist.Verdicts, counts []int) {
+	for i := range counts {
+		counts[i] = 0
+	}
+	kmax := len(counts)
+	if kmax > len(v.Fail) {
+		kmax = len(v.Fail)
+	}
+	if kmax == 0 {
+		return
+	}
+	for ci, ch := range d.cfg.Chains {
+		for pos := range ch.Cells {
+			l := 0
+			for t := 0; t < kmax; t++ {
+				if !v.Fail[t][d.groupOf(ci, pos, t)] {
+					break
+				}
+				l++
+			}
+			if l > 0 {
+				counts[l-1]++
+			}
+		}
+	}
+	for k := kmax - 1; k > 0; k-- {
+		counts[k-1] += counts[k]
+	}
+	// Candidates clamps k to the verdict count, so any tail entries equal
+	// the full-prefix count.
+	for k := kmax; k < len(counts); k++ {
+		counts[k] = counts[kmax-1]
+	}
+}
+
 // Diagnose runs the full flow over all partitions: intersection candidates,
 // then superposition pruning.
 func (d *Diagnoser) Diagnose(v *bist.Verdicts) *Result {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/benchgen"
 	"repro/internal/core"
 	"repro/internal/partition"
+	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/soc"
 )
@@ -30,6 +31,13 @@ type Config struct {
 	Faults int
 	// FaultSeed seeds fault sampling. Zero selects 1.
 	FaultSeed int64
+	// Cache shares build artifacts (pattern blocks, fault-free responses,
+	// golden signatures) across the benches an experiment builds — and
+	// across experiments when the caller threads one cache through all of
+	// them, as cmd/experiments does. Sweeps that vary only the scheme,
+	// plan, or noise level reuse the expensive fault-free simulation. Nil
+	// selects a fresh per-experiment cache.
+	Cache *pipeline.ArtifactCache
 }
 
 func (c Config) withDefaults() Config {
@@ -38,6 +46,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FaultSeed == 0 {
 		c.FaultSeed = 1
+	}
+	if c.Cache == nil {
+		c.Cache = pipeline.NewCache()
 	}
 	return c
 }
@@ -65,7 +76,7 @@ func Table1(cfg Config) ([]Table1Row, error) {
 	var studies []*core.Study
 	for _, s := range schemes {
 		b, err := core.NewCircuitBench(c, core.Options{
-			Scheme: s, Groups: 4, Partitions: maxPartitions, Patterns: 200,
+			Scheme: s, Groups: 4, Partitions: maxPartitions, Patterns: 200, Cache: cfg.Cache,
 		})
 		if err != nil {
 			return nil, err
@@ -127,7 +138,7 @@ func Table2(cfg Config) ([]Table2Row, error) {
 		row := Table2Row{Circuit: setup.name, Groups: setup.groups, Partitions: table2Partitions}
 		for i, s := range []partition.Scheme{partition.RandomSelection{}, partition.TwoStep{}} {
 			b, err := core.NewCircuitBench(c, core.Options{
-				Scheme: s, Groups: setup.groups, Partitions: table2Partitions, Patterns: 128,
+				Scheme: s, Groups: setup.groups, Partitions: table2Partitions, Patterns: 128, Cache: cfg.Cache,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", setup.name, s.Name(), err)
@@ -163,7 +174,7 @@ func socTable(cfg Config, s *soc.SOC, chains, groups, partitions, patterns int) 
 	benches := make([]*core.SOCBench, 2)
 	for i, sch := range []partition.Scheme{partition.RandomSelection{}, partition.TwoStep{}} {
 		b, err := core.NewSOCBench(s, core.Options{
-			Scheme: sch, Groups: groups, Partitions: partitions, Patterns: patterns, Chains: chains,
+			Scheme: sch, Groups: groups, Partitions: partitions, Patterns: patterns, Chains: chains, Cache: cfg.Cache,
 		})
 		if err != nil {
 			return nil, err
@@ -228,7 +239,7 @@ func Figure5(cfg Config) ([]Figure5Row, error) {
 	benches := make([]*core.SOCBench, 2)
 	for i, sch := range []partition.Scheme{partition.RandomSelection{}, partition.TwoStep{}} {
 		b, err := core.NewSOCBench(s, core.Options{
-			Scheme: sch, Groups: 32, Partitions: figure5MaxPartitions, Patterns: 128,
+			Scheme: sch, Groups: 32, Partitions: figure5MaxPartitions, Patterns: 128, Cache: cfg.Cache,
 		})
 		if err != nil {
 			return nil, err

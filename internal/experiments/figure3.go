@@ -7,6 +7,7 @@ import (
 	"repro/internal/benchgen"
 	"repro/internal/core"
 	"repro/internal/partition"
+	"repro/internal/pipeline"
 	"repro/internal/sim"
 )
 
@@ -28,9 +29,10 @@ type Figure3Result struct {
 // failing cells, mirroring the paper's two-failing-cell example.
 func Figure3() (*Figure3Result, error) {
 	c := benchgen.MustGenerate("s953")
+	cache := pipeline.NewCache() // both schemes share the simulation layer
 	mk := func(s partition.Scheme) (*core.CircuitBench, error) {
 		return core.NewCircuitBench(c, core.Options{
-			Scheme: s, Groups: 4, Partitions: 1, Patterns: 200,
+			Scheme: s, Groups: 4, Partitions: 1, Patterns: 200, Cache: cache,
 		})
 	}
 	ib, err := mk(partition.Interval{})

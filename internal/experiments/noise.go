@@ -70,6 +70,9 @@ func NoiseSweep(cfg Config) ([]NoiseRow, error) {
 				Noise:         lvl.model,
 				Retry:         bist.RetryPolicy{MaxRetries: lvl.retries},
 				VoteThreshold: lvl.vote,
+				// Noise and retry knobs are not part of the artifact key,
+				// so all three reliability levels share one artifact set.
+				Cache: cfg.Cache,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", setup.name, lvl.name, err)

@@ -1,0 +1,170 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/bist"
+	"repro/internal/circuit"
+	"repro/internal/diagnosis"
+	"repro/internal/lfsr"
+	"repro/internal/scan"
+	"repro/internal/sim"
+	"repro/internal/soc"
+)
+
+// simArtifacts is the simulation layer of a circuit build: pattern blocks,
+// the fault-free machine, and its responses. It is independent of scan
+// configuration and partitioning, so every scheme swept over one circuit
+// shares it.
+type simArtifacts struct {
+	blocks []*sim.Block
+	fs     *sim.FaultSim
+	good   []*sim.Response
+}
+
+// CircuitArtifacts is the immutable build product of one (circuit, spec)
+// pair: everything a diagnosis run needs that does not depend on the
+// fault. Treat every field as read-only; concurrent fault loops must Fork
+// the FaultSim for per-goroutine scratch.
+type CircuitArtifacts struct {
+	Circuit *circuit.Circuit
+	Spec    Spec // normalized
+	Blocks  []*sim.Block
+	Sim     *sim.FaultSim
+	Good    []*sim.Response
+	Engine  *bist.Engine
+	Diag    *diagnosis.Diagnoser
+	// Golden holds the fault-free signature per (partition, verdict slot)
+	// — the values a deployment stores on the tester.
+	Golden [][]uint64
+}
+
+// SOCArtifacts is the SOC-level counterpart: the SOC-scope fault simulator
+// over per-core pattern blocks, plus engine, diagnoser, and golden
+// signatures over the meta scan chains.
+type SOCArtifacts struct {
+	SOC    *soc.SOC
+	Spec   Spec // normalized
+	Sim    *soc.FaultSim
+	Engine *bist.Engine
+	Diag   *diagnosis.Diagnoser
+	Golden [][]uint64
+}
+
+func (s Spec) plan() bist.Plan {
+	return bist.Plan{
+		Scheme:     s.Scheme,
+		Groups:     s.Groups,
+		Partitions: s.Partitions,
+		MISRPoly:   s.MISRPoly,
+		Ideal:      s.Ideal,
+	}
+}
+
+func (s Spec) scanConfig(numCells int) (scan.Config, error) {
+	order := s.ScanOrder
+	if order == nil {
+		order = scan.NaturalOrder(numCells)
+	}
+	if len(order) != numCells {
+		return scan.Config{}, fmt.Errorf("pipeline: scan order covers %d of %d cells", len(order), numCells)
+	}
+	if s.Chains == 1 {
+		return scan.SingleChainOrdered(order), nil
+	}
+	return scan.SplitContiguous(order, s.Chains)
+}
+
+func buildSim(c *circuit.Circuit, s Spec) (*simArtifacts, error) {
+	if s.Patterns < 1 {
+		return nil, fmt.Errorf("pipeline: pattern count %d < 1", s.Patterns)
+	}
+	prpg, err := lfsr.New(s.PRPGPoly, s.PRPGSeed)
+	if err != nil {
+		return nil, err
+	}
+	blocks := bist.GenerateBlocks(prpg, c.NumInputs(), c.NumDFFs(), s.Patterns)
+	sa := &simArtifacts{blocks: blocks, fs: sim.NewFaultSim(c, blocks)}
+	for i := range blocks {
+		sa.good = append(sa.good, sa.fs.Good(i))
+	}
+	return sa, nil
+}
+
+func buildCircuit(c *circuit.Circuit, s Spec, sa *simArtifacts) (*CircuitArtifacts, error) {
+	cfg, err := s.scanConfig(c.NumDFFs())
+	if err != nil {
+		return nil, err
+	}
+	eng, err := bist.NewEngine(cfg, s.plan(), s.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	diag, err := diagnosis.FromEngine(eng)
+	if err != nil {
+		return nil, err
+	}
+	return &CircuitArtifacts{
+		Circuit: c,
+		Spec:    s,
+		Blocks:  sa.blocks,
+		Sim:     sa.fs,
+		Good:    sa.good,
+		Engine:  eng,
+		Diag:    diag,
+		Golden:  eng.GoldenSignatures(sa.good, sa.blocks),
+	}, nil
+}
+
+// socSimArtifacts is the SOC simulation layer: per-core patterns expanded
+// from the shared PRPG and the fault-free responses of every core.
+type socSimArtifacts struct {
+	fs *soc.FaultSim
+}
+
+func buildSOCSim(s *soc.SOC, spec Spec) (*socSimArtifacts, error) {
+	if spec.Patterns < 1 {
+		return nil, fmt.Errorf("pipeline: pattern count %d < 1", spec.Patterns)
+	}
+	prpg, err := lfsr.New(spec.PRPGPoly, spec.PRPGSeed)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := soc.NewFaultSim(s, s.GeneratePatterns(prpg, spec.Patterns))
+	if err != nil {
+		return nil, err
+	}
+	return &socSimArtifacts{fs: fs}, nil
+}
+
+func buildSOC(s *soc.SOC, spec Spec, sa *socSimArtifacts) (*SOCArtifacts, error) {
+	if spec.ScanOrder != nil {
+		return nil, fmt.Errorf("pipeline: custom scan order is not supported at SOC level; the TestRail fixes daisy order")
+	}
+	var cfg scan.Config
+	if spec.Chains == 1 {
+		cfg = s.SingleMetaChain()
+	} else {
+		var err error
+		cfg, err = s.MetaChains(spec.Chains)
+		if err != nil {
+			return nil, err
+		}
+	}
+	eng, err := bist.NewEngine(cfg, spec.plan(), spec.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	diag, err := diagnosis.FromEngine(eng)
+	if err != nil {
+		return nil, err
+	}
+	return &SOCArtifacts{
+		SOC:    s,
+		Spec:   spec,
+		Sim:    sa.fs,
+		Engine: eng,
+		Diag:   diag,
+		Golden: eng.GoldenSignatures(sa.fs.Good(), sa.fs.Blocks()),
+	}, nil
+}

@@ -1,0 +1,126 @@
+package pipeline
+
+import (
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/soc"
+)
+
+// Stats counts cache traffic. Hits/Misses track full artifact lookups
+// (circuit and SOC); SimHits/SimMisses track the inner simulation layer,
+// where a hit means the fault-free machine was not re-simulated even
+// though the plan or scan configuration changed.
+type Stats struct {
+	Hits      int
+	Misses    int
+	SimHits   int
+	SimMisses int
+}
+
+// entry deduplicates one build: the first requester runs the build under
+// the once while later requesters block on it and share the result.
+type entry[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+// ArtifactCache content-addresses build artifacts so repeated runs and
+// sweep points sharing (device, scan configuration, plan, patterns) reuse
+// one Artifacts value instead of re-simulating. It is safe for concurrent
+// use, and a nil *ArtifactCache is valid: every lookup simply builds
+// fresh, which keeps cache-free call sites unconditional.
+type ArtifactCache struct {
+	mu      sync.Mutex
+	sims    map[string]*entry[*simArtifacts]
+	circs   map[string]*entry[*CircuitArtifacts]
+	socSims map[string]*entry[*socSimArtifacts]
+	socs    map[string]*entry[*SOCArtifacts]
+	stats   Stats
+}
+
+// NewCache returns an empty artifact cache.
+func NewCache() *ArtifactCache { return &ArtifactCache{} }
+
+// Stats returns a snapshot of the cache counters.
+func (c *ArtifactCache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// lookup returns the entry for key in m, creating it on a miss. The hit
+// and miss counters are advanced under the cache lock; the caller runs
+// the build outside it via the entry's once.
+func lookup[T any](c *ArtifactCache, m *map[string]*entry[T], key string, hits, misses *int) *entry[T] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if *m == nil {
+		*m = make(map[string]*entry[T])
+	}
+	if e, ok := (*m)[key]; ok {
+		*hits++
+		return e
+	}
+	e := &entry[T]{}
+	(*m)[key] = e
+	*misses++
+	return e
+}
+
+// Circuit returns the artifacts for (ct, spec), building at most once per
+// content key. The simulation layer is cached separately, so a new scheme
+// or scan configuration over an already-simulated circuit rebuilds only
+// partitions and signatures.
+func (c *ArtifactCache) Circuit(ct *circuit.Circuit, spec Spec) (*CircuitArtifacts, error) {
+	spec = spec.Normalized()
+	if c == nil {
+		sa, err := buildSim(ct, spec)
+		if err != nil {
+			return nil, err
+		}
+		return buildCircuit(ct, spec, sa)
+	}
+	fp := CircuitFingerprint(ct)
+	e := lookup(c, &c.circs, spec.Key(fp), &c.stats.Hits, &c.stats.Misses)
+	e.once.Do(func() {
+		se := lookup(c, &c.sims, spec.simKey(fp), &c.stats.SimHits, &c.stats.SimMisses)
+		se.once.Do(func() { se.val, se.err = buildSim(ct, spec) })
+		if se.err != nil {
+			e.err = se.err
+			return
+		}
+		e.val, e.err = buildCircuit(ct, spec, se.val)
+	})
+	return e.val, e.err
+}
+
+// SOC is the SOC-level counterpart of Circuit with the same two-level
+// structure: the per-core pattern expansion and fault-free simulation are
+// shared across plans and TAM widths.
+func (c *ArtifactCache) SOC(s *soc.SOC, spec Spec) (*SOCArtifacts, error) {
+	spec = spec.Normalized()
+	if c == nil {
+		sa, err := buildSOCSim(s, spec)
+		if err != nil {
+			return nil, err
+		}
+		return buildSOC(s, spec, sa)
+	}
+	fp := SOCFingerprint(s)
+	e := lookup(c, &c.socs, spec.Key(fp), &c.stats.Hits, &c.stats.Misses)
+	e.once.Do(func() {
+		se := lookup(c, &c.socSims, spec.simKey(fp), &c.stats.SimHits, &c.stats.SimMisses)
+		se.once.Do(func() { se.val, se.err = buildSOCSim(s, spec) })
+		if se.err != nil {
+			e.err = se.err
+			return
+		}
+		e.val, e.err = buildSOC(s, spec, se.val)
+	})
+	return e.val, e.err
+}

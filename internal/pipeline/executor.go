@@ -1,0 +1,72 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Executor schedules independent jobs over a worker pool in deterministic
+// batches: workers claim contiguous index ranges from an atomic cursor,
+// which amortises scheduling to one atomic per batch and keeps each
+// worker's cache lines on neighbouring faults. Results written by index
+// are identical for every worker count — only the assignment of index to
+// goroutine varies.
+type Executor struct {
+	// Workers bounds the goroutines; 0 selects GOMAXPROCS, 1 forces
+	// serial execution on the calling goroutine.
+	Workers int
+	// Batch is the number of jobs a worker claims per cursor advance;
+	// 0 selects a small default.
+	Batch int
+}
+
+// Run executes jobs 0..n-1. Each worker calls mkWorker once to obtain its
+// job function — the closure carries any per-worker scratch state — and
+// then calls it with every claimed index.
+func (e Executor) Run(n int, mkWorker func() func(int)) {
+	if n <= 0 {
+		return
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		job := mkWorker()
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	batch := e.Batch
+	if batch <= 0 {
+		batch = 4
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			job := mkWorker()
+			for {
+				hi := int(next.Add(int64(batch)))
+				lo := hi - batch
+				if lo >= n {
+					return
+				}
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					job(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -210,6 +210,18 @@ func (s *Simulator) FaultyMulti(b *Block, faults []Fault, r *Response) {
 	}
 }
 
+// FaultyInto computes the response for one stuck-at fault over all the
+// blocks of a fixed pattern set into caller-provided responses, one per
+// block — the reuse-friendly variant of FaultSim.Faulty.
+func (s *Simulator) FaultyInto(blocks []*Block, f Fault, dst []*Response) {
+	if len(dst) != len(blocks) {
+		panic(fmt.Sprintf("sim: %d responses for %d blocks", len(dst), len(blocks)))
+	}
+	for i, b := range blocks {
+		s.run(b, f, dst[i])
+	}
+}
+
 // FaultSim couples a circuit with a fixed pattern set, caching the good
 // responses so each fault costs exactly one faulty pass.
 type FaultSim struct {
@@ -266,6 +278,26 @@ func (fs *FaultSim) Faulty(f Fault) []*Response {
 	return out
 }
 
+// Scratch holds the per-worker buffers of the pooled fault loop: the faulty
+// responses of one fault and a reusable Result. Obtain one per goroutine
+// from NewScratch and pass it to RunInto; the steady state then allocates
+// nothing per fault.
+type Scratch struct {
+	faulty []*Response
+	res    Result
+}
+
+// NewScratch allocates reusable buffers sized for this FaultSim's circuit
+// and pattern set.
+func (fs *FaultSim) NewScratch() *Scratch {
+	sc := &Scratch{faulty: make([]*Response, len(fs.blocks))}
+	for i := range sc.faulty {
+		sc.faulty[i] = newResponse(fs.sim.c)
+	}
+	sc.res.FailingCells = bitset.New(fs.sim.c.NumDFFs())
+	return sc
+}
+
 // Result summarises the effect of one fault over the pattern set.
 type Result struct {
 	Fault Fault
@@ -307,12 +339,33 @@ func (fs *FaultSim) RunMulti(faults []Fault) *Result {
 	return fs.result(faults[0], resp)
 }
 
+// RunInto simulates fault f reusing the scratch buffers and returns the
+// scratch-owned Result — the zero-steady-state-allocation variant of Run.
+// The Result (including FailingCells and Faulty) is only valid until the
+// next RunInto on the same Scratch; callers that retain anything must copy.
+func (fs *FaultSim) RunInto(f Fault, sc *Scratch) *Result {
+	fs.sim.FaultyInto(fs.blocks, f, sc.faulty)
+	sc.res.Fault = f
+	sc.res.Faulty = sc.faulty
+	fs.resultInto(&sc.res)
+	return &sc.res
+}
+
 func (fs *FaultSim) result(f Fault, faulty []*Response) *Result {
 	res := &Result{
 		Fault:        f,
 		FailingCells: bitset.New(fs.sim.c.NumDFFs()),
 		Faulty:       faulty,
 	}
+	fs.resultInto(res)
+	return res
+}
+
+// resultInto derives FailingCells, DetectingPatterns, and POOnly from
+// res.Faulty against the cached good responses, reusing res's buffers.
+func (fs *FaultSim) resultInto(res *Result) {
+	res.FailingCells.Reset()
+	res.DetectingPatterns = 0
 	poSeen := false
 	for bi, b := range fs.blocks {
 		mask := b.Mask()
@@ -333,5 +386,4 @@ func (fs *FaultSim) result(f Fault, faulty []*Response) *Result {
 		}
 	}
 	res.POOnly = poSeen && res.FailingCells.Empty()
-	return res
 }

@@ -345,6 +345,56 @@ func (fs *FaultSim) Run(core int, f sim.Fault) *Result {
 	return fs.RunMulti(map[int]sim.Fault{core: f})
 }
 
+// Scratch holds the reusable buffers for one worker's pooled SOC fault
+// loop: global responses pre-seeded with the fault-free values, per-core
+// simulation scratch, and a reusable Result. Use one Scratch per
+// goroutine; a Result returned by RunInto aliases the Scratch and is
+// overwritten by the next call.
+type Scratch struct {
+	faulty   []*sim.Response
+	cores    []*sim.Scratch
+	res      Result
+	lastCore int
+}
+
+// NewScratch allocates the reusable buffers for RunInto.
+func (fs *FaultSim) NewScratch() *Scratch {
+	sc := &Scratch{lastCore: -1}
+	for bi := range fs.good {
+		r := &sim.Response{Next: make([]uint64, fs.soc.total)}
+		copy(r.Next, fs.good[bi].Next)
+		sc.faulty = append(sc.faulty, r)
+	}
+	for _, s := range fs.sims {
+		sc.cores = append(sc.cores, s.NewScratch())
+	}
+	sc.res.FailingCells = bitset.New(fs.soc.total)
+	return sc
+}
+
+// RunInto is the pooled equivalent of Run: it reuses the Scratch's global
+// responses instead of allocating fresh ones per fault. Only the segment
+// of the previously faulty core needs restoring to fault-free values
+// before the new core's captured values are spliced in.
+func (fs *FaultSim) RunInto(core int, f sim.Fault, sc *Scratch) *Result {
+	if last := sc.lastCore; last >= 0 && last != core {
+		llo, lhi := fs.soc.CellRange(last)
+		for bi := range sc.faulty {
+			copy(sc.faulty[bi].Next[llo:lhi], fs.good[bi].Next[llo:lhi])
+		}
+	}
+	local := fs.sims[core].RunInto(f, sc.cores[core])
+	lo, _ := fs.soc.CellRange(core)
+	for bi := range sc.faulty {
+		copy(sc.faulty[bi].Next[lo:], local.Faulty[bi].Next)
+	}
+	sc.lastCore = core
+	sc.res.Core, sc.res.Fault, sc.res.Faulty = core, f, sc.faulty
+	sc.res.FailingCells.Reset()
+	local.FailingCells.ForEach(func(cell int) { sc.res.FailingCells.Add(lo + cell) })
+	return &sc.res
+}
+
 // RunMulti injects one fault into each of several cores simultaneously —
 // the multi-faulty-core variant of the paper's Figure 2 scenario: each
 // defective core contributes its own clustered failing segment to the meta
