@@ -1,0 +1,151 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON report, so benchmark runs can be committed,
+// diffed, and tracked across PRs (BENCH_PR*.json at the repo root).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x -benchmem . | benchjson -o BENCH_PR3.json
+//	benchjson bench.txt
+//
+// The report carries the goos/goarch/pkg/cpu header lines and one entry
+// per benchmark result line: the name (GOMAXPROCS suffix stripped), the
+// iteration count, and every metric pair — the standard ns/op, B/op,
+// allocs/op plus any custom b.ReportMetric columns such as the DR-*
+// diagnostic-resolution metrics this harness emits.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the full parsed run.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 1 {
+		fatal(fmt.Errorf("at most one input file, got %d", flag.NArg()))
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	report, err := Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(report.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines in input"))
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// Parse reads `go test -bench` output and extracts the header fields and
+// every benchmark result line. Non-benchmark lines (test chatter, PASS/ok
+// trailers) are ignored, so raw `go test` output can be piped in directly.
+func Parse(r io.Reader) (*Report, error) {
+	report := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			report.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			report.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			report.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			report.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok, err := parseResultLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				report.Benchmarks = append(report.Benchmarks, b)
+			}
+		}
+	}
+	return report, sc.Err()
+}
+
+// parseResultLine parses one result line of the form
+//
+//	BenchmarkName-8   1000000   2201 ns/op   0 B/op   0 allocs/op
+//
+// into its name, iteration count, and metric pairs. Lines that start with
+// "Benchmark" but are not results (e.g. a bare sub-benchmark header) are
+// skipped rather than rejected.
+func parseResultLine(line string) (Benchmark, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, nil
+	}
+	b := Benchmark{
+		Name:       procsSuffix.ReplaceAllString(fields[0], ""),
+		Iterations: iters,
+		Metrics:    make(map[string]float64),
+	}
+	for i := 2; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false, fmt.Errorf("benchmark %s: bad metric value %q: %v", b.Name, fields[i], err)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFaultSimulation     	  257012	      8952 ns/op	   13609 B/op	      10 allocs/op
+BenchmarkIncrementalFaultSim/event-4         	 1000000	      2201 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTable1-4   	       1	1234567 ns/op	         0.9751 DR-interval-1	         0.4102 DR-twostep-8
+--- BENCH: BenchmarkSomething
+    some_test.go:10: chatter
+PASS
+ok  	repro	10.759s
+`
+
+func TestParse(t *testing.T) {
+	r, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Goos != "linux" || r.Goarch != "amd64" || r.Pkg != "repro" {
+		t.Errorf("header = %q/%q/%q", r.Goos, r.Goarch, r.Pkg)
+	}
+	if !strings.Contains(r.CPU, "Xeon") {
+		t.Errorf("cpu = %q", r.CPU)
+	}
+	if len(r.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(r.Benchmarks))
+	}
+	b := r.Benchmarks[0]
+	if b.Name != "BenchmarkFaultSimulation" || b.Iterations != 257012 {
+		t.Errorf("benchmark 0 = %+v", b)
+	}
+	if b.Metrics["ns/op"] != 8952 || b.Metrics["allocs/op"] != 10 {
+		t.Errorf("benchmark 0 metrics = %v", b.Metrics)
+	}
+	// GOMAXPROCS suffix stripped, sub-benchmark path kept.
+	if got := r.Benchmarks[1].Name; got != "BenchmarkIncrementalFaultSim/event" {
+		t.Errorf("benchmark 1 name = %q", got)
+	}
+	// Custom b.ReportMetric columns survive.
+	if got := r.Benchmarks[2].Metrics["DR-interval-1"]; got != 0.9751 {
+		t.Errorf("DR-interval-1 = %v", got)
+	}
+}
+
+func TestParseSkipsMalformedBenchmarkLines(t *testing.T) {
+	r, err := Parse(strings.NewReader("BenchmarkHeaderOnly\nBenchmarkOdd 12 34\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from non-result lines", len(r.Benchmarks))
+	}
+}
+
+func TestParseRejectsBadMetricValue(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX 10 abc ns/op\n")); err == nil {
+		t.Error("bad metric value accepted")
+	}
+}

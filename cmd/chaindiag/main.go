@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/benchgen"
 	"repro/internal/chaindiag"
@@ -26,6 +28,9 @@ func main() {
 		stuck    = flag.Int("stuck", 0, "stuck value of the injected fault (0 or 1)")
 		healthy  = flag.Bool("healthy", false, "diagnose a fault-free chain instead")
 		sweep    = flag.Bool("sweep", false, "inject a fault at every position and summarise accuracy")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	flag.Parse()
 
@@ -35,6 +40,19 @@ func main() {
 	if *position < 0 {
 		usageError(fmt.Errorf("-position must not be negative, got %d", *position))
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
+
 	p, ok := benchgen.ProfileByName(*name)
 	if !ok {
 		fatal(fmt.Errorf("unknown circuit %q", *name))
@@ -111,6 +129,24 @@ func runSweep(c *circuit.Circuit, order []int) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "chaindiag:", err)
 	os.Exit(1)
+}
+
+// writeMemProfile snapshots the heap after a GC so the profile reflects
+// retained memory, not transient garbage. A no-op for an empty path.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaindiag:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "chaindiag:", err)
+	}
 }
 
 // usageError reports a bad flag combination: the error, then the flag

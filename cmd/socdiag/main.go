@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/partition"
@@ -31,6 +33,8 @@ func main() {
 		chains     = flag.Int("chains", 0, "meta scan chains (default: 1 for SOC1, 8 for SOC2)")
 		faults     = flag.Int("faults", 500, "stuck-at faults to sample in the faulty core")
 		seed       = flag.Int64("seed", 1, "fault sampling seed")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	flag.Parse()
 
@@ -49,6 +53,18 @@ func main() {
 	if *faults < 1 {
 		usageError(fmt.Errorf("-faults must be at least 1, got %d", *faults))
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
 
 	var (
 		s   *soc.SOC
@@ -145,6 +161,24 @@ func schemeByName(name string) (partition.Scheme, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "socdiag:", err)
 	os.Exit(1)
+}
+
+// writeMemProfile snapshots the heap after a GC so the profile reflects
+// retained memory, not transient garbage. A no-op for an empty path.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "socdiag:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "socdiag:", err)
+	}
 }
 
 // usageError reports a bad flag combination: the error, then the flag

@@ -3,6 +3,7 @@ package circuit
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/logic"
 )
@@ -167,6 +168,7 @@ func (b *Builder) Build() (*Circuit, error) {
 
 // finish computes fan-out lists, levelization, and the topological order.
 func (c *Circuit) finish() error {
+	c.cones = make([]atomic.Pointer[Cone], len(c.Nets))
 	c.fanout = make([][]NetID, len(c.Nets))
 	indeg := make([]int32, len(c.Nets)) // combinational in-degree
 	for id := range c.Nets {

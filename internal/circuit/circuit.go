@@ -9,6 +9,7 @@ package circuit
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/logic"
 )
@@ -38,6 +39,7 @@ type Circuit struct {
 	fanout  [][]NetID
 	dffIdx  map[NetID]int // DFF output net -> position in DFFs
 	levelOf []int32       // per-net level; inputs and DFF outputs are level 0
+	cones   []atomic.Pointer[Cone]
 }
 
 // NumNets returns the total number of nets.
@@ -139,6 +141,52 @@ func (c *Circuit) ConeCells(start NetID) []int {
 	}
 	sort.Ints(cells)
 	return cells
+}
+
+// Cone is the memoized reachability summary of one fault site: the nets of
+// its combinational fan-out cone, the scan cells that can capture an error
+// originating there, and the primary outputs it can reach. Cones are
+// computed lazily on first request and shared; treat every field as
+// read-only.
+type Cone struct {
+	// Nets is the combinational fan-out cone of the site (inclusive),
+	// sorted by NetID.
+	Nets []NetID
+	// Cells holds the scan-order indices of flip-flops whose D input lies
+	// in the cone — exactly the cells a fault on the site can corrupt in
+	// one capture cycle.
+	Cells []int
+	// POs holds the positions within Circuit.Outputs whose net lies in the
+	// cone.
+	POs []int
+}
+
+// Cone returns the memoized fan-out cone summary of a fault site. The first
+// call per site computes it; later calls (from any goroutine) return the
+// shared copy. Concurrent first calls may race to compute, but the value is
+// deterministic so whichever store wins is identical.
+func (c *Circuit) Cone(start NetID) *Cone {
+	if cone := c.cones[start].Load(); cone != nil {
+		return cone
+	}
+	inCone := make(map[NetID]bool)
+	nets := c.FanoutCone(start)
+	for _, id := range nets {
+		inCone[id] = true
+	}
+	cone := &Cone{Nets: nets}
+	for i, id := range c.DFFs {
+		if inCone[c.Nets[id].Fanin[0]] {
+			cone.Cells = append(cone.Cells, i)
+		}
+	}
+	for i, id := range c.Outputs {
+		if inCone[id] {
+			cone.POs = append(cone.POs, i)
+		}
+	}
+	c.cones[start].Store(cone)
+	return c.cones[start].Load()
 }
 
 // FaninCone returns every net the cell's captured value combinationally

@@ -197,6 +197,46 @@ func Eval(op Op, in []uint64) uint64 {
 	panic(fmt.Sprintf("logic: Eval called on non-combinational op %v", op))
 }
 
+// Eval1 evaluates a 1-input gate directly on its operand word, without the
+// fan-in scratch copy Eval requires. Degenerate 1-input AND/OR (and their
+// inverting forms) reduce to BUF/NOT.
+func Eval1(op Op, a uint64) uint64 {
+	switch op {
+	case OpBuf, OpAnd, OpOr, OpXor:
+		return a
+	case OpNot, OpNand, OpNor, OpXnor:
+		return ^a
+	case OpConst0:
+		return 0
+	case OpConst1:
+		return ^uint64(0)
+	}
+	panic(fmt.Sprintf("logic: Eval1 called on non-combinational op %v", op))
+}
+
+// Eval2 evaluates a 2-input gate directly on its operand words.
+func Eval2(op Op, a, b uint64) uint64 {
+	switch op {
+	case OpAnd:
+		return a & b
+	case OpNand:
+		return ^(a & b)
+	case OpOr:
+		return a | b
+	case OpNor:
+		return ^(a | b)
+	case OpXor:
+		return a ^ b
+	case OpXnor:
+		return ^(a ^ b)
+	case OpConst0:
+		return 0
+	case OpConst1:
+		return ^uint64(0)
+	}
+	panic(fmt.Sprintf("logic: Eval2 called on op %v with 2 inputs", op))
+}
+
 // EvalBit evaluates the op over single-bit inputs; it is the scalar
 // reference semantics used by tests to cross-check Eval.
 func EvalBit(op Op, in []bool) bool {

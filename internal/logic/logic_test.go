@@ -213,3 +213,68 @@ func TestFanInBounds(t *testing.T) {
 		t.Error("INPUT should take no inputs")
 	}
 }
+
+// TestEval1MatchesEval pins the 1-input fast path, including the
+// degenerate 1-input AND/OR forms some netlists carry, to the generic
+// evaluator over random words.
+func TestEval1MatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ops := []Op{OpBuf, OpNot, OpAnd, OpNand, OpOr, OpNor, OpXor, OpXnor, OpConst0, OpConst1}
+	for trial := 0; trial < 100; trial++ {
+		a := rng.Uint64()
+		for _, op := range ops {
+			if got, want := Eval1(op, a), Eval(op, []uint64{a}); got != want {
+				t.Fatalf("Eval1(%v, %#x) = %#x, Eval = %#x", op, a, got, want)
+			}
+		}
+	}
+}
+
+// TestEval2MatchesEval pins the 2-input fast path to the generic
+// evaluator over random words.
+func TestEval2MatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	ops := []Op{OpAnd, OpNand, OpOr, OpNor, OpXor, OpXnor, OpConst0, OpConst1}
+	for trial := 0; trial < 100; trial++ {
+		a, b := rng.Uint64(), rng.Uint64()
+		for _, op := range ops {
+			if got, want := Eval2(op, a, b), Eval(op, []uint64{a, b}); got != want {
+				t.Fatalf("Eval2(%v, %#x, %#x) = %#x, Eval = %#x", op, a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestEvalFastPathsPanicOnStructural mirrors TestEvalPanicsOnStructural
+// for the fast paths.
+func TestEvalFastPathsPanicOnStructural(t *testing.T) {
+	for _, op := range []Op{OpInvalid, OpInput, OpDFF} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Eval1(%v) did not panic", op)
+				}
+			}()
+			Eval1(op, 0)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Eval2(%v) did not panic", op)
+				}
+			}()
+			Eval2(op, 0, 0)
+		}()
+	}
+	// BUF/NOT are 1-input only; Eval2 must refuse them too.
+	for _, op := range []Op{OpBuf, OpNot} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Eval2(%v) did not panic", op)
+				}
+			}()
+			Eval2(op, 0, 0)
+		}()
+	}
+}

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"math/bits"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// This file implements the event-driven, cone-restricted fault simulation
+// engine — the default behind FaultSim.Run and FaultSim.RunInto. Instead of
+// re-evaluating every gate of every block per fault, it seeds a single
+// event at the fault site against the cached fault-free internal net values
+// and propagates only through gates whose inputs actually changed, on a
+// levelized worklist. Scratch reset is O(events) via per-net epoch stamps,
+// and the frontier dying early means the fault is simply unexcited on that
+// block. The full-pass engine (Faulty, FaultyInto, RunReference) remains
+// the reference oracle, pinned bit-for-bit by the equivalence tests.
+
+// incState is the event-driven engine's reusable scratch: per-net dirty
+// values stamped with the epoch that wrote them, scheduling stamps, and one
+// worklist bucket per combinational level. A fresh epoch invalidates all
+// stamps at once, so nothing is cleared between faults.
+type incState struct {
+	dirtyVal []uint64
+	dirtyAt  []uint32
+	schedAt  []uint32
+	epoch    uint32
+	levels   [][]circuit.NetID
+}
+
+func newIncState(c *circuit.Circuit) *incState {
+	return &incState{
+		dirtyVal: make([]uint64, c.NumNets()),
+		dirtyAt:  make([]uint32, c.NumNets()),
+		schedAt:  make([]uint32, c.NumNets()),
+		levels:   make([][]circuit.NetID, c.Depth()+1),
+	}
+}
+
+// incState returns the FaultSim's lazily created event scratch. FaultSims
+// are single-goroutine (Fork per worker), so no locking is needed.
+func (fs *FaultSim) incState() *incState {
+	if fs.inc == nil {
+		fs.inc = newIncState(fs.sim.c)
+	}
+	return fs.inc
+}
+
+// begin opens a new event epoch. On the (rare) uint32 wraparound the stale
+// stamps are cleared so they cannot alias the new epoch.
+func (st *incState) begin() {
+	st.epoch++
+	if st.epoch == 0 {
+		for i := range st.dirtyAt {
+			st.dirtyAt[i], st.schedAt[i] = 0, 0
+		}
+		st.epoch = 1
+	}
+}
+
+// value reads a net under the current event set: its dirty value if an
+// event reached it this epoch, the cached fault-free value otherwise.
+func (st *incState) value(gv []uint64, id circuit.NetID) uint64 {
+	if st.dirtyAt[id] == st.epoch {
+		return st.dirtyVal[id]
+	}
+	return gv[id]
+}
+
+// mark records a changed net value for this epoch.
+func (st *incState) mark(id circuit.NetID, v uint64) {
+	st.dirtyVal[id] = v
+	st.dirtyAt[id] = st.epoch
+}
+
+// schedule enqueues the combinational readers of a changed net onto their
+// level buckets, deduplicated by epoch stamp. Flip-flops reading the net as
+// D input are not enqueued: the error stops there until capture, which the
+// caller derives from the dirty D values.
+func (st *incState) schedule(c *circuit.Circuit, from circuit.NetID) {
+	for _, g := range c.Fanout(from) {
+		if !c.Nets[g].Op.Combinational() || st.schedAt[g] == st.epoch {
+			continue
+		}
+		st.schedAt[g] = st.epoch
+		lvl := c.Level(g)
+		st.levels[lvl] = append(st.levels[lvl], g)
+	}
+}
+
+// propagate drains the levelized worklist. Processing levels in increasing
+// order guarantees every gate sees final input values, so each gate is
+// evaluated at most once; a recomputed value equal to the fault-free one
+// kills that branch of the frontier.
+func (s *Simulator) propagate(st *incState, gv []uint64) {
+	c := s.c
+	for lvl := range st.levels {
+		bucket := st.levels[lvl]
+		for _, id := range bucket {
+			n := &c.Nets[id]
+			var v uint64
+			switch len(n.Fanin) {
+			case 1:
+				v = logic.Eval1(n.Op, st.value(gv, n.Fanin[0]))
+			case 2:
+				v = logic.Eval2(n.Op, st.value(gv, n.Fanin[0]), st.value(gv, n.Fanin[1]))
+			default:
+				in := s.scratch[:len(n.Fanin)]
+				for k, src := range n.Fanin {
+					in[k] = st.value(gv, src)
+				}
+				v = logic.Eval(n.Op, in)
+			}
+			if v == gv[id] {
+				continue
+			}
+			st.mark(id, v)
+			st.schedule(c, id)
+		}
+		st.levels[lvl] = bucket[:0]
+	}
+}
+
+// seedStuckAt injects the origin event of a single stuck-at fault for one
+// block and reports whether any event was raised. Branch faults on a
+// flip-flop D pin raise no combinational event (they force the captured
+// value only) and are handled by the caller.
+func (fs *FaultSim) seedStuckAt(st *incState, gv []uint64, f Fault, stuckVal uint64) bool {
+	c := fs.sim.c
+	if f.Stem() {
+		// The site value is forced to stuckVal whether the net is a PI, a
+		// flip-flop output, or a gate output (the full pass overrides the
+		// evaluated value in exactly the same way).
+		if gv[f.Net] == stuckVal {
+			return false
+		}
+		st.mark(f.Net, stuckVal)
+		st.schedule(c, f.Net)
+		return true
+	}
+	// Branch fault on a combinational gate: only this gate reads the forced
+	// value, so recompute its output once with the pin overridden. Nothing
+	// upstream ever changes, so the gate is never revisited.
+	n := &c.Nets[f.Gate]
+	in := fs.sim.scratch[:len(n.Fanin)]
+	for k, src := range n.Fanin {
+		in[k] = gv[src]
+	}
+	in[f.Pin] = stuckVal
+	v := logic.Eval(n.Op, in)
+	if v == gv[f.Gate] {
+		return false
+	}
+	st.mark(f.Gate, v)
+	st.schedule(c, f.Gate)
+	return true
+}
+
+// eventRun is the shared core of the event-driven Run and RunInto: it
+// derives res (FailingCells, DetectingPatterns, POOnly) and patches the
+// fault-free-seeded responses in faulty with the nets an event reached.
+// When sc is non-nil the patched positions are recorded so the next RunInto
+// can restore them in O(patches).
+func (fs *FaultSim) eventRun(f Fault, faulty []*Response, sc *Scratch, res *Result) {
+	c := fs.sim.c
+	res.FailingCells.Reset()
+	res.DetectingPatterns = 0
+	res.POOnly = false
+	var stuckVal uint64
+	if f.Stuck == 1 {
+		stuckVal = ^uint64(0)
+	}
+
+	if !f.Stem() && c.Nets[f.Gate].Op == logic.OpDFF {
+		// Branch fault on a flip-flop D connection: the captured value is
+		// forced, nothing propagates combinationally.
+		ci := c.DFFIndex(f.Gate)
+		d := c.Nets[f.Gate].Fanin[0]
+		for bi, b := range fs.blocks {
+			goodD := fs.goodVals[bi][d]
+			if goodD == stuckVal {
+				continue
+			}
+			faulty[bi].Next[ci] = stuckVal
+			if sc != nil {
+				sc.touchedCells[bi] = append(sc.touchedCells[bi], int32(ci))
+			}
+			if diff := (goodD ^ stuckVal) & b.Mask(); diff != 0 {
+				res.FailingCells.Add(ci)
+				res.DetectingPatterns += bits.OnesCount64(diff)
+			}
+		}
+		return
+	}
+
+	site := f.Net
+	if !f.Stem() {
+		site = f.Gate
+	}
+	cone := c.Cone(site)
+	st := fs.incState()
+	poSeen := false
+	for bi, b := range fs.blocks {
+		gv := fs.goodVals[bi]
+		st.begin()
+		if !fs.seedStuckAt(st, gv, f, stuckVal) {
+			continue // frontier dead: fault unexcited on this block
+		}
+		fs.sim.propagate(st, gv)
+		mask := b.Mask()
+		var anyErr uint64
+		for _, ci := range cone.Cells {
+			d := c.Nets[c.DFFs[ci]].Fanin[0]
+			if st.dirtyAt[d] != st.epoch {
+				continue
+			}
+			nv := st.dirtyVal[d]
+			faulty[bi].Next[ci] = nv
+			if sc != nil {
+				sc.touchedCells[bi] = append(sc.touchedCells[bi], int32(ci))
+			}
+			if diff := (nv ^ gv[d]) & mask; diff != 0 {
+				res.FailingCells.Add(ci)
+				anyErr |= diff
+			}
+		}
+		res.DetectingPatterns += bits.OnesCount64(anyErr)
+		for _, pi := range cone.POs {
+			p := c.Outputs[pi]
+			if st.dirtyAt[p] != st.epoch {
+				continue
+			}
+			nv := st.dirtyVal[p]
+			faulty[bi].PO[pi] = nv
+			if sc != nil {
+				sc.touchedPOs[bi] = append(sc.touchedPOs[bi], int32(pi))
+			}
+			if (nv^gv[p])&mask != 0 {
+				poSeen = true
+			}
+		}
+	}
+	res.POOnly = poSeen && res.FailingCells.Empty()
+}
+
+// restore rewinds the scratch responses to fault-free values by undoing
+// only the patches of the previous fault — O(previous events), not
+// O(cells).
+func (fs *FaultSim) restore(sc *Scratch) {
+	for bi := range sc.faulty {
+		g, r := fs.good[bi], sc.faulty[bi]
+		for _, ci := range sc.touchedCells[bi] {
+			r.Next[ci] = g.Next[ci]
+		}
+		for _, pi := range sc.touchedPOs[bi] {
+			r.PO[pi] = g.PO[pi]
+		}
+		sc.touchedCells[bi] = sc.touchedCells[bi][:0]
+		sc.touchedPOs[bi] = sc.touchedPOs[bi][:0]
+	}
+}

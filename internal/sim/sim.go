@@ -105,17 +105,33 @@ func (s *Simulator) run(b *Block, f Fault, r *Response) {
 		s.vals[f.Net] = stuckVal
 	}
 
-	// Evaluate gates in level order.
+	// Evaluate gates in level order. The faulted gate (if any) takes the
+	// generic path so the pin force applies; everything else uses the
+	// direct 1-/2-input fast paths.
 	for _, id := range c.TopoOrder() {
 		n := &c.Nets[id]
-		in := s.scratch[:len(n.Fanin)]
-		for k, src := range n.Fanin {
-			in[k] = s.vals[src]
-		}
+		var v uint64
 		if !f.Stem() && f.Gate == id {
+			in := s.scratch[:len(n.Fanin)]
+			for k, src := range n.Fanin {
+				in[k] = s.vals[src]
+			}
 			in[f.Pin] = stuckVal
+			v = logic.Eval(n.Op, in)
+		} else {
+			switch len(n.Fanin) {
+			case 1:
+				v = logic.Eval1(n.Op, s.vals[n.Fanin[0]])
+			case 2:
+				v = logic.Eval2(n.Op, s.vals[n.Fanin[0]], s.vals[n.Fanin[1]])
+			default:
+				in := s.scratch[:len(n.Fanin)]
+				for k, src := range n.Fanin {
+					in[k] = s.vals[src]
+				}
+				v = logic.Eval(n.Op, in)
+			}
 		}
-		v := logic.Eval(n.Op, in)
 		if f.Stem() && f.Net == id {
 			v = stuckVal
 		}
@@ -222,21 +238,32 @@ func (s *Simulator) FaultyInto(blocks []*Block, f Fault, dst []*Response) {
 	}
 }
 
-// FaultSim couples a circuit with a fixed pattern set, caching the good
-// responses so each fault costs exactly one faulty pass.
+// FaultSim couples a circuit with a fixed pattern set, caching both the
+// good captured responses and the fault-free internal net values of every
+// block, so each fault costs only an event-driven pass over its fan-out
+// cone (see incremental.go). The full-pass engine remains available as the
+// reference oracle.
 type FaultSim struct {
-	sim    *Simulator
-	blocks []*Block
-	good   []*Response
+	sim      *Simulator
+	blocks   []*Block
+	good     []*Response
+	goodVals [][]uint64 // per block: fault-free value of every net (read-only, shared by forks)
+	inc      *incState  // event-driven scratch, lazily created per fork
+	tc       *twoCycleCache
 }
 
-// NewFaultSim builds a FaultSim and simulates the fault-free machine once.
+// NewFaultSim builds a FaultSim and simulates the fault-free machine once,
+// snapshotting the internal net values per block for the event-driven
+// engine.
 func NewFaultSim(c *circuit.Circuit, blocks []*Block) *FaultSim {
-	fs := &FaultSim{sim: New(c), blocks: blocks}
+	fs := &FaultSim{sim: New(c), blocks: blocks, tc: &twoCycleCache{}}
 	for _, b := range blocks {
 		r := newResponse(c)
 		fs.sim.Good(b, r)
 		fs.good = append(fs.good, r)
+		gv := make([]uint64, c.NumNets())
+		copy(gv, fs.sim.vals)
+		fs.goodVals = append(fs.goodVals, gv)
 	}
 	return fs
 }
@@ -244,11 +271,12 @@ func NewFaultSim(c *circuit.Circuit, blocks []*Block) *FaultSim {
 // Circuit returns the simulated netlist.
 func (fs *FaultSim) Circuit() *circuit.Circuit { return fs.sim.c }
 
-// Fork returns a FaultSim sharing this one's blocks and cached fault-free
-// responses (both read-only) with its own evaluation scratch space, so
-// faults can be simulated concurrently — one Fork per goroutine.
+// Fork returns a FaultSim sharing this one's blocks, cached fault-free
+// responses, and internal net values (all read-only) with its own
+// evaluation and event scratch space, so faults can be simulated
+// concurrently — one Fork per goroutine.
 func (fs *FaultSim) Fork() *FaultSim {
-	return &FaultSim{sim: New(fs.sim.c), blocks: fs.blocks, good: fs.good}
+	return &FaultSim{sim: New(fs.sim.c), blocks: fs.blocks, good: fs.good, goodVals: fs.goodVals, tc: fs.tc}
 }
 
 // Blocks returns the pattern blocks.
@@ -279,20 +307,30 @@ func (fs *FaultSim) Faulty(f Fault) []*Response {
 }
 
 // Scratch holds the per-worker buffers of the pooled fault loop: the faulty
-// responses of one fault and a reusable Result. Obtain one per goroutine
-// from NewScratch and pass it to RunInto; the steady state then allocates
-// nothing per fault.
+// responses of one fault (held at fault-free values between runs and
+// patched per fault by the event-driven engine), the patch positions to
+// undo, and a reusable Result. Obtain one per goroutine from NewScratch and
+// pass it to RunInto; the steady state then allocates nothing per fault.
 type Scratch struct {
-	faulty []*Response
-	res    Result
+	faulty       []*Response
+	touchedCells [][]int32 // per block: Next indices patched by the last fault
+	touchedPOs   [][]int32 // per block: PO indices patched by the last fault
+	res          Result
 }
 
 // NewScratch allocates reusable buffers sized for this FaultSim's circuit
-// and pattern set.
+// and pattern set, seeding the responses with the fault-free values.
 func (fs *FaultSim) NewScratch() *Scratch {
-	sc := &Scratch{faulty: make([]*Response, len(fs.blocks))}
+	sc := &Scratch{
+		faulty:       make([]*Response, len(fs.blocks)),
+		touchedCells: make([][]int32, len(fs.blocks)),
+		touchedPOs:   make([][]int32, len(fs.blocks)),
+	}
 	for i := range sc.faulty {
-		sc.faulty[i] = newResponse(fs.sim.c)
+		r := newResponse(fs.sim.c)
+		copy(r.Next, fs.good[i].Next)
+		copy(r.PO, fs.good[i].PO)
+		sc.faulty[i] = r
 	}
 	sc.res.FailingCells = bitset.New(fs.sim.c.NumDFFs())
 	return sc
@@ -318,8 +356,26 @@ type Result struct {
 // Detected reports whether at least one scan cell captures an error.
 func (r *Result) Detected() bool { return !r.FailingCells.Empty() }
 
-// Run simulates fault f and derives its Result.
+// Run simulates fault f with the event-driven engine and derives its
+// Result. The returned responses are freshly allocated (fault-free values
+// patched where the fault's events landed) and safe to retain.
 func (fs *FaultSim) Run(f Fault) *Result {
+	c := fs.sim.c
+	faulty := make([]*Response, len(fs.blocks))
+	for i := range faulty {
+		r := newResponse(c)
+		copy(r.Next, fs.good[i].Next)
+		copy(r.PO, fs.good[i].PO)
+		faulty[i] = r
+	}
+	res := &Result{Fault: f, FailingCells: bitset.New(c.NumDFFs()), Faulty: faulty}
+	fs.eventRun(f, faulty, nil, res)
+	return res
+}
+
+// RunReference simulates fault f with the full-pass reference engine — the
+// oracle the event-driven Run and RunInto are pinned against bit-for-bit.
+func (fs *FaultSim) RunReference(f Fault) *Result {
 	return fs.result(f, fs.Faulty(f))
 }
 
@@ -339,15 +395,17 @@ func (fs *FaultSim) RunMulti(faults []Fault) *Result {
 	return fs.result(faults[0], resp)
 }
 
-// RunInto simulates fault f reusing the scratch buffers and returns the
-// scratch-owned Result — the zero-steady-state-allocation variant of Run.
-// The Result (including FailingCells and Faulty) is only valid until the
-// next RunInto on the same Scratch; callers that retain anything must copy.
+// RunInto simulates fault f with the event-driven engine, reusing the
+// scratch buffers, and returns the scratch-owned Result — the
+// zero-steady-state-allocation variant of Run. The previous fault's patches
+// are undone first (O(events), not O(cells)). The Result (including
+// FailingCells and Faulty) is only valid until the next RunInto on the same
+// Scratch; callers that retain anything must copy.
 func (fs *FaultSim) RunInto(f Fault, sc *Scratch) *Result {
-	fs.sim.FaultyInto(fs.blocks, f, sc.faulty)
+	fs.restore(sc)
 	sc.res.Fault = f
 	sc.res.Faulty = sc.faulty
-	fs.resultInto(&sc.res)
+	fs.eventRun(f, sc.faulty, sc, &sc.res)
 	return &sc.res
 }
 

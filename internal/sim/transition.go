@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"repro/internal/bitset"
 	"repro/internal/circuit"
@@ -102,10 +103,103 @@ func transitionForce(v2, v1 uint64, slowToRise bool) uint64 {
 	return v2 | v1 // a 0 only appears if it was already 0
 }
 
-// RunTransition simulates a transition fault under launch-off-capture over
-// the pattern set and derives its Result (the cycle-2 captured response is
-// what scans out). The good reference is the fault-free two-cycle response.
+// twoCycleCache memoizes the fault-free two-cycle machine per FaultSim:
+// the cycle-2 captured responses and the cycle-2 internal net values of
+// every block (cycle-1 values are the FaultSim's regular goodVals, since
+// the launch cycle is exactly the fault-free single-cycle run). The cache
+// is shared by forks and computed once, on first transition-fault use.
+type twoCycleCache struct {
+	once sync.Once
+	vals [][]uint64
+	good []*Response
+}
+
+// twoCycle returns the lazily computed two-cycle cache. Safe to call from
+// concurrent forks: the first caller computes on a private Simulator.
+func (fs *FaultSim) twoCycle() *twoCycleCache {
+	fs.tc.once.Do(func() {
+		c := fs.sim.c
+		s := New(c)
+		for bi, b := range fs.blocks {
+			b2 := &Block{N: b.N, PI: b.PI, State: fs.good[bi].Next}
+			r := newResponse(c)
+			s.Good(b2, r)
+			gv := make([]uint64, c.NumNets())
+			copy(gv, s.vals)
+			fs.tc.good = append(fs.tc.good, r)
+			fs.tc.vals = append(fs.tc.vals, gv)
+		}
+	})
+	return fs.tc
+}
+
+// RunTransition simulates a transition fault under launch-off-capture with
+// the event-driven engine: the faulty net's cycle-2 value is forced by the
+// delay-fault semantics against its cycle-1 value, and the resulting event
+// propagates through the fault's fan-out cone over the cached two-cycle
+// fault-free values. The Result's Faulty responses are the cycle-2 captured
+// stream, bit-identical to RunTransitionReference.
 func (fs *FaultSim) RunTransition(f TransitionFault) *Result {
+	c := fs.sim.c
+	tc := fs.twoCycle()
+	st := fs.incState()
+	cone := c.Cone(f.Net)
+	res := &Result{
+		Fault:        Fault{Net: f.Net, Gate: -1, Pin: -1},
+		FailingCells: bitset.New(c.NumDFFs()),
+	}
+	poSeen := false
+	for bi, b := range fs.blocks {
+		bad := newResponse(c)
+		copy(bad.Next, tc.good[bi].Next)
+		copy(bad.PO, tc.good[bi].PO)
+		res.Faulty = append(res.Faulty, bad)
+		gv := tc.vals[bi]
+		// The launch value of the faulty net is its cycle-1 (single-cycle
+		// fault-free) value; the fault holds cycle 2 at it when the
+		// transition fails.
+		forced := transitionForce(gv[f.Net], fs.goodVals[bi][f.Net], f.SlowToRise)
+		if forced == gv[f.Net] {
+			continue // no failing transition launched on this block
+		}
+		st.begin()
+		st.mark(f.Net, forced)
+		st.schedule(c, f.Net)
+		fs.sim.propagate(st, gv)
+		mask := b.Mask()
+		var anyErr uint64
+		for _, ci := range cone.Cells {
+			d := c.Nets[c.DFFs[ci]].Fanin[0]
+			if st.dirtyAt[d] != st.epoch {
+				continue
+			}
+			nv := st.dirtyVal[d]
+			bad.Next[ci] = nv
+			if diff := (nv ^ gv[d]) & mask; diff != 0 {
+				res.FailingCells.Add(ci)
+				anyErr |= diff
+			}
+		}
+		res.DetectingPatterns += bits.OnesCount64(anyErr)
+		for _, pi := range cone.POs {
+			p := c.Outputs[pi]
+			if st.dirtyAt[p] != st.epoch {
+				continue
+			}
+			nv := st.dirtyVal[p]
+			bad.PO[pi] = nv
+			if (nv^gv[p])&mask != 0 {
+				poSeen = true
+			}
+		}
+	}
+	res.POOnly = poSeen && res.FailingCells.Empty()
+	return res
+}
+
+// RunTransitionReference simulates a transition fault with two full-pass
+// two-cycle runs per block — the oracle RunTransition is pinned against.
+func (fs *FaultSim) RunTransitionReference(f TransitionFault) *Result {
 	c := fs.sim.c
 	res := &Result{
 		Fault:        Fault{Net: f.Net, Gate: -1, Pin: -1},
@@ -139,13 +233,8 @@ func (fs *FaultSim) RunTransition(f TransitionFault) *Result {
 }
 
 // TwoCycleGood returns the fault-free two-cycle responses per block, the
-// reference stream for transition-fault diagnosis.
+// reference stream for transition-fault diagnosis. The responses are the
+// memoized cache shared with RunTransition; callers must not modify them.
 func (fs *FaultSim) TwoCycleGood() []*Response {
-	out := make([]*Response, len(fs.blocks))
-	for i, b := range fs.blocks {
-		r := newResponse(fs.sim.c)
-		fs.sim.runTwoCycle(b, nil, r)
-		out[i] = r
-	}
-	return out
+	return fs.twoCycle().good
 }

@@ -89,6 +89,22 @@ func (s *SOC) CoreByName(name string) (int, bool) {
 	return 0, false
 }
 
+// GlobalConeCells returns the global meta-chain cell indices a fault at
+// site in core i can corrupt within one capture cycle: the core's memoized
+// fan-out cone cells shifted to its contiguous segment of the daisy order.
+// This is the event-driven engine's cone restriction composed with the
+// TestRail's segment structure — a spot defect in one core can only ever
+// disturb this subset of its segment.
+func (s *SOC) GlobalConeCells(core int, site circuit.NetID) []int {
+	lo, _ := s.CellRange(core)
+	local := s.Cores[core].Circuit.Cone(site).Cells
+	global := make([]int, len(local))
+	for i, cell := range local {
+		global[i] = lo + cell
+	}
+	return global
+}
+
 // SingleMetaChain returns the one-chain TAM: a single meta scan chain
 // threading every core's internal chain in daisy order.
 func (s *SOC) SingleMetaChain() scan.Config {

@@ -1,11 +1,14 @@
 package soc
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/benchgen"
 	"repro/internal/bist"
+	"repro/internal/bitset"
 	"repro/internal/lfsr"
+	"repro/internal/logic"
 	"repro/internal/partition"
 	"repro/internal/sim"
 )
@@ -368,5 +371,96 @@ func TestScheduleValidation(t *testing.T) {
 	phases, err = s.Schedule([]int{64, 64, 64})
 	if err != nil || len(phases) != 1 {
 		t.Errorf("equal budgets: %v, %d phases", err, len(phases))
+	}
+}
+
+// TestEventEquivalenceMetaChain pins the SOC fault loop — whose per-core
+// simulators now run event-driven — against a full-pass reconstruction:
+// the faulty core's reference responses spliced into the fault-free global
+// stream, with failing cells shifted by the core's segment offset. Cores
+// are interleaved through one shared Scratch so the cross-core segment
+// restore is exercised, and every result is checked against the cone
+// restriction: a spot defect can only corrupt GlobalConeCells of its site.
+func TestEventEquivalenceMetaChain(t *testing.T) {
+	s := smallSOC(t)
+	patterns := s.GeneratePatterns(lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1), 100)
+	fs, err := NewFaultSim(s, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]*sim.FaultSim, s.NumCores())
+	for i, c := range s.Cores {
+		refs[i] = sim.NewFaultSim(c.Circuit, patterns[i])
+	}
+	rng := rand.New(rand.NewSource(3))
+	sc := fs.NewScratch()
+	for step := 0; step < 300; step++ {
+		core := rng.Intn(s.NumCores())
+		faults := fs.CoreFaults(core)
+		f := faults[rng.Intn(len(faults))]
+		want := refs[core].RunReference(f)
+		lo, hi := s.CellRange(core)
+		wantCells := bitset.New(s.NumCells())
+		want.FailingCells.ForEach(func(cell int) { wantCells.Add(lo + cell) })
+		cc := s.Cores[core].Circuit
+		allowed := make(map[int]bool)
+		if !f.Stem() && cc.Nets[f.Gate].Op == logic.OpDFF {
+			allowed[lo+cc.DFFIndex(f.Gate)] = true
+		} else {
+			site := f.Net
+			if !f.Stem() {
+				site = f.Gate
+			}
+			for _, cell := range s.GlobalConeCells(core, site) {
+				allowed[cell] = true
+			}
+		}
+		for _, got := range []*Result{fs.Run(core, f), fs.RunInto(core, f, sc)} {
+			if !got.FailingCells.Equal(wantCells) {
+				t.Fatalf("core %d %s: FailingCells %v, want %v",
+					core, f.Describe(cc), got.FailingCells, wantCells)
+			}
+			got.FailingCells.ForEach(func(cell int) {
+				if !allowed[cell] {
+					t.Fatalf("core %d %s: failing cell %d outside global cone",
+						core, f.Describe(cc), cell)
+				}
+			})
+			for bi := range got.Faulty {
+				for cell := 0; cell < s.NumCells(); cell++ {
+					wantWord := fs.Good()[bi].Next[cell]
+					if cell >= lo && cell < hi {
+						wantWord = want.Faulty[bi].Next[cell-lo]
+					}
+					if got.Faulty[bi].Next[cell] != wantWord {
+						t.Fatalf("core %d %s block %d cell %d: %#x, want %#x",
+							core, f.Describe(cc), bi, cell, got.Faulty[bi].Next[cell], wantWord)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGlobalConeCells checks the cone-to-segment shift: each core's local
+// cone cells map onto its contiguous [lo,hi) slice of the meta chain.
+func TestGlobalConeCells(t *testing.T) {
+	s := smallSOC(t)
+	for core := range s.Cores {
+		lo, hi := s.CellRange(core)
+		c := s.Cores[core].Circuit
+		for _, id := range c.Inputs {
+			local := c.Cone(id).Cells
+			global := s.GlobalConeCells(core, id)
+			if len(global) != len(local) {
+				t.Fatalf("core %d net %d: %d global cells for %d local", core, id, len(global), len(local))
+			}
+			for i := range local {
+				if global[i] != lo+local[i] || global[i] < lo || global[i] >= hi {
+					t.Fatalf("core %d net %d: global cell %d for local %d, segment [%d,%d)",
+						core, id, global[i], local[i], lo, hi)
+				}
+			}
+		}
 	}
 }
