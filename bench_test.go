@@ -298,6 +298,80 @@ func BenchmarkIncrementalFaultSim(b *testing.B) {
 	})
 }
 
+// BenchmarkFaultBatchSweep contrasts the fault-parallel batch engine with
+// the per-fault event-driven engine on the 500-fault s13207 sweep that
+// dominates the Table 2/3 experiments. One iteration is a 20-sweep
+// campaign (schedule reused, as in a real multi-scheme, multi-session
+// run), so even a -benchtime 1x CI run times a multi-millisecond window;
+// ns/fault is the amortized per-fault simulation time the PR4 acceptance
+// criterion tracks.
+func BenchmarkFaultBatchSweep(b *testing.B) {
+	c := benchgen.MustGenerate("s13207")
+	prpg := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1)
+	blocks := bist.GenerateBlocks(prpg, c.NumInputs(), c.NumDFFs(), 128)
+	fs := sim.NewFaultSim(c, blocks)
+	faults := sim.SampleFaults(sim.FullFaultList(c), 500, 1)
+	const sweepsPerIter = 20
+	// Each sub-benchmark runs untimed warmup sweeps so a -benchtime 1x CI
+	// run measures the steady state the multi-scheme experiments live in
+	// (caches hot, branch predictors trained, CPU clocks ramped) rather
+	// than first-touch costs.
+	b.Run("batched", func(b *testing.B) {
+		plan := sim.PlanBatches(c, faults, sim.BatchOptions{})
+		bs := fs.NewBatchScratch(plan)
+		sc := fs.NewScratch()
+		sink := 0
+		for w := 0; w < 100; w++ {
+			for _, cb := range plan.Batches {
+				fs.RunBatch(cb, bs)
+				for k := range cb.Index {
+					sink += fs.MaterializeBatch(bs, k, sc).DetectingPatterns
+				}
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < sweepsPerIter; s++ {
+				for _, cb := range plan.Batches {
+					fs.RunBatch(cb, bs)
+					for k := range cb.Index {
+						sink += fs.MaterializeBatch(bs, k, sc).DetectingPatterns
+					}
+				}
+			}
+		}
+		b.StopTimer()
+		if sink == 0 {
+			b.Fatal("sweep detected nothing")
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*sweepsPerIter*len(faults)), "ns/fault")
+	})
+	b.Run("event", func(b *testing.B) {
+		sc := fs.NewScratch()
+		sink := 0
+		for w := 0; w < 10; w++ {
+			for _, f := range faults {
+				sink += fs.RunInto(f, sc).DetectingPatterns
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < sweepsPerIter; s++ {
+				for _, f := range faults {
+					sink += fs.RunInto(f, sc).DetectingPatterns
+				}
+			}
+		}
+		b.StopTimer()
+		if sink == 0 {
+			b.Fatal("sweep detected nothing")
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*sweepsPerIter*len(faults)), "ns/fault")
+	})
+}
+
 func BenchmarkLFSRStep(b *testing.B) {
 	l := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1)
 	for i := 0; i < b.N; i++ {

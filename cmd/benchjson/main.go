@@ -6,12 +6,20 @@
 //
 //	go test -run '^$' -bench . -benchtime 1x -benchmem . | benchjson -o BENCH_PR3.json
 //	benchjson bench.txt
+//	benchjson -baseline BENCH_PR3.json -gate BenchmarkFaultSimulation -max-regress 25 bench.txt
 //
 // The report carries the goos/goarch/pkg/cpu header lines and one entry
 // per benchmark result line: the name (GOMAXPROCS suffix stripped), the
 // iteration count, and every metric pair — the standard ns/op, B/op,
 // allocs/op plus any custom b.ReportMetric columns such as the DR-*
 // diagnostic-resolution metrics this harness emits.
+//
+// With -baseline, the run is additionally compared against a previously
+// committed report: every benchmark present in both gets a ns/op delta
+// line, and any benchmark named by -gate (comma-separated, matched as an
+// exact name or a sub-benchmark prefix) whose ns/op regressed by more
+// than -max-regress percent fails the invocation with exit status 1 —
+// the CI perf gate.
 package main
 
 import (
@@ -46,6 +54,9 @@ var procsSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	baseline := flag.String("baseline", "", "compare ns/op against this committed JSON report")
+	gate := flag.String("gate", "", "comma-separated benchmark names (or sub-benchmark prefixes) whose regression fails the run")
+	maxRegress := flag.Float64("max-regress", 25, "allowed ns/op regression for gated benchmarks, in percent")
 	flag.Parse()
 
 	in := os.Stdin
@@ -74,13 +85,120 @@ func main() {
 		fatal(err)
 	}
 	enc = append(enc, '\n')
-	if *out == "" {
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+	} else if *baseline == "" {
+		// In comparison mode stdout carries the delta table instead, so the
+		// JSON report is only emitted when a -o destination names a file.
 		os.Stdout.Write(enc)
+	}
+
+	if *baseline == "" {
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	base, err := loadReport(*baseline)
+	if err != nil {
 		fatal(err)
 	}
+	text, failed := Compare(report, base, splitGates(*gate), *maxRegress)
+	os.Stdout.WriteString(text)
+	if failed {
+		fatal(fmt.Errorf("gated benchmark regressed more than %g%% vs %s", *maxRegress, *baseline))
+	}
+}
+
+// loadReport reads a previously written JSON report from disk.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &r, nil
+}
+
+// splitGates parses the -gate flag into its non-empty names.
+func splitGates(s string) []string {
+	var gates []string
+	for _, g := range strings.Split(s, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			gates = append(gates, g)
+		}
+	}
+	return gates
+}
+
+// gated reports whether name is covered by one of the gate entries: an
+// exact match, or a sub-benchmark of a gated parent (prefix + "/").
+func gated(name string, gates []string) bool {
+	for _, g := range gates {
+		if name == g || strings.HasPrefix(name, g+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Compare renders a per-benchmark ns/op delta table between the current
+// run and a baseline report, and reports whether any gated benchmark
+// regressed by more than maxRegress percent. Benchmarks present on only
+// one side are listed but never gate; a gate name matching nothing in the
+// current run fails, so a renamed benchmark cannot silently skip the gate.
+func Compare(cur, base *Report, gates []string, maxRegress float64) (string, bool) {
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-50s %14s %14s %9s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	failed := false
+	matched := make(map[string]bool)
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		seen[b.Name] = true
+		old, ok := baseBy[b.Name]
+		if !ok {
+			fmt.Fprintf(&sb, "%-50s %14s %14.0f %9s\n", b.Name, "-", b.Metrics["ns/op"], "new")
+			continue
+		}
+		oldNs, newNs := old.Metrics["ns/op"], b.Metrics["ns/op"]
+		if oldNs <= 0 {
+			fmt.Fprintf(&sb, "%-50s %14.0f %14.0f %9s\n", b.Name, oldNs, newNs, "n/a")
+			continue
+		}
+		delta := 100 * (newNs - oldNs) / oldNs
+		mark := ""
+		if gated(b.Name, gates) {
+			for _, g := range gates {
+				if b.Name == g || strings.HasPrefix(b.Name, g+"/") {
+					matched[g] = true
+				}
+			}
+			mark = "  [gate]"
+			if delta > maxRegress {
+				mark = "  [FAIL]"
+				failed = true
+			}
+		}
+		fmt.Fprintf(&sb, "%-50s %14.0f %14.0f %+8.1f%%%s\n", b.Name, oldNs, newNs, delta, mark)
+	}
+	for _, b := range base.Benchmarks {
+		if !seen[b.Name] {
+			fmt.Fprintf(&sb, "%-50s %14.0f %14s %9s\n", b.Name, b.Metrics["ns/op"], "-", "gone")
+		}
+	}
+	for _, g := range gates {
+		if !matched[g] {
+			fmt.Fprintf(&sb, "gate %q matched no benchmark present in both runs\n", g)
+			failed = true
+		}
+	}
+	return sb.String(), failed
 }
 
 // Parse reads `go test -bench` output and extracts the header fields and

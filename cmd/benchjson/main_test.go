@@ -64,3 +64,68 @@ func TestParseRejectsBadMetricValue(t *testing.T) {
 		t.Error("bad metric value accepted")
 	}
 }
+
+func mkReport(nsOp map[string]float64) *Report {
+	r := &Report{}
+	for name, ns := range nsOp {
+		r.Benchmarks = append(r.Benchmarks, Benchmark{
+			Name: name, Iterations: 1, Metrics: map[string]float64{"ns/op": ns},
+		})
+	}
+	return r
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	base := mkReport(map[string]float64{"BenchmarkFaultSimulation": 1000, "BenchmarkOther": 500})
+	cur := mkReport(map[string]float64{"BenchmarkFaultSimulation": 1200, "BenchmarkOther": 5000})
+	// 20% regression on the gated benchmark is under the 25% ceiling; the
+	// 10x regression on the ungated one must not trip the gate.
+	text, failed := Compare(cur, base, []string{"BenchmarkFaultSimulation"}, 25)
+	if failed {
+		t.Errorf("comparison failed within threshold:\n%s", text)
+	}
+	if !strings.Contains(text, "[gate]") {
+		t.Errorf("gated benchmark not marked:\n%s", text)
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	base := mkReport(map[string]float64{"BenchmarkFaultSimulation": 1000})
+	cur := mkReport(map[string]float64{"BenchmarkFaultSimulation": 1300})
+	text, failed := Compare(cur, base, []string{"BenchmarkFaultSimulation"}, 25)
+	if !failed {
+		t.Errorf("30%% regression passed a 25%% gate:\n%s", text)
+	}
+	if !strings.Contains(text, "[FAIL]") {
+		t.Errorf("failing benchmark not marked:\n%s", text)
+	}
+}
+
+func TestCompareGatesSubBenchmarks(t *testing.T) {
+	base := mkReport(map[string]float64{"BenchmarkFaultBatchSweep/batched": 400})
+	cur := mkReport(map[string]float64{"BenchmarkFaultBatchSweep/batched": 600})
+	if _, failed := Compare(cur, base, []string{"BenchmarkFaultBatchSweep"}, 25); !failed {
+		t.Error("sub-benchmark regression passed a gate on its parent name")
+	}
+}
+
+func TestCompareMissingGateFails(t *testing.T) {
+	base := mkReport(map[string]float64{"BenchmarkRenamed": 1000})
+	cur := mkReport(map[string]float64{"BenchmarkRenamed": 1000})
+	text, failed := Compare(cur, base, []string{"BenchmarkFaultSimulation"}, 25)
+	if !failed {
+		t.Errorf("gate matching no benchmark passed silently:\n%s", text)
+	}
+}
+
+func TestCompareReportsNewAndGone(t *testing.T) {
+	base := mkReport(map[string]float64{"BenchmarkGone": 1000})
+	cur := mkReport(map[string]float64{"BenchmarkNew": 2000})
+	text, failed := Compare(cur, base, nil, 25)
+	if failed {
+		t.Errorf("ungated comparison failed:\n%s", text)
+	}
+	if !strings.Contains(text, "new") || !strings.Contains(text, "gone") {
+		t.Errorf("one-sided benchmarks not listed:\n%s", text)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/benchgen"
 	"repro/internal/chaindiag"
 	"repro/internal/circuit"
+	"repro/internal/pipeline"
 	"repro/internal/scan"
 )
 
@@ -28,6 +29,7 @@ func main() {
 		stuck    = flag.Int("stuck", 0, "stuck value of the injected fault (0 or 1)")
 		healthy  = flag.Bool("healthy", false, "diagnose a fault-free chain instead")
 		sweep    = flag.Bool("sweep", false, "inject a fault at every position and summarise accuracy")
+		workers  = flag.Int("workers", 0, "goroutines for -sweep (0 = all CPUs, 1 = serial; results are identical)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file after the run")
@@ -68,7 +70,7 @@ func main() {
 	fmt.Printf("circuit: %s (chain of %d cells)\n", c.Stats(), c.NumDFFs())
 
 	if *sweep {
-		runSweep(c, order)
+		runSweep(c, order, *workers)
 		return
 	}
 
@@ -93,30 +95,50 @@ func main() {
 	}
 }
 
-func runSweep(c *circuit.Circuit, order []int) {
+func runSweep(c *circuit.Circuit, order []int, workers int) {
 	n := c.NumDFFs()
-	exact, located, totalCands := 0, 0, 0
-	for pos := 0; pos < n; pos++ {
-		for _, stuck := range []uint8{0, 1} {
-			truth := chaindiag.ChainFault{Position: pos, Stuck: stuck}
+	// One injection per (position, stuck) pair; each job is independent,
+	// so the sweep fans out over an Executor and aggregates afterwards.
+	type outcome struct {
+		located, exact bool
+		cands          int
+		err            error
+	}
+	results := make([]outcome, 2*n)
+	pipeline.Executor{Workers: workers}.Run(len(results), func() func(int) {
+		return func(i int) {
+			truth := chaindiag.ChainFault{Position: i / 2, Stuck: uint8(i % 2)}
 			dut, err := chaindiag.NewDevice(c, order, &truth)
 			if err != nil {
-				fatal(err)
+				results[i].err = err
+				return
 			}
 			cands, err := chaindiag.Diagnose(c, order, dut.LoadCaptureObserve)
 			if err != nil {
-				fatal(err)
+				results[i].err = err
+				return
 			}
-			totalCands += len(cands)
+			results[i].cands = len(cands)
 			for _, cand := range cands {
 				if cand.Fault != nil && *cand.Fault == truth {
-					located++
-					if len(cands) == 1 {
-						exact++
-					}
+					results[i].located = true
+					results[i].exact = len(cands) == 1
 					break
 				}
 			}
+		}
+	})
+	exact, located, totalCands := 0, 0, 0
+	for _, r := range results {
+		if r.err != nil {
+			fatal(r.err)
+		}
+		totalCands += r.cands
+		if r.located {
+			located++
+		}
+		if r.exact {
+			exact++
 		}
 	}
 	runs := 2 * n

@@ -29,6 +29,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: baselines|tamwidth|transition|noise|table1|table2|table3|table4|figure3|figure5|all")
 	faults := flag.Int("faults", 500, "stuck-at faults sampled per circuit or per faulty core")
 	seed := flag.Int64("seed", 1, "fault sampling seed")
+	workers := flag.Int("workers", 0, "goroutines per fault sweep (0 = all CPUs, 1 = serial; results are identical)")
 	format := flag.String("format", "text", "output format: text|csv (csv not available for figure3)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run")
@@ -65,7 +66,7 @@ func main() {
 
 	// One artifact cache spans every experiment of the invocation, so
 	// drivers revisiting a circuit (or plan) reuse its build artifacts.
-	cfg := experiments.Config{Faults: *faults, FaultSeed: *seed, Cache: pipeline.NewCache()}
+	cfg := experiments.Config{Faults: *faults, FaultSeed: *seed, Workers: *workers, Cache: pipeline.NewCache()}
 	run := func(name string, f func() (rows any, text string, err error)) {
 		if *exp != "all" && *exp != name {
 			return

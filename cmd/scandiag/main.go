@@ -38,6 +38,7 @@ func main() {
 		patterns     = flag.Int("patterns", 128, "pseudorandom patterns per BIST session")
 		faults       = flag.Int("faults", 500, "stuck-at faults to sample")
 		seed         = flag.Int64("seed", 1, "fault sampling seed")
+		workers      = flag.Int("workers", 0, "goroutines for the fault sweep (0 = all CPUs, 1 = serial; results are identical)")
 		chains       = flag.Int("chains", 1, "number of balanced scan chains")
 		order        = flag.String("order", "natural", "scan order: natural|random|reverse")
 		ideal        = flag.Bool("ideal", false, "bypass the MISR (alias-free compaction)")
@@ -102,6 +103,7 @@ func main() {
 		Patterns:      *patterns,
 		Chains:        *chains,
 		Ideal:         *ideal,
+		Workers:       *workers,
 		Noise:         noise.Model{Intermittent: *intermittent, Flip: *flip, Abort: *abort, Seed: *noiseSeed},
 		Retry:         bist.RetryPolicy{MaxRetries: *retries},
 		VoteThreshold: *vote,

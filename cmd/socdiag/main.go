@@ -33,6 +33,7 @@ func main() {
 		chains     = flag.Int("chains", 0, "meta scan chains (default: 1 for SOC1, 8 for SOC2)")
 		faults     = flag.Int("faults", 500, "stuck-at faults to sample in the faulty core")
 		seed       = flag.Int64("seed", 1, "fault sampling seed")
+		workers    = flag.Int("workers", 0, "goroutines for the fault sweep (0 = all CPUs, 1 = serial; results are identical)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
@@ -113,6 +114,7 @@ func main() {
 		Partitions: *partitions,
 		Patterns:   *patterns,
 		Chains:     *chains,
+		Workers:    *workers,
 	})
 	if err != nil {
 		fatal(err)

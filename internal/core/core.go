@@ -397,20 +397,29 @@ func (b *CircuitBench) Run(faults []sim.Fault) *Study {
 }
 
 // RunObserved is Run with a per-fault callback, invoked in fault order
-// after all diagnoses complete, for reporting and tracing. Faults are
-// scheduled in deterministic batches over the worker pool; each worker
-// owns forked simulator scratch and pooled verdict buffers, so results
-// are identical for every worker count.
+// after all diagnoses complete, for reporting and tracing. The sweep is
+// scheduled through the fault-parallel engine: faults are packed into
+// cone-disjoint batches (sim.PlanBatches), whole batches are distributed
+// over the worker pool, and each member is materialized into the same
+// per-fault responses the event-driven engine produces — so results are
+// identical for every worker count and bit-for-bit identical to the
+// single-fault path.
 func (b *CircuitBench) RunObserved(faults []sim.Fault, observe func(*FaultDiagnosis)) *Study {
 	study := newStudy(b.Opts, b.Opts.Scheme.Name())
 	results := make([]*FaultDiagnosis, len(faults))
-	pipeline.Executor{Workers: b.Opts.Workers}.Run(len(faults), func() func(int) {
+	plan := sim.PlanBatches(b.Circuit, faults, sim.BatchOptions{})
+	pipeline.Executor{Workers: b.Opts.Workers}.RunBatches(len(plan.Batches), func() func(int) {
 		fs := b.fs.Fork()
+		bs := fs.NewBatchScratch(plan)
 		sc := fs.NewScratch()
 		w := newDiagWorker(b.Opts, b.art.Engine, b.art.Diag, b.art.Good, b.art.Blocks)
-		return func(i int) {
-			res := fs.RunInto(faults[i], sc)
-			results[i] = w.diagnose(res.Fault, res.FailingCells, res.Detected(), res.Faulty)
+		return func(pi int) {
+			cb := plan.Batches[pi]
+			fs.RunBatch(cb, bs)
+			for k, i := range cb.Index {
+				res := fs.MaterializeBatch(bs, k, sc)
+				results[i] = w.diagnose(res.Fault, res.FailingCells, res.Detected(), res.Faulty)
+			}
 		}
 	})
 	for _, fd := range results {
@@ -487,17 +496,25 @@ func (b *SOCBench) diagnose(res *soc.Result) *FaultDiagnosis {
 
 // RunCore diagnoses a set of faults all injected into one core (the
 // paper's one-faulty-core-per-session assumption), using Opts.Workers
-// goroutines over the same batched, pooled engine as CircuitBench.Run.
+// goroutines. Like CircuitBench.Run, the sweep schedules cone-disjoint
+// fault batches over the pool; each member is materialized into the global
+// meta-chain cell space exactly as the event-driven path would have.
 func (b *SOCBench) RunCore(core int, faults []sim.Fault) *Study {
 	study := newStudy(b.Opts, b.Opts.Scheme.Name())
 	results := make([]*FaultDiagnosis, len(faults))
-	pipeline.Executor{Workers: b.Opts.Workers}.Run(len(faults), func() func(int) {
+	plan := b.fs.PlanCoreBatches(core, faults, sim.BatchOptions{})
+	pipeline.Executor{Workers: b.Opts.Workers}.RunBatches(len(plan.Batches), func() func(int) {
 		fs := b.fs.Fork()
+		bs := fs.NewCoreBatchScratch(core, plan)
 		sc := fs.NewScratch()
 		w := newDiagWorker(b.Opts, b.art.Engine, b.art.Diag, fs.Good(), fs.Blocks())
-		return func(i int) {
-			res := fs.RunInto(core, faults[i], sc)
-			results[i] = w.diagnose(res.Fault, res.FailingCells, res.Detected(), res.Faulty)
+		return func(pi int) {
+			cb := plan.Batches[pi]
+			fs.RunBatch(core, cb, bs)
+			for k, i := range cb.Index {
+				res := fs.MaterializeBatch(core, bs, k, sc)
+				results[i] = w.diagnose(res.Fault, res.FailingCells, res.Detected(), res.Faulty)
+			}
 		}
 	})
 	for _, fd := range results {

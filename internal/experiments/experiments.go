@@ -31,6 +31,10 @@ type Config struct {
 	Faults int
 	// FaultSeed seeds fault sampling. Zero selects 1.
 	FaultSeed int64
+	// Workers bounds the goroutines each driver's fault sweep uses; zero
+	// selects GOMAXPROCS, 1 forces serial execution. Results are identical
+	// for every worker count.
+	Workers int
 	// Cache shares build artifacts (pattern blocks, fault-free responses,
 	// golden signatures) across the benches an experiment builds — and
 	// across experiments when the caller threads one cache through all of
@@ -76,7 +80,7 @@ func Table1(cfg Config) ([]Table1Row, error) {
 	var studies []*core.Study
 	for _, s := range schemes {
 		b, err := core.NewCircuitBench(c, core.Options{
-			Scheme: s, Groups: 4, Partitions: maxPartitions, Patterns: 200, Cache: cfg.Cache,
+			Scheme: s, Groups: 4, Partitions: maxPartitions, Patterns: 200, Workers: cfg.Workers, Cache: cfg.Cache,
 		})
 		if err != nil {
 			return nil, err
@@ -138,7 +142,7 @@ func Table2(cfg Config) ([]Table2Row, error) {
 		row := Table2Row{Circuit: setup.name, Groups: setup.groups, Partitions: table2Partitions}
 		for i, s := range []partition.Scheme{partition.RandomSelection{}, partition.TwoStep{}} {
 			b, err := core.NewCircuitBench(c, core.Options{
-				Scheme: s, Groups: setup.groups, Partitions: table2Partitions, Patterns: 128, Cache: cfg.Cache,
+				Scheme: s, Groups: setup.groups, Partitions: table2Partitions, Patterns: 128, Workers: cfg.Workers, Cache: cfg.Cache,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", setup.name, s.Name(), err)
@@ -174,7 +178,7 @@ func socTable(cfg Config, s *soc.SOC, chains, groups, partitions, patterns int) 
 	benches := make([]*core.SOCBench, 2)
 	for i, sch := range []partition.Scheme{partition.RandomSelection{}, partition.TwoStep{}} {
 		b, err := core.NewSOCBench(s, core.Options{
-			Scheme: sch, Groups: groups, Partitions: partitions, Patterns: patterns, Chains: chains, Cache: cfg.Cache,
+			Scheme: sch, Groups: groups, Partitions: partitions, Patterns: patterns, Chains: chains, Workers: cfg.Workers, Cache: cfg.Cache,
 		})
 		if err != nil {
 			return nil, err
@@ -239,7 +243,7 @@ func Figure5(cfg Config) ([]Figure5Row, error) {
 	benches := make([]*core.SOCBench, 2)
 	for i, sch := range []partition.Scheme{partition.RandomSelection{}, partition.TwoStep{}} {
 		b, err := core.NewSOCBench(s, core.Options{
-			Scheme: sch, Groups: 32, Partitions: figure5MaxPartitions, Patterns: 128, Cache: cfg.Cache,
+			Scheme: sch, Groups: 32, Partitions: figure5MaxPartitions, Patterns: 128, Workers: cfg.Workers, Cache: cfg.Cache,
 		})
 		if err != nil {
 			return nil, err

@@ -70,6 +70,7 @@ func NoiseSweep(cfg Config) ([]NoiseRow, error) {
 				Noise:         lvl.model,
 				Retry:         bist.RetryPolicy{MaxRetries: lvl.retries},
 				VoteThreshold: lvl.vote,
+				Workers:       cfg.Workers,
 				// Noise and retry knobs are not part of the artifact key,
 				// so all three reliability levels share one artifact set.
 				Cache: cfg.Cache,

@@ -46,6 +46,9 @@ func Transition(cfg Config) ([]TransitionRow, error) {
 		good := fs.TwoCycleGood()
 		all := sim.TransitionFaultList(c)
 		faults := sampleTransition(all, cfg.Faults, cfg.FaultSeed)
+		// One cone-disjoint batch plan serves both schemes: the simulated
+		// responses are scheme-independent, only the verdicts differ.
+		plan := sim.PlanTransitionBatches(c, faults, sim.BatchOptions{})
 
 		row := TransitionRow{Circuit: setup.name}
 		for i, sch := range []partition.Scheme{partition.RandomSelection{}, partition.TwoStep{}} {
@@ -61,16 +64,15 @@ func Transition(cfg Config) ([]TransitionRow, error) {
 			}
 			var dr diagnosis.DR
 			diagnosed := 0
-			for _, f := range faults {
-				res := fs.RunTransition(f)
+			fs.RunPlan(plan, func(_ int, res *sim.Result) {
 				if !res.Detected() {
-					continue
+					return
 				}
 				diagnosed++
 				v := eng.Verdicts(good, res.Faulty, blocks)
 				cand := diag.Diagnose(v).Pruned
 				dr.Add(cand.Len(), res.FailingCells.Len())
-			}
+			})
 			if i == 0 {
 				row.Random = dr.Value()
 			} else {

@@ -14,11 +14,26 @@ import (
 // goroutine varies.
 type Executor struct {
 	// Workers bounds the goroutines; 0 selects GOMAXPROCS, 1 forces
-	// serial execution on the calling goroutine.
+	// serial execution on the calling goroutine. Negative values are
+	// clamped to the default (GOMAXPROCS).
 	Workers int
 	// Batch is the number of jobs a worker claims per cursor advance;
-	// 0 selects a small default.
+	// 0 selects a small default. Negative values are clamped to the
+	// default.
 	Batch int
+}
+
+// normalized clamps out-of-range knobs to their documented defaults, so a
+// caller threading a user-supplied -workers flag straight through cannot
+// wedge the pool.
+func (e Executor) normalized() Executor {
+	if e.Workers < 0 {
+		e.Workers = 0
+	}
+	if e.Batch < 0 {
+		e.Batch = 0
+	}
+	return e
 }
 
 // Run executes jobs 0..n-1. Each worker calls mkWorker once to obtain its
@@ -28,6 +43,7 @@ func (e Executor) Run(n int, mkWorker func() func(int)) {
 	if n <= 0 {
 		return
 	}
+	e = e.normalized()
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -69,4 +85,14 @@ func (e Executor) Run(n int, mkWorker func() func(int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// RunBatches schedules jobs that are already coarse units of work — e.g.
+// compiled fault batches, each covering up to 64 faults — over the pool.
+// It is Run with a claim granularity of one job per cursor advance: batch
+// jobs are orders of magnitude heavier than single-fault jobs, so claiming
+// several at once would only skew the load.
+func (e Executor) RunBatches(n int, mkWorker func() func(int)) {
+	e.Batch = 1
+	e.Run(n, mkWorker)
 }

@@ -1,0 +1,64 @@
+package pipeline
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestExecutorClampsInvalidKnobs pins the input validation: negative
+// Workers/Batch fall back to their defaults instead of wedging or panicking,
+// and every job still runs exactly once.
+func TestExecutorClampsInvalidKnobs(t *testing.T) {
+	cases := []Executor{
+		{Workers: -3, Batch: -7},
+		{Workers: -1},
+		{Batch: -1},
+		{Workers: 1, Batch: -5},
+		{Workers: 3, Batch: 2},
+	}
+	for _, e := range cases {
+		const n = 101
+		var ran [n]atomic.Int32
+		e.Run(n, func() func(int) {
+			return func(i int) { ran[i].Add(1) }
+		})
+		for i := range ran {
+			if got := ran[i].Load(); got != 1 {
+				t.Fatalf("Executor%+v: job %d ran %d times", e, i, got)
+			}
+		}
+	}
+}
+
+// TestExecutorEmpty checks that non-positive job counts are a no-op and
+// never instantiate a worker.
+func TestExecutorEmpty(t *testing.T) {
+	for _, n := range []int{0, -4} {
+		called := false
+		Executor{}.Run(n, func() func(int) {
+			called = true
+			return func(int) {}
+		})
+		if called {
+			t.Fatalf("n=%d: worker instantiated", n)
+		}
+	}
+}
+
+// TestExecutorRunBatches checks the coarse-grained path: every batch index
+// runs exactly once regardless of the Batch knob, which RunBatches
+// overrides to single-claim granularity.
+func TestExecutorRunBatches(t *testing.T) {
+	for _, e := range []Executor{{Workers: 4, Batch: 99}, {Workers: 1}, {Workers: -2, Batch: -2}} {
+		const n = 37
+		var ran [n]atomic.Int32
+		e.RunBatches(n, func() func(int) {
+			return func(i int) { ran[i].Add(1) }
+		})
+		for i := range ran {
+			if got := ran[i].Load(); got != 1 {
+				t.Fatalf("Executor%+v: batch %d ran %d times", e, i, got)
+			}
+		}
+	}
+}

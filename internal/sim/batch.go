@@ -1,0 +1,946 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// This file implements the fault-parallel batch engine: up to 64 faults
+// whose fan-out cones are pairwise disjoint are compiled into one dense
+// straight-line kernel over the union of their cones, evaluated once per
+// pattern set. Disjointness makes the union exact — no net is corrupted by
+// more than one member, so a single pass computes every member's faulty
+// values simultaneously, and each fault's injection compiles away into the
+// wiring (a constant slot, a rewired operand, a force record) instead of
+// costing anything per fault at run time.
+//
+// The kernel's value space is laid out for locality and minimal record
+// count: slot s holds a row of B words (one per pattern block), and slots
+// [0, NumNets) are the fault-free baseline in net-major order, copied into
+// the scratch once at creation. A gate whose value a fault cannot change is
+// therefore read directly at its net index with no record at all; only
+// cone-interior gates emit records, which write to extension slots past the
+// baseline (the baseline itself is never written). Records are sorted by
+// (depth, op) — topologically safe, since a reader's depth strictly exceeds
+// its operands' — so the evaluation switch runs long same-op streaks and
+// stays branch-predictable.
+//
+// Per-member captured-cell and PO differences are demultiplexed into the
+// same patch-list form the event-driven engine produces, so
+// MaterializeBatch yields Results bit-for-bit identical to RunReference /
+// RunTransitionReference (pinned by the equivalence tests and
+// FuzzFaultBatch). The scheduler that forms the batches lives in
+// schedule.go.
+
+// BatchKind selects the fault model a compiled batch simulates. Stuck-at
+// and transition faults evaluate over different fault-free baselines
+// (single-cycle vs. cycle-2 of launch-off-capture) and must not mix.
+type BatchKind uint8
+
+const (
+	// BatchStuckAt batches single stuck-at faults against the single-cycle
+	// fault-free machine.
+	BatchStuckAt BatchKind = iota
+	// BatchTransition batches transition (delay) faults against the
+	// two-cycle launch-off-capture machine.
+	BatchTransition
+)
+
+// MaxLanes is the lane capacity of one batch: the fault-parallel analogue
+// of the 64 pattern bits of a Block.
+const MaxLanes = 64
+
+// Kernel micro-ops. The compiler decomposes arbitrary-fan-in gates into
+// chains of binary/unary records matching logic.Eval's left-fold semantics,
+// with the inversion applied by the final record of a chain.
+const (
+	bopBuf uint8 = iota
+	bopNot
+	bopAnd
+	bopNand
+	bopOr
+	bopNor
+	bopXor
+	bopXnor
+	bopConst0
+	bopConst1
+	// bopTransRise / bopTransFall force a transition-fault site: the
+	// cycle-2 value (slot a, always the raw baseline row of the site net)
+	// is held back by the cycle-1 launch value — rise keeps a 1 only if it
+	// was already 1, fall keeps a 0 only if it was already 0. Valid because
+	// everything upstream of a member's site is fault-free under cone
+	// disjointness.
+	bopTransRise
+	bopTransFall
+)
+
+// bgate is one kernel micro-op: row[out] = op(row[a], row[b]), each row
+// being B block words. For unary ops b is unused. The op itself lives in
+// the enclosing opRun, keeping the hot record stream at 12 bytes per gate.
+type bgate struct {
+	a, b, out int32
+}
+
+// bcap demultiplexes one observation point: the value row in slot belongs
+// to batch member owner and is compared against the baseline row of net
+// good, then patched at scan cell (or PO) idx. Cone disjointness guarantees
+// each idx has at most one owner per batch.
+type bcap struct {
+	idx   int32
+	slot  int32
+	good  int32
+	owner int32
+}
+
+// CompiledBatch is the dense kernel of one fault batch. Compiled batches
+// are immutable and safe for concurrent RunBatch from different forks,
+// each with its own BatchScratch.
+type CompiledBatch struct {
+	Kind BatchKind
+	// Faults holds the members of a stuck-at batch; TFaults of a transition
+	// batch. Exactly one of the two is non-empty.
+	Faults  []Fault
+	TFaults []TransitionFault
+	// Index maps each member to its position in the fault list the plan was
+	// built from, so sweep results land at their original indices.
+	Index []int
+
+	gates []bgate
+	runs  []opRun // op-homogeneous streaks of gates, in order
+	cells []bcap
+	pos   []bcap
+	nExt  int // extension slots past the baseline+const region
+}
+
+// opRun is a maximal streak of consecutive records sharing one op, the
+// product of the (depth, op) sort. Specialized kernels iterate runs so the
+// op dispatch is hoisted out of the record loop.
+type opRun struct {
+	start, end int32
+	op         uint8
+}
+
+// Lanes returns the number of faults packed into the batch.
+func (cb *CompiledBatch) Lanes() int {
+	if cb.Kind == BatchTransition {
+		return len(cb.TFaults)
+	}
+	return len(cb.Faults)
+}
+
+// fault returns member k as a Fault for Result reporting; transition
+// members are reported the same way RunTransition reports them.
+func (cb *CompiledBatch) fault(k int) Fault {
+	if cb.Kind == BatchTransition {
+		return Fault{Net: cb.TFaults[k].Net, Gate: -1, Pin: -1}
+	}
+	return cb.Faults[k]
+}
+
+// batchCache memoizes the net-major baseline transposes shared by every
+// BatchScratch of a FaultSim and its forks: row net*B+bi is the fault-free
+// word of net on block bi (single-cycle for stuck-at; cycle 2 of
+// launch-off-capture for transition, whose forces also read the
+// single-cycle rows as launch values).
+type batchCache struct {
+	stuckOnce sync.Once
+	stuck     []uint64
+	transOnce sync.Once
+	trans     []uint64
+}
+
+func (fs *FaultSim) stuckBaseline() []uint64 {
+	fs.bc.stuckOnce.Do(func() {
+		B := len(fs.blocks)
+		t := make([]uint64, fs.sim.c.NumNets()*B)
+		for bi, gv := range fs.goodVals {
+			for net, w := range gv {
+				t[net*B+bi] = w
+			}
+		}
+		fs.bc.stuck = t
+	})
+	return fs.bc.stuck
+}
+
+func (fs *FaultSim) transBaseline() []uint64 {
+	fs.bc.transOnce.Do(func() {
+		tc := fs.twoCycle()
+		B := len(fs.blocks)
+		t := make([]uint64, fs.sim.c.NumNets()*B)
+		for bi, gv := range tc.vals {
+			for net, w := range gv {
+				t[net*B+bi] = w
+			}
+		}
+		fs.bc.trans = t
+	})
+	return fs.bc.trans
+}
+
+// patchEntry records one demultiplexed word: response index idx takes the
+// member's value word, everything else stays fault-free.
+type patchEntry struct {
+	word uint64
+	idx  int32
+}
+
+// batchMember accumulates one lane's observation state across blocks.
+// failCells may repeat an index (one entry per block it fails in); it feeds
+// a set at materialization time. A list keeps the per-batch reset O(faults
+// that failed) instead of O(cells) bitset words per lane.
+type batchMember struct {
+	failCells []int32
+	detecting int
+	poSeen    bool
+	cellPatch [][]patchEntry // per block
+	poPatch   [][]patchEntry // per block
+}
+
+// BatchScratch holds the reusable evaluation state of the batch engine:
+// the slot rows (baseline region pre-copied, extension region reused per
+// batch) and the per-member demultiplexed patches. Obtain one per goroutine
+// from NewBatchScratch; the steady state of RunBatch/MaterializeBatch then
+// allocates nothing. A scratch is bound to its plan's fault model — the
+// baseline region holds that model's fault-free rows.
+type BatchScratch struct {
+	kind    BatchKind
+	vals    []uint64 // (NumNets+2+maxExt) rows of B words
+	launch  []uint64 // single-cycle rows feeding transition forces (nil for stuck-at)
+	masks   []uint64 // per block: valid-pattern mask
+	members []batchMember
+	anyErr  []uint64 // lanes × B accumulated cell-diff words
+	cb      *CompiledBatch
+}
+
+// NewBatchScratch allocates a scratch sized for the largest batch of plan,
+// for use with any of its batches on this FaultSim (or a Fork).
+func (fs *FaultSim) NewBatchScratch(p *BatchPlan) *BatchScratch {
+	c := fs.sim.c
+	B := len(fs.blocks)
+	N := c.NumNets()
+	bs := &BatchScratch{
+		kind:    p.kind,
+		vals:    make([]uint64, (N+2+p.maxExt)*B),
+		masks:   make([]uint64, B),
+		members: make([]batchMember, p.maxLanes),
+		anyErr:  make([]uint64, p.maxLanes*B),
+	}
+	var base []uint64
+	if p.kind == BatchTransition {
+		base = fs.transBaseline()
+		bs.launch = fs.stuckBaseline()
+	} else {
+		base = fs.stuckBaseline()
+	}
+	copy(bs.vals, base)
+	for bi := range bs.masks {
+		bs.masks[bi] = fs.blocks[bi].Mask()
+		bs.vals[(N+1)*B+bi] = ^uint64(0) // const-1 row; const-0 row is already zero
+	}
+	for k := range bs.members {
+		m := &bs.members[k]
+		m.cellPatch = make([][]patchEntry, B)
+		m.poPatch = make([][]patchEntry, B)
+	}
+	return bs
+}
+
+// RunBatch evaluates the batch kernel over every pattern block, filling the
+// scratch with each member's failing cells, detecting-pattern count, PO
+// visibility, and response patches. Results are read back per member with
+// MaterializeBatch.
+func (fs *FaultSim) RunBatch(cb *CompiledBatch, bs *BatchScratch) {
+	lanes := cb.Lanes()
+	B := len(fs.blocks)
+	if cb.Kind != bs.kind {
+		panic("sim: batch kind does not match the scratch's baseline")
+	}
+	if lanes > len(bs.members) || (fs.sim.c.NumNets()+2+cb.nExt)*B > len(bs.vals) {
+		panic(fmt.Sprintf("sim: batch needs %d lanes / %d extension slots, scratch is smaller", lanes, cb.nExt))
+	}
+	bs.cb = cb
+	for k := 0; k < lanes; k++ {
+		m := &bs.members[k]
+		m.failCells = m.failCells[:0]
+		m.detecting = 0
+		m.poSeen = false
+		for bi := range m.cellPatch {
+			m.cellPatch[bi] = m.cellPatch[bi][:0]
+			m.poPatch[bi] = m.poPatch[bi][:0]
+		}
+	}
+	anyErr := bs.anyErr[:lanes*B]
+	for i := range anyErr {
+		anyErr[i] = 0
+	}
+
+	vals := bs.vals
+	switch B {
+	case 1:
+		runGates1(vals, cb.gates, cb.runs, bs.launch)
+	case 2:
+		runGates2(vals, cb.gates, cb.runs, bs.launch)
+	default:
+		runGatesN(vals, cb.gates, cb.runs, bs.launch, B)
+	}
+
+	for _, cc := range cb.cells {
+		wi, gi := int(cc.slot)*B, int(cc.good)*B
+		m := &bs.members[cc.owner]
+		ei := int(cc.owner) * B
+		for bi := 0; bi < B; bi++ {
+			w, g := vals[wi+bi], vals[gi+bi]
+			if w == g {
+				continue
+			}
+			m.cellPatch[bi] = append(m.cellPatch[bi], patchEntry{word: w, idx: cc.idx})
+			if diff := (w ^ g) & bs.masks[bi]; diff != 0 {
+				m.failCells = append(m.failCells, cc.idx)
+				anyErr[ei+bi] |= diff
+			}
+		}
+	}
+	for k := 0; k < lanes; k++ {
+		m := &bs.members[k]
+		for _, w := range anyErr[k*B:][:B:B] {
+			m.detecting += bits.OnesCount64(w)
+		}
+	}
+	for _, pc := range cb.pos {
+		wi, gi := int(pc.slot)*B, int(pc.good)*B
+		m := &bs.members[pc.owner]
+		for bi := 0; bi < B; bi++ {
+			w, g := vals[wi+bi], vals[gi+bi]
+			if w == g {
+				continue
+			}
+			m.poPatch[bi] = append(m.poPatch[bi], patchEntry{word: w, idx: pc.idx})
+			if (w^g)&bs.masks[bi] != 0 {
+				m.poSeen = true
+			}
+		}
+	}
+}
+
+// runGates2 is the two-block kernel loop (the common 65..128-pattern case):
+// op dispatch hoisted to run granularity, fully unrolled row operations,
+// no per-record slice construction.
+func runGates2(vals []uint64, gates []bgate, runs []opRun, launch []uint64) {
+	for _, r := range runs {
+		recs := gates[r.start:r.end]
+		switch r.op {
+		case bopAnd:
+			for i := range recs {
+				g := &recs[i]
+				a, b, o := int(g.a)*2, int(g.b)*2, int(g.out)*2
+				vals[o] = vals[a] & vals[b]
+				vals[o+1] = vals[a+1] & vals[b+1]
+			}
+		case bopNand:
+			for i := range recs {
+				g := &recs[i]
+				a, b, o := int(g.a)*2, int(g.b)*2, int(g.out)*2
+				vals[o] = ^(vals[a] & vals[b])
+				vals[o+1] = ^(vals[a+1] & vals[b+1])
+			}
+		case bopOr:
+			for i := range recs {
+				g := &recs[i]
+				a, b, o := int(g.a)*2, int(g.b)*2, int(g.out)*2
+				vals[o] = vals[a] | vals[b]
+				vals[o+1] = vals[a+1] | vals[b+1]
+			}
+		case bopNor:
+			for i := range recs {
+				g := &recs[i]
+				a, b, o := int(g.a)*2, int(g.b)*2, int(g.out)*2
+				vals[o] = ^(vals[a] | vals[b])
+				vals[o+1] = ^(vals[a+1] | vals[b+1])
+			}
+		case bopXor:
+			for i := range recs {
+				g := &recs[i]
+				a, b, o := int(g.a)*2, int(g.b)*2, int(g.out)*2
+				vals[o] = vals[a] ^ vals[b]
+				vals[o+1] = vals[a+1] ^ vals[b+1]
+			}
+		case bopXnor:
+			for i := range recs {
+				g := &recs[i]
+				a, b, o := int(g.a)*2, int(g.b)*2, int(g.out)*2
+				vals[o] = ^(vals[a] ^ vals[b])
+				vals[o+1] = ^(vals[a+1] ^ vals[b+1])
+			}
+		case bopBuf:
+			for i := range recs {
+				g := &recs[i]
+				a, o := int(g.a)*2, int(g.out)*2
+				vals[o] = vals[a]
+				vals[o+1] = vals[a+1]
+			}
+		case bopNot:
+			for i := range recs {
+				g := &recs[i]
+				a, o := int(g.a)*2, int(g.out)*2
+				vals[o] = ^vals[a]
+				vals[o+1] = ^vals[a+1]
+			}
+		case bopConst0:
+			for i := range recs {
+				o := int(recs[i].out) * 2
+				vals[o] = 0
+				vals[o+1] = 0
+			}
+		case bopConst1:
+			for i := range recs {
+				o := int(recs[i].out) * 2
+				vals[o] = ^uint64(0)
+				vals[o+1] = ^uint64(0)
+			}
+		case bopTransRise:
+			for i := range recs {
+				g := &recs[i]
+				a, o := int(g.a)*2, int(g.out)*2
+				vals[o] = vals[a] & launch[a]
+				vals[o+1] = vals[a+1] & launch[a+1]
+			}
+		case bopTransFall:
+			for i := range recs {
+				g := &recs[i]
+				a, o := int(g.a)*2, int(g.out)*2
+				vals[o] = vals[a] | launch[a]
+				vals[o+1] = vals[a+1] | launch[a+1]
+			}
+		}
+	}
+}
+
+// runGates1 is the single-block kernel loop (≤64 patterns).
+func runGates1(vals []uint64, gates []bgate, runs []opRun, launch []uint64) {
+	for _, r := range runs {
+		recs := gates[r.start:r.end]
+		switch r.op {
+		case bopAnd:
+			for i := range recs {
+				g := &recs[i]
+				vals[g.out] = vals[g.a] & vals[g.b]
+			}
+		case bopNand:
+			for i := range recs {
+				g := &recs[i]
+				vals[g.out] = ^(vals[g.a] & vals[g.b])
+			}
+		case bopOr:
+			for i := range recs {
+				g := &recs[i]
+				vals[g.out] = vals[g.a] | vals[g.b]
+			}
+		case bopNor:
+			for i := range recs {
+				g := &recs[i]
+				vals[g.out] = ^(vals[g.a] | vals[g.b])
+			}
+		case bopXor:
+			for i := range recs {
+				g := &recs[i]
+				vals[g.out] = vals[g.a] ^ vals[g.b]
+			}
+		case bopXnor:
+			for i := range recs {
+				g := &recs[i]
+				vals[g.out] = ^(vals[g.a] ^ vals[g.b])
+			}
+		case bopBuf:
+			for i := range recs {
+				g := &recs[i]
+				vals[g.out] = vals[g.a]
+			}
+		case bopNot:
+			for i := range recs {
+				g := &recs[i]
+				vals[g.out] = ^vals[g.a]
+			}
+		case bopConst0:
+			for i := range recs {
+				vals[recs[i].out] = 0
+			}
+		case bopConst1:
+			for i := range recs {
+				vals[recs[i].out] = ^uint64(0)
+			}
+		case bopTransRise:
+			for i := range recs {
+				g := &recs[i]
+				vals[g.out] = vals[g.a] & launch[g.a]
+			}
+		case bopTransFall:
+			for i := range recs {
+				g := &recs[i]
+				vals[g.out] = vals[g.a] | launch[g.a]
+			}
+		}
+	}
+}
+
+// runGatesN is the generic kernel loop for any block count.
+func runGatesN(vals []uint64, gates []bgate, runs []opRun, launch []uint64, B int) {
+	for _, r := range runs {
+		recs := gates[r.start:r.end]
+		switch r.op {
+		case bopAnd:
+			for i := range recs {
+				g := &recs[i]
+				o, a, b := vals[int(g.out)*B:][:B:B], vals[int(g.a)*B:][:B:B], vals[int(g.b)*B:][:B:B]
+				for bi := range o {
+					o[bi] = a[bi] & b[bi]
+				}
+			}
+		case bopNand:
+			for i := range recs {
+				g := &recs[i]
+				o, a, b := vals[int(g.out)*B:][:B:B], vals[int(g.a)*B:][:B:B], vals[int(g.b)*B:][:B:B]
+				for bi := range o {
+					o[bi] = ^(a[bi] & b[bi])
+				}
+			}
+		case bopOr:
+			for i := range recs {
+				g := &recs[i]
+				o, a, b := vals[int(g.out)*B:][:B:B], vals[int(g.a)*B:][:B:B], vals[int(g.b)*B:][:B:B]
+				for bi := range o {
+					o[bi] = a[bi] | b[bi]
+				}
+			}
+		case bopNor:
+			for i := range recs {
+				g := &recs[i]
+				o, a, b := vals[int(g.out)*B:][:B:B], vals[int(g.a)*B:][:B:B], vals[int(g.b)*B:][:B:B]
+				for bi := range o {
+					o[bi] = ^(a[bi] | b[bi])
+				}
+			}
+		case bopXor:
+			for i := range recs {
+				g := &recs[i]
+				o, a, b := vals[int(g.out)*B:][:B:B], vals[int(g.a)*B:][:B:B], vals[int(g.b)*B:][:B:B]
+				for bi := range o {
+					o[bi] = a[bi] ^ b[bi]
+				}
+			}
+		case bopXnor:
+			for i := range recs {
+				g := &recs[i]
+				o, a, b := vals[int(g.out)*B:][:B:B], vals[int(g.a)*B:][:B:B], vals[int(g.b)*B:][:B:B]
+				for bi := range o {
+					o[bi] = ^(a[bi] ^ b[bi])
+				}
+			}
+		case bopBuf:
+			for i := range recs {
+				g := &recs[i]
+				copy(vals[int(g.out)*B:][:B:B], vals[int(g.a)*B:][:B:B])
+			}
+		case bopNot:
+			for i := range recs {
+				g := &recs[i]
+				o, a := vals[int(g.out)*B:][:B:B], vals[int(g.a)*B:][:B:B]
+				for bi := range o {
+					o[bi] = ^a[bi]
+				}
+			}
+		case bopConst0:
+			for i := range recs {
+				o := vals[int(recs[i].out)*B:][:B:B]
+				for bi := range o {
+					o[bi] = 0
+				}
+			}
+		case bopConst1:
+			for i := range recs {
+				o := vals[int(recs[i].out)*B:][:B:B]
+				for bi := range o {
+					o[bi] = ^uint64(0)
+				}
+			}
+		case bopTransRise:
+			for i := range recs {
+				g := &recs[i]
+				o, a, l := vals[int(g.out)*B:][:B:B], vals[int(g.a)*B:][:B:B], launch[int(g.a)*B:][:B:B]
+				for bi := range o {
+					o[bi] = a[bi] & l[bi]
+				}
+			}
+		case bopTransFall:
+			for i := range recs {
+				g := &recs[i]
+				o, a, l := vals[int(g.out)*B:][:B:B], vals[int(g.a)*B:][:B:B], launch[int(g.a)*B:][:B:B]
+				for bi := range o {
+					o[bi] = a[bi] | l[bi]
+				}
+			}
+		}
+	}
+}
+
+// MaterializeBatch reassembles member k of the last RunBatch into the
+// per-fault Result format: the scratch responses are rewound to the batch's
+// fault-free baseline and the member's patches applied, exactly as the
+// event-driven RunInto would have produced for that fault alone. The
+// Scratch must match the batch kind (NewScratch for stuck-at,
+// NewTransitionScratch for transition batches). The Result is scratch-owned
+// and valid until the next materialization or RunInto on the same Scratch.
+func (fs *FaultSim) MaterializeBatch(bs *BatchScratch, k int, sc *Scratch) *Result {
+	cb := bs.cb
+	if cb == nil || k >= cb.Lanes() {
+		panic(fmt.Sprintf("sim: MaterializeBatch lane %d of unrun or smaller batch", k))
+	}
+	fs.restore(sc)
+	m := &bs.members[k]
+	res := &sc.res
+	res.Fault = cb.fault(k)
+	res.Faulty = sc.faulty
+	res.FailingCells.Reset()
+	for _, ci := range m.failCells {
+		res.FailingCells.Add(int(ci))
+	}
+	res.DetectingPatterns = m.detecting
+	res.POOnly = m.poSeen && len(m.failCells) == 0
+	for bi := range sc.faulty {
+		r := sc.faulty[bi]
+		for _, p := range m.cellPatch[bi] {
+			r.Next[p.idx] = p.word
+			sc.touchedCells[bi] = append(sc.touchedCells[bi], p.idx)
+		}
+		for _, p := range m.poPatch[bi] {
+			r.PO[p.idx] = p.word
+			sc.touchedPOs[bi] = append(sc.touchedPOs[bi], p.idx)
+		}
+	}
+	return res
+}
+
+// batchSpec carries one batch's members into the compiler.
+type batchSpec struct {
+	kind    BatchKind
+	faults  []Fault
+	tfaults []TransitionFault
+	index   []int
+}
+
+// compileScratch is the compiler's reusable per-plan state: an
+// epoch-stamped slot map so per-batch compilation never clears O(nets)
+// arrays, plus the extension-slot depth table driving the (depth, op)
+// record sort.
+type compileScratch struct {
+	slotOf []int32
+	slotAt []uint32
+	epoch  uint32
+	union  []circuit.NetID
+	depths []int16   // per extension slot
+	tmp    []tmpGate // records under construction, before the (depth, op) sort
+}
+
+// tmpGate is a kernel record during compilation: bgate plus the op and
+// sort depth that are stripped from the hot stream once ordering is fixed.
+type tmpGate struct {
+	a, b, out int32
+	op        uint8
+	depth     int16
+}
+
+func newCompileScratch(c *circuit.Circuit) *compileScratch {
+	return &compileScratch{
+		slotOf: make([]int32, c.NumNets()),
+		slotAt: make([]uint32, c.NumNets()),
+	}
+}
+
+func (cs *compileScratch) begin() {
+	cs.epoch++
+	if cs.epoch == 0 {
+		for i := range cs.slotAt {
+			cs.slotAt[i] = 0
+		}
+		cs.epoch = 1
+	}
+	cs.union = cs.union[:0]
+	cs.depths = cs.depths[:0]
+	cs.tmp = cs.tmp[:0]
+}
+
+// compileBatch lowers one batch of cone-disjoint faults into a
+// CompiledBatch. Disjointness is the scheduler's contract; the compiler
+// relies on it when it gives every union net a single slot.
+func compileBatch(c *circuit.Circuit, spec batchSpec, cs *compileScratch) *CompiledBatch {
+	cb := &CompiledBatch{
+		Kind:    spec.kind,
+		Faults:  spec.faults,
+		TFaults: spec.tfaults,
+		Index:   spec.index,
+	}
+	cs.begin()
+	N := int32(c.NumNets())
+	const0, const1 := N, N+1
+	extBase := N + 2
+	constSlot := func(stuck uint8) int32 {
+		if stuck == 1 {
+			return const1
+		}
+		return const0
+	}
+
+	// Per-batch fault wiring tables. These are tiny (≤64 entries total) and
+	// built once per plan, so map allocation here is fine.
+	stemForce := make(map[circuit.NetID]int32) // site net -> const slot
+	transSite := make(map[circuit.NetID]uint8) // site net -> bopTransRise/Fall
+	type pinForce struct {
+		pin  int
+		slot int32
+	}
+	pinForces := make(map[circuit.NetID][]pinForce) // gate -> forced operands
+	var capForces []bcap                            // DFF D-branch members: captured value forced
+
+	// owners[k] is the cone whose cells/POs member k observes; nil for DFF
+	// D-branch members (observed via capForces only).
+	owners := make([]*circuit.Cone, cb.Lanes())
+	for k := 0; k < cb.Lanes(); k++ {
+		if spec.kind == BatchTransition {
+			f := spec.tfaults[k]
+			transSite[f.Net] = bopTransFall
+			if f.SlowToRise {
+				transSite[f.Net] = bopTransRise
+			}
+			owners[k] = c.Cone(f.Net)
+			cs.union = append(cs.union, owners[k].Nets...)
+			continue
+		}
+		f := spec.faults[k]
+		switch {
+		case f.Stem():
+			stemForce[f.Net] = constSlot(f.Stuck)
+			owners[k] = c.Cone(f.Net)
+			cs.union = append(cs.union, owners[k].Nets...)
+		case c.Nets[f.Gate].Op == logic.OpDFF:
+			// Branch fault on a flip-flop D connection: forces only the
+			// captured value; nothing propagates combinationally.
+			capForces = append(capForces, bcap{
+				idx:   int32(c.DFFIndex(f.Gate)),
+				slot:  constSlot(f.Stuck),
+				good:  int32(c.Nets[f.Gate].Fanin[0]),
+				owner: int32(k),
+			})
+		default:
+			pinForces[f.Gate] = append(pinForces[f.Gate], pinForce{pin: f.Pin, slot: constSlot(f.Stuck)})
+			owners[k] = c.Cone(f.Gate)
+			cs.union = append(cs.union, owners[k].Nets...)
+		}
+	}
+
+	// Topologically order the union by (level, id): a gate's combinational
+	// fan-ins have strictly smaller levels, so every operand slot exists
+	// before its reader. Disjointness means the concatenated cones hold no
+	// duplicates.
+	sortByLevel(c, cs.union)
+
+	nExt := int32(0)
+	newSlot := func(depth int16) int32 {
+		s := extBase + nExt
+		nExt++
+		cs.depths = append(cs.depths, depth)
+		return s
+	}
+	stamp := func(id circuit.NetID, s int32) {
+		cs.slotOf[id] = s
+		cs.slotAt[id] = cs.epoch
+	}
+	// slotDepth is 0 for baseline and const rows (available before any
+	// record runs), and the defining record's depth for extension slots.
+	slotDepth := func(s int32) int16 {
+		if s < extBase {
+			return 0
+		}
+		return cs.depths[s-extBase]
+	}
+	// operand resolves a fan-in: a stamped net reads its batch slot, any
+	// other net reads its fault-free baseline row directly.
+	operand := func(id circuit.NetID) int32 {
+		if cs.slotAt[id] == cs.epoch {
+			return cs.slotOf[id]
+		}
+		return int32(id)
+	}
+
+	var operands []int32
+	for _, id := range cs.union {
+		n := &c.Nets[id]
+		if s, ok := stemForce[id]; ok {
+			// Stuck stem: the site reads as a constant whether it is a PI, a
+			// flip-flop output, or a gate output. No record needed.
+			stamp(id, s)
+			continue
+		}
+		if op, ok := transSite[id]; ok {
+			// Transition site (combinational or not): the forced value
+			// depends only on the fault-free cycle-2 row (the site's raw
+			// baseline row — its fan-ins are upstream of every member's
+			// cone) and the cycle-1 launch row.
+			out := newSlot(1)
+			stamp(id, out)
+			cs.tmp = append(cs.tmp, tmpGate{a: int32(id), out: out, op: op, depth: 1})
+			continue
+		}
+		if !n.Op.Combinational() {
+			// An unforced PI or flip-flop output inside the union (a cone
+			// frontier) stays at its baseline row; readers resolve to it
+			// directly.
+			continue
+		}
+		// Ordinary gate: gather operand slots, apply any member's pin force,
+		// and decompose to binary records.
+		operands = operands[:0]
+		depth := int16(0)
+		for _, src := range n.Fanin {
+			s := operand(src)
+			if d := slotDepth(s); d > depth {
+				depth = d
+			}
+			operands = append(operands, s)
+		}
+		for _, pf := range pinForces[id] {
+			operands[pf.pin] = pf.slot
+		}
+		// A fan-in chain of w operands ends w-2 records deeper than its
+		// first link; register the output slot at that final depth so
+		// readers sort strictly after it.
+		chainEnd := depth + 1
+		if len(operands) > 2 {
+			chainEnd += int16(len(operands) - 2)
+		}
+		out := newSlot(chainEnd)
+		stamp(id, out)
+		emitGate(cs, n.Op, operands, out, depth+1, newSlot)
+	}
+
+	// Sort records by (depth, op): dependency-safe, since a reader's depth
+	// strictly exceeds its operands', and same-op streaks become the opRuns
+	// the kernels iterate, with the op hoisted out of the record loop.
+	sort.SliceStable(cs.tmp, func(i, j int) bool {
+		if cs.tmp[i].depth != cs.tmp[j].depth {
+			return cs.tmp[i].depth < cs.tmp[j].depth
+		}
+		return cs.tmp[i].op < cs.tmp[j].op
+	})
+	cb.gates = make([]bgate, len(cs.tmp))
+	for i, t := range cs.tmp {
+		cb.gates[i] = bgate{a: t.a, b: t.b, out: t.out}
+	}
+	for i := 0; i < len(cs.tmp); {
+		j := i + 1
+		for j < len(cs.tmp) && cs.tmp[j].op == cs.tmp[i].op {
+			j++
+		}
+		cb.runs = append(cb.runs, opRun{start: int32(i), end: int32(j), op: cs.tmp[i].op})
+		i = j
+	}
+
+	// Observation points: each member's cone cells and POs, plus the forced
+	// captures of DFF D-branch members. Disjointness makes owners unique per
+	// index, so order is free; sorting by index keeps the patch lists
+	// ordered like the event engine's.
+	for k, cone := range owners {
+		if cone == nil {
+			continue
+		}
+		for _, ci := range cone.Cells {
+			d := c.Nets[c.DFFs[ci]].Fanin[0]
+			cb.cells = append(cb.cells, bcap{idx: int32(ci), slot: operand(d), good: int32(d), owner: int32(k)})
+		}
+		for _, pi := range cone.POs {
+			p := c.Outputs[pi]
+			cb.pos = append(cb.pos, bcap{idx: int32(pi), slot: operand(p), good: int32(p), owner: int32(k)})
+		}
+	}
+	cb.cells = append(cb.cells, capForces...)
+	sortCaps(cb.cells)
+	sortCaps(cb.pos)
+	cb.nExt = int(nExt)
+	return cb
+}
+
+// emitGate decomposes one gate into binary kernel records, matching
+// logic.Eval's left-fold semantics with the inversion applied by the final
+// record.
+func emitGate(cs *compileScratch, op logic.Op, operands []int32, out int32, depth int16, newSlot func(int16) int32) {
+	switch op {
+	case logic.OpConst0:
+		cs.tmp = append(cs.tmp, tmpGate{out: out, op: bopConst0, depth: depth})
+		return
+	case logic.OpConst1:
+		cs.tmp = append(cs.tmp, tmpGate{out: out, op: bopConst1, depth: depth})
+		return
+	}
+	var base, final uint8
+	switch op {
+	case logic.OpBuf:
+		base, final = bopBuf, bopBuf
+	case logic.OpNot:
+		base, final = bopBuf, bopNot
+	case logic.OpAnd:
+		base, final = bopAnd, bopAnd
+	case logic.OpNand:
+		base, final = bopAnd, bopNand
+	case logic.OpOr:
+		base, final = bopOr, bopOr
+	case logic.OpNor:
+		base, final = bopOr, bopNor
+	case logic.OpXor:
+		base, final = bopXor, bopXor
+	case logic.OpXnor:
+		base, final = bopXor, bopXnor
+	default:
+		panic(fmt.Sprintf("sim: cannot compile op %v", op))
+	}
+	if len(operands) == 1 {
+		// Degenerate 1-input gates reduce to BUF/NOT, as in logic.Eval1.
+		op := bopBuf
+		if final != base {
+			op = bopNot
+		}
+		cs.tmp = append(cs.tmp, tmpGate{a: operands[0], out: out, op: op, depth: depth})
+		return
+	}
+	// Chain the fan-in left to right, each link one depth deeper than the
+	// intermediate it reads, so the (depth, op) sort can never lift a link
+	// above its producer.
+	cur := operands[0]
+	d := depth
+	for i := 1; i < len(operands)-1; i++ {
+		t := newSlot(d)
+		cs.tmp = append(cs.tmp, tmpGate{a: cur, b: operands[i], out: t, op: base, depth: d})
+		cur = t
+		d++
+	}
+	cs.tmp = append(cs.tmp, tmpGate{a: cur, b: operands[len(operands)-1], out: out, op: final, depth: d})
+}
+
+// sortByLevel orders nets by (level, id) — a topological order, since a
+// combinational gate's level exceeds all of its fan-ins'.
+func sortByLevel(c *circuit.Circuit, nets []circuit.NetID) {
+	sort.Slice(nets, func(i, j int) bool {
+		li, lj := c.Level(nets[i]), c.Level(nets[j])
+		if li != lj {
+			return li < lj
+		}
+		return nets[i] < nets[j]
+	})
+}
+
+func sortCaps(caps []bcap) {
+	sort.Slice(caps, func(i, j int) bool { return caps[i].idx < caps[j].idx })
+}

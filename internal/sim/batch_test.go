@@ -1,0 +1,261 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// batchPlanOptions covers both schedulers at the lane widths the
+// acceptance criteria pin: single-lane, odd partial, and full batches.
+var batchPlanOptions = []BatchOptions{
+	{MaxLanes: 1},
+	{MaxLanes: 7},
+	{MaxLanes: 64},
+	{MaxLanes: 7, ScanOrder: true},
+	{MaxLanes: 64, ScanOrder: true},
+}
+
+// TestBatchEquivalence pins the fault-parallel engine to the full-pass
+// reference over the complete uncollapsed stuck-at fault list — stems,
+// branches, and flip-flop D-pin branches — across circuits, block shapes,
+// lane widths, and both schedulers.
+func TestBatchEquivalence(t *testing.T) {
+	cases := []struct {
+		circuit string
+		counts  []int
+	}{
+		{"s27", []int{64, 64, 7}},
+		{"s298", []int{64}},
+		{"s953", []int{17}},
+		{"s953", []int{64, 64}},
+		{"s1423", []int{64, 3}},
+	}
+	for _, tc := range cases {
+		c := equivalenceCircuit(t, tc.circuit)
+		blocks := equivalenceBlocks(c, tc.counts, 21)
+		fs := NewFaultSim(c, blocks)
+		faults := FullFaultList(c)
+		for _, opt := range batchPlanOptions {
+			plan := PlanBatches(c, faults, opt)
+			covered := 0
+			fs.RunPlan(plan, func(i int, got *Result) {
+				covered++
+				want := fs.RunReference(faults[i])
+				requireSameResult(t, tc.circuit+" "+faults[i].Describe(c), got, want)
+			})
+			if covered != len(faults) {
+				t.Fatalf("%s lanes=%d scan=%v: plan covered %d of %d faults",
+					tc.circuit, opt.MaxLanes, opt.ScanOrder, covered, len(faults))
+			}
+		}
+	}
+}
+
+// TestBatchTransitionEquivalence pins batched transition faults to the
+// two-full-pass launch-off-capture reference.
+func TestBatchTransitionEquivalence(t *testing.T) {
+	for _, name := range []string{"s298", "s953"} {
+		c := equivalenceCircuit(t, name)
+		blocks := equivalenceBlocks(c, []int{64, 30}, 23)
+		fs := NewFaultSim(c, blocks)
+		faults := TransitionFaultList(c)
+		for _, opt := range batchPlanOptions {
+			plan := PlanTransitionBatches(c, faults, opt)
+			covered := 0
+			fs.RunPlan(plan, func(i int, got *Result) {
+				covered++
+				want := fs.RunTransitionReference(faults[i])
+				requireSameResult(t, name+" "+faults[i].Describe(c), got, want)
+			})
+			if covered != len(faults) {
+				t.Fatalf("%s: transition plan covered %d of %d faults", name, covered, len(faults))
+			}
+		}
+	}
+}
+
+// claimedNets returns the exclusivity set the scheduler must enforce for a
+// stuck-at fault, mirroring the rules in schedule.go.
+func claimedNets(c *circuit.Circuit, f Fault) []circuit.NetID {
+	if !f.Stem() && c.Nets[f.Gate].Op == logic.OpDFF {
+		return []circuit.NetID{f.Gate}
+	}
+	site := f.Net
+	if !f.Stem() {
+		site = f.Gate
+	}
+	return c.Cone(site).Nets
+}
+
+// TestBatchSchedulerDisjoint checks the scheduler's contract directly:
+// every fault appears in exactly one batch, no batch exceeds the lane cap,
+// and within a batch the claimed net sets are pairwise disjoint.
+func TestBatchSchedulerDisjoint(t *testing.T) {
+	c := equivalenceCircuit(t, "s953")
+	faults := FullFaultList(c)
+	for _, opt := range batchPlanOptions {
+		plan := PlanBatches(c, faults, opt)
+		seen := make([]bool, len(faults))
+		for _, cb := range plan.Batches {
+			if cb.Lanes() > opt.MaxLanes {
+				t.Fatalf("lanes=%d scan=%v: batch holds %d faults", opt.MaxLanes, opt.ScanOrder, cb.Lanes())
+			}
+			if len(cb.Index) != cb.Lanes() || len(cb.Faults) != cb.Lanes() {
+				t.Fatalf("batch index/fault lengths disagree: %d/%d/%d", len(cb.Index), len(cb.Faults), cb.Lanes())
+			}
+			claimed := make(map[circuit.NetID]bool)
+			for k, i := range cb.Index {
+				if seen[i] {
+					t.Fatalf("fault %d scheduled twice", i)
+				}
+				seen[i] = true
+				if cb.Faults[k] != faults[i] {
+					t.Fatalf("batch member %d is %v, list says %v", k, cb.Faults[k], faults[i])
+				}
+				for _, net := range claimedNets(c, faults[i]) {
+					if claimed[net] {
+						t.Fatalf("lanes=%d scan=%v: net %d claimed twice in one batch", opt.MaxLanes, opt.ScanOrder, net)
+					}
+					claimed[net] = true
+				}
+			}
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("fault %d never scheduled", i)
+			}
+		}
+	}
+}
+
+// TestBatchScanOrderPreservesOrder checks the fallback scheduler's defining
+// property: concatenating its batches reproduces the fault list order.
+func TestBatchScanOrderPreservesOrder(t *testing.T) {
+	c := equivalenceCircuit(t, "s298")
+	faults := FullFaultList(c)
+	plan := PlanBatches(c, faults, BatchOptions{ScanOrder: true})
+	next := 0
+	for _, cb := range plan.Batches {
+		for _, i := range cb.Index {
+			if i != next {
+				t.Fatalf("scan-order batches out of order: got fault %d, want %d", i, next)
+			}
+			next++
+		}
+	}
+	if next != len(faults) {
+		t.Fatalf("scan-order plan covered %d of %d faults", next, len(faults))
+	}
+}
+
+// TestBatchMaterializeInterleavedWithRunInto shares one stuck-at Scratch
+// between the event-driven engine and batch materialization, validating
+// that the two patch/restore protocols compose on the same buffers.
+func TestBatchMaterializeInterleavedWithRunInto(t *testing.T) {
+	c := equivalenceCircuit(t, "s953")
+	blocks := equivalenceBlocks(c, []int{64, 40}, 25)
+	fs := NewFaultSim(c, blocks)
+	faults := SampleFaults(FullFaultList(c), 200, 9)
+	plan := PlanBatches(c, faults, BatchOptions{})
+	bs := fs.NewBatchScratch(plan)
+	sc := fs.NewScratch()
+	rng := rand.New(rand.NewSource(26))
+	for _, cb := range plan.Batches {
+		fs.RunBatch(cb, bs)
+		for k, i := range cb.Index {
+			// Dirty the scratch with an unrelated event-driven run first.
+			other := faults[rng.Intn(len(faults))]
+			requireSameResult(t, "interleaved "+other.Describe(c), fs.RunInto(other, sc), fs.RunReference(other))
+			got := fs.MaterializeBatch(bs, k, sc)
+			requireSameResult(t, "batched "+faults[i].Describe(c), got, fs.RunReference(faults[i]))
+		}
+	}
+}
+
+// TestBatchForkConcurrency runs disjoint plan halves on two forks in
+// parallel; the race detector (CI gate) verifies the shared read-only
+// state really is read-only.
+func TestBatchForkConcurrency(t *testing.T) {
+	c := equivalenceCircuit(t, "s953")
+	blocks := equivalenceBlocks(c, []int{64}, 27)
+	fs := NewFaultSim(c, blocks)
+	faults := SampleFaults(FullFaultList(c), 120, 11)
+	plan := PlanBatches(c, faults, BatchOptions{})
+	done := make(chan bool)
+	for w := 0; w < 2; w++ {
+		go func(w int) {
+			defer func() { done <- true }()
+			fork := fs.Fork()
+			bs := fork.NewBatchScratch(plan)
+			sc := fork.NewScratch()
+			for i := w; i < len(plan.Batches); i += 2 {
+				cb := plan.Batches[i]
+				fork.RunBatch(cb, bs)
+				for k, fi := range cb.Index {
+					got := fork.MaterializeBatch(bs, k, sc)
+					if got.Fault != faults[fi] {
+						t.Errorf("worker %d: lane %d reports fault %v, want %v", w, k, got.Fault, faults[fi])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	<-done
+	<-done
+}
+
+// FuzzFaultBatch fuzzes the fault-parallel engine against the full-pass
+// oracle: random circuit, block shape, lane cap, scheduler, and fault
+// subset — the batched counterpart of FuzzIncrementalSim.
+func FuzzFaultBatch(f *testing.F) {
+	f.Add(uint8(0), uint8(64), uint8(64), false, int64(1), int64(2))
+	f.Add(uint8(1), uint8(7), uint8(7), true, int64(3), int64(4))
+	f.Add(uint8(2), uint8(33), uint8(1), false, int64(5), int64(6))
+	f.Add(uint8(3), uint8(64), uint8(13), true, int64(7), int64(8))
+	circuits := []string{"s27", "s298", "s344", "s526"}
+	f.Fuzz(func(t *testing.T, which, patterns, lanes uint8, scanOrder bool, blockSeed, faultSeed int64) {
+		name := circuits[int(which)%len(circuits)]
+		var c *circuit.Circuit
+		if name == "s27" {
+			c = parseS27(t)
+		} else {
+			c = benchgen.MustGenerate(name)
+		}
+		n := int(patterns)%64 + 1
+		blocks := equivalenceBlocks(c, []int{64, n}, blockSeed)
+		fs := NewFaultSim(c, blocks)
+		rng := rand.New(rand.NewSource(faultSeed))
+		opt := BatchOptions{MaxLanes: int(lanes) % 65, ScanOrder: scanOrder}
+		if rng.Intn(2) == 0 {
+			all := FullFaultList(c)
+			faults := SampleFaults(all, 1+rng.Intn(len(all)), faultSeed)
+			plan := PlanBatches(c, faults, opt)
+			covered := 0
+			fs.RunPlan(plan, func(i int, got *Result) {
+				covered++
+				requireSameResult(t, faults[i].Describe(c), got, fs.RunReference(faults[i]))
+			})
+			if covered != len(faults) {
+				t.Fatalf("plan covered %d of %d faults", covered, len(faults))
+			}
+		} else {
+			all := TransitionFaultList(c)
+			rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+			faults := all[:1+rng.Intn(len(all))]
+			plan := PlanTransitionBatches(c, faults, opt)
+			covered := 0
+			fs.RunPlan(plan, func(i int, got *Result) {
+				covered++
+				requireSameResult(t, faults[i].Describe(c), got, fs.RunTransitionReference(faults[i]))
+			})
+			if covered != len(faults) {
+				t.Fatalf("transition plan covered %d of %d faults", covered, len(faults))
+			}
+		}
+	})
+}

@@ -249,7 +249,7 @@ func (fs *FaultSim) eventRun(f Fault, faulty []*Response, sc *Scratch, res *Resu
 // O(cells).
 func (fs *FaultSim) restore(sc *Scratch) {
 	for bi := range sc.faulty {
-		g, r := fs.good[bi], sc.faulty[bi]
+		g, r := sc.base[bi], sc.faulty[bi]
 		for _, ci := range sc.touchedCells[bi] {
 			r.Next[ci] = g.Next[ci]
 		}

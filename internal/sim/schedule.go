@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// This file implements the cone-aware batch scheduler feeding the
+// fault-parallel engine in batch.go. Two faults may share a batch only if
+// their claimed net sets are disjoint: a stem or combinational-branch
+// fault claims its whole memoized fan-out cone (circuit.Cone), a
+// flip-flop D-branch fault claims just the flip-flop's output net (which
+// any overlapping cone also contains as a frontier node, so conflicts are
+// always caught). Disjointness is what lets one dense pass over the union
+// compute every member's faulty values exactly; see batch.go.
+
+// BatchOptions tunes batch formation.
+type BatchOptions struct {
+	// MaxLanes caps the faults per batch, 1..MaxLanes (64). Values outside
+	// the range (including zero) mean MaxLanes.
+	MaxLanes int
+	// ScanOrder disables the cone-aware greedy grouping: faults are packed
+	// strictly in list order, sealing a batch as soon as the next fault
+	// conflicts with it. This is the fallback for callers that need
+	// list-locality (e.g. resuming a partial sweep) or when grouping cost
+	// matters more than packing density.
+	ScanOrder bool
+}
+
+func (o BatchOptions) lanes() int {
+	if o.MaxLanes < 1 || o.MaxLanes > MaxLanes {
+		return MaxLanes
+	}
+	return o.MaxLanes
+}
+
+// BatchPlan is a schedule of compiled batches covering a fault list.
+// Building a plan costs one compile pass; it depends only on the circuit
+// and the fault list (not the pattern set), so sweeps over many pattern
+// sets reuse it. Plans are immutable and safe to share across goroutines.
+type BatchPlan struct {
+	Batches  []*CompiledBatch
+	kind     BatchKind
+	n        int
+	maxExt   int
+	maxLanes int
+}
+
+// NumFaults returns the number of faults the plan covers.
+func (p *BatchPlan) NumFaults() int { return p.n }
+
+// Kind returns the fault model the plan's batches simulate.
+func (p *BatchPlan) Kind() BatchKind { return p.kind }
+
+// PlanBatches schedules stuck-at faults into cone-disjoint batches and
+// compiles each into a dense kernel. The assignment is deterministic:
+// faults are visited in list order and placed into the lowest-numbered
+// compatible batch (or, with ScanOrder, into the single open batch).
+func PlanBatches(c *circuit.Circuit, faults []Fault, opt BatchOptions) *BatchPlan {
+	single := make([]circuit.NetID, 1)
+	claimsOf := func(i int) []circuit.NetID {
+		f := faults[i]
+		if !f.Stem() && c.Nets[f.Gate].Op == logic.OpDFF {
+			single[0] = f.Gate
+			return single
+		}
+		site := f.Net
+		if !f.Stem() {
+			site = f.Gate
+		}
+		return c.Cone(site).Nets
+	}
+	groups := assignBatches(c, len(faults), claimsOf, opt)
+	plan := &BatchPlan{kind: BatchStuckAt, n: len(faults), maxLanes: 1}
+	cs := newCompileScratch(c)
+	for _, g := range groups {
+		spec := batchSpec{kind: BatchStuckAt, index: g}
+		for _, i := range g {
+			spec.faults = append(spec.faults, faults[i])
+		}
+		plan.add(compileBatch(c, spec, cs))
+	}
+	return plan
+}
+
+// PlanTransitionBatches schedules transition faults into cone-disjoint
+// batches; transition and stuck-at faults evaluate over different
+// fault-free baselines and therefore never share a batch.
+func PlanTransitionBatches(c *circuit.Circuit, faults []TransitionFault, opt BatchOptions) *BatchPlan {
+	claimsOf := func(i int) []circuit.NetID { return c.Cone(faults[i].Net).Nets }
+	groups := assignBatches(c, len(faults), claimsOf, opt)
+	plan := &BatchPlan{kind: BatchTransition, n: len(faults), maxLanes: 1}
+	cs := newCompileScratch(c)
+	for _, g := range groups {
+		spec := batchSpec{kind: BatchTransition, index: g}
+		for _, i := range g {
+			spec.tfaults = append(spec.tfaults, faults[i])
+		}
+		plan.add(compileBatch(c, spec, cs))
+	}
+	return plan
+}
+
+func (p *BatchPlan) add(cb *CompiledBatch) {
+	p.Batches = append(p.Batches, cb)
+	if cb.nExt > p.maxExt {
+		p.maxExt = cb.nExt
+	}
+	if cb.Lanes() > p.maxLanes {
+		p.maxLanes = cb.Lanes()
+	}
+}
+
+// assignBatches groups fault indices into batches with pairwise-disjoint
+// claims, at most lanes members each.
+func assignBatches(c *circuit.Circuit, n int, claimsOf func(i int) []circuit.NetID, opt BatchOptions) [][]int {
+	lanes := opt.lanes()
+	if opt.ScanOrder {
+		return assignScanOrder(c, n, claimsOf, lanes)
+	}
+	// Greedy first-fit: per net, the list of batches already claiming it;
+	// each fault lands in the lowest-numbered batch none of its claimed
+	// nets belongs to. Deterministic and O(total claims × batches-per-net).
+	claimedBy := make([][]int32, c.NumNets())
+	var groups [][]int
+	var conflict []bool
+	var touched []int32
+	for i := 0; i < n; i++ {
+		claims := claimsOf(i)
+		touched = touched[:0]
+		for _, net := range claims {
+			for _, b := range claimedBy[net] {
+				if !conflict[b] {
+					conflict[b] = true
+					touched = append(touched, b)
+				}
+			}
+		}
+		chosen := -1
+		for b := range groups {
+			if !conflict[b] && len(groups[b]) < lanes {
+				chosen = b
+				break
+			}
+		}
+		if chosen < 0 {
+			chosen = len(groups)
+			groups = append(groups, nil)
+			conflict = append(conflict, false)
+		}
+		groups[chosen] = append(groups[chosen], i)
+		for _, net := range claims {
+			claimedBy[net] = append(claimedBy[net], int32(chosen))
+		}
+		for _, b := range touched {
+			conflict[b] = false
+		}
+	}
+	return groups
+}
+
+// assignScanOrder packs faults in list order into a single open batch,
+// sealing it on the first conflict or when full.
+func assignScanOrder(c *circuit.Circuit, n int, claimsOf func(i int) []circuit.NetID, lanes int) [][]int {
+	claimAt := make([]uint32, c.NumNets())
+	epoch := uint32(1)
+	var groups [][]int
+	var cur []int
+	seal := func() {
+		if len(cur) > 0 {
+			groups = append(groups, cur)
+			cur = nil
+			epoch++
+		}
+	}
+	for i := 0; i < n; i++ {
+		claims := claimsOf(i)
+		conflicts := false
+		for _, net := range claims {
+			if claimAt[net] == epoch {
+				conflicts = true
+				break
+			}
+		}
+		if conflicts || len(cur) >= lanes {
+			seal()
+		}
+		cur = append(cur, i)
+		for _, net := range claims {
+			claimAt[net] = epoch
+		}
+	}
+	seal()
+	return groups
+}
+
+// RunPlan executes every batch of the plan serially on this FaultSim,
+// invoking fn for each fault with its index in the original fault list.
+// The Result is scratch-owned: it is valid only during fn, and callers
+// that retain anything must copy. Parallel sweeps instead distribute
+// plan.Batches across workers (see pipeline.Executor.RunBatches), each
+// worker holding its own Fork, BatchScratch, and Scratch.
+func (fs *FaultSim) RunPlan(p *BatchPlan, fn func(i int, res *Result)) {
+	bs := fs.NewBatchScratch(p)
+	var sc *Scratch
+	if p.kind == BatchTransition {
+		sc = fs.NewTransitionScratch()
+	} else {
+		sc = fs.NewScratch()
+	}
+	for _, cb := range p.Batches {
+		fs.RunBatch(cb, bs)
+		for k, i := range cb.Index {
+			fn(i, fs.MaterializeBatch(bs, k, sc))
+		}
+	}
+}

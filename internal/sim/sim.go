@@ -250,13 +250,14 @@ type FaultSim struct {
 	goodVals [][]uint64 // per block: fault-free value of every net (read-only, shared by forks)
 	inc      *incState  // event-driven scratch, lazily created per fork
 	tc       *twoCycleCache
+	bc       *batchCache // net-major baseline rows for the batch engine, shared by forks
 }
 
 // NewFaultSim builds a FaultSim and simulates the fault-free machine once,
 // snapshotting the internal net values per block for the event-driven
 // engine.
 func NewFaultSim(c *circuit.Circuit, blocks []*Block) *FaultSim {
-	fs := &FaultSim{sim: New(c), blocks: blocks, tc: &twoCycleCache{}}
+	fs := &FaultSim{sim: New(c), blocks: blocks, tc: &twoCycleCache{}, bc: &batchCache{}}
 	for _, b := range blocks {
 		r := newResponse(c)
 		fs.sim.Good(b, r)
@@ -276,7 +277,7 @@ func (fs *FaultSim) Circuit() *circuit.Circuit { return fs.sim.c }
 // evaluation and event scratch space, so faults can be simulated
 // concurrently — one Fork per goroutine.
 func (fs *FaultSim) Fork() *FaultSim {
-	return &FaultSim{sim: New(fs.sim.c), blocks: fs.blocks, good: fs.good, goodVals: fs.goodVals, tc: fs.tc}
+	return &FaultSim{sim: New(fs.sim.c), blocks: fs.blocks, good: fs.good, goodVals: fs.goodVals, tc: fs.tc, bc: fs.bc}
 }
 
 // Blocks returns the pattern blocks.
@@ -313,23 +314,39 @@ func (fs *FaultSim) Faulty(f Fault) []*Response {
 // pass it to RunInto; the steady state then allocates nothing per fault.
 type Scratch struct {
 	faulty       []*Response
-	touchedCells [][]int32 // per block: Next indices patched by the last fault
-	touchedPOs   [][]int32 // per block: PO indices patched by the last fault
+	base         []*Response // fault-free values faulty is held at between runs
+	touchedCells [][]int32   // per block: Next indices patched by the last fault
+	touchedPOs   [][]int32   // per block: PO indices patched by the last fault
 	res          Result
 }
 
 // NewScratch allocates reusable buffers sized for this FaultSim's circuit
-// and pattern set, seeding the responses with the fault-free values.
+// and pattern set, seeding the responses with the fault-free values. The
+// scratch is bound to the single-cycle stuck-at baseline; transition-fault
+// batches need NewTransitionScratch instead.
 func (fs *FaultSim) NewScratch() *Scratch {
+	return fs.newScratch(fs.good)
+}
+
+// NewTransitionScratch allocates a Scratch held at the two-cycle
+// (launch-off-capture) fault-free responses, for materializing transition
+// batches. It must not be passed to RunInto, which assumes the stuck-at
+// baseline.
+func (fs *FaultSim) NewTransitionScratch() *Scratch {
+	return fs.newScratch(fs.twoCycle().good)
+}
+
+func (fs *FaultSim) newScratch(base []*Response) *Scratch {
 	sc := &Scratch{
 		faulty:       make([]*Response, len(fs.blocks)),
+		base:         base,
 		touchedCells: make([][]int32, len(fs.blocks)),
 		touchedPOs:   make([][]int32, len(fs.blocks)),
 	}
 	for i := range sc.faulty {
 		r := newResponse(fs.sim.c)
-		copy(r.Next, fs.good[i].Next)
-		copy(r.PO, fs.good[i].PO)
+		copy(r.Next, base[i].Next)
+		copy(r.PO, base[i].PO)
 		sc.faulty[i] = r
 	}
 	sc.res.FailingCells = bitset.New(fs.sim.c.NumDFFs())

@@ -393,22 +393,55 @@ func (fs *FaultSim) NewScratch() *Scratch {
 // of the previously faulty core needs restoring to fault-free values
 // before the new core's captured values are spliced in.
 func (fs *FaultSim) RunInto(core int, f sim.Fault, sc *Scratch) *Result {
+	return fs.spliceLocal(core, fs.sims[core].RunInto(f, sc.cores[core]), sc)
+}
+
+// spliceLocal assembles a core-local simulation result into the scratch's
+// global cell space: the previously faulty core's segment is rewound to
+// fault-free values, the local captured values replace the core's segment,
+// and the failing cells are lifted to global indices.
+func (fs *FaultSim) spliceLocal(core int, local *sim.Result, sc *Scratch) *Result {
 	if last := sc.lastCore; last >= 0 && last != core {
 		llo, lhi := fs.soc.CellRange(last)
 		for bi := range sc.faulty {
 			copy(sc.faulty[bi].Next[llo:lhi], fs.good[bi].Next[llo:lhi])
 		}
 	}
-	local := fs.sims[core].RunInto(f, sc.cores[core])
 	lo, _ := fs.soc.CellRange(core)
 	for bi := range sc.faulty {
 		copy(sc.faulty[bi].Next[lo:], local.Faulty[bi].Next)
 	}
 	sc.lastCore = core
-	sc.res.Core, sc.res.Fault, sc.res.Faulty = core, f, sc.faulty
+	sc.res.Core, sc.res.Fault, sc.res.Faulty = core, local.Fault, sc.faulty
 	sc.res.FailingCells.Reset()
 	local.FailingCells.ForEach(func(cell int) { sc.res.FailingCells.Add(lo + cell) })
 	return &sc.res
+}
+
+// PlanCoreBatches schedules faults of core i into cone-disjoint batches
+// for the fault-parallel engine. The plan is immutable and shared across
+// forks; pair it with NewCoreBatchScratch per worker.
+func (fs *FaultSim) PlanCoreBatches(core int, faults []sim.Fault, opt sim.BatchOptions) *sim.BatchPlan {
+	return sim.PlanBatches(fs.soc.Cores[core].Circuit, faults, opt)
+}
+
+// NewCoreBatchScratch allocates the batch evaluation scratch for one
+// worker's sweeps over core i's plan.
+func (fs *FaultSim) NewCoreBatchScratch(core int, p *sim.BatchPlan) *sim.BatchScratch {
+	return fs.sims[core].NewBatchScratch(p)
+}
+
+// RunBatch evaluates one compiled batch of core i's plan; members are read
+// back with MaterializeBatch.
+func (fs *FaultSim) RunBatch(core int, cb *sim.CompiledBatch, bs *sim.BatchScratch) {
+	fs.sims[core].RunBatch(cb, bs)
+}
+
+// MaterializeBatch assembles member k of the last RunBatch into the global
+// cell space, exactly as RunInto would have produced for that fault alone.
+// The Result aliases the Scratch, like RunInto's.
+func (fs *FaultSim) MaterializeBatch(core int, bs *sim.BatchScratch, k int, sc *Scratch) *Result {
+	return fs.spliceLocal(core, fs.sims[core].MaterializeBatch(bs, k, sc.cores[core]), sc)
 }
 
 // RunMulti injects one fault into each of several cores simultaneously —

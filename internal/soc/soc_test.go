@@ -464,3 +464,83 @@ func TestGlobalConeCells(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchEquivalenceMetaChain pins the SOC batch path to the full-pass
+// reference: fault batches from several cores are interleaved round-robin
+// on one shared Scratch, so every materialization crosses a core boundary
+// and exercises the segment-restore protocol, and each member's global
+// failing cells and response words must match the single-fault assembly
+// exactly.
+func TestBatchEquivalenceMetaChain(t *testing.T) {
+	s := smallSOC(t)
+	patterns := s.GeneratePatterns(lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1), 100)
+	fs, err := NewFaultSim(s, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]*sim.FaultSim, s.NumCores())
+	for i, c := range s.Cores {
+		refs[i] = sim.NewFaultSim(c.Circuit, patterns[i])
+	}
+	sc := fs.NewScratch()
+	type coreSweep struct {
+		core   int
+		faults []sim.Fault
+		plan   *sim.BatchPlan
+		bs     *sim.BatchScratch
+	}
+	var sweeps []coreSweep
+	for core := 0; core < s.NumCores(); core++ {
+		faults := sim.SampleFaults(fs.CoreFaults(core), 150, int64(41+core))
+		plan := fs.PlanCoreBatches(core, faults, sim.BatchOptions{})
+		sweeps = append(sweeps, coreSweep{core, faults, plan, fs.NewCoreBatchScratch(core, plan)})
+	}
+	covered := 0
+	for round := 0; ; round++ {
+		progressed := false
+		for _, sw := range sweeps {
+			if round >= len(sw.plan.Batches) {
+				continue
+			}
+			progressed = true
+			cb := sw.plan.Batches[round]
+			fs.RunBatch(sw.core, cb, sw.bs)
+			lo, hi := s.CellRange(sw.core)
+			for k, i := range cb.Index {
+				covered++
+				f := sw.faults[i]
+				cc := s.Cores[sw.core].Circuit
+				got := fs.MaterializeBatch(sw.core, sw.bs, k, sc)
+				want := refs[sw.core].RunReference(f)
+				wantCells := bitset.New(s.NumCells())
+				want.FailingCells.ForEach(func(cell int) { wantCells.Add(lo + cell) })
+				if !got.FailingCells.Equal(wantCells) {
+					t.Fatalf("core %d %s: FailingCells %v, want %v",
+						sw.core, f.Describe(cc), got.FailingCells, wantCells)
+				}
+				for bi := range got.Faulty {
+					for cell := 0; cell < s.NumCells(); cell++ {
+						wantWord := fs.Good()[bi].Next[cell]
+						if cell >= lo && cell < hi {
+							wantWord = want.Faulty[bi].Next[cell-lo]
+						}
+						if got.Faulty[bi].Next[cell] != wantWord {
+							t.Fatalf("core %d %s block %d cell %d: %#x, want %#x",
+								sw.core, f.Describe(cc), bi, cell, got.Faulty[bi].Next[cell], wantWord)
+						}
+					}
+				}
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	want := 0
+	for _, sw := range sweeps {
+		want += len(sw.faults)
+	}
+	if covered != want {
+		t.Fatalf("interleaved sweeps covered %d of %d faults", covered, want)
+	}
+}
