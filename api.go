@@ -12,6 +12,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/dictionary"
+	"repro/internal/drc"
 	"repro/internal/noise"
 	"repro/internal/partition"
 	"repro/internal/pipeline"
@@ -194,3 +195,21 @@ type AdaptiveOracle = adaptive.Oracle
 // AdaptiveDiagnose runs the binary-search baseline of Ghosh-Dastidar &
 // Touba over an n-cell chain.
 func AdaptiveDiagnose(o AdaptiveOracle, n int) *CellSet { return adaptive.Diagnose(o, n) }
+
+// DRCViolation is one static design-rule hit reported by the netlist/scan
+// design-rule checker: a structural defect (floating net, combinational
+// loop, unscanned flip-flop, X-source reaching the MISR, ...) that would
+// silently corrupt signatures if simulated. Set Options.StrictDRC to make
+// bench construction fail on any violation.
+type DRCViolation = drc.Violation
+
+// CheckDRC statically verifies a netlist against the design rules the
+// diagnosis flow presumes and returns all violations (empty for a clean
+// circuit). It accepts unvalidated circuits, so malformed netlists report
+// the precise rule they break.
+func CheckDRC(c *Circuit) []DRCViolation { return drc.Check(c) }
+
+// CheckSOCDRC verifies every core of an SOC plus its meta-chain TAM
+// configurations: the single meta chain always, and one configuration per
+// entry of widths (e.g. 8 for the paper's 8-bit TAM).
+func CheckSOCDRC(s *SOC, widths ...int) []DRCViolation { return drc.CheckSOC(s, widths...) }

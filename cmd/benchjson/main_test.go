@@ -109,6 +109,53 @@ func TestCompareGatesSubBenchmarks(t *testing.T) {
 	}
 }
 
+func TestSplitGates(t *testing.T) {
+	got := splitGates(" BenchmarkFaultSimulation, BenchmarkFaultBatchSweep ,")
+	if len(got) != 2 || got[0] != "BenchmarkFaultSimulation" || got[1] != "BenchmarkFaultBatchSweep" {
+		t.Errorf("splitGates = %q", got)
+	}
+	if got := splitGates(""); got != nil {
+		t.Errorf("splitGates(\"\") = %q, want nil", got)
+	}
+}
+
+func TestCompareCommaSeparatedGates(t *testing.T) {
+	base := mkReport(map[string]float64{
+		"BenchmarkFaultSimulation":         1000,
+		"BenchmarkFaultBatchSweep/batched": 400,
+		"BenchmarkFaultBatchSweep/event":   400,
+	})
+	gates := splitGates("BenchmarkFaultSimulation,BenchmarkFaultBatchSweep")
+
+	// Both gates within threshold: the run passes and both are marked.
+	cur := mkReport(map[string]float64{
+		"BenchmarkFaultSimulation":         1100,
+		"BenchmarkFaultBatchSweep/batched": 410,
+		"BenchmarkFaultBatchSweep/event":   390,
+	})
+	text, failed := Compare(cur, base, gates, 25)
+	if failed {
+		t.Errorf("multi-gate comparison failed within threshold:\n%s", text)
+	}
+	if strings.Count(text, "[gate]") != 3 {
+		t.Errorf("want all three gated rows marked:\n%s", text)
+	}
+
+	// A regression under the second gate alone fails the run.
+	cur = mkReport(map[string]float64{
+		"BenchmarkFaultSimulation":         1100,
+		"BenchmarkFaultBatchSweep/batched": 900,
+		"BenchmarkFaultBatchSweep/event":   390,
+	})
+	text, failed = Compare(cur, base, gates, 25)
+	if !failed {
+		t.Errorf("regression under second of two gates passed:\n%s", text)
+	}
+	if !strings.Contains(text, "[FAIL]") {
+		t.Errorf("failing row not marked:\n%s", text)
+	}
+}
+
 func TestCompareMissingGateFails(t *testing.T) {
 	base := mkReport(map[string]float64{"BenchmarkRenamed": 1000})
 	cur := mkReport(map[string]float64{"BenchmarkRenamed": 1000})

@@ -18,6 +18,7 @@ import (
 	"repro/internal/benchgen"
 	"repro/internal/chaindiag"
 	"repro/internal/circuit"
+	"repro/internal/drc"
 	"repro/internal/pipeline"
 	"repro/internal/scan"
 )
@@ -30,6 +31,7 @@ func main() {
 		healthy  = flag.Bool("healthy", false, "diagnose a fault-free chain instead")
 		sweep    = flag.Bool("sweep", false, "inject a fault at every position and summarise accuracy")
 		workers  = flag.Int("workers", 0, "goroutines for -sweep (0 = all CPUs, 1 = serial; results are identical)")
+		drcCheck = flag.Bool("drc", false, "run the static design-rule checker on the netlist before diagnosing")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file after the run")
@@ -62,6 +64,9 @@ func main() {
 	c, err := benchgen.Generate(p)
 	if err != nil {
 		fatal(err)
+	}
+	if *drcCheck {
+		reportDRC(c.Name, drc.Check(c))
 	}
 	if !*healthy && !*sweep && *position >= c.NumDFFs() {
 		usageError(fmt.Errorf("-position %d outside the %d-cell chain of %s", *position, c.NumDFFs(), *name))
@@ -151,6 +156,21 @@ func runSweep(c *circuit.Circuit, order []int, workers int) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "chaindiag:", err)
 	os.Exit(1)
+}
+
+// reportDRC prints the design-rule verdict. On violations it lists every
+// hit and exits with status 2: a rule-breaking netlist cannot support a
+// trustworthy shift-path diagnosis.
+func reportDRC(name string, vs []drc.Violation) {
+	if len(vs) == 0 {
+		fmt.Printf("drc:     %s clean\n", name)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "chaindiag: drc: %s: %d violation(s)\n", name, len(vs))
+	for _, v := range vs {
+		fmt.Fprintf(os.Stderr, "  %s\n", v)
+	}
+	os.Exit(2)
 }
 
 // writeMemProfile snapshots the heap after a GC so the profile reflects

@@ -22,6 +22,7 @@ import (
 	"repro/internal/bist"
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/drc"
 	"repro/internal/noise"
 	"repro/internal/partition"
 	"repro/internal/scan"
@@ -42,6 +43,7 @@ func main() {
 		chains       = flag.Int("chains", 1, "number of balanced scan chains")
 		order        = flag.String("order", "natural", "scan order: natural|random|reverse")
 		ideal        = flag.Bool("ideal", false, "bypass the MISR (alias-free compaction)")
+		drcCheck     = flag.Bool("drc", false, "run the static design-rule checker on the netlist and refuse to simulate on violations")
 		verbose      = flag.Bool("verbose", false, "print each fault's candidate set")
 		intermittent = flag.Float64("intermittent", 1, "probability the fault is active on a given pattern (1 = deterministic fault)")
 		flip         = flag.Float64("flip", 0, "probability the tester flips a session's pass/fail verdict")
@@ -92,6 +94,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *drcCheck {
+		reportDRC(c.Name, drc.Check(c))
+	}
 	scheme, err := schemeByName(*schemeName)
 	if err != nil {
 		fatal(err)
@@ -107,6 +112,7 @@ func main() {
 		Noise:         noise.Model{Intermittent: *intermittent, Flip: *flip, Abort: *abort, Seed: *noiseSeed},
 		Retry:         bist.RetryPolicy{MaxRetries: *retries},
 		VoteThreshold: *vote,
+		StrictDRC:     *drcCheck,
 	}
 	if err := opts.Noise.Validate(); err != nil {
 		usageError(err)
@@ -203,6 +209,21 @@ func schemeByName(name string) (partition.Scheme, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "scandiag:", err)
 	os.Exit(1)
+}
+
+// reportDRC prints the design-rule verdict. On violations it lists every
+// hit and exits with status 2: simulating a rule-breaking netlist would
+// produce corrupt signatures, not diagnoses.
+func reportDRC(name string, vs []drc.Violation) {
+	if len(vs) == 0 {
+		fmt.Printf("drc:      %s clean\n", name)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "scandiag: drc: %s: %d violation(s)\n", name, len(vs))
+	for _, v := range vs {
+		fmt.Fprintf(os.Stderr, "  %s\n", v)
+	}
+	os.Exit(2)
 }
 
 // writeMemProfile snapshots the heap after a GC so the profile reflects

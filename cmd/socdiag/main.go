@@ -17,6 +17,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/core"
+	"repro/internal/drc"
 	"repro/internal/partition"
 	"repro/internal/sim"
 	"repro/internal/soc"
@@ -32,6 +33,7 @@ func main() {
 		patterns   = flag.Int("patterns", 128, "pseudorandom patterns per BIST session")
 		chains     = flag.Int("chains", 0, "meta scan chains (default: 1 for SOC1, 8 for SOC2)")
 		faults     = flag.Int("faults", 500, "stuck-at faults to sample in the faulty core")
+		drcCheck   = flag.Bool("drc", false, "run the static design-rule checker on every core and the TAM before simulating")
 		seed       = flag.Int64("seed", 1, "fault sampling seed")
 		workers    = flag.Int("workers", 0, "goroutines for the fault sweep (0 = all CPUs, 1 = serial; results are identical)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
@@ -107,6 +109,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *drcCheck {
+		reportDRC(s.Name, drc.CheckSOC(s, *chains))
+	}
 
 	b, err := core.NewSOCBench(s, core.Options{
 		Scheme:     scheme,
@@ -115,6 +120,7 @@ func main() {
 		Patterns:   *patterns,
 		Chains:     *chains,
 		Workers:    *workers,
+		StrictDRC:  *drcCheck,
 	})
 	if err != nil {
 		fatal(err)
@@ -163,6 +169,21 @@ func schemeByName(name string) (partition.Scheme, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "socdiag:", err)
 	os.Exit(1)
+}
+
+// reportDRC prints the design-rule verdict. On violations it lists every
+// hit and exits with status 2: simulating a rule-breaking SOC would
+// produce corrupt signatures, not diagnoses.
+func reportDRC(name string, vs []drc.Violation) {
+	if len(vs) == 0 {
+		fmt.Printf("drc:      %s clean\n", name)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "socdiag: drc: %s: %d violation(s)\n", name, len(vs))
+	for _, v := range vs {
+		fmt.Fprintf(os.Stderr, "  %s\n", v)
+	}
+	os.Exit(2)
 }
 
 // writeMemProfile snapshots the heap after a GC so the profile reflects

@@ -1,0 +1,103 @@
+// Command staticlint is the repository's bundled static analysis
+// driver: it runs the standard `go vet` suite and the custom analyzers
+// from internal/lint (detrand, scratchalias, panicfmt, noexit,
+// paralleltestscratch) over the requested packages.
+//
+// Usage:
+//
+//	staticlint [flags] [packages]
+//	staticlint ./...
+//	staticlint -disable scratchalias ./internal/sim/...
+//
+// Exit status: 0 when every check is clean, 1 when any analyzer or vet
+// pass reported diagnostics, 2 when loading or typechecking failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		runVet  = flag.Bool("vet", true, "also run the standard `go vet` suite")
+		disable = flag.String("disable", "", "comma-separated custom analyzer names to skip")
+		list    = flag.Bool("list", false, "list the custom analyzers and exit")
+	)
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-22s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return
+	}
+	skip := make(map[string]bool)
+	for _, name := range strings.Split(*disable, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			skip[name] = true
+		}
+	}
+	var enabled []*analysis.Analyzer
+	for _, a := range analyzers {
+		if skip[a.Name] {
+			delete(skip, a.Name)
+			continue
+		}
+		enabled = append(enabled, a)
+	}
+	for name := range skip {
+		fmt.Fprintf(os.Stderr, "staticlint: unknown analyzer %q in -disable\n", name)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	failed := false
+	if *runVet {
+		failed = !vet(patterns)
+	}
+
+	pkgs, err := analysis.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "staticlint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(pkgs, enabled)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "staticlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if failed || len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// vet runs the standard analyzer suite via the go tool, streaming its
+// report; it returns false when vet found problems.
+func vet(patterns []string) bool {
+	cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if _, ok := err.(*exec.ExitError); ok {
+			return false
+		}
+		fmt.Fprintf(os.Stderr, "staticlint: running go vet: %v\n", err)
+		os.Exit(2)
+	}
+	return true
+}

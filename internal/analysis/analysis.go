@@ -1,0 +1,124 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// go/analysis vocabulary: an Analyzer inspects one typechecked package
+// through a Pass and reports Diagnostics. It exists so the repository can
+// carry custom linters for its own invariants (deterministic randomness,
+// scratch-buffer aliasing, error-message conventions) without importing
+// golang.org/x/tools; only the standard library's go/* packages are used.
+//
+// The model is intentionally the familiar one — an Analyzer has a Name, a
+// Doc string and a Run function; Run receives a Pass holding the syntax
+// trees, the *types.Package and the *types.Info — so that analyzers
+// written here could be ported to the real framework by changing imports.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be
+	// a valid Go identifier.
+	Name string
+	// Doc is the help text: first line is a one-sentence summary.
+	Doc string
+	// Run applies the check to a single package. Diagnostics are
+	// delivered through pass.Report; the error return is for failures
+	// of the analyzer itself, not findings.
+	Run func(*Pass) error
+}
+
+// A Pass presents one typechecked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. Never nil.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Inspect walks every file of the pass in depth-first order, calling fn
+// for each node; fn returning false prunes that subtree (ast.Inspect
+// semantics).
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// A Diagnostic is one finding, positioned in the pass's FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is a diagnostic bound to the analyzer and package that
+// produced it, as returned by Run.
+type Finding struct {
+	Analyzer *Analyzer
+	Package  *Package
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Message, f.Analyzer.Name)
+}
+
+// Run applies every analyzer to every package and returns the findings
+// sorted by file, line and column. Analyzer errors (not findings) are
+// returned after all packages have been visited.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var (
+		findings []Finding
+		firstErr error
+	)
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			p := pkg
+			pass.Report = func(d Diagnostic) {
+				findings = append(findings, Finding{
+					Analyzer: a,
+					Package:  p,
+					Position: p.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Message < findings[j].Message
+	})
+	return findings, firstErr
+}

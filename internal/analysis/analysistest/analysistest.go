@@ -1,0 +1,177 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want comments, mirroring the conventions of
+// the upstream harness of the same name: fixtures live in a GOPATH-style
+// tree testdata/src/<importpath>, and a line expecting diagnostics
+// carries a trailing comment
+//
+//	// want "regexp" "another regexp"
+//
+// with one double-quoted regular expression per expected diagnostic on
+// that line. Unexpected diagnostics and unmatched expectations both fail
+// the test.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each fixture package from testdata/src/<path>, applies the
+// analyzer, and reports mismatches between its diagnostics and the
+// fixtures' want comments on t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	srcroot := filepath.Join(testdata, "src")
+	dirs, err := fixtureDirs(srcroot)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader := analysis.NewLoader(dirs)
+	loader.Tests = true
+	pkgs, err := loader.LoadDirs(paths...)
+	if err != nil {
+		t.Fatalf("analysistest: loading fixtures: %v", err)
+	}
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkgs)
+	for _, f := range findings {
+		k := lineKey{f.Position.Filename, f.Position.Line}
+		exps := wants[k]
+		matched := false
+		for _, e := range exps {
+			if !e.matched && e.re.MatchString(f.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Position, f.Message)
+		}
+	}
+	for k, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, e.raw)
+			}
+		}
+	}
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// lineKey addresses one source line across the fixture set.
+type lineKey struct {
+	file string
+	line int
+}
+
+// collectWants scans every fixture file's comments for want expectations,
+// keyed by the comment's file and line.
+func collectWants(t *testing.T, pkgs []*analysis.Package) map[lineKey][]*expectation {
+	t.Helper()
+	wants := make(map[lineKey][]*expectation)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					raws, err := parseWant(c.Text)
+					if err != nil {
+						pos := pkg.Fset.Position(c.Pos())
+						t.Fatalf("%s: %v", pos, err)
+					}
+					if len(raws) == 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, raw := range raws {
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+						}
+						k := lineKey{pos.Filename, pos.Line}
+						wants[k] = append(wants[k], &expectation{re: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWant extracts the quoted patterns from a `// want "p1" "p2"`
+// comment, returning nil for comments that are not want directives.
+func parseWant(comment string) ([]string, error) {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+	var pats []string
+	for rest != "" {
+		if rest[0] != '"' {
+			return nil, fmt.Errorf("want directive: expected quoted pattern at %q", rest)
+		}
+		// Find the closing quote, honouring backslash escapes.
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("want directive: unterminated pattern in %q", rest)
+		}
+		pat, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("want directive: %v in %q", err, rest[:end+1])
+		}
+		pats = append(pats, pat)
+		rest = strings.TrimSpace(rest[end+1:])
+	}
+	return pats, nil
+}
+
+// fixtureDirs maps every package directory under srcroot to its
+// GOPATH-style import path.
+func fixtureDirs(srcroot string) (map[string]string, error) {
+	dirs := make(map[string]string)
+	err := filepath.Walk(srcroot, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(srcroot, path)
+		if err != nil || rel == "." {
+			return err
+		}
+		dirs[filepath.ToSlash(rel)] = path
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("walking %s: %v", srcroot, err)
+	}
+	return dirs, nil
+}

@@ -1,0 +1,327 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded and typechecked package ready for analysis.
+type Package struct {
+	// Path is the import path ("repro/internal/sim"); external test
+	// packages carry a "_test" suffix.
+	Path string
+	// Dir is the directory holding the sources.
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// A Loader typechecks packages from source. Module-local imports are
+// resolved through a directory mapping and typechecked recursively;
+// everything else falls through to the standard library's source
+// importer, which reads GOROOT. No compiled export data is required, so
+// the loader works in offline sandboxes where the build cache is cold.
+type Loader struct {
+	// Tests controls whether in-package _test.go files are included in
+	// the syntax of target packages (imports never include them).
+	Tests bool
+
+	fset    *token.FileSet
+	dirs    map[string]string // import path -> source dir, for module-local packages
+	std     types.Importer
+	cache   map[string]*types.Package
+	loading map[string]bool
+	errs    []error
+}
+
+// NewLoader returns a loader resolving the given import-path-to-directory
+// mapping locally and everything else through GOROOT source.
+func NewLoader(dirs map[string]string) *Loader {
+	fset := token.NewFileSet()
+	l := &Loader{
+		fset:    fset,
+		dirs:    dirs,
+		cache:   make(map[string]*types.Package),
+		loading: make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(fset, "source", nil)
+	return l
+}
+
+// Fset exposes the loader's shared FileSet.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir          string
+	ImportPath   string
+	Name         string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Module       *struct{ Path, Dir string }
+	Error        *struct{ Err string }
+}
+
+// Load enumerates packages with `go list` and typechecks each from
+// source, including in-package test files; external test packages
+// (package foo_test) are returned as separate entries. The returned
+// error aggregates every type error so a driver can print them all.
+func Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json"}, patterns...)...)
+	var out, stderr bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var listed []listedPackage
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		listed = append(listed, p)
+	}
+
+	// Every listed package resolves by its own Dir; anything else in the
+	// module resolves relative to the module root.
+	dirs := make(map[string]string, len(listed))
+	var modPath, modDir string
+	for _, p := range listed {
+		dirs[p.ImportPath] = p.Dir
+		if p.Module != nil {
+			modPath, modDir = p.Module.Path, p.Module.Dir
+		}
+	}
+	if modPath != "" {
+		addModuleDirs(dirs, modPath, modDir)
+	}
+
+	l := NewLoader(dirs)
+	l.Tests = true
+	var pkgs []*Package
+	for _, p := range listed {
+		pkg, err := l.loadTarget(p.ImportPath, p.Dir, append(append([]string{}, p.GoFiles...), p.TestGoFiles...))
+		if err != nil {
+			l.errs = append(l.errs, err)
+		} else if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+		if len(p.XTestGoFiles) > 0 {
+			xt, err := l.loadTarget(p.ImportPath+"_test", p.Dir, p.XTestGoFiles)
+			if err != nil {
+				l.errs = append(l.errs, err)
+			} else if xt != nil {
+				pkgs = append(pkgs, xt)
+			}
+		}
+	}
+	return pkgs, joinErrors(l.errs)
+}
+
+// addModuleDirs walks the module tree once and registers a directory for
+// every package, so imports of module packages outside the requested
+// pattern set still resolve locally.
+func addModuleDirs(dirs map[string]string, modPath, modDir string) {
+	filepath.Walk(modDir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || !info.IsDir() {
+			return nil
+		}
+		base := filepath.Base(path)
+		if strings.HasPrefix(base, ".") || base == "testdata" || base == "vendor" {
+			if path != modDir {
+				return filepath.SkipDir
+			}
+		}
+		rel, err := filepath.Rel(modDir, path)
+		if err != nil {
+			return nil
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		if _, ok := dirs[ip]; !ok {
+			dirs[ip] = path
+		}
+		return nil
+	})
+}
+
+// LoadDirs typechecks the named import paths, each resolved through the
+// dirs mapping (used by the analysistest harness, where fixture packages
+// live under a testdata GOPATH-style tree).
+func (l *Loader) LoadDirs(paths ...string) ([]*Package, error) {
+	var pkgs []*Package
+	for _, path := range paths {
+		dir, ok := l.dirs[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no directory mapped for %q", path)
+		}
+		files, err := goFilesIn(dir, l.Tests)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.loadTarget(path, dir, files)
+		if err != nil {
+			l.errs = append(l.errs, err)
+		} else if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, joinErrors(l.errs)
+}
+
+// loadTarget parses and typechecks one target package from an explicit
+// file list. Unlike imports, targets are not cached: their syntax may
+// include test files, which importers of the same path must not see.
+func (l *Loader) loadTarget(path, dir string, files []string) (*Package, error) {
+	if len(files) == 0 {
+		return nil, nil
+	}
+	syntax, err := l.parseFiles(dir, files)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	var terrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, syntax, info)
+	if len(terrs) > 0 {
+		return nil, fmt.Errorf("analysis: typechecking %s: %v", path, joinErrors(terrs))
+	}
+	return &Package{
+		Path: path, Dir: dir,
+		Fset: l.fset, Syntax: syntax,
+		Types: tpkg, TypesInfo: info,
+	}, nil
+}
+
+// Import implements types.Importer: module-local paths are typechecked
+// from source (non-test files only) and memoized; all other paths are
+// delegated to the GOROOT source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	dir, ok := l.dirs[path]
+	if !ok {
+		return l.std.Import(path)
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files, err := goFilesIn(dir, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s for %s", dir, path)
+	}
+	syntax, err := l.parseFiles(dir, files)
+	if err != nil {
+		return nil, err
+	}
+	var terrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	pkg, _ := conf.Check(path, l.fset, syntax, nil)
+	if len(terrs) > 0 {
+		return nil, fmt.Errorf("typechecking import %s: %v", path, terrs[0])
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) parseFiles(dir string, files []string) ([]*ast.File, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	return syntax, nil
+}
+
+// goFilesIn lists the .go sources of dir, optionally including tests.
+func goFilesIn(dir string, tests bool) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !tests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+func joinErrors(errs []error) error {
+	switch len(errs) {
+	case 0:
+		return nil
+	case 1:
+		return errs[0]
+	}
+	msgs := make([]string, len(errs))
+	for i, e := range errs {
+		msgs[i] = e.Error()
+	}
+	return fmt.Errorf("%s", strings.Join(msgs, "\n"))
+}

@@ -42,6 +42,54 @@ type Circuit struct {
 	cones   []atomic.Pointer[Cone]
 }
 
+// Raw assembles a Circuit directly from its structural fields, bypassing
+// the Builder's validation: duplicate names, dangling fan-in references,
+// undriven nets, and combinational cycles are all accepted as-is. Derived
+// data (levels, topological order, cones) is computed on a best-effort
+// basis and left absent when the structure does not admit it, in which case
+// Validated reports false and the levelized accessors must not be used.
+//
+// Raw exists for the design-rule checker (internal/drc) and its tests:
+// DRC inspects exactly the malformed netlists the Builder would reject.
+// Simulation and diagnosis require a Builder-validated circuit.
+func Raw(name string, nets []Net, inputs, outputs, dffs []NetID) *Circuit {
+	c := &Circuit{
+		Name:    name,
+		Nets:    nets,
+		Inputs:  inputs,
+		Outputs: outputs,
+		DFFs:    dffs,
+		byName:  make(map[string]NetID, len(nets)),
+		dffIdx:  make(map[NetID]int, len(dffs)),
+	}
+	for id := range nets {
+		c.byName[nets[id].Name] = NetID(id)
+	}
+	for i, id := range dffs {
+		if id >= 0 && int(id) < len(nets) {
+			c.dffIdx[id] = i
+		}
+	}
+	for id := range nets {
+		for _, f := range nets[id].Fanin {
+			if f < 0 || int(f) >= len(nets) {
+				return c // dangling reference: finish() would index out of range
+			}
+		}
+	}
+	if err := c.finish(); err != nil {
+		c.topo, c.fanout, c.levelOf, c.cones = nil, nil, nil, nil
+	}
+	return c
+}
+
+// Validated reports whether the derived structure (levels, topological
+// order, cones) was successfully computed — true for every Builder-built
+// circuit, and for Raw circuits only when the netlist happens to be
+// well-formed. Level, TopoOrder, Fanout, and Cone must not be called when
+// Validated is false.
+func (c *Circuit) Validated() bool { return c.topo != nil }
+
 // NumNets returns the total number of nets.
 func (c *Circuit) NumNets() int { return len(c.Nets) }
 

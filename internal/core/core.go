@@ -20,6 +20,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/circuit"
 	"repro/internal/diagnosis"
+	"repro/internal/drc"
 	"repro/internal/lfsr"
 	"repro/internal/noise"
 	"repro/internal/partition"
@@ -79,6 +80,14 @@ type Options struct {
 	// Workers, Noise, Retry, VoteThreshold, and the cache itself — are not
 	// part of the key, so sweeps over them reuse one artifact set.
 	Cache *pipeline.ArtifactCache
+	// StrictDRC runs the static design-rule checker (internal/drc) on the
+	// netlist — and, at SOC scope, on every core and the TAM
+	// configuration — before any simulation artifact is built, and fails
+	// construction on the first violation. The scheme presumes a
+	// well-formed scan design: one floating net or combinational loop
+	// silently corrupts every signature, so strict benches refuse to
+	// simulate such inputs instead of diagnosing garbage.
+	StrictDRC bool
 }
 
 func (o Options) withDefaults() Options {
@@ -262,6 +271,11 @@ func NewCircuitBench(c *circuit.Circuit, opts Options) (*CircuitBench, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, err
+	}
+	if opts.StrictDRC {
+		if err := drc.Error(c.Name, drc.Check(c)); err != nil {
+			return nil, err
+		}
 	}
 	art, err := opts.Cache.Circuit(c, opts.spec())
 	if err != nil {
@@ -451,6 +465,11 @@ func NewSOCBench(s *soc.SOC, opts Options) (*SOCBench, error) {
 	}
 	if opts.ScanOrder != nil {
 		return nil, fmt.Errorf("core: custom scan order is not supported at SOC level; the TestRail fixes daisy order")
+	}
+	if opts.StrictDRC {
+		if err := drc.Error(s.Name, drc.CheckSOC(s, opts.Chains)); err != nil {
+			return nil, err
+		}
 	}
 	art, err := opts.Cache.SOC(s, opts.spec())
 	if err != nil {

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/partition"
+	"repro/internal/soc"
+)
+
+func strictOpts() Options {
+	return Options{
+		Scheme: partition.TwoStep{}, Groups: 4, Partitions: 4, Patterns: 32,
+		StrictDRC: true,
+	}
+}
+
+// TestStrictDRCRejectsBadCircuit: a netlist with a floating net is refused
+// at construction instead of silently corrupting every signature.
+func TestStrictDRCRejectsBadCircuit(t *testing.T) {
+	bad := circuit.Raw("floaty", []circuit.Net{
+		{Name: "A", Op: logic.OpInput},
+		{Name: "u", Op: logic.OpInvalid},
+		{Name: "g", Op: logic.OpNot, Fanin: []circuit.NetID{1}},
+		{Name: "d", Op: logic.OpDFF, Fanin: []circuit.NetID{2}},
+	}, []circuit.NetID{0}, nil, []circuit.NetID{3})
+	_, err := NewCircuitBench(bad, strictOpts())
+	if err == nil {
+		t.Fatal("StrictDRC accepted a circuit with a floating net")
+	}
+	if !strings.Contains(err.Error(), "drc:") {
+		t.Errorf("error does not identify the DRC gate: %v", err)
+	}
+}
+
+// TestStrictDRCRejectsMutatedCircuit: a Builder-validated circuit whose
+// exported netlist was rewired afterwards carries stale memoized cones;
+// the strict gate catches what simulation would never notice.
+func TestStrictDRCRejectsMutatedCircuit(t *testing.T) {
+	c, err := circuit.NewBuilder("mut").
+		Input("A").Input("B").
+		Gate("g1", logic.OpNot, "A").
+		Gate("g2", logic.OpNot, "B").
+		DFF("d1", "g1").DFF("d2", "g2").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := c.NetByName("g2")
+	a, _ := c.NetByName("A")
+	c.Nets[g2].Fanin[0] = a
+	if _, err := NewCircuitBench(c, strictOpts()); err == nil {
+		t.Fatal("StrictDRC accepted a circuit mutated after construction")
+	}
+}
+
+// TestStrictDRCAcceptsCleanInputs: the gate is invisible on well-formed
+// designs, at circuit and SOC scope.
+func TestStrictDRCAcceptsCleanInputs(t *testing.T) {
+	b, err := NewCircuitBench(benchgen.MustGenerate("s298"), strictOpts())
+	if err != nil {
+		t.Fatalf("StrictDRC rejected a bundled bench: %v", err)
+	}
+	if b == nil || b.Engine() == nil {
+		t.Fatal("bench not built")
+	}
+
+	s, err := soc.New("mini",
+		&soc.Core{Name: "a", Circuit: benchgen.MustGenerate("s27")},
+		&soc.Core{Name: "b", Circuit: benchgen.MustGenerate("s298")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := strictOpts()
+	opts.Chains = 2
+	if _, err := NewSOCBench(s, opts); err != nil {
+		t.Fatalf("StrictDRC rejected a clean SOC: %v", err)
+	}
+}
+
+// TestStrictDRCRejectsBadSOC: a core-level violation fails SOC bench
+// construction and the error names the core.
+func TestStrictDRCRejectsBadSOC(t *testing.T) {
+	bad := circuit.Raw("floaty", []circuit.Net{
+		{Name: "A", Op: logic.OpInput},
+		{Name: "u", Op: logic.OpInvalid},
+		{Name: "d", Op: logic.OpDFF, Fanin: []circuit.NetID{1}},
+	}, []circuit.NetID{0}, nil, []circuit.NetID{2})
+	s, err := soc.New("badsoc",
+		&soc.Core{Name: "rotten", Circuit: bad},
+		&soc.Core{Name: "fine", Circuit: benchgen.MustGenerate("s27")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewSOCBench(s, strictOpts())
+	if err == nil {
+		t.Fatal("StrictDRC accepted an SOC with a rotten core")
+	}
+	if !strings.Contains(err.Error(), "rotten") {
+		t.Errorf("error does not name the offending core: %v", err)
+	}
+}

@@ -1,0 +1,499 @@
+// Package drc is a static design-rule checker for the netlists and scan
+// structures this repository simulates. The Liu & Chakrabarty scheme — and
+// every layer built on it here — assumes a well-formed input: an acyclic
+// combinational netlist, fully driven nets, scannable state elements, and
+// an X-free path into the MISR. One floating net or combinational loop
+// silently corrupts every signature, so the checks run before simulation
+// ever starts: Check inspects a single circuit, CheckSOC a core-based SOC
+// and its meta-chain TAM configurations. Both are pure static analyses of
+// the declared structure; nothing is simulated.
+//
+// Check accepts unvalidated circuits (circuit.Raw), so it can report the
+// precise rule a malformed netlist breaks instead of the Builder's
+// first-error-wins construction failure. On Builder-validated circuits it
+// additionally cross-checks the memoized levelization and fault cones
+// against an independent recomputation, catching post-construction
+// mutation of the exported netlist fields.
+package drc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// Rule identifies one design rule.
+type Rule string
+
+// Circuit-level rules.
+const (
+	// RuleFloatingNet fires on undriven nets and dangling fan-in
+	// references: both are X sources in silicon.
+	RuleFloatingNet Rule = "floating-net"
+	// RuleMultiplyDriven fires when two nets share a name — a bus
+	// contention the single-driver netlist model cannot express.
+	RuleMultiplyDriven Rule = "multiply-driven"
+	// RuleCombLoop fires on a combinational cycle, which has no levelized
+	// evaluation order and can oscillate or latch in silicon.
+	RuleCombLoop Rule = "comb-loop"
+	// RuleBadDFF fires on a flip-flop whose fan-in is not exactly the one
+	// D input — an unclocked or malformed state element.
+	RuleBadDFF Rule = "bad-dff"
+	// RuleNonScanDFF fires on a flip-flop absent from the scan order: its
+	// state is neither controllable nor observable through the chain.
+	RuleNonScanDFF Rule = "non-scan-dff"
+	// RuleScanCoverage fires when the scan order does not cover the cell
+	// count: entries that are out of range, duplicated, or not flip-flops.
+	RuleScanCoverage Rule = "scan-coverage"
+	// RuleXToMISR fires when an X source (floating or multiply-driven net)
+	// reaches a scan cell's D input or a primary output: the MISR would
+	// compact an unknown and every signature downstream is garbage.
+	RuleXToMISR Rule = "x-to-misr"
+	// RuleUnobservable fires on a dead-end net: its fan-out cone reaches
+	// no scan cell and no primary output, so no fault on it is ever
+	// observable and diagnosis coverage silently shrinks.
+	RuleUnobservable Rule = "unobservable"
+	// RuleConeMismatch fires when the circuit's memoized levelization or
+	// fault cones disagree with an independent recomputation from the
+	// declared structure — the signature of a netlist mutated after
+	// construction.
+	RuleConeMismatch Rule = "cone-mismatch"
+)
+
+// SOC-level rules.
+const (
+	// RuleMetaChain fires when a TAM configuration does not cover every
+	// global cell exactly once.
+	RuleMetaChain Rule = "meta-chain"
+	// RuleEmptyCore fires on a core contributing no scan cells: it has no
+	// segment on the TestRail and a defect inside it cannot be located.
+	RuleEmptyCore Rule = "empty-core"
+)
+
+// Violation is one design-rule hit.
+type Violation struct {
+	Rule Rule
+	// Core names the offending core for SOC-level checks; empty at
+	// circuit scope.
+	Core string
+	// Net is the offending net, or -1 when the rule is not net-specific.
+	Net circuit.NetID
+	// Msg is the human-readable description.
+	Msg string
+}
+
+func (v Violation) String() string {
+	if v.Core != "" {
+		return fmt.Sprintf("[%s] %s: %s", v.Rule, v.Core, v.Msg)
+	}
+	return fmt.Sprintf("[%s] %s", v.Rule, v.Msg)
+}
+
+// Error folds a violation list into a single error, or nil when the list
+// is empty — the form construction-time gates (Options.StrictDRC) return.
+func Error(name string, vs []Violation) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	msgs := make([]string, 0, min(len(vs), 5))
+	for _, v := range vs[:min(len(vs), 5)] {
+		msgs = append(msgs, v.String())
+	}
+	suffix := ""
+	if len(vs) > 5 {
+		suffix = fmt.Sprintf("; and %d more", len(vs)-5)
+	}
+	return fmt.Errorf("drc: %s: %d violation(s): %s%s", name, len(vs), strings.Join(msgs, "; "), suffix)
+}
+
+// checker carries the derived structure one Check call recomputes from the
+// declared netlist, independently of anything the circuit memoized.
+type checker struct {
+	c      *circuit.Circuit
+	vs     []Violation
+	valid  []bool            // per net: fan-in references all in range
+	fanout [][]circuit.NetID // recomputed from declared fan-in
+	xsrc   []bool            // per net: X source (floating or multiply driven)
+	broken bool              // structural rules fired; skip derived checks
+}
+
+func (k *checker) add(rule Rule, net circuit.NetID, format string, args ...any) {
+	k.vs = append(k.vs, Violation{Rule: rule, Net: net, Msg: fmt.Sprintf(format, args...)})
+}
+
+// name renders a net reference for messages, tolerating bad ids.
+func (k *checker) name(id circuit.NetID) string {
+	if id < 0 || int(id) >= len(k.c.Nets) {
+		return fmt.Sprintf("#%d", id)
+	}
+	return fmt.Sprintf("%q", k.c.Nets[id].Name)
+}
+
+// Check statically verifies one netlist against every circuit-level rule
+// and returns the violations in deterministic order (rule by rule, nets
+// ascending). A nil or empty circuit yields a single floating-net
+// violation.
+func Check(c *circuit.Circuit) []Violation {
+	if c == nil || len(c.Nets) == 0 {
+		return []Violation{{Rule: RuleFloatingNet, Net: -1, Msg: "empty netlist: no nets declared"}}
+	}
+	k := &checker{c: c}
+	k.structure()
+	k.scanOrder()
+	k.loops()
+	k.xReach()
+	k.observability()
+	k.coneSanity()
+	return k.vs
+}
+
+// structure checks drivers and fan-in references: floating nets, dangling
+// references, duplicate names, malformed flip-flops.
+func (k *checker) structure() {
+	c := k.c
+	k.valid = make([]bool, len(c.Nets))
+	k.xsrc = make([]bool, len(c.Nets))
+	k.fanout = make([][]circuit.NetID, len(c.Nets))
+	byName := make(map[string]circuit.NetID, len(c.Nets))
+	for id := range c.Nets {
+		n := &c.Nets[id]
+		if prev, dup := byName[n.Name]; dup {
+			k.add(RuleMultiplyDriven, circuit.NetID(id),
+				"net %q driven by both net #%d and net #%d", n.Name, prev, id)
+			k.xsrc[id], k.xsrc[prev] = true, true
+			k.broken = true
+		} else {
+			byName[n.Name] = circuit.NetID(id)
+		}
+		if n.Op == logic.OpInvalid {
+			k.add(RuleFloatingNet, circuit.NetID(id), "net %q referenced but never driven", n.Name)
+			k.xsrc[id] = true
+			k.broken = true
+		}
+		k.valid[id] = true
+		for _, f := range n.Fanin {
+			if f < 0 || int(f) >= len(c.Nets) {
+				k.add(RuleFloatingNet, circuit.NetID(id),
+					"net %q has dangling fan-in reference %s", n.Name, k.name(f))
+				k.valid[id] = false
+				k.xsrc[id] = true
+				k.broken = true
+			}
+		}
+		if !k.valid[id] {
+			continue
+		}
+		for _, f := range n.Fanin {
+			k.fanout[f] = append(k.fanout[f], circuit.NetID(id))
+		}
+		if n.Op == logic.OpDFF && len(n.Fanin) != 1 {
+			k.add(RuleBadDFF, circuit.NetID(id),
+				"flip-flop %q has %d fan-in nets, want exactly one D input", n.Name, len(n.Fanin))
+			k.xsrc[id] = true
+			k.broken = true
+		}
+	}
+}
+
+// scanOrder checks the scan list against the flip-flop population: every
+// OpDFF net must be scanned exactly once and every scan entry must be a
+// flip-flop.
+func (k *checker) scanOrder() {
+	c := k.c
+	scanned := make(map[circuit.NetID]int, len(c.DFFs))
+	for i, id := range c.DFFs {
+		if id < 0 || int(id) >= len(c.Nets) {
+			k.add(RuleScanCoverage, id, "scan position %d references nonexistent net %s", i, k.name(id))
+			k.broken = true
+			continue
+		}
+		if prev, dup := scanned[id]; dup {
+			k.add(RuleScanCoverage, id,
+				"net %q occupies scan positions %d and %d", c.Nets[id].Name, prev, i)
+			k.broken = true
+			continue
+		}
+		scanned[id] = i
+		if c.Nets[id].Op != logic.OpDFF {
+			k.add(RuleScanCoverage, id,
+				"scan position %d holds %q (%v), not a flip-flop", i, c.Nets[id].Name, c.Nets[id].Op)
+			k.broken = true
+		}
+	}
+	nDFF := 0
+	for id := range c.Nets {
+		if c.Nets[id].Op != logic.OpDFF {
+			continue
+		}
+		nDFF++
+		if _, ok := scanned[circuit.NetID(id)]; !ok {
+			k.add(RuleNonScanDFF, circuit.NetID(id),
+				"flip-flop %q is not on any scan chain: its state is unobservable", c.Nets[id].Name)
+			k.broken = true
+		}
+	}
+	if nDFF != len(c.DFFs) {
+		k.add(RuleScanCoverage, -1,
+			"scan order covers %d cells but the netlist declares %d flip-flops", len(c.DFFs), nDFF)
+		k.broken = true
+	}
+}
+
+// loops runs Kahn's algorithm over the combinational gates (exactly the
+// Builder's acyclicity check, re-derived from the declared structure) and
+// reports any residue as a combinational cycle.
+func (k *checker) loops() {
+	c := k.c
+	indeg := make([]int, len(c.Nets))
+	for id := range c.Nets {
+		if c.Nets[id].Op.Combinational() && k.valid[id] {
+			indeg[id] = len(c.Nets[id].Fanin)
+		}
+	}
+	queue := make([]circuit.NetID, 0, len(c.Nets))
+	for id := range c.Nets {
+		if indeg[id] == 0 {
+			queue = append(queue, circuit.NetID(id))
+		}
+	}
+	visited := 0
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		visited++
+		for _, succ := range k.fanout[id] {
+			if !c.Nets[succ].Op.Combinational() {
+				continue
+			}
+			if indeg[succ]--; indeg[succ] == 0 {
+				queue = append(queue, succ)
+			}
+		}
+	}
+	if visited == len(c.Nets) {
+		return
+	}
+	k.broken = true
+	var cyc []string
+	for id := range c.Nets {
+		if c.Nets[id].Op.Combinational() && indeg[id] > 0 {
+			cyc = append(cyc, c.Nets[id].Name)
+			if len(cyc) == 8 {
+				break
+			}
+		}
+	}
+	sort.Strings(cyc)
+	k.add(RuleCombLoop, -1, "combinational cycle involving %v: no levelized evaluation order exists", cyc)
+}
+
+// xReach forward-propagates X sources through the combinational fan-out
+// and reports every scan cell or primary output an X can reach: the MISR
+// would compact an unknown there.
+func (k *checker) xReach() {
+	c := k.c
+	reach := make([]bool, len(c.Nets))
+	var stack []circuit.NetID
+	for id := range c.Nets {
+		if k.xsrc[id] {
+			reach[id] = true
+			stack = append(stack, circuit.NetID(id))
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, succ := range k.fanout[id] {
+			if reach[succ] {
+				continue
+			}
+			// An X feeding a D input corrupts the captured value itself;
+			// the propagation still stops at the register boundary.
+			reach[succ] = true
+			if c.Nets[succ].Op != logic.OpDFF {
+				stack = append(stack, succ)
+			}
+		}
+	}
+	var sinks []string
+	for i, id := range c.DFFs {
+		if id >= 0 && int(id) < len(c.Nets) && reach[id] && k.xsrc[id] == false {
+			sinks = append(sinks, fmt.Sprintf("cell %d (%s)", i, c.Nets[id].Name))
+		}
+	}
+	for i, id := range c.Outputs {
+		if id < 0 || int(id) >= len(c.Nets) {
+			k.add(RuleFloatingNet, id, "primary output %d references nonexistent net %s", i, k.name(id))
+			k.broken = true
+			continue
+		}
+		if reach[id] {
+			sinks = append(sinks, fmt.Sprintf("PO %q", c.Nets[id].Name))
+		}
+	}
+	if len(sinks) > 0 {
+		if len(sinks) > 6 {
+			sinks = append(sinks[:6], "...")
+		}
+		k.add(RuleXToMISR, -1,
+			"X sources reach the signature: %s would compact unknown values", strings.Join(sinks, ", "))
+	}
+}
+
+// observability reverse-propagates observation points (primary outputs and
+// scanned D inputs) and reports dead-end nets whose faults can never be
+// seen.
+func (k *checker) observability() {
+	c := k.c
+	obs := make([]bool, len(c.Nets))
+	var stack []circuit.NetID
+	mark := func(id circuit.NetID) {
+		if id >= 0 && int(id) < len(c.Nets) && !obs[id] {
+			obs[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for _, id := range c.Outputs {
+		mark(id)
+	}
+	for _, id := range c.DFFs {
+		if id >= 0 && int(id) < len(c.Nets) && len(c.Nets[id].Fanin) >= 1 {
+			// A value on the D net is captured by the scan cell.
+			mark(c.Nets[id].Fanin[0])
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !k.valid[id] {
+			continue
+		}
+		if c.Nets[id].Op == logic.OpDFF {
+			continue // observing a DFF output says nothing about its D cone
+		}
+		for _, f := range c.Nets[id].Fanin {
+			mark(f)
+		}
+	}
+	// Only gate outputs count as dead logic: an unloaded primary input is
+	// a benign interface artifact, and a scan cell with no combinational
+	// load is still observed through the chain itself.
+	for id := range c.Nets {
+		if !obs[id] && c.Nets[id].Op.Combinational() {
+			k.add(RuleUnobservable, circuit.NetID(id),
+				"gate %q reaches no scan cell and no primary output: faults on it are undetectable", c.Nets[id].Name)
+		}
+	}
+}
+
+// coneSanity cross-checks the circuit's memoized levelization and fault
+// cones against an independent recomputation. It runs only on validated
+// circuits with no structural violations: a mismatch then means the
+// exported netlist fields were mutated after construction, leaving the
+// cached topological order, levels, or cones describing a different
+// circuit than the one being simulated.
+func (k *checker) coneSanity() {
+	c := k.c
+	if k.broken || !c.Validated() {
+		return
+	}
+	// Recompute levels from the declared structure.
+	level := make([]int, len(c.Nets))
+	indeg := make([]int, len(c.Nets))
+	for id := range c.Nets {
+		if c.Nets[id].Op.Combinational() {
+			indeg[id] = len(c.Nets[id].Fanin)
+		}
+	}
+	queue := make([]circuit.NetID, 0, len(c.Nets))
+	for id := range c.Nets {
+		if indeg[id] == 0 {
+			queue = append(queue, circuit.NetID(id))
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		if c.Nets[id].Op.Combinational() {
+			for _, f := range c.Nets[id].Fanin {
+				if level[f]+1 > level[id] {
+					level[id] = level[f] + 1
+				}
+			}
+		}
+		for _, succ := range k.fanout[id] {
+			if !c.Nets[succ].Op.Combinational() {
+				continue
+			}
+			if indeg[succ]--; indeg[succ] == 0 {
+				queue = append(queue, succ)
+			}
+		}
+	}
+	for id := range c.Nets {
+		if c.Level(circuit.NetID(id)) != level[id] {
+			k.add(RuleConeMismatch, circuit.NetID(id),
+				"net %q: memoized level %d but declared structure gives %d (netlist mutated after construction?)",
+				c.Nets[id].Name, c.Level(circuit.NetID(id)), level[id])
+			return // one witness suffices; the caches are stale wholesale
+		}
+	}
+	// Spot-check memoized cones at every state/input site (the fault sites
+	// diagnosis cares about), capped to bound the cost on large circuits.
+	sites := make([]circuit.NetID, 0, len(c.DFFs)+len(c.Inputs))
+	sites = append(sites, c.DFFs...)
+	sites = append(sites, c.Inputs...)
+	if len(sites) > 256 {
+		sites = sites[:256]
+	}
+	for _, site := range sites {
+		if !equalCells(c.Cone(site).Cells, k.coneCells(site)) {
+			k.add(RuleConeMismatch, site,
+				"net %q: memoized fault cone disagrees with declared connectivity (netlist mutated after construction?)",
+				c.Nets[site].Name)
+			return
+		}
+	}
+}
+
+// coneCells recomputes ConeCells(site) from the declared structure using
+// the checker's own fan-out lists.
+func (k *checker) coneCells(site circuit.NetID) []int {
+	c := k.c
+	in := make(map[circuit.NetID]bool)
+	stack := []circuit.NetID{site}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if in[id] {
+			continue
+		}
+		in[id] = true
+		if c.Nets[id].Op == logic.OpDFF && id != site {
+			continue
+		}
+		stack = append(stack, k.fanout[id]...)
+	}
+	var cells []int
+	for i, id := range c.DFFs {
+		if in[c.Nets[id].Fanin[0]] {
+			cells = append(cells, i)
+		}
+	}
+	return cells
+}
+
+func equalCells(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

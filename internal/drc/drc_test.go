@@ -1,0 +1,295 @@
+package drc
+
+import (
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/soc"
+)
+
+// hasRule reports whether any violation carries the rule.
+func hasRule(vs []Violation, r Rule) bool {
+	for _, v := range vs {
+		if v.Rule == r {
+			return true
+		}
+	}
+	return false
+}
+
+func rules(vs []Violation) map[Rule]int {
+	m := make(map[Rule]int)
+	for _, v := range vs {
+		m[v.Rule]++
+	}
+	return m
+}
+
+// TestFloatingNet: an undriven net and a dangling fan-in reference both
+// fire floating-net, and the X they source reaches the output (x-to-misr).
+func TestFloatingNet(t *testing.T) {
+	c := circuit.Raw("bad", []circuit.Net{
+		{Name: "A", Op: logic.OpInput},
+		{Name: "u", Op: logic.OpInvalid},                           // referenced, never driven
+		{Name: "g", Op: logic.OpAnd, Fanin: []circuit.NetID{0, 1}}, // reads the floating net
+		{Name: "h", Op: logic.OpNot, Fanin: []circuit.NetID{99}},   // dangling reference
+	}, []circuit.NetID{0}, []circuit.NetID{2, 3}, nil)
+	vs := Check(c)
+	if n := rules(vs)[RuleFloatingNet]; n != 2 {
+		t.Errorf("floating-net fired %d times, want 2 (undriven + dangling): %v", n, vs)
+	}
+	if !hasRule(vs, RuleXToMISR) {
+		t.Errorf("X from the floating net reaches PO g but x-to-misr did not fire: %v", vs)
+	}
+}
+
+func TestMultiplyDriven(t *testing.T) {
+	c := circuit.Raw("bad", []circuit.Net{
+		{Name: "A", Op: logic.OpInput},
+		{Name: "n", Op: logic.OpNot, Fanin: []circuit.NetID{0}},
+		{Name: "n", Op: logic.OpBuf, Fanin: []circuit.NetID{0}}, // second driver
+	}, []circuit.NetID{0}, []circuit.NetID{1}, nil)
+	vs := Check(c)
+	if !hasRule(vs, RuleMultiplyDriven) {
+		t.Errorf("duplicate net name not flagged: %v", vs)
+	}
+}
+
+// TestCombLoop: a two-gate combinational cycle (which the Builder would
+// reject outright) is reported with its member names.
+func TestCombLoop(t *testing.T) {
+	c := circuit.Raw("bad", []circuit.Net{
+		{Name: "A", Op: logic.OpInput},
+		{Name: "g1", Op: logic.OpAnd, Fanin: []circuit.NetID{0, 2}},
+		{Name: "g2", Op: logic.OpNot, Fanin: []circuit.NetID{1}},
+	}, []circuit.NetID{0}, []circuit.NetID{1}, nil)
+	if c.Validated() {
+		t.Fatal("cyclic Raw circuit reported Validated")
+	}
+	vs := Check(c)
+	if !hasRule(vs, RuleCombLoop) {
+		t.Errorf("combinational cycle not flagged: %v", vs)
+	}
+}
+
+func TestBadDFF(t *testing.T) {
+	c := circuit.Raw("bad", []circuit.Net{
+		{Name: "A", Op: logic.OpInput},
+		{Name: "B", Op: logic.OpInput},
+		{Name: "d", Op: logic.OpDFF, Fanin: []circuit.NetID{0, 1}}, // two D inputs
+	}, []circuit.NetID{0, 1}, nil, []circuit.NetID{2})
+	if !hasRule(Check(c), RuleBadDFF) {
+		t.Error("flip-flop with two fan-in nets not flagged")
+	}
+}
+
+// TestNonScanDFF: a flip-flop missing from the scan order is unobservable
+// state; the aggregate count mismatch also fires scan-coverage.
+func TestNonScanDFF(t *testing.T) {
+	c := circuit.Raw("bad", []circuit.Net{
+		{Name: "A", Op: logic.OpInput},
+		{Name: "d1", Op: logic.OpDFF, Fanin: []circuit.NetID{0}},
+		{Name: "d2", Op: logic.OpDFF, Fanin: []circuit.NetID{0}}, // not scanned
+	}, []circuit.NetID{0}, nil, []circuit.NetID{1})
+	vs := Check(c)
+	if !hasRule(vs, RuleNonScanDFF) {
+		t.Errorf("unscanned flip-flop not flagged: %v", vs)
+	}
+	if !hasRule(vs, RuleScanCoverage) {
+		t.Errorf("scan order covering 1 of 2 flip-flops not flagged: %v", vs)
+	}
+}
+
+func TestScanCoverage(t *testing.T) {
+	c := circuit.Raw("bad", []circuit.Net{
+		{Name: "A", Op: logic.OpInput},
+		{Name: "g", Op: logic.OpNot, Fanin: []circuit.NetID{0}},
+		{Name: "d", Op: logic.OpDFF, Fanin: []circuit.NetID{1}},
+	}, []circuit.NetID{0}, nil, []circuit.NetID{2, 2, 1, 42}) // dup, gate, out of range
+	vs := Check(c)
+	if n := rules(vs)[RuleScanCoverage]; n < 3 {
+		t.Errorf("scan-coverage fired %d times, want duplicate + non-DFF + out-of-range: %v", n, vs)
+	}
+}
+
+// TestXToMISR: an X source feeding a scan cell's D input corrupts the
+// signature even when every net is otherwise connected.
+func TestXToMISR(t *testing.T) {
+	c := circuit.Raw("bad", []circuit.Net{
+		{Name: "u", Op: logic.OpInvalid},                        // floating
+		{Name: "g", Op: logic.OpNot, Fanin: []circuit.NetID{0}}, // propagates the X
+		{Name: "d", Op: logic.OpDFF, Fanin: []circuit.NetID{1}}, // captures it
+	}, nil, nil, []circuit.NetID{2})
+	if !hasRule(Check(c), RuleXToMISR) {
+		t.Error("X reaching a scan cell's D input not flagged")
+	}
+}
+
+// TestUnobservable: a gate driving nothing is dead logic; an unloaded
+// primary input is not.
+func TestUnobservable(t *testing.T) {
+	c := circuit.Raw("bad", []circuit.Net{
+		{Name: "A", Op: logic.OpInput},
+		{Name: "B", Op: logic.OpInput},                             // unloaded input: allowed
+		{Name: "dead", Op: logic.OpNot, Fanin: []circuit.NetID{0}}, // drives nothing
+		{Name: "g", Op: logic.OpBuf, Fanin: []circuit.NetID{0}},
+	}, []circuit.NetID{0, 1}, []circuit.NetID{3}, nil)
+	vs := Check(c)
+	if n := rules(vs)[RuleUnobservable]; n != 1 {
+		t.Errorf("unobservable fired %d times, want exactly the dead gate: %v", n, vs)
+	}
+}
+
+// buildTwoInverters constructs A→g1→d1, B→g2→d2 with the Builder, so all
+// memoized structure is consistent before the tests mutate it.
+func buildTwoInverters(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	c, err := circuit.NewBuilder("mut").
+		Input("A").Input("B").
+		Gate("g1", logic.OpNot, "A").
+		Gate("g2", logic.OpNot, "B").
+		DFF("d1", "g1").DFF("d2", "g2").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestConeMismatchLevel: rewiring a gate's fan-in after construction makes
+// the memoized levelization stale; the cross-check catches it.
+func TestConeMismatchLevel(t *testing.T) {
+	c, err := circuit.NewBuilder("mut").
+		Input("A").Input("B").
+		Gate("g1", logic.OpAnd, "A", "B").
+		Gate("g2", logic.OpNot, "g1").
+		DFF("d", "g2").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := Check(c); len(vs) != 0 {
+		t.Fatalf("clean circuit flagged before mutation: %v", vs)
+	}
+	g2, _ := c.NetByName("g2")
+	a, _ := c.NetByName("A")
+	c.Nets[g2].Fanin[0] = a // level 2 gate now reads a level 0 net
+	if !hasRule(Check(c), RuleConeMismatch) {
+		t.Error("stale memoized levelization after mutation not flagged")
+	}
+}
+
+// TestConeMismatchCone: a same-level rewire leaves levels intact but makes
+// the memoized fault cones disagree with the declared connectivity.
+func TestConeMismatchCone(t *testing.T) {
+	c := buildTwoInverters(t)
+	if vs := Check(c); len(vs) != 0 {
+		t.Fatalf("clean circuit flagged before mutation: %v", vs)
+	}
+	g2, _ := c.NetByName("g2")
+	a, _ := c.NetByName("A")
+	c.Nets[g2].Fanin[0] = a // g2 now reads A; levels unchanged
+	if !hasRule(Check(c), RuleConeMismatch) {
+		t.Error("stale memoized fault cones after mutation not flagged")
+	}
+}
+
+func TestEmptyNetlist(t *testing.T) {
+	if vs := Check(nil); !hasRule(vs, RuleFloatingNet) {
+		t.Errorf("nil circuit = %v", vs)
+	}
+}
+
+// TestBundledBenchesClean: every bundled ISCAS-89 profile passes every
+// rule — the paper's input assumption, now checked instead of presumed.
+func TestBundledBenchesClean(t *testing.T) {
+	for _, p := range benchgen.Profiles() {
+		c, err := benchgen.Generate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if vs := Check(c); len(vs) != 0 {
+			t.Errorf("%s: %d violations on a bundled bench: %v", p.Name, len(vs), vs)
+		}
+	}
+}
+
+// TestSOCConfigurationsClean: both paper SOCs pass, including their TAM
+// configurations (single meta chain and the 8-bit TAM).
+func TestSOCConfigurationsClean(t *testing.T) {
+	for _, build := range []struct {
+		name string
+		mk   func() (*soc.SOC, error)
+		w    int
+	}{
+		{"SOC1", soc.SOC1, 1},
+		{"SOC2", soc.SOC2, 8},
+	} {
+		s, err := build.mk()
+		if err != nil {
+			t.Fatalf("%s: %v", build.name, err)
+		}
+		if vs := CheckSOC(s, build.w); len(vs) != 0 {
+			t.Errorf("%s: %d violations: %v", build.name, len(vs), vs)
+		}
+	}
+}
+
+// TestCheckSOC: core-level violations carry the core name; an impossible
+// TAM width fires meta-chain; a stateless core fires empty-core.
+func TestCheckSOC(t *testing.T) {
+	dirty := circuit.Raw("dirty", []circuit.Net{
+		{Name: "A", Op: logic.OpInput},
+		{Name: "u", Op: logic.OpInvalid},
+		{Name: "d", Op: logic.OpDFF, Fanin: []circuit.NetID{1}},
+	}, []circuit.NetID{0}, nil, []circuit.NetID{2})
+	stateless, err := circuit.NewBuilder("stateless").
+		Input("A").Gate("g", logic.OpNot, "A").Output("g").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := soc.New("bad",
+		&soc.Core{Name: "c0", Circuit: dirty},
+		&soc.Core{Name: "c1", Circuit: stateless})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := CheckSOC(s, 1000)
+	if !hasRule(vs, RuleFloatingNet) {
+		t.Errorf("core netlist violation not propagated: %v", vs)
+	}
+	found := false
+	for _, v := range vs {
+		if v.Rule == RuleFloatingNet && v.Core == "c0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("core-level violation does not name its core: %v", vs)
+	}
+	if !hasRule(vs, RuleEmptyCore) {
+		t.Errorf("stateless core not flagged: %v", vs)
+	}
+	if !hasRule(vs, RuleMetaChain) {
+		t.Errorf("1000-chain TAM over one cell not flagged: %v", vs)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Rule: RuleCombLoop, Msg: "cycle"}
+	if got := v.String(); got != "[comb-loop] cycle" {
+		t.Errorf("String() = %q", got)
+	}
+	v.Core = "s953"
+	if got := v.String(); got != "[comb-loop] s953: cycle" {
+		t.Errorf("String() with core = %q", got)
+	}
+	if err := Error("x", nil); err != nil {
+		t.Errorf("Error with no violations = %v", err)
+	}
+	if err := Error("x", []Violation{v}); err == nil {
+		t.Error("Error with violations = nil")
+	}
+}

@@ -1,0 +1,57 @@
+package drc
+
+import (
+	"fmt"
+
+	"repro/internal/soc"
+)
+
+// CheckSOC statically verifies a core-based SOC: every core's netlist
+// passes the circuit-level rules, every core contributes at least one scan
+// cell to the TestRail, and each requested TAM configuration (the single
+// meta chain plus one configuration per entry of widths) covers every
+// global cell exactly once. Core-level violations carry the core's name.
+func CheckSOC(s *soc.SOC, widths ...int) []Violation {
+	if s == nil || s.NumCores() == 0 {
+		return []Violation{{Rule: RuleEmptyCore, Net: -1, Msg: "SOC has no cores"}}
+	}
+	var vs []Violation
+	for i, core := range s.Cores {
+		for _, v := range Check(core.Circuit) {
+			v.Core = core.Name
+			vs = append(vs, v)
+		}
+		if core.Circuit.NumDFFs() == 0 {
+			vs = append(vs, Violation{
+				Rule: RuleEmptyCore, Core: core.Name, Net: -1,
+				Msg: fmt.Sprintf("core %d contributes no scan cells: a defect inside it cannot be located on the TestRail", i),
+			})
+		}
+	}
+	check := func(label string, cfg interface {
+		Validate() error
+	}, numCells int) {
+		if err := cfg.Validate(); err != nil {
+			vs = append(vs, Violation{Rule: RuleMetaChain, Net: -1,
+				Msg: fmt.Sprintf("%s: %v", label, err)})
+		} else if numCells != s.NumCells() {
+			vs = append(vs, Violation{Rule: RuleMetaChain, Net: -1,
+				Msg: fmt.Sprintf("%s covers %d cells, SOC has %d", label, numCells, s.NumCells())})
+		}
+	}
+	single := s.SingleMetaChain()
+	check("single meta chain", single, single.NumCells)
+	for _, w := range widths {
+		if w <= 1 {
+			continue // the single chain is always checked
+		}
+		cfg, err := s.MetaChains(w)
+		if err != nil {
+			vs = append(vs, Violation{Rule: RuleMetaChain, Net: -1,
+				Msg: fmt.Sprintf("%d-chain TAM: %v", w, err)})
+			continue
+		}
+		check(fmt.Sprintf("%d-chain TAM", w), cfg, cfg.NumCells)
+	}
+	return vs
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// deterministicPkgs names the packages whose outputs must be bit-for-bit
+// reproducible from their seeds: everything on the simulate-partition-
+// diagnose path. Identified by package name so the rule carries over to
+// test fixtures and future relocations of the same packages.
+var deterministicPkgs = map[string]bool{
+	"sim":       true,
+	"bist":      true,
+	"diagnosis": true,
+	"partition": true,
+	"soc":       true,
+	"pipeline":  true,
+	"noise":     true,
+}
+
+// allowedRand lists math/rand (and v2) package-level functions that do
+// not touch the global source: constructors for explicitly seeded
+// generators.
+var allowedRand = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// forbiddenTime lists time functions that read the wall clock.
+var forbiddenTime = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// Detrand reports uses of the global math/rand source or of wall-clock
+// time inside deterministic packages, where they would make two runs
+// with the same seed disagree.
+var Detrand = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid global math/rand functions and wall-clock reads in deterministic packages\n\n" +
+		"Packages on the simulation path derive every random choice from an\n" +
+		"explicit seed (rand.New(rand.NewSource(seed))). The package-level\n" +
+		"math/rand functions draw from a process-global source and time.Now\n" +
+		"reads the wall clock; either makes results irreproducible.",
+	Run: runDetrand,
+}
+
+func runDetrand(pass *analysis.Pass) error {
+	if !deterministicPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return true // methods (e.g. (*rand.Rand).Intn) are seeded; fine
+		}
+		switch fn.Pkg().Path() {
+		case "math/rand", "math/rand/v2":
+			if !allowedRand[fn.Name()] {
+				pass.Reportf(sel.Pos(),
+					"global math/rand.%s draws from the process-wide source; deterministic package %s must use an explicitly seeded *rand.Rand",
+					fn.Name(), pass.Pkg.Name())
+			}
+		case "time":
+			if forbiddenTime[fn.Name()] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock; deterministic package %s must take timestamps as explicit inputs",
+					fn.Name(), pass.Pkg.Name())
+			}
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,33 @@
+// Package lint holds the repository's custom static analyzers. Each one
+// encodes an invariant the code base relies on but the compiler cannot
+// express:
+//
+//   - detrand: simulation results must be reproducible, so packages on
+//     the deterministic path may not consume the global math/rand source
+//     or wall-clock time.
+//   - scratchalias: sim.Scratch-backed slices are only valid until the
+//     next RunInto on the same scratch, so they must not escape into
+//     longer-lived storage or be read after the scratch is reused.
+//   - panicfmt: panic messages carry a "<pkg>: " prefix so a stack-less
+//     crash report still names its origin.
+//   - noexit: library packages must return errors, not call os.Exit or
+//     log.Fatal, which would skip deferred cleanup in callers.
+//   - paralleltestscratch: parallel subtests must not share one Scratch,
+//     which is single-goroutine state.
+//
+// The analyzers run on the minimal framework in internal/analysis and
+// are bundled by cmd/staticlint.
+package lint
+
+import "repro/internal/analysis"
+
+// Analyzers returns every custom analyzer, in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Detrand,
+		ScratchAlias,
+		PanicFmt,
+		NoExit,
+		ParallelTestScratch,
+	}
+}

@@ -1,0 +1,45 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/lint"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Detrand, "detrand/sim", "detrand/other")
+}
+
+func TestPanicFmt(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.PanicFmt, "panicfmt/widget")
+}
+
+func TestNoExit(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.NoExit, "noexit/worker", "noexit/mainprog")
+}
+
+func TestScratchAlias(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.ScratchAlias, "scratch/a")
+}
+
+func TestParallelTestScratch(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.ParallelTestScratch, "ptest")
+}
+
+func TestAnalyzersListed(t *testing.T) {
+	as := lint.Analyzers()
+	if len(as) != 5 {
+		t.Fatalf("Analyzers() returned %d analyzers, want 5", len(as))
+	}
+	seen := map[string]bool{}
+	for _, a := range as {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

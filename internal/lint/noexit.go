@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// NoExit reports calls to os.Exit and log.Fatal* outside package main.
+// A library that exits skips every deferred cleanup in its callers and
+// makes the diagnosis pipeline untestable; libraries return errors and
+// let the cmd/ front-ends decide the process's fate.
+var NoExit = &analysis.Analyzer{
+	Name: "noexit",
+	Doc: "forbid os.Exit and log.Fatal outside package main\n\n" +
+		"Only the cmd/ front-ends may terminate the process. Library code\n" +
+		"returns errors; a buried os.Exit or log.Fatalf aborts callers'\n" +
+		"deferred cleanup and cannot be exercised from a test.",
+	Run: runNoExit,
+}
+
+func runNoExit(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue // TestMain legitimately calls os.Exit(m.Run())
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "os" && fn.Name() == "Exit":
+				pass.Reportf(sel.Pos(),
+					"os.Exit in library package %s skips callers' deferred cleanup; return an error instead", pass.Pkg.Name())
+			case fn.Pkg().Path() == "log" && strings.HasPrefix(fn.Name(), "Fatal"):
+				pass.Reportf(sel.Pos(),
+					"log.%s in library package %s exits the process; return an error instead", fn.Name(), pass.Pkg.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// PanicFmt reports panic messages missing the "<pkg>: " prefix. The
+// repository's panics signal internal invariant violations; by the time
+// one reaches a user the goroutine dump is often trimmed, so the message
+// itself must name the package that gave up.
+var PanicFmt = &analysis.Analyzer{
+	Name: "panicfmt",
+	Doc: "require panic messages to carry the \"<pkg>: \" origin prefix\n\n" +
+		"A panic(\"short message\") loses its origin once the stack is trimmed\n" +
+		"or the panic is rethrown; panic(\"soc: short message\") does not.\n" +
+		"Applies to string literals passed to panic directly or through\n" +
+		"fmt.Sprintf/fmt.Errorf. Test files and main packages are exempt.",
+	Run: runPanicFmt,
+}
+
+func runPanicFmt(pass *analysis.Pass) error {
+	pkg := pass.Pkg.Name()
+	if pkg == "main" || strings.HasSuffix(pkg, "_test") {
+		return nil
+	}
+	prefix := pkg + ": "
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" || len(call.Args) != 1 {
+				return true
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+				return true // a local function shadowing panic
+			}
+			if lit, format := panicMessage(pass, call.Args[0]); lit != nil && !strings.HasPrefix(format, prefix) {
+				pass.Reportf(lit.Pos(),
+					"panic message %q must start with %q so the failure names its origin",
+					abbreviate(format), prefix)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// panicMessage extracts the message literal of a panic argument: either
+// a plain string literal or the format string of fmt.Sprintf/fmt.Errorf.
+// Non-literal arguments (rethrown values, error variables) return nil.
+func panicMessage(pass *analysis.Pass, arg ast.Expr) (*ast.BasicLit, string) {
+	if lit := stringLit(arg); lit != nil {
+		s, err := strconv.Unquote(lit.Value)
+		if err == nil {
+			return lit, s
+		}
+		return nil, ""
+	}
+	call, ok := arg.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil, ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return nil, ""
+	}
+	if fn.Name() != "Sprintf" && fn.Name() != "Errorf" && fn.Name() != "Sprint" {
+		return nil, ""
+	}
+	lit := stringLit(call.Args[0])
+	if lit == nil {
+		return nil, ""
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return nil, ""
+	}
+	return lit, s
+}
+
+func stringLit(e ast.Expr) *ast.BasicLit {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return nil
+	}
+	return lit
+}
+
+func abbreviate(s string) string {
+	if len(s) > 40 {
+		return s[:37] + "..."
+	}
+	return s
+}

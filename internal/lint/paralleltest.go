@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// ParallelTestScratch reports parallel (sub)tests sharing a Scratch that
+// was declared outside the test's own body. A Scratch is single-
+// goroutine state; two parallel subtests writing through one scratch
+// race, and worse, the race is silent — each subtest reads plausible but
+// wrong signatures.
+var ParallelTestScratch = &analysis.Analyzer{
+	Name: "paralleltestscratch",
+	Doc: "forbid t.Parallel() tests from sharing a Scratch declared outside the test\n\n" +
+		"sim.Scratch and soc.Scratch are single-goroutine buffers. A subtest\n" +
+		"that calls t.Parallel() outlives its surrounding loop iteration, so\n" +
+		"a scratch captured from the enclosing test is shared by every\n" +
+		"parallel sibling. Each parallel subtest must allocate its own.",
+	Run: runParallelTestScratch,
+}
+
+func runParallelTestScratch(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var ftype *ast.FuncType
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body, ftype = fn.Body, fn.Type
+			case *ast.FuncLit:
+				body, ftype = fn.Body, fn.Type
+			}
+			if body == nil {
+				return true
+			}
+			tParam := testingTParam(pass, ftype)
+			if tParam == nil || !callsParallel(pass, body, tParam) {
+				return true
+			}
+			reportOutsideScratches(pass, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// testingTParam returns the *testing.T parameter object of the function
+// type, or nil.
+func testingTParam(pass *analysis.Pass, ftype *ast.FuncType) types.Object {
+	if ftype == nil || ftype.Params == nil {
+		return nil
+	}
+	for _, field := range ftype.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if ptr, ok := obj.Type().(*types.Pointer); ok {
+				if named, ok := ptr.Elem().(*types.Named); ok &&
+					named.Obj().Name() == "T" &&
+					named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "testing" {
+					return obj
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// callsParallel reports whether body calls Parallel on the given
+// *testing.T object directly (not inside a nested function literal,
+// whose own visit will handle it).
+func callsParallel(pass *analysis.Pass, body *ast.BlockStmt, tParam types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Parallel" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == tParam {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// reportOutsideScratches flags references (outside nested function
+// literals) to Scratch-typed variables declared before the body began.
+func reportOutsideScratches(pass *analysis.Pass, body *ast.BlockStmt) {
+	reported := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || reported[obj] {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar || !isScratchType(obj.Type()) {
+			return true
+		}
+		if obj.Pos() >= body.Pos() && obj.Pos() < body.End() {
+			return true // the parallel test's own scratch
+		}
+		reported[obj] = true
+		pass.Reportf(id.Pos(),
+			"parallel test shares scratch %s declared outside its body; parallel siblings race on it — allocate one scratch per subtest",
+			obj.Name())
+		return true
+	})
+}

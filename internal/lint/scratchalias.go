@@ -1,0 +1,485 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// ScratchAlias reports scratch-backed simulation results that outlive
+// their scratch. FaultSim.RunInto and MaterializeBatch return *Result
+// views into the caller's Scratch: valid until the next RunInto or
+// MaterializeBatch on the same scratch, and never safe to store in
+// longer-lived structures. The analyzer tracks, per function body and in
+// statement order, values derived from such calls and reports
+//
+//   - escapes: assignment into a struct field or map/slice element,
+//     sends on channels, appends, and captures in composite literals;
+//   - stale reads: any use after a later RunInto/MaterializeBatch call
+//     that reuses the same scratch.
+//
+// Passing a tracked value to a function or returning it is allowed: the
+// callee or caller sees it while the scratch is still current.
+var ScratchAlias = &analysis.Analyzer{
+	Name: "scratchalias",
+	Doc: "flag scratch-backed RunInto/MaterializeBatch results that escape or go stale\n\n" +
+		"Results returned by RunInto/MaterializeBatch alias the Scratch that\n" +
+		"produced them and are overwritten by the next call on that scratch.\n" +
+		"Storing one in a field, channel, slice or map — or reading it after\n" +
+		"the scratch is reused — observes memory another fault now owns.",
+	Run: runScratchAlias,
+}
+
+func runScratchAlias(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			w := &scratchWalker{pass: pass,
+				taint: make(map[types.Object]taintEntry),
+				gen:   make(map[types.Object]int),
+			}
+			w.block(body)
+			// Function literals inside get their own visit; tracking does
+			// not flow through closures (a closure capturing a Result is
+			// itself an escape only if it outlives the scratch, which this
+			// pass does not model).
+			return true
+		})
+	}
+	return nil
+}
+
+// taintEntry records which scratch a value aliases and the scratch's
+// generation at the time the value was produced.
+type taintEntry struct {
+	root types.Object // object standing for the scratch (var or field)
+	gen  int
+	pos  int // statement ordinal of the producing call, for messages
+}
+
+type scratchWalker struct {
+	pass  *analysis.Pass
+	taint map[types.Object]taintEntry
+	gen   map[types.Object]int
+	step  int
+}
+
+// block walks statements in order, flattening nested blocks: branches
+// are treated as if both executed, a sound over-approximation for the
+// straight-line simulation loops this rule exists for.
+func (w *scratchWalker) block(b *ast.BlockStmt) {
+	for _, stmt := range b.List {
+		w.stmt(stmt)
+	}
+}
+
+func (w *scratchWalker) stmt(s ast.Stmt) {
+	w.step++
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.block(s)
+		return
+	case *ast.IfStmt:
+		w.checkUses(s.Cond)
+		w.bumpCalls(s.Cond)
+		w.block(s.Body)
+		if s.Else != nil {
+			w.stmt(s.Else)
+		}
+		return
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.checkUses(s.Cond)
+		}
+		w.block(s.Body)
+		if s.Post != nil {
+			w.stmt(s.Post)
+		}
+		return
+	case *ast.RangeStmt:
+		w.checkUses(s.X)
+		w.block(s.Body)
+		return
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.checkUses(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, st := range cc.Body {
+					w.stmt(st)
+				}
+			}
+		}
+		return
+	case *ast.TypeSwitchStmt, *ast.SelectStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if st, ok := n.(*ast.BlockStmt); ok {
+				w.block(st)
+				return false
+			}
+			return true
+		})
+		return
+	}
+
+	// Leaf statement: check existing taints for stale use and escapes,
+	// then account for new scratch calls and taint propagation.
+	w.checkStaleAndEscapes(s)
+	w.bumpCalls(s)
+	w.propagate(s)
+}
+
+// checkUses reports stale reads of tainted values inside an expression.
+func (w *scratchWalker) checkUses(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := w.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if t, tainted := w.taint[obj]; tainted && w.gen[t.root] > t.gen {
+			w.pass.Reportf(id.Pos(),
+				"%s aliases scratch %s, which a later RunInto/MaterializeBatch has reused; copy the fields you need before reusing the scratch",
+				id.Name, t.root.Name())
+			delete(w.taint, obj) // one report per value
+		}
+		return true
+	})
+}
+
+// checkStaleAndEscapes reports stale reads anywhere in the statement and
+// escapes of tainted values into longer-lived storage.
+func (w *scratchWalker) checkStaleAndEscapes(s ast.Stmt) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				switch lhs.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					if node, name := w.aliasSource(n.Rhs[i]); node != nil {
+						w.pass.Reportf(node.Pos(),
+							"%s aliases scratch memory valid only until the next RunInto; storing it in %s lets it outlive the scratch",
+							name, exprString(lhs))
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if node, name := w.aliasSource(n.Value); node != nil {
+				w.pass.Reportf(node.Pos(),
+					"%s aliases scratch memory valid only until the next RunInto; sending it on a channel lets it outlive the scratch", name)
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if node, name := w.aliasSource(elt); node != nil {
+					w.pass.Reportf(node.Pos(),
+						"%s aliases scratch memory valid only until the next RunInto; capturing it in a composite literal lets it outlive the scratch", name)
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && len(n.Args) > 0 {
+				for _, arg := range n.Args[1:] {
+					if node, name := w.aliasSource(arg); node != nil {
+						w.pass.Reportf(node.Pos(),
+							"%s aliases scratch memory valid only until the next RunInto; appending it to a slice lets it outlive the scratch", name)
+					}
+				}
+			}
+		}
+		return true
+	})
+	w.checkStale(s)
+}
+
+// checkStale reports uses of values whose scratch has been reused.
+func (w *scratchWalker) checkStale(s ast.Stmt) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := w.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if t, tainted := w.taint[obj]; tainted && w.gen[t.root] > t.gen {
+			w.pass.Reportf(id.Pos(),
+				"%s aliases scratch %s, which a later RunInto/MaterializeBatch has reused; copy the fields you need before reusing the scratch",
+				id.Name, t.root.Name())
+			delete(w.taint, obj)
+		}
+		return true
+	})
+}
+
+// aliasSource decides whether storing e stores scratch-backed memory:
+// it unwraps field selections, indexing and address-taking down to the
+// root of the value chain. A tainted identifier or a direct
+// RunInto/MaterializeBatch call at the root aliases the scratch; a call
+// to anything else produces a fresh value, so passing tainted values as
+// its arguments is fine. Returns the offending node and a display name,
+// or nil when e stores no alias.
+func (w *scratchWalker) aliasSource(e ast.Expr) (ast.Node, string) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if _, tainted := w.taint[w.pass.TypesInfo.Uses[x]]; tainted {
+				return x, x.Name
+			}
+			return nil, ""
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			if w.scratchRoot(x) != nil {
+				return x, "the result"
+			}
+			return nil, ""
+		default:
+			return nil, ""
+		}
+	}
+}
+
+// bumpCalls advances the generation of every scratch that a
+// RunInto/MaterializeBatch call in the statement (or expression) reuses.
+func (w *scratchWalker) bumpCalls(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if root := w.scratchRoot(call); root != nil {
+			w.gen[root]++
+		}
+		return true
+	})
+}
+
+// propagate records new taints introduced by the statement: results of
+// scratch calls and values derived from already-tainted ones.
+func (w *scratchWalker) propagate(s ast.Stmt) {
+	assign, ok := s.(*ast.AssignStmt)
+	if !ok {
+		if decl, ok := s.(*ast.DeclStmt); ok {
+			if gd, ok := decl.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Names) == len(vs.Values) {
+						for i, name := range vs.Names {
+							w.maybeTaint(name, vs.Values[i])
+						}
+					}
+				}
+			}
+		}
+		return
+	}
+	if len(assign.Lhs) == len(assign.Rhs) {
+		for i, lhs := range assign.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				w.maybeTaint(id, assign.Rhs[i])
+			}
+		}
+		return
+	}
+	// v, err := call(...): taint every LHS ident if the call is a
+	// scratch producer.
+	if len(assign.Rhs) == 1 {
+		if call, ok := assign.Rhs[0].(*ast.CallExpr); ok {
+			if root := w.scratchRoot(call); root != nil {
+				for _, lhs := range assign.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						w.taintIdent(id, root)
+					}
+				}
+			}
+		}
+	}
+}
+
+// maybeTaint taints id when rhs is a scratch call or derives from a
+// tainted value (plain copy, field selection, or indexing).
+func (w *scratchWalker) maybeTaint(id *ast.Ident, rhs ast.Expr) {
+	if id.Name == "_" {
+		return
+	}
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		if root := w.scratchRoot(call); root != nil {
+			w.taintIdent(id, root)
+			return
+		}
+	}
+	// A derived value only carries the alias if its type can reference
+	// the scratch's memory; copying out a scalar breaks the alias.
+	if tv, ok := w.pass.TypesInfo.Types[rhs]; ok && !refLike(tv.Type) {
+		return
+	}
+	for e := rhs; ; {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if t, tainted := w.taint[w.pass.TypesInfo.Uses[x]]; tainted {
+				w.taintIdentEntry(id, t)
+			}
+			return
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+func (w *scratchWalker) taintIdent(id *ast.Ident, root types.Object) {
+	obj := w.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = w.pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	w.taint[obj] = taintEntry{root: root, gen: w.gen[root], pos: w.step}
+}
+
+func (w *scratchWalker) taintIdentEntry(id *ast.Ident, t taintEntry) {
+	obj := w.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = w.pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	w.taint[obj] = taintEntry{root: t.root, gen: t.gen, pos: w.step}
+}
+
+// scratchRoot recognises RunInto/MaterializeBatch calls and returns the
+// object standing for the Scratch they consume: the object behind the
+// first argument whose type is (a pointer to) a named type Scratch, or
+// nil for other calls.
+func (w *scratchWalker) scratchRoot(call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if sel.Sel.Name != "RunInto" && sel.Sel.Name != "MaterializeBatch" {
+		return nil
+	}
+	for _, arg := range call.Args {
+		if !isScratchType(w.pass.TypesInfo.Types[arg].Type) {
+			continue
+		}
+		if obj := rootObject(w.pass, arg); obj != nil {
+			return obj
+		}
+	}
+	return nil
+}
+
+// rootObject resolves the object an expression stores through: the
+// variable for an identifier, the field for a selector or the base
+// variable for an index chain.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[x]
+		case *ast.SelectorExpr:
+			if obj := pass.TypesInfo.Uses[x.Sel]; obj != nil {
+				return obj
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return nil // scratch produced by a call: untrackable, skip
+		default:
+			return nil
+		}
+	}
+}
+
+// refLike reports whether values of t can alias memory (directly or via
+// contained slices/pointers); plain scalars and strings cannot.
+func refLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map, *types.Struct,
+		*types.Array, *types.Interface, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// isScratchType reports whether t is sim.Scratch, soc.Scratch or any
+// other named type called Scratch, through any level of pointers.
+func isScratchType(t types.Type) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Scratch"
+}
+
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	default:
+		return "the destination"
+	}
+}

@@ -1,0 +1,10 @@
+// Package other is a detrand fixture: not a deterministic package, so
+// global randomness is tolerated here.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Roll() int64 { return int64(rand.Intn(6)) + time.Now().Unix() }

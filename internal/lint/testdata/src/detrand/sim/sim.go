@@ -1,0 +1,25 @@
+// Package sim is a detrand fixture: its name places it on the
+// deterministic path, so global randomness and wall-clock reads must be
+// flagged while explicitly seeded generators pass.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Sample(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // seeded generator: allowed
+	if rand.Intn(2) == 0 {              // want "global math/rand.Intn"
+		return r.Intn(10) // method on a seeded *rand.Rand: allowed
+	}
+	rand.Shuffle(3, func(i, j int) {}) // want "global math/rand.Shuffle"
+	return rand.Int()                  // want "global math/rand.Int "
+}
+
+func Stamp() int64 {
+	t := time.Now()                          // want "time.Now reads the wall clock"
+	_ = time.Since(time.Time{})              // want "time.Since reads the wall clock"
+	d := time.Duration(3) * time.Millisecond // constants: allowed
+	return t.UnixNano() + int64(d)
+}

@@ -1,0 +1,8 @@
+// Command mainprog is a noexit fixture: package main may exit.
+package main
+
+import "os"
+
+func main() {
+	os.Exit(3)
+}

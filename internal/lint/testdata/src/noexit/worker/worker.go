@@ -1,0 +1,19 @@
+// Package worker is a noexit fixture: a library package, so process
+// termination is forbidden.
+package worker
+
+import (
+	"log"
+	"os"
+)
+
+func run(fail bool) {
+	if fail {
+		os.Exit(1) // want "os.Exit in library package"
+	}
+	log.Fatalf("worker: %v", fail) // want "log.Fatalf in library package"
+}
+
+func report(fail bool) {
+	log.Printf("worker: %v", fail) // logging without exiting: allowed
+}

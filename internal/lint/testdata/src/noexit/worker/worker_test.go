@@ -1,0 +1,8 @@
+package worker
+
+import "os"
+
+// Test files are exempt: TestMain legitimately calls os.Exit(m.Run()).
+func mainForTests(code int) {
+	os.Exit(code)
+}

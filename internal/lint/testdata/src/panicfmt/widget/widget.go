@@ -1,0 +1,25 @@
+// Package widget is a panicfmt fixture: panic messages must begin with
+// "widget: ".
+package widget
+
+import "fmt"
+
+func a() {
+	panic("widget: inconsistent state") // prefixed: allowed
+}
+
+func b() {
+	panic("inconsistent state") // want "must start with"
+}
+
+func c(n int) {
+	panic(fmt.Sprintf("bad count %d", n)) // want "must start with"
+}
+
+func d(n int) {
+	panic(fmt.Errorf("widget: bad count %d", n)) // prefixed format: allowed
+}
+
+func e(err error) {
+	panic(err) // rethrowing a value: not a literal, allowed
+}

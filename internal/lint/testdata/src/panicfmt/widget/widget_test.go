@@ -1,0 +1,6 @@
+package widget
+
+// Test files are exempt: a test may panic tersely.
+func forTestsOnly() {
+	panic("short")
+}

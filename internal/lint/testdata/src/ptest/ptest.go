@@ -1,0 +1,35 @@
+// Package ptest exercises the paralleltestscratch analyzer.
+package ptest
+
+import (
+	"testing"
+
+	"scratch/sim"
+)
+
+func TestShared(t *testing.T) {
+	sc := &sim.Scratch{}
+	for i := 0; i < 4; i++ {
+		t.Run("sub", func(t *testing.T) {
+			t.Parallel()
+			consume(sc) // want "parallel test shares scratch sc"
+		})
+	}
+}
+
+func TestOwn(t *testing.T) {
+	for i := 0; i < 4; i++ {
+		t.Run("sub", func(t *testing.T) {
+			t.Parallel()
+			sc := &sim.Scratch{} // each parallel subtest owns its scratch
+			consume(sc)
+		})
+	}
+}
+
+func TestSerial(t *testing.T) {
+	sc := &sim.Scratch{}
+	consume(sc) // serial test sharing nothing: allowed
+}
+
+func consume(*sim.Scratch) {}

@@ -1,0 +1,70 @@
+// Package a exercises the scratchalias analyzer: escapes into fields,
+// channels, slices and literals; stale reads after scratch reuse; and
+// the allowed patterns (scalar copies, passing, distinct scratches).
+package a
+
+import "scratch/sim"
+
+type holder struct{ res *sim.Result }
+
+func escapes(fs *sim.FaultSim, h *holder, ch chan *sim.Result) {
+	sc := &sim.Scratch{}
+	res := fs.RunInto(1, sc)
+	h.res = res // want "storing it in h.res"
+	ch <- res   // want "sending it on a channel"
+	var all []*sim.Result
+	all = append(all, res) // want "appending it to a slice"
+	_ = all
+	_ = holder{res: res} // want "capturing it in a composite literal"
+}
+
+func storeDirect(fs *sim.FaultSim, h *holder) {
+	sc := &sim.Scratch{}
+	h.res = fs.RunInto(1, sc) // want "storing it in h.res"
+}
+
+func viaCall(fs *sim.FaultSim, out []*int) {
+	sc := &sim.Scratch{}
+	res := fs.RunInto(1, sc)
+	out[0] = summarize(res) // a call's fresh result escapes, not res: allowed
+}
+
+func summarize(r *sim.Result) *int { n := r.DetectingPatterns; return &n }
+
+func stale(fs *sim.FaultSim) int {
+	sc := &sim.Scratch{}
+	r1 := fs.RunInto(1, sc)
+	r2 := fs.RunInto(2, sc)
+	return r1.DetectingPatterns + r2.DetectingPatterns // want "a later RunInto/MaterializeBatch has reused"
+}
+
+func staleDerived(fs *sim.FaultSim, bs *sim.Batch) int {
+	sc := &sim.Scratch{}
+	r := fs.MaterializeBatch(bs, 0, sc)
+	keep := r.Observed
+	_ = fs.MaterializeBatch(bs, 1, sc)
+	return len(keep) // want "a later RunInto/MaterializeBatch has reused"
+}
+
+func fine(fs *sim.FaultSim) int {
+	sc := &sim.Scratch{}
+	r1 := fs.RunInto(1, sc)
+	n := r1.DetectingPatterns // scalar copy breaks the alias: allowed
+	obs := r1.Observed
+	consume(obs) // passing down while current: allowed
+	r2 := fs.RunInto(2, sc)
+	return n + r2.DetectingPatterns
+}
+
+func twoScratches(fs *sim.FaultSim) int {
+	s1, s2 := &sim.Scratch{}, &sim.Scratch{}
+	r1 := fs.RunInto(1, s1)
+	r2 := fs.RunInto(2, s2)
+	return r1.DetectingPatterns + r2.DetectingPatterns // distinct scratches: allowed
+}
+
+func returned(fs *sim.FaultSim, sc *sim.Scratch) *sim.Result {
+	return fs.RunInto(1, sc) // returning is allowed: the caller owns sc
+}
+
+func consume(v []uint64) {}

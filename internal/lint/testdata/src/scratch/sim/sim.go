@@ -1,0 +1,17 @@
+// Package sim is a scratchalias fixture: a miniature of the real
+// simulation API, with scratch-backed results.
+package sim
+
+type Scratch struct{ buf []uint64 }
+
+type Result struct {
+	Observed          []uint64
+	DetectingPatterns int
+}
+
+type Batch struct{}
+
+type FaultSim struct{}
+
+func (fs *FaultSim) RunInto(f int, sc *Scratch) *Result                     { return &Result{} }
+func (fs *FaultSim) MaterializeBatch(bs *Batch, k int, sc *Scratch) *Result { return &Result{} }

@@ -76,7 +76,7 @@ func (s *SOC) CoreOfCell(cell int) (int, error) {
 			return i, nil
 		}
 	}
-	panic("unreachable: offsets cover the full range")
+	panic("soc: unreachable: offsets cover the full range")
 }
 
 // CoreByName finds a core index by name.
