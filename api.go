@@ -11,6 +11,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/diagnosis"
 	"repro/internal/dictionary"
 	"repro/internal/drc"
 	"repro/internal/noise"
@@ -71,8 +72,20 @@ type (
 	// Set Options.Cache to share it across NewCircuitBench/NewSOCBench
 	// calls; a nil cache is valid and builds fresh every time.
 	ArtifactCache = pipeline.ArtifactCache
-	// CacheStats is a snapshot of artifact-cache hit/miss counters.
+	// CacheStats is a snapshot of artifact-cache hit/miss/eviction
+	// counters.
 	CacheStats = pipeline.Stats
+	// CacheBudget bounds an ArtifactCache with byte and/or entry limits
+	// enforced by cost-accounted LRU eviction; the zero value is
+	// unbounded. Set Options.CacheBudget, or call SetBudget on the cache.
+	CacheBudget = pipeline.Budget
+	// WorkerError is a panic recovered inside a diagnosis worker,
+	// reported as a typed error (job index, batch lane, fault, panic
+	// value, stack) instead of crashing the process.
+	WorkerError = pipeline.WorkerError
+	// Completeness labels a partial (deadline-degraded) result with how
+	// much of the scheduled work it observed.
+	Completeness = diagnosis.Completeness
 )
 
 // Tri-state session verdicts. Unknown verdicts never prune candidates.
@@ -133,6 +146,11 @@ func SampleFaults(faults []Fault, n int, seed int64) []Fault {
 
 // NewArtifactCache returns an empty artifact cache for Options.Cache.
 func NewArtifactCache() *ArtifactCache { return pipeline.NewCache() }
+
+// NewBoundedArtifactCache returns an artifact cache that evicts
+// least-recently-used entries once the summed artifact cost exceeds the
+// budget. Entries pinned by an in-flight sweep are never evicted.
+func NewBoundedArtifactCache(b CacheBudget) *ArtifactCache { return pipeline.NewCacheWithBudget(b) }
 
 // NewCircuitBench prepares a BIST diagnosis environment for a circuit.
 func NewCircuitBench(c *Circuit, opts Options) (*CircuitBench, error) {

@@ -8,6 +8,7 @@ package scanbist_test
 // `go test -bench` doubles as a compact results table.
 
 import (
+	"context"
 	"testing"
 
 	scanbist "repro"
@@ -33,7 +34,7 @@ var benchCfg = experiments.Config{Faults: 60, FaultSeed: 1}
 func BenchmarkTable1(b *testing.B) {
 	var last []experiments.Table1Row
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table1(benchCfg)
+		rows, err := experiments.Table1(context.Background(), benchCfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -47,7 +48,7 @@ func BenchmarkTable1(b *testing.B) {
 func BenchmarkTable2(b *testing.B) {
 	var last []experiments.Table2Row
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table2(benchCfg)
+		rows, err := experiments.Table2(context.Background(), benchCfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -62,10 +63,10 @@ func BenchmarkTable2(b *testing.B) {
 	b.ReportMetric(sumT/float64(len(last)), "DR-twostep-avg")
 }
 
-func benchmarkSOCTable(b *testing.B, run func(experiments.Config) ([]experiments.SOCRow, error)) {
+func benchmarkSOCTable(b *testing.B, run func(context.Context, experiments.Config) ([]experiments.SOCRow, error)) {
 	var last []experiments.SOCRow
 	for i := 0; i < b.N; i++ {
-		rows, err := run(benchCfg)
+		rows, err := run(context.Background(), benchCfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -100,7 +101,7 @@ func BenchmarkFigure3(b *testing.B) {
 func BenchmarkFigure5(b *testing.B) {
 	var last []experiments.Figure5Row
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure5(benchCfg)
+		rows, err := experiments.Figure5(context.Background(), benchCfg)
 		if err != nil {
 			b.Fatal(err)
 		}

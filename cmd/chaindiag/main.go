@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 
@@ -35,6 +38,7 @@ func main() {
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file after the run")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for -sweep (0 = none); on expiry the partial accuracy summary is reported")
 	)
 	flag.Parse()
 
@@ -43,6 +47,12 @@ func main() {
 	}
 	if *position < 0 {
 		usageError(fmt.Errorf("-position must not be negative, got %d", *position))
+	}
+	if *workers < 0 {
+		usageError(fmt.Errorf("-workers must be non-negative, got %d", *workers))
+	}
+	if *timeout < 0 {
+		usageError(fmt.Errorf("-timeout must be non-negative, got %v", *timeout))
 	}
 
 	if *cpuprofile != "" {
@@ -75,7 +85,15 @@ func main() {
 	fmt.Printf("circuit: %s (chain of %d cells)\n", c.Stats(), c.NumDFFs())
 
 	if *sweep {
-		runSweep(c, order, *workers)
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+		defer stop()
+		runSweep(ctx, c, order, *workers)
 		return
 	}
 
@@ -100,28 +118,29 @@ func main() {
 	}
 }
 
-func runSweep(c *circuit.Circuit, order []int, workers int) {
+func runSweep(ctx context.Context, c *circuit.Circuit, order []int, workers int) {
 	n := c.NumDFFs()
 	// One injection per (position, stuck) pair; each job is independent,
-	// so the sweep fans out over an Executor and aggregates afterwards.
+	// so the sweep fans out over an Executor and aggregates afterwards. On
+	// a -timeout deadline or Ctrl-C the pool drains its in-flight claims
+	// and the summary covers the contiguous prefix of injections finished.
 	type outcome struct {
 		located, exact bool
 		cands          int
 		err            error
+		done           bool
 	}
 	results := make([]outcome, 2*n)
-	pipeline.Executor{Workers: workers}.Run(len(results), func() func(int) {
-		return func(i int) {
+	runErr := pipeline.Executor{Workers: workers}.RunContext(ctx, len(results), func() func(int) error {
+		return func(i int) error {
 			truth := chaindiag.ChainFault{Position: i / 2, Stuck: uint8(i % 2)}
 			dut, err := chaindiag.NewDevice(c, order, &truth)
 			if err != nil {
-				results[i].err = err
-				return
+				return err
 			}
 			cands, err := chaindiag.Diagnose(c, order, dut.LoadCaptureObserve)
 			if err != nil {
-				results[i].err = err
-				return
+				return err
 			}
 			results[i].cands = len(cands)
 			for _, cand := range cands {
@@ -131,13 +150,22 @@ func runSweep(c *circuit.Circuit, order []int, workers int) {
 					break
 				}
 			}
+			results[i].done = true
+			return nil
 		}
 	})
+	if runErr != nil && !errors.Is(runErr, context.Canceled) && !errors.Is(runErr, context.DeadlineExceeded) {
+		fatal(runErr)
+	}
+	runs := 0
+	for runs < len(results) && results[runs].done {
+		runs++
+	}
+	if runs == 0 {
+		fatal(fmt.Errorf("sweep interrupted (%v) before any injection finished", runErr))
+	}
 	exact, located, totalCands := 0, 0, 0
-	for _, r := range results {
-		if r.err != nil {
-			fatal(r.err)
-		}
+	for _, r := range results[:runs] {
 		totalCands += r.cands
 		if r.located {
 			located++
@@ -146,7 +174,10 @@ func runSweep(c *circuit.Circuit, order []int, workers int) {
 			exact++
 		}
 	}
-	runs := 2 * n
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "chaindiag: sweep interrupted (%v): %d of %d injections finished; summarising the prefix\n",
+			runErr, runs, len(results))
+	}
 	fmt.Printf("injected %d shift-path faults:\n", runs)
 	fmt.Printf("  located:         %d (%.1f%%)\n", located, 100*float64(located)/float64(runs))
 	fmt.Printf("  exactly (1 cand): %d (%.1f%%)\n", exact, 100*float64(exact)/float64(runs))

@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"slices"
@@ -33,6 +36,8 @@ func main() {
 	format := flag.String("format", "text", "output format: text|csv (csv not available for figure3)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole invocation (0 = none); on expiry in-flight work drains and completed experiments are kept")
+	cacheMB := flag.Int64("cachemb", 0, "artifact-cache budget in MiB (0 = unbounded); least-recently-used builds are evicted past it")
 	flag.Parse()
 	if *format != "text" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)
@@ -47,6 +52,18 @@ func main() {
 	}
 	if *faults < 1 {
 		fmt.Fprintf(os.Stderr, "experiments: -faults must be at least 1, got %d\n", *faults)
+		os.Exit(2)
+	}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -workers must be non-negative, got %d\n", *workers)
+		os.Exit(2)
+	}
+	if *timeout < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -timeout must be non-negative, got %v\n", *timeout)
+		os.Exit(2)
+	}
+	if *cacheMB < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -cachemb must be non-negative, got %d\n", *cacheMB)
 		os.Exit(2)
 	}
 
@@ -64,9 +81,24 @@ func main() {
 	}
 	defer writeMemProfile(*memprofile)
 
+	// The run is cancellable two ways: a -timeout deadline and Ctrl-C.
+	// Either stops the fault sweeps at batch granularity, drains in-flight
+	// work, and keeps every experiment that completed.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	defer stop()
+
 	// One artifact cache spans every experiment of the invocation, so
-	// drivers revisiting a circuit (or plan) reuse its build artifacts.
-	cfg := experiments.Config{Faults: *faults, FaultSeed: *seed, Workers: *workers, Cache: pipeline.NewCache()}
+	// drivers revisiting a circuit (or plan) reuse its build artifacts;
+	// -cachemb bounds its resident footprint.
+	cache := pipeline.NewCacheWithBudget(pipeline.Budget{MaxBytes: *cacheMB << 20})
+	cfg := experiments.Config{Faults: *faults, FaultSeed: *seed, Workers: *workers, Cache: cache}
+	completed := 0
 	run := func(name string, f func() (rows any, text string, err error)) {
 		if *exp != "all" && *exp != name {
 			return
@@ -74,9 +106,16 @@ func main() {
 		start := time.Now()
 		rows, text, err := f()
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(os.Stderr, "experiments: %s interrupted (%v) after %v; %d experiment(s) completed before it\n",
+					name, err, time.Since(start).Round(time.Millisecond), completed)
+				writeMemProfile(*memprofile)
+				os.Exit(0)
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
+		completed++
 		if *format == "csv" && rows != nil {
 			if err := experiments.WriteCSV(os.Stdout, rows); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
@@ -96,43 +135,43 @@ func main() {
 		return nil, experiments.FormatFigure3(r), nil
 	})
 	run("table1", func() (any, string, error) {
-		rows, err := experiments.Table1(cfg)
+		rows, err := experiments.Table1(ctx, cfg)
 		return rows, experiments.FormatTable1(rows), err
 	})
 	run("table2", func() (any, string, error) {
-		rows, err := experiments.Table2(cfg)
+		rows, err := experiments.Table2(ctx, cfg)
 		return rows, experiments.FormatTable2(rows), err
 	})
 	run("table3", func() (any, string, error) {
-		rows, err := experiments.Table3(cfg)
+		rows, err := experiments.Table3(ctx, cfg)
 		return rows, experiments.FormatSOCTable(
 			"Table 3: SOC1 diagnostic resolution, single meta scan chain\n"+
 				"(8 partitions, 32 groups, 128 patterns/session, one faulty core at a time)", rows), err
 	})
 	run("table4", func() (any, string, error) {
-		rows, err := experiments.Table4(cfg)
+		rows, err := experiments.Table4(ctx, cfg)
 		return rows, experiments.FormatSOCTable(
 			"Table 4: SOC2 (d695 variant) diagnostic resolution, 8 meta scan chains\n"+
 				"(8 partitions, 8 groups/chain, 128 patterns/session, one faulty core at a time)", rows), err
 	})
 	run("figure5", func() (any, string, error) {
-		rows, err := experiments.Figure5(cfg)
+		rows, err := experiments.Figure5(ctx, cfg)
 		return rows, experiments.FormatFigure5(rows), err
 	})
 	run("baselines", func() (any, string, error) {
-		rows, err := experiments.Baselines(cfg)
+		rows, err := experiments.Baselines(ctx, cfg)
 		return rows, experiments.FormatBaselines(rows), err
 	})
 	run("tamwidth", func() (any, string, error) {
-		rows, err := experiments.TAMWidth(cfg)
+		rows, err := experiments.TAMWidth(ctx, cfg)
 		return rows, experiments.FormatTAMWidth(rows), err
 	})
 	run("transition", func() (any, string, error) {
-		rows, err := experiments.Transition(cfg)
+		rows, err := experiments.Transition(ctx, cfg)
 		return rows, experiments.FormatTransition(rows), err
 	})
 	run("noise", func() (any, string, error) {
-		rows, err := experiments.NoiseSweep(cfg)
+		rows, err := experiments.NoiseSweep(ctx, cfg)
 		return rows, experiments.FormatNoiseSweep(rows), err
 	})
 }

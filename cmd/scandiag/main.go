@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 
@@ -25,6 +27,7 @@ import (
 	"repro/internal/drc"
 	"repro/internal/noise"
 	"repro/internal/partition"
+	"repro/internal/pipeline"
 	"repro/internal/scan"
 	"repro/internal/sim"
 )
@@ -53,6 +56,8 @@ func main() {
 		noiseSeed    = flag.Uint64("noise-seed", 7, "seed for the unreliable-tester noise streams")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file after the run")
+		timeout      = flag.Duration("timeout", 0, "wall-clock budget for the sweep (0 = none); on expiry the partial study is reported")
+		cacheMB      = flag.Int64("cachemb", 0, "artifact-cache budget in MiB (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -76,6 +81,15 @@ func main() {
 	}
 	if *vote < 1 || *vote > *partitions {
 		usageError(fmt.Errorf("-vote must be in [1, %d], got %d", *partitions, *vote))
+	}
+	if *workers < 0 {
+		usageError(fmt.Errorf("-workers must be non-negative, got %d", *workers))
+	}
+	if *timeout < 0 {
+		usageError(fmt.Errorf("-timeout must be non-negative, got %v", *timeout))
+	}
+	if *cacheMB < 0 {
+		usageError(fmt.Errorf("-cachemb must be non-negative, got %d", *cacheMB))
 	}
 
 	if *cpuprofile != "" {
@@ -101,6 +115,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// A -timeout deadline and Ctrl-C both cancel the sweep at batch
+	// granularity: in-flight batches drain and the contiguous prefix of
+	// diagnosed faults is reported as a partial study.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	defer stop()
+
 	opts := core.Options{
 		Scheme:        scheme,
 		Groups:        *groups,
@@ -113,6 +139,9 @@ func main() {
 		Retry:         bist.RetryPolicy{MaxRetries: *retries},
 		VoteThreshold: *vote,
 		StrictDRC:     *drcCheck,
+	}
+	if *cacheMB > 0 {
+		opts.Cache = pipeline.NewCacheWithBudget(pipeline.Budget{MaxBytes: *cacheMB << 20})
 	}
 	if err := opts.Noise.Validate(); err != nil {
 		usageError(err)
@@ -153,12 +182,20 @@ func main() {
 				fd.Result.Candidates.Elems(), fd.Result.Pruned.Elems())
 		}
 	}
-	study := b.RunObserved(sample, observe)
+	study, runErr := b.RunObservedContext(ctx, sample, observe)
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "scandiag: sweep interrupted (%v): diagnosed %d of %d scheduled faults; reporting the partial study\n",
+			runErr, study.Completeness.Observed, study.Completeness.Scheduled)
+	}
 	cost := b.Cost()
 	fmt.Printf("cost:     %d sessions, %d shift clocks total, %d golden-signature bits, %d selection-register bits\n",
 		cost.Sessions, cost.TotalClocks, cost.SignatureBits, cost.SelectionRegisterBits)
 	fmt.Printf("\nfaults:    %d sampled, %d diagnosed, %d undetected by scan cells\n",
 		len(sample), study.Diagnosed, study.Undetected)
+	if !study.Completeness.Complete() {
+		fmt.Printf("partial:   %d of %d faults observed (%.0f%%) before the deadline\n",
+			study.Completeness.Observed, study.Completeness.Scheduled, 100*study.Completeness.Fraction())
+	}
 	fmt.Printf("DR:        %.4f without pruning\n", study.Full.Value())
 	fmt.Printf("DR:        %.4f with pruning\n", study.Pruned.Value())
 	if opts.Noise.Enabled() {

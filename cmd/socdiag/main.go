@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 
@@ -38,6 +40,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "goroutines for the fault sweep (0 = all CPUs, 1 = serial; results are identical)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file after the run")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the sweep (0 = none); on expiry the partial study is reported")
 	)
 	flag.Parse()
 
@@ -55,6 +58,12 @@ func main() {
 	}
 	if *faults < 1 {
 		usageError(fmt.Errorf("-faults must be at least 1, got %d", *faults))
+	}
+	if *workers < 0 {
+		usageError(fmt.Errorf("-workers must be non-negative, got %d", *workers))
+	}
+	if *timeout < 0 {
+		usageError(fmt.Errorf("-timeout must be non-negative, got %v", *timeout))
 	}
 
 	if *cpuprofile != "" {
@@ -139,10 +148,30 @@ func main() {
 	fmt.Printf("plan:     %s, %d groups x %d partitions, %d patterns/session\n",
 		scheme.Name(), *groups, *partitions, *patterns)
 
+	// A -timeout deadline and Ctrl-C both cancel the sweep at batch
+	// granularity: in-flight batches drain and the contiguous prefix of
+	// diagnosed faults is reported as a partial study.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	defer stop()
+
 	sample := sim.SampleFaults(b.CoreFaults(faultyCore), *faults, *seed)
-	study := b.RunCore(faultyCore, sample)
+	study, runErr := b.RunCoreContext(ctx, faultyCore, sample)
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "socdiag: sweep interrupted (%v): diagnosed %d of %d scheduled faults; reporting the partial study\n",
+			runErr, study.Completeness.Observed, study.Completeness.Scheduled)
+	}
 	fmt.Printf("\nfaults:   %d sampled in %s, %d diagnosed, %d undetected\n",
 		len(sample), s.Cores[faultyCore].Name, study.Diagnosed, study.Undetected)
+	if !study.Completeness.Complete() {
+		fmt.Printf("partial:  %d of %d faults observed (%.0f%%) before the deadline\n",
+			study.Completeness.Observed, study.Completeness.Scheduled, 100*study.Completeness.Fraction())
+	}
 	fmt.Printf("DR:       %.4f without pruning\n", study.Full.Value())
 	fmt.Printf("DR:       %.4f with pruning\n", study.Pruned.Value())
 	if k := study.PartitionsToReachDR(0.5); k > 0 {

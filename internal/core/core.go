@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bist"
@@ -80,6 +81,12 @@ type Options struct {
 	// Workers, Noise, Retry, VoteThreshold, and the cache itself — are not
 	// part of the key, so sweeps over them reuse one artifact set.
 	Cache *pipeline.ArtifactCache
+	// CacheBudget bounds Cache with a cost-accounted LRU budget (bytes
+	// and/or entries); the zero value leaves the cache unbounded. Applied
+	// at bench construction via Cache.SetBudget, so the first bench of a
+	// sweep installs the limit for every later borrower. Ignored without
+	// a Cache.
+	CacheBudget pipeline.Budget
 	// StrictDRC runs the static design-rule checker (internal/drc) on the
 	// netlist — and, at SOC scope, on every core and the TAM
 	// configuration — before any simulation artifact is built, and fails
@@ -164,6 +171,11 @@ type FaultDiagnosis struct {
 	// CandidatesByPartition[k-1] is the intersection candidate count after
 	// the first k partitions.
 	CandidatesByPartition []int
+	// Completeness records how many of the scheduled partitions the
+	// verdicts reflect. A degraded run (deadline mid-session) reports
+	// Observed < Scheduled, and Result then holds the sound conservative
+	// superset from the observed prefix; see DiagnoseFaultContext.
+	Completeness diagnosis.Completeness
 }
 
 // Missed reports whether the final (pruned) candidate set lost a truly
@@ -201,6 +213,11 @@ type Study struct {
 	// Reliability aggregates tester noise and retry spend across the run's
 	// diagnosed faults (all-zero for a perfect tester).
 	Reliability bist.Reliability
+	// Completeness records how many of the scheduled faults this study
+	// aggregates. A cancelled sweep (RunContext and friends) reports the
+	// contiguous fault prefix it finished; a completed sweep reports
+	// Observed == Scheduled.
+	Completeness diagnosis.Completeness
 }
 
 func newStudy(o Options, schemeName string) *Study {
@@ -276,6 +293,9 @@ func NewCircuitBench(c *circuit.Circuit, opts Options) (*CircuitBench, error) {
 		if err := drc.Error(c.Name, drc.Check(c)); err != nil {
 			return nil, err
 		}
+	}
+	if opts.CacheBudget != (pipeline.Budget{}) {
+		opts.Cache.SetBudget(opts.CacheBudget)
 	}
 	art, err := opts.Cache.Circuit(c, opts.spec())
 	if err != nil {
@@ -419,28 +439,12 @@ func (b *CircuitBench) Run(faults []sim.Fault) *Study {
 // identical for every worker count and bit-for-bit identical to the
 // single-fault path.
 func (b *CircuitBench) RunObserved(faults []sim.Fault, observe func(*FaultDiagnosis)) *Study {
-	study := newStudy(b.Opts, b.Opts.Scheme.Name())
-	results := make([]*FaultDiagnosis, len(faults))
-	plan := sim.PlanBatches(b.Circuit, faults, sim.BatchOptions{})
-	pipeline.Executor{Workers: b.Opts.Workers}.RunBatches(len(plan.Batches), func() func(int) {
-		fs := b.fs.Fork()
-		bs := fs.NewBatchScratch(plan)
-		sc := fs.NewScratch()
-		w := newDiagWorker(b.Opts, b.art.Engine, b.art.Diag, b.art.Good, b.art.Blocks)
-		return func(pi int) {
-			cb := plan.Batches[pi]
-			fs.RunBatch(cb, bs)
-			for k, i := range cb.Index {
-				res := fs.MaterializeBatch(bs, k, sc)
-				results[i] = w.diagnose(res.Fault, res.FailingCells, res.Detected(), res.Faulty)
-			}
-		}
-	})
-	for _, fd := range results {
-		if observe != nil {
-			observe(fd)
-		}
-		study.add(fd)
+	study, err := b.RunObservedContext(context.Background(), faults, observe)
+	if err != nil {
+		// Background context never cancels, so the only failure is a
+		// recovered worker panic; keep the historical crash-loudly
+		// contract for the context-free API.
+		panic(err)
 	}
 	return study
 }
@@ -470,6 +474,9 @@ func NewSOCBench(s *soc.SOC, opts Options) (*SOCBench, error) {
 		if err := drc.Error(s.Name, drc.CheckSOC(s, opts.Chains)); err != nil {
 			return nil, err
 		}
+	}
+	if opts.CacheBudget != (pipeline.Budget{}) {
+		opts.Cache.SetBudget(opts.CacheBudget)
 	}
 	art, err := opts.Cache.SOC(s, opts.spec())
 	if err != nil {
@@ -519,25 +526,10 @@ func (b *SOCBench) diagnose(res *soc.Result) *FaultDiagnosis {
 // fault batches over the pool; each member is materialized into the global
 // meta-chain cell space exactly as the event-driven path would have.
 func (b *SOCBench) RunCore(core int, faults []sim.Fault) *Study {
-	study := newStudy(b.Opts, b.Opts.Scheme.Name())
-	results := make([]*FaultDiagnosis, len(faults))
-	plan := b.fs.PlanCoreBatches(core, faults, sim.BatchOptions{})
-	pipeline.Executor{Workers: b.Opts.Workers}.RunBatches(len(plan.Batches), func() func(int) {
-		fs := b.fs.Fork()
-		bs := fs.NewCoreBatchScratch(core, plan)
-		sc := fs.NewScratch()
-		w := newDiagWorker(b.Opts, b.art.Engine, b.art.Diag, fs.Good(), fs.Blocks())
-		return func(pi int) {
-			cb := plan.Batches[pi]
-			fs.RunBatch(core, cb, bs)
-			for k, i := range cb.Index {
-				res := fs.MaterializeBatch(core, bs, k, sc)
-				results[i] = w.diagnose(res.Fault, res.FailingCells, res.Detected(), res.Faulty)
-			}
-		}
-	})
-	for _, fd := range results {
-		study.add(fd)
+	study, err := b.RunCoreContext(context.Background(), core, faults)
+	if err != nil {
+		// See RunObserved: only a recovered worker panic can land here.
+		panic(err)
 	}
 	return study
 }

@@ -206,6 +206,7 @@ func TestSOCPooledMatchesReference(t *testing.T) {
 			again := b.DiagnoseFault(core, f)
 			requireSameDiagnosis(t, fmt.Sprintf("noisy=%t fault %d", noisy, i), again, fd)
 		}
+		ref.Completeness = diagnosis.Completeness{Observed: len(faults), Scheduled: len(faults)}
 		if !reflect.DeepEqual(pooled, ref) {
 			t.Errorf("noisy=%t: pooled SOC study %+v differs from reference %+v", noisy, pooled, ref)
 		}

@@ -174,15 +174,17 @@ func (d *Diagnoser) CandidateCounts(v *bist.Verdicts, counts []int) {
 // then superposition pruning.
 func (d *Diagnoser) Diagnose(v *bist.Verdicts) *Result {
 	cand := d.Candidates(v, len(v.Fail))
-	pruned, confirmed := d.prune(v, cand)
+	pruned, confirmed := d.prune(v, cand, len(v.Fail))
 	return &Result{Candidates: cand, Pruned: pruned, Confirmed: confirmed}
 }
 
-// prune refines the candidate set using error-signature superposition.
+// prune refines the candidate set using error-signature superposition,
+// consuming only the first kmax sessions (a degraded run's unobserved
+// sessions carry no signature and must not vote).
 // Invariant: a failing cell is never removed as long as the single-fault
 // assumption's error signatures are consistent (syndrome cancellation of
 // distinct cells is the only escape, and requires a 2^-degree collision).
-func (d *Diagnoser) prune(v *bist.Verdicts, cand *bitset.Set) (pruned, confirmed *bitset.Set) {
+func (d *Diagnoser) prune(v *bist.Verdicts, cand *bitset.Set, kmax int) (pruned, confirmed *bitset.Set) {
 	pruned = cand.Clone()
 	confirmed = bitset.New(d.cfg.NumCells)
 	if len(v.ErrSig) == 0 {
@@ -204,8 +206,11 @@ func (d *Diagnoser) prune(v *bist.Verdicts, cand *bitset.Set) (pruned, confirmed
 		return cells
 	}
 
+	if kmax > len(v.Fail) {
+		kmax = len(v.Fail)
+	}
 	var failing []session
-	for t := range v.Fail {
+	for t := 0; t < kmax; t++ {
 		for g, f := range v.Fail[t] {
 			if f {
 				failing = append(failing, session{t, g})

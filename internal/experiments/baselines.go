@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -45,7 +46,7 @@ const (
 // diagnosis strategy implemented here — random-selection [5], pure
 // interval, deterministic fixed-interval [8], and adaptive binary search
 // [6] — on one circuit and one fault sample.
-func Baselines(cfg Config) ([]BaselineRow, error) {
+func Baselines(ctx context.Context, cfg Config) ([]BaselineRow, error) {
 	cfg = cfg.withDefaults()
 	c := benchgen.MustGenerate(baselineCircuit)
 	schemes := []partition.Scheme{
@@ -68,7 +69,10 @@ func Baselines(cfg Config) ([]BaselineRow, error) {
 			faults = sim.SampleFaults(b.Faults(), cfg.Faults, cfg.FaultSeed)
 			bench = b
 		}
-		st := b.Run(faults)
+		st, err := b.RunContext(ctx, faults)
+		if err != nil {
+			return nil, err
+		}
 		cost := b.Cost()
 		extra := 0
 		if er, ok := s.(partition.ExtraRegisters); ok {

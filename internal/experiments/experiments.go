@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -68,7 +69,7 @@ type Table1Row struct {
 
 // Table1 reproduces Table 1: s953, 200 pseudorandom patterns per session,
 // 4 groups per partition, 1..8 partitions.
-func Table1(cfg Config) ([]Table1Row, error) {
+func Table1(ctx context.Context, cfg Config) ([]Table1Row, error) {
 	cfg = cfg.withDefaults()
 	c := benchgen.MustGenerate("s953")
 	schemes := []partition.Scheme{
@@ -86,7 +87,11 @@ func Table1(cfg Config) ([]Table1Row, error) {
 			return nil, err
 		}
 		faults := sim.SampleFaults(b.Faults(), cfg.Faults, cfg.FaultSeed)
-		studies = append(studies, b.Run(faults))
+		st, err := b.RunContext(ctx, faults)
+		if err != nil {
+			return nil, err
+		}
+		studies = append(studies, st)
 	}
 	rows := make([]Table1Row, maxPartitions)
 	for k := 0; k < maxPartitions; k++ {
@@ -134,7 +139,7 @@ const table2Partitions = 8
 // single scan chain each, 128 patterns per session, a degree-16 primitive
 // LFSR, the same number of partitions for both methods, and DR with and
 // without pruning.
-func Table2(cfg Config) ([]Table2Row, error) {
+func Table2(ctx context.Context, cfg Config) ([]Table2Row, error) {
 	cfg = cfg.withDefaults()
 	var rows []Table2Row
 	for _, setup := range table2Setup {
@@ -148,7 +153,10 @@ func Table2(cfg Config) ([]Table2Row, error) {
 				return nil, fmt.Errorf("%s/%s: %w", setup.name, s.Name(), err)
 			}
 			faults := sim.SampleFaults(b.Faults(), cfg.Faults, cfg.FaultSeed)
-			st := b.Run(faults)
+			st, err := b.RunContext(ctx, faults)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", setup.name, s.Name(), err)
+			}
 			if i == 0 {
 				row.Random, row.RandomPruned = st.Full.Value(), st.Pruned.Value()
 			} else {
@@ -173,7 +181,7 @@ type SOCRow struct {
 }
 
 // socTable runs the SOC experiment shared by Tables 3 and 4.
-func socTable(cfg Config, s *soc.SOC, chains, groups, partitions, patterns int) ([]SOCRow, error) {
+func socTable(ctx context.Context, cfg Config, s *soc.SOC, chains, groups, partitions, patterns int) ([]SOCRow, error) {
 	cfg = cfg.withDefaults()
 	benches := make([]*core.SOCBench, 2)
 	for i, sch := range []partition.Scheme{partition.RandomSelection{}, partition.TwoStep{}} {
@@ -189,9 +197,14 @@ func socTable(cfg Config, s *soc.SOC, chains, groups, partitions, patterns int) 
 	for ci := 0; ci < s.NumCores(); ci++ {
 		row := SOCRow{Core: s.Cores[ci].Name}
 		faults := sim.SampleFaults(benches[0].CoreFaults(ci), cfg.Faults, cfg.FaultSeed)
-		st := benches[0].RunCore(ci, faults)
+		st, err := benches[0].RunCoreContext(ctx, ci, faults)
+		if err != nil {
+			return nil, err
+		}
 		row.Random, row.RandomPruned = st.Full.Value(), st.Pruned.Value()
-		st = benches[1].RunCore(ci, faults)
+		if st, err = benches[1].RunCoreContext(ctx, ci, faults); err != nil {
+			return nil, err
+		}
 		row.TwoStep, row.TwoStepPruned = st.Full.Value(), st.Pruned.Value()
 		row.Diagnosed = st.Diagnosed
 		rows = append(rows, row)
@@ -202,23 +215,23 @@ func socTable(cfg Config, s *soc.SOC, chains, groups, partitions, patterns int) 
 // Table3 reproduces Table 3: SOC1 (the six largest ISCAS-89 cores on a
 // single meta scan chain), 8 partitions of 32 groups, 128 patterns, one
 // faulty core at a time.
-func Table3(cfg Config) ([]SOCRow, error) {
+func Table3(ctx context.Context, cfg Config) ([]SOCRow, error) {
 	s, err := soc.SOC1()
 	if err != nil {
 		return nil, err
 	}
-	return socTable(cfg, s, 1, 32, 8, 128)
+	return socTable(ctx, cfg, s, 1, 32, 8, 128)
 }
 
 // Table4 reproduces Table 4: SOC2 (the d695 variant) with an 8-bit TAM
 // re-organised into 8 balanced meta scan chains, 8 partitions of 8 groups
 // per chain, 128 patterns.
-func Table4(cfg Config) ([]SOCRow, error) {
+func Table4(ctx context.Context, cfg Config) ([]SOCRow, error) {
 	s, err := soc.SOC2()
 	if err != nil {
 		return nil, err
 	}
-	return socTable(cfg, s, 8, 8, 8, 128)
+	return socTable(ctx, cfg, s, 8, 8, 8, 128)
 }
 
 // Figure5Row gives, per faulty core of SOC1, the number of partitions each
@@ -234,7 +247,7 @@ type Figure5Row struct {
 const figure5MaxPartitions = 32
 
 // Figure5 reproduces Figure 5 on SOC1 with a single meta scan chain.
-func Figure5(cfg Config) ([]Figure5Row, error) {
+func Figure5(ctx context.Context, cfg Config) ([]Figure5Row, error) {
 	cfg = cfg.withDefaults()
 	s, err := soc.SOC1()
 	if err != nil {
@@ -254,8 +267,15 @@ func Figure5(cfg Config) ([]Figure5Row, error) {
 	for ci := 0; ci < s.NumCores(); ci++ {
 		faults := sim.SampleFaults(benches[0].CoreFaults(ci), cfg.Faults, cfg.FaultSeed)
 		row := Figure5Row{Core: s.Cores[ci].Name}
-		row.Random = benches[0].RunCore(ci, faults).PartitionsToReachDR(0.5)
-		row.TwoStep = benches[1].RunCore(ci, faults).PartitionsToReachDR(0.5)
+		st, err := benches[0].RunCoreContext(ctx, ci, faults)
+		if err != nil {
+			return nil, err
+		}
+		row.Random = st.PartitionsToReachDR(0.5)
+		if st, err = benches[1].RunCoreContext(ctx, ci, faults); err != nil {
+			return nil, err
+		}
+		row.TwoStep = st.PartitionsToReachDR(0.5)
 		rows = append(rows, row)
 	}
 	return rows, nil

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -16,7 +17,7 @@ var quick = Config{Faults: 80, FaultSeed: 1}
 //  3. two-step is at least as good as random selection everywhere and
 //     strictly better overall.
 func TestTable1Shape(t *testing.T) {
-	rows, err := Table1(quick)
+	rows, err := Table1(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestTable2Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("large circuits in -short mode")
 	}
-	rows, err := Table2(quick)
+	rows, err := Table2(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestTable3Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("SOC experiment in -short mode")
 	}
-	rows, err := Table3(quick)
+	rows, err := Table3(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestTable4Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("SOC experiment in -short mode")
 	}
-	rows, err := Table4(quick)
+	rows, err := Table4(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestFigure5Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("SOC experiment in -short mode")
 	}
-	rows, err := Figure5(quick)
+	rows, err := Figure5(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestBaselinesShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("baseline comparison in -short mode")
 	}
-	rows, err := Baselines(quick)
+	rows, err := Baselines(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}

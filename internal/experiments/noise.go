@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -56,7 +57,7 @@ var noiseLevels = []struct {
 // levels on the Table 2 circuits (two-step scheme, 8 partitions, 128
 // patterns per session). For each level it reports the robust path's DR
 // and soundness misses next to the hard-intersection baseline's.
-func NoiseSweep(cfg Config) ([]NoiseRow, error) {
+func NoiseSweep(ctx context.Context, cfg Config) ([]NoiseRow, error) {
 	cfg = cfg.withDefaults()
 	var rows []NoiseRow
 	for _, setup := range table2Setup {
@@ -79,7 +80,10 @@ func NoiseSweep(cfg Config) ([]NoiseRow, error) {
 				return nil, fmt.Errorf("%s/%s: %w", setup.name, lvl.name, err)
 			}
 			faults := sim.SampleFaults(b.Faults(), cfg.Faults, cfg.FaultSeed)
-			st := b.Run(faults)
+			st, err := b.RunContext(ctx, faults)
+			if err != nil {
+				return nil, err
+			}
 			row := NoiseRow{
 				Circuit:      setup.name,
 				Groups:       setup.groups,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ func TestNoiseSweepShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("large circuits in -short mode")
 	}
-	rows, err := NoiseSweep(Config{Faults: 15, FaultSeed: 3})
+	rows, err := NoiseSweep(context.Background(), Config{Faults: 15, FaultSeed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -29,7 +30,7 @@ type TAMWidthRow struct {
 // paper's Table-4 session parameters, one faulty core (the first, s838's
 // successor position is irrelevant — the same core is used for every
 // width so rows are comparable).
-func TAMWidth(cfg Config) ([]TAMWidthRow, error) {
+func TAMWidth(ctx context.Context, cfg Config) ([]TAMWidthRow, error) {
 	cfg = cfg.withDefaults()
 	s, err := soc.SOC2()
 	if err != nil {
@@ -50,7 +51,10 @@ func TAMWidth(cfg Config) ([]TAMWidthRow, error) {
 			if faults == nil {
 				faults = sim.SampleFaults(b.CoreFaults(faultyCore), cfg.Faults, cfg.FaultSeed)
 			}
-			st := b.RunCore(faultyCore, faults)
+			st, err := b.RunCoreContext(ctx, faultyCore, faults)
+			if err != nil {
+				return nil, err
+			}
 			if i == 0 {
 				row.Random = st.Full.Value()
 			} else {

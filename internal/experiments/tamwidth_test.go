@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestTAMWidthShape: widening the TAM must cut diagnosis time roughly
 // linearly while two-step keeps beating random selection at every width.
@@ -8,7 +11,7 @@ func TestTAMWidthShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("SOC sweep in -short mode")
 	}
-	rows, err := TAMWidth(quick)
+	rows, err := TAMWidth(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +38,7 @@ func TestTransitionShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("transition study in -short mode")
 	}
-	rows, err := Transition(quick)
+	rows, err := Transition(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}

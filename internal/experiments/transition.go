@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -35,10 +36,13 @@ var transitionSetup = []struct {
 }
 
 // Transition measures DR for sampled transition faults under both schemes.
-func Transition(cfg Config) ([]TransitionRow, error) {
+func Transition(ctx context.Context, cfg Config) ([]TransitionRow, error) {
 	cfg = cfg.withDefaults()
 	var rows []TransitionRow
 	for _, setup := range transitionSetup {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		c := benchgen.MustGenerate(setup.name)
 		prpg := lfsr.MustNew(lfsr.MustPrimitivePoly(16), 0xACE1)
 		blocks := bist.GenerateBlocks(prpg, c.NumInputs(), c.NumDFFs(), 128)

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// ctxPkgs names the packages on the cancellable execution path: the ones
+// whose exported APIs grew context-aware variants for the resilient
+// runtime. Identified by package name, like detrand, so the rule follows
+// the packages through relocations and applies to test fixtures.
+var ctxPkgs = map[string]bool{
+	"pipeline": true,
+	"core":     true,
+	"soc":      true,
+}
+
+// CtxFirst enforces the repository's context conventions in the packages
+// on the cancellable execution path.
+var CtxFirst = &analysis.Analyzer{
+	Name: "ctxfirst",
+	Doc: "require context.Context as the first parameter and forbid storing one in a struct\n\n" +
+		"In the pipeline, core and soc packages an exported function or\n" +
+		"method that accepts a context.Context must accept it as its first\n" +
+		"parameter, and no struct may hold a context.Context field: a stored\n" +
+		"context outlives the call that supplied it and silently decouples\n" +
+		"cancellation from the work it governs. A struct may opt out only by\n" +
+		"documenting the exception — its doc comment must name the ctxfirst\n" +
+		"rule and justify the field's lifetime (see pipeline's runState).",
+	Run: runCtxFirst,
+}
+
+func runCtxFirst(pass *analysis.Pass) error {
+	if !ctxPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkCtxParams(pass, d)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil {
+						doc = d.Doc
+					}
+					checkCtxFields(pass, ts.Name.Name, st, doc)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isContextType reports whether the expression denotes context.Context.
+func isContextType(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkCtxParams reports an exported function or method whose parameter
+// list contains a context.Context anywhere but first.
+func checkCtxParams(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if !fn.Name.IsExported() || fn.Type.Params == nil || len(fn.Type.Params.List) == 0 {
+		return
+	}
+	params := fn.Type.Params.List
+	if isContextType(pass, params[0].Type) {
+		return // first parameter (whole first group) is the context
+	}
+	for _, field := range params[1:] {
+		if isContextType(pass, field.Type) {
+			pass.Reportf(field.Type.Pos(),
+				"exported %s takes a context.Context but not as its first parameter; contexts come first in package %s",
+				fn.Name.Name, pass.Pkg.Name())
+			return
+		}
+	}
+}
+
+// checkCtxFields reports struct fields of type context.Context unless the
+// struct's doc comment documents the exception by naming the ctxfirst
+// rule.
+func checkCtxFields(pass *analysis.Pass, name string, st *ast.StructType, doc *ast.CommentGroup) {
+	if st.Fields == nil {
+		return
+	}
+	exempt := doc != nil && strings.Contains(doc.Text(), "ctxfirst")
+	for _, field := range st.Fields.List {
+		if !isContextType(pass, field.Type) {
+			continue
+		}
+		if exempt {
+			continue
+		}
+		pass.Reportf(field.Type.Pos(),
+			"struct %s stores a context.Context; pass contexts as call arguments, or document the exception by naming the ctxfirst rule in the struct's doc comment",
+			name)
+	}
+}

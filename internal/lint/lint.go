@@ -14,6 +14,9 @@
 //     log.Fatal, which would skip deferred cleanup in callers.
 //   - paralleltestscratch: parallel subtests must not share one Scratch,
 //     which is single-goroutine state.
+//   - ctxfirst: in the packages on the cancellable execution path,
+//     exported functions take their context.Context first and structs
+//     never store one (absent a documented exception).
 //
 // The analyzers run on the minimal framework in internal/analysis and
 // are bundled by cmd/staticlint.
@@ -29,5 +32,6 @@ func Analyzers() []*analysis.Analyzer {
 		PanicFmt,
 		NoExit,
 		ParallelTestScratch,
+		CtxFirst,
 	}
 }

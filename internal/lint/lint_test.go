@@ -23,14 +23,18 @@ func TestScratchAlias(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.ScratchAlias, "scratch/a")
 }
 
+func TestCtxFirst(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.CtxFirst, "ctxfirst/pipeline", "ctxfirst/other")
+}
+
 func TestParallelTestScratch(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.ParallelTestScratch, "ptest")
 }
 
 func TestAnalyzersListed(t *testing.T) {
 	as := lint.Analyzers()
-	if len(as) != 5 {
-		t.Fatalf("Analyzers() returned %d analyzers, want 5", len(as))
+	if len(as) != 6 {
+		t.Fatalf("Analyzers() returned %d analyzers, want 6", len(as))
 	}
 	seen := map[string]bool{}
 	for _, a := range as {

@@ -1,0 +1,15 @@
+// Package other is a ctxfirst fixture for a package off the cancellable
+// execution path: the conventions do not apply, so nothing is reported.
+package other
+
+import "context"
+
+// RunLate would violate ctxfirst in pipeline/core/soc; here it is fine.
+func RunLate(n int, ctx context.Context) error { return ctx.Err() }
+
+// holder stores a context; outside the named packages that is allowed.
+type holder struct {
+	ctx context.Context
+}
+
+var _ = holder{}

@@ -1,0 +1,44 @@
+// Package pipeline is a ctxfirst fixture: its name puts it on the
+// cancellable execution path, so the context conventions apply.
+package pipeline
+
+import "context"
+
+// RunContext takes its context first: fine.
+func RunContext(ctx context.Context, n int) error { return ctx.Err() }
+
+// RunLate buries the context behind another parameter.
+func RunLate(n int, ctx context.Context) error { return ctx.Err() } // want "exported RunLate takes a context.Context but not as its first parameter"
+
+// runLate is unexported, so the parameter-order rule does not apply.
+func runLate(n int, ctx context.Context) error { return ctx.Err() }
+
+// NoContext has no context at all: fine.
+func NoContext(n int) int { return n }
+
+type executor struct{ workers int }
+
+// SweepContext is a method form of the violation.
+func (e *executor) SweepContext(n int, ctx context.Context) error { return ctx.Err() } // want "exported SweepContext takes a context.Context but not as its first parameter"
+
+// MethodOK takes its context first: fine.
+func (e *executor) MethodOK(ctx context.Context, n int) error { return ctx.Err() }
+
+// badState stores a context with no documented exception.
+type badState struct {
+	ctx context.Context // want "struct badState stores a context.Context"
+	n   int
+}
+
+// runState carries the run's context so workers can poll it at claim
+// granularity — the documented exception to the ctxfirst rule: the
+// struct is scoped to a single call and never outlives it.
+type runState struct {
+	ctx context.Context
+	n   int
+}
+
+// silence unused-symbol noise in the fixture.
+var _ = badState{}
+var _ = runState{}
+var _ = runLate

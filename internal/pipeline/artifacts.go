@@ -42,6 +42,12 @@ type CircuitArtifacts struct {
 	// Golden holds the fault-free signature per (partition, verdict slot)
 	// — the values a deployment stores on the tester.
 	Golden [][]uint64
+
+	// cacheKey/simCacheKey record the content keys this artifact set was
+	// cached under (empty when built without a cache); they let Pin find
+	// the entries without re-deriving the fingerprint.
+	cacheKey    string
+	simCacheKey string
 }
 
 // SOCArtifacts is the SOC-level counterpart: the SOC-scope fault simulator
@@ -54,6 +60,11 @@ type SOCArtifacts struct {
 	Engine *bist.Engine
 	Diag   *diagnosis.Diagnoser
 	Golden [][]uint64
+
+	// cacheKey/simCacheKey mirror CircuitArtifacts: the content keys Pin
+	// uses to find the cached entries (empty when built uncached).
+	cacheKey    string
+	simCacheKey string
 }
 
 func (s Spec) plan() bist.Plan {

@@ -1,0 +1,150 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/partition"
+	"repro/internal/soc"
+)
+
+var budgetSchemes = []partition.Scheme{
+	partition.Interval{}, partition.RandomSelection{}, partition.TwoStep{},
+}
+
+// budgetSOC builds the small two-core SOC the budget sweeps run over.
+func budgetSOC(t *testing.T) *soc.SOC {
+	t.Helper()
+	var cores []*soc.Core
+	for _, name := range []string{"s298", "s526"} {
+		cores = append(cores, &soc.Core{Name: name, Circuit: benchgen.MustGenerate(name)})
+	}
+	s, err := soc.New("mini", cores...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCacheBudgetBoundsSweep is the bounded-cache acceptance shape: a
+// scheme × TAM-width sweep under a budget a quarter of the sweep's
+// unbounded working set must stay within the byte budget at every point,
+// actually evict, and still reuse the expensive simulation layer at
+// least 2× more often than it rebuilds it.
+func TestCacheBudgetBoundsSweep(t *testing.T) {
+	s := budgetSOC(t)
+	chains := []int{1, 2}
+	sweep := func(cache *ArtifactCache, check func()) {
+		for _, ch := range chains {
+			for _, scheme := range budgetSchemes {
+				spec := baseSpec(scheme)
+				spec.Chains = ch
+				if _, err := cache.SOC(s, spec); err != nil {
+					t.Fatal(err)
+				}
+				if check != nil {
+					check()
+				}
+			}
+		}
+	}
+
+	unbounded := NewCache()
+	sweep(unbounded, nil)
+	total := unbounded.Bytes()
+	if total <= 0 {
+		t.Fatalf("unbounded sweep accounted %d bytes", total)
+	}
+
+	budget := Budget{MaxBytes: total / 4}
+	cache := NewCacheWithBudget(budget)
+	if got := cache.Budget(); got != budget {
+		t.Fatalf("Budget() = %+v, want %+v", got, budget)
+	}
+	sweep(cache, func() {
+		if got := cache.Bytes(); got > budget.MaxBytes {
+			t.Fatalf("cache holds %d bytes, budget %d", got, budget.MaxBytes)
+		}
+	})
+
+	st := cache.Stats()
+	if st.Evictions == 0 || st.EvictedBytes <= 0 {
+		t.Errorf("quarter budget evicted nothing: stats %+v", st)
+	}
+	if st.SimHits < 2*st.SimMisses {
+		t.Errorf("sim layer reused %d times for %d builds; want ≥2× reuse under the bounded cache",
+			st.SimHits, st.SimMisses)
+	}
+	if bl, ul := cache.Len(), unbounded.Len(); bl >= ul {
+		t.Errorf("bounded cache retains %d entries, unbounded %d", bl, ul)
+	}
+}
+
+// TestCacheBudgetMaxEntries: the entry limit binds on its own, without a
+// byte limit.
+func TestCacheBudgetMaxEntries(t *testing.T) {
+	c := benchgen.MustGenerate("s298")
+	cache := NewCacheWithBudget(Budget{MaxEntries: 2})
+	for _, scheme := range budgetSchemes {
+		if _, err := cache.Circuit(c, baseSpec(scheme)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cache.Len(); got > 2 {
+		t.Errorf("cache holds %d entries, limit 2", got)
+	}
+	if st := cache.Stats(); st.Evictions == 0 {
+		t.Errorf("entry limit evicted nothing: stats %+v", st)
+	}
+}
+
+// TestCacheBudgetPinSurvivesEviction: entries pinned by an in-flight
+// session are immune to eviction — even under a budget nothing else
+// could satisfy — until released, and release is idempotent.
+func TestCacheBudgetPinSurvivesEviction(t *testing.T) {
+	c := benchgen.MustGenerate("s298")
+	cache := NewCache()
+	a, err := cache.Circuit(c, baseSpec(partition.TwoStep{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := cache.PinCircuit(a)
+	cache.SetBudget(Budget{MaxBytes: 1})
+	if got := cache.Len(); got != 2 {
+		t.Fatalf("pinned entries evicted: %d resident, want 2 (full + sim layer)", got)
+	}
+	again, err := cache.Circuit(c, baseSpec(partition.TwoStep{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != a {
+		t.Error("pinned artifact was rebuilt instead of hitting the cache")
+	}
+	release()
+	release() // idempotent: the second call must not double-unpin
+	if got := cache.Len(); got != 0 {
+		t.Errorf("released entries survived a 1-byte budget: %d resident", got)
+	}
+	rebuilt, err := cache.Circuit(c, baseSpec(partition.TwoStep{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt == a {
+		t.Error("evicted entry returned the old artifact pointer")
+	}
+}
+
+// TestCacheBudgetNilSafe: the whole budget surface is a no-op on a nil
+// cache, like the rest of the cache API.
+func TestCacheBudgetNilSafe(t *testing.T) {
+	var cache *ArtifactCache
+	cache.SetBudget(Budget{MaxBytes: 1})
+	if cache.Len() != 0 || cache.Bytes() != 0 || cache.Budget() != (Budget{}) {
+		t.Error("nil cache reports non-zero budget state")
+	}
+	if release := cache.PinCircuit(nil); release == nil {
+		t.Error("nil cache returned a nil release func")
+	} else {
+		release()
+	}
+}

@@ -1,0 +1,301 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/retry"
+)
+
+// Cancellation, panic-isolation and retry coverage for the executor. The
+// TestCancel name prefix is load-bearing: CI's data-race smoke runs
+// `go test -race -run TestCancel ./internal/pipeline/...`.
+
+// TestCancelSerialStopsAtClaimBoundary pins the serial path's drain
+// semantics: a cancel inside job 10 lets the claimed range keep going,
+// but retry.Do's upfront context check skips the remaining jobs, so
+// exactly jobs 0..10 execute and the run reports ctx's error.
+func TestCancelSerialStopsAtClaimBoundary(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 100
+	var ran [n]atomic.Int32
+	err := Executor{Workers: 1}.RunContext(ctx, n, func() func(int) error {
+		return func(i int) error {
+			ran[i].Add(1)
+			if i == 10 {
+				cancel()
+			}
+			return nil
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i := range ran {
+		want := int32(0)
+		if i <= 10 {
+			want = 1
+		}
+		if got := ran[i].Load(); got != want {
+			t.Errorf("job %d ran %d times, want %d", i, got, want)
+		}
+	}
+}
+
+// TestCancelParallelDrainsInFlightOnly holds all four workers inside
+// their first claimed job, cancels, and releases them: the pool must
+// drain exactly those four in-flight jobs and claim nothing further.
+func TestCancelParallelDrainsInFlightOnly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n, workers = 64, 4
+	var entered sync.WaitGroup
+	entered.Add(workers)
+	release := make(chan struct{})
+	var ran [n]atomic.Int32
+	err := Executor{Workers: workers, Batch: 1}.RunContext(ctx, n, func() func(int) error {
+		return func(i int) error {
+			ran[i].Add(1)
+			entered.Done()
+			if i == 0 {
+				entered.Wait() // every worker is mid-job: no claims in flight
+				cancel()
+				close(release)
+			}
+			<-release
+			return nil
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i := range ran {
+		want := int32(0)
+		if i < workers {
+			want = 1
+		}
+		if got := ran[i].Load(); got != want {
+			t.Errorf("job %d ran %d times, want %d", i, got, want)
+		}
+	}
+}
+
+// TestCancelBeforeStartRunsNothing: a context already dead at entry
+// claims no work at all; an empty run succeeds regardless.
+func TestCancelBeforeStartRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := Executor{}.RunContext(ctx, 50, func() func(int) error {
+		return func(int) error { ran.Add(1); return nil }
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("%d jobs ran under a pre-cancelled context", got)
+	}
+	if err := (Executor{}).RunContext(ctx, 0, nil); err != nil {
+		t.Fatalf("zero jobs under a dead context: err = %v, want nil", err)
+	}
+}
+
+// TestCancelPanicBecomesWorkerError pins panic isolation: the panic is
+// recovered into a typed *WorkerError carrying job index, value and
+// stack, later jobs are not claimed, and the process does not crash.
+func TestCancelPanicBecomesWorkerError(t *testing.T) {
+	const n = 20
+	var ran [n]atomic.Int32
+	err := Executor{Workers: 1, Batch: 1}.RunContext(context.Background(), n, func() func(int) error {
+		return func(i int) error {
+			ran[i].Add(1)
+			if i == 7 {
+				panic("boom")
+			}
+			return nil
+		}
+	})
+	var we *WorkerError
+	if !errors.As(err, &we) {
+		t.Fatalf("err = %v (%T), want *WorkerError", err, err)
+	}
+	if we.Job != 7 || we.Lane != -1 || we.Value != "boom" {
+		t.Fatalf("WorkerError = %+v, want Job 7, Lane -1, Value boom", we)
+	}
+	if len(we.Stack) == 0 || !strings.Contains(string(we.Stack), "goroutine") {
+		t.Error("WorkerError carries no goroutine stack")
+	}
+	if msg := we.Error(); !strings.Contains(msg, "job 7 panicked: boom") {
+		t.Errorf("Error() = %q, want it to name job 7 and the panic value", msg)
+	}
+	for i := 8; i < n; i++ {
+		if ran[i].Load() != 0 {
+			t.Errorf("job %d ran after job 7 panicked", i)
+		}
+	}
+}
+
+// TestCancelJobPanicAnnotation: a job re-panicking with *JobPanic hands
+// the executor its batch lane and work-unit identity, which surface in
+// the WorkerError and its message.
+func TestCancelJobPanicAnnotation(t *testing.T) {
+	err := Executor{Workers: 1}.RunContext(context.Background(), 3, func() func(int) error {
+		return func(i int) error {
+			if i == 2 {
+				panic(&JobPanic{Lane: 5, Detail: "G17 stuck-at-1", Value: "kaboom"})
+			}
+			return nil
+		}
+	})
+	var we *WorkerError
+	if !errors.As(err, &we) {
+		t.Fatalf("err = %v (%T), want *WorkerError", err, err)
+	}
+	if we.Job != 2 || we.Lane != 5 || we.Detail != "G17 stuck-at-1" || we.Value != "kaboom" {
+		t.Fatalf("WorkerError = %+v, want annotated lane 5 / G17 stuck-at-1 / kaboom", we)
+	}
+	msg := we.Error()
+	if !strings.Contains(msg, "(lane 5)") || !strings.Contains(msg, "[G17 stuck-at-1]") {
+		t.Errorf("Error() = %q, want lane and fault annotations", msg)
+	}
+}
+
+// TestCancelLowestJobErrorWins: when several claimed jobs fail
+// concurrently, the run deterministically reports the failure of the
+// lowest job index.
+func TestCancelLowestJobErrorWins(t *testing.T) {
+	const n, workers = 16, 4
+	errs := make([]error, n)
+	for i := range errs {
+		errs[i] = fmt.Errorf("job %d failed", i)
+	}
+	var entered sync.WaitGroup
+	entered.Add(workers)
+	release := make(chan struct{})
+	var ran [n]atomic.Int32
+	err := Executor{Workers: workers, Batch: 1}.RunContext(context.Background(), n, func() func(int) error {
+		return func(i int) error {
+			ran[i].Add(1)
+			entered.Done()
+			if i == 0 {
+				entered.Wait()
+				close(release)
+			}
+			<-release
+			return errs[i]
+		}
+	})
+	if !errors.Is(err, errs[0]) {
+		t.Fatalf("err = %v, want job 0's error", err)
+	}
+	for i := workers; i < n; i++ {
+		if ran[i].Load() != 0 {
+			t.Errorf("job %d claimed after every worker had failed", i)
+		}
+	}
+}
+
+// TestCancelTransientFailureRetried: an error marked retry.Transient is
+// re-attempted in place up to the policy's budget; success on a later
+// attempt clears it.
+func TestCancelTransientFailureRetried(t *testing.T) {
+	var attempts atomic.Int32
+	err := Executor{Workers: 1, Retry: retry.Policy{MaxAttempts: 3}}.RunContext(
+		context.Background(), 1, func() func(int) error {
+			return func(int) error {
+				if attempts.Add(1) < 3 {
+					return retry.Transient(errors.New("tester hiccup"))
+				}
+				return nil
+			}
+		})
+	if err != nil {
+		t.Fatalf("err = %v, want success on the third attempt", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("job attempted %d times, want 3", got)
+	}
+}
+
+// TestCancelRetryBudgetExhausted: a persistently transient failure is
+// reported after the attempt budget, still marked transient.
+func TestCancelRetryBudgetExhausted(t *testing.T) {
+	var attempts atomic.Int32
+	err := Executor{Workers: 1, Retry: retry.Policy{MaxAttempts: 3}}.RunContext(
+		context.Background(), 1, func() func(int) error {
+			return func(int) error {
+				attempts.Add(1)
+				return retry.Transient(errors.New("still down"))
+			}
+		})
+	if err == nil || !retry.IsTransient(err) {
+		t.Fatalf("err = %v, want the transient failure after exhaustion", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("job attempted %d times, want 3", got)
+	}
+}
+
+// TestCancelPermanentFailureNotRetried: an unmarked error consumes one
+// attempt only, whatever the policy allows.
+func TestCancelPermanentFailureNotRetried(t *testing.T) {
+	permanent := errors.New("bad configuration")
+	var attempts atomic.Int32
+	err := Executor{Workers: 1, Retry: retry.Policy{MaxAttempts: 5}}.RunContext(
+		context.Background(), 1, func() func(int) error {
+			return func(int) error { attempts.Add(1); return permanent }
+		})
+	if !errors.Is(err, permanent) {
+		t.Fatalf("err = %v, want the permanent error", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("permanent failure attempted %d times, want 1", got)
+	}
+}
+
+// TestCancelPanicNeverRetried: a panic is a bug, not load — it must not
+// consume the retry budget re-running broken code.
+func TestCancelPanicNeverRetried(t *testing.T) {
+	var attempts atomic.Int32
+	err := Executor{Workers: 1, Retry: retry.Policy{MaxAttempts: 5}}.RunContext(
+		context.Background(), 1, func() func(int) error {
+			return func(int) error { attempts.Add(1); panic("broken") }
+		})
+	var we *WorkerError
+	if !errors.As(err, &we) {
+		t.Fatalf("err = %v (%T), want *WorkerError", err, err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("panicking job attempted %d times, want 1", got)
+	}
+}
+
+// TestCancelLegacyRunRepanics: the context-free Run keeps the pre-context
+// crash-loudly contract by re-panicking the WorkerError after the pool
+// has drained.
+func TestCancelLegacyRunRepanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		we, ok := r.(*WorkerError)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *WorkerError", r, r)
+		}
+		if we.Job != 3 || we.Value != "legacy boom" {
+			t.Fatalf("WorkerError = %+v, want Job 3 / legacy boom", we)
+		}
+	}()
+	Executor{Workers: 1, Batch: 1}.Run(8, func() func(int) {
+		return func(i int) {
+			if i == 3 {
+				panic("legacy boom")
+			}
+		}
+	})
+	t.Fatal("Run returned instead of re-panicking the worker error")
+}

@@ -1,0 +1,94 @@
+// Package retry is the repository's single bounded-retry abstraction:
+// a Policy says how many attempts a unit of work gets and how long to
+// back off between them, and Do drives the attempts under a
+// context.Context. It is a leaf package (stdlib only) so both the
+// pipeline executor and the bist session scheduler can share one policy
+// vocabulary without an import cycle.
+//
+// Only failures explicitly marked Transient are retried: a panic, a
+// validation error, or a context cancellation is permanent and returns
+// immediately. This mirrors the tester model of internal/bist, where an
+// aborted session execution is transient (re-run it) but a corrupted
+// configuration is not.
+package retry
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Policy bounds the attempts of one retryable unit of work.
+type Policy struct {
+	// MaxAttempts is the total number of attempts, including the first.
+	// Values below 1 mean a single attempt (no retry).
+	MaxAttempts int
+	// Backoff is the wait before the second attempt; each further wait
+	// doubles. Zero retries immediately, which suits deterministic
+	// in-process work (re-running a session, re-claiming a batch) where
+	// the failure cause is not load.
+	Backoff time.Duration
+}
+
+// Attempts returns the effective attempt budget (always at least 1).
+func (p Policy) Attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// transientError marks an error as safe to retry.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err so Do (and IsTransient) treat it as retryable.
+// A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is marked retryable anywhere in its
+// chain.
+func IsTransient(err error) bool {
+	var te *transientError
+	return errors.As(err, &te)
+}
+
+// Do runs op under the policy: up to Attempts() calls, re-running only
+// transient failures, backing off (exponentially from Backoff) between
+// attempts, and giving up as soon as ctx is done. The returned error is
+// the last attempt's error, or ctx.Err() when the context ended first.
+// op receives the attempt number, starting at 0.
+func Do(ctx context.Context, p Policy, op func(attempt int) error) error {
+	attempts := p.Attempts()
+	wait := p.Backoff
+	var err error
+	for a := 0; a < attempts; a++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if err = op(a); err == nil || !IsTransient(err) {
+			return err
+		}
+		if a == attempts-1 {
+			break
+		}
+		if wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+			wait *= 2
+		}
+	}
+	return err
+}

@@ -1,0 +1,108 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestAttemptsClampsToOne(t *testing.T) {
+	for _, n := range []int{-3, 0, 1} {
+		if got := (Policy{MaxAttempts: n}).Attempts(); got != 1 {
+			t.Errorf("MaxAttempts=%d: Attempts() = %d, want 1", n, got)
+		}
+	}
+	if got := (Policy{MaxAttempts: 4}).Attempts(); got != 4 {
+		t.Errorf("Attempts() = %d, want 4", got)
+	}
+}
+
+func TestTransientMarking(t *testing.T) {
+	base := errors.New("boom")
+	if IsTransient(base) {
+		t.Error("unmarked error reported transient")
+	}
+	if !IsTransient(Transient(base)) {
+		t.Error("marked error not reported transient")
+	}
+	if !IsTransient(fmt.Errorf("wrapped: %w", Transient(base))) {
+		t.Error("transience lost through wrapping")
+	}
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) != nil")
+	}
+	if !errors.Is(Transient(base), base) {
+		t.Error("Transient broke the error chain")
+	}
+}
+
+func TestDoRetriesOnlyTransient(t *testing.T) {
+	perm := errors.New("permanent")
+	calls := 0
+	err := Do(context.Background(), Policy{MaxAttempts: 5}, func(int) error {
+		calls++
+		return perm
+	})
+	if calls != 1 || !errors.Is(err, perm) {
+		t.Errorf("permanent failure: %d calls, err %v; want 1 call", calls, err)
+	}
+
+	calls = 0
+	err = Do(context.Background(), Policy{MaxAttempts: 3}, func(a int) error {
+		calls++
+		if a < 2 {
+			return Transient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if calls != 3 || err != nil {
+		t.Errorf("transient then success: %d calls, err %v; want 3 calls, nil", calls, err)
+	}
+}
+
+func TestDoExhaustsBudget(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{MaxAttempts: 3}, func(int) error {
+		calls++
+		return Transient(errors.New("always"))
+	})
+	if calls != 3 {
+		t.Errorf("%d calls, want 3", calls)
+	}
+	if !IsTransient(err) {
+		t.Errorf("exhausted budget returned %v, want the last transient error", err)
+	}
+}
+
+func TestDoHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Do(ctx, Policy{MaxAttempts: 3}, func(int) error {
+		calls++
+		return nil
+	})
+	if calls != 0 || !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled ctx: %d calls, err %v; want 0 calls, Canceled", calls, err)
+	}
+
+	// Cancellation during backoff interrupts the wait.
+	ctx, cancel = context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(ctx, Policy{MaxAttempts: 2, Backoff: time.Hour}, func(int) error {
+			return Transient(errors.New("flaky"))
+		})
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("backoff cancel returned %v, want Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Do did not return after cancellation during backoff")
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -256,6 +257,55 @@ func (fs *FaultSim) NewBatchScratch(p *BatchPlan) *BatchScratch {
 // visibility, and response patches. Results are read back per member with
 // MaterializeBatch.
 func (fs *FaultSim) RunBatch(cb *CompiledBatch, bs *BatchScratch) {
+	fs.beginBatch(cb, bs)
+	fs.runGateRuns(cb, bs, cb.runs)
+	fs.captureBatch(cb, bs)
+}
+
+// RunBatchContext is RunBatch with cancellation: the gate stream is
+// evaluated in blocks of a few thousand records with ctx polled between
+// blocks, so a deadline interrupts a 64-lane sweep within one block's
+// worth of work while the hot kernels stay branch- and allocation-free.
+// On a non-nil error the batch's results are unusable, but the scratch
+// itself remains reusable: every working slot a kernel reads was written
+// earlier in the same run (gates are in topological order), so the next
+// full RunBatch overwrites any torn state before consuming it.
+func (fs *FaultSim) RunBatchContext(ctx context.Context, cb *CompiledBatch, bs *BatchScratch) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if ctx.Done() == nil {
+		// Context can never be cancelled: run the uninterrupted kernel.
+		fs.RunBatch(cb, bs)
+		return nil
+	}
+	fs.beginBatch(cb, bs)
+	// ~2k gate records per block keeps the poll overhead under 0.1% while
+	// bounding the post-cancel drain to microseconds.
+	const blockRecords = 2048
+	runs := cb.runs
+	for len(runs) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n, j := 0, 0
+		for j < len(runs) && n < blockRecords {
+			n += int(runs[j].end - runs[j].start)
+			j++
+		}
+		fs.runGateRuns(cb, bs, runs[:j])
+		runs = runs[j:]
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	fs.captureBatch(cb, bs)
+	return nil
+}
+
+// beginBatch validates the batch against the scratch and resets the
+// per-member accumulators.
+func (fs *FaultSim) beginBatch(cb *CompiledBatch, bs *BatchScratch) {
 	lanes := cb.Lanes()
 	B := len(fs.blocks)
 	if cb.Kind != bs.kind {
@@ -279,16 +329,30 @@ func (fs *FaultSim) RunBatch(cb *CompiledBatch, bs *BatchScratch) {
 	for i := range anyErr {
 		anyErr[i] = 0
 	}
+}
 
-	vals := bs.vals
-	switch B {
+// runGateRuns evaluates a consecutive slice of the batch's op-runs.
+// Records index the full gate stream, so callers may feed the runs in
+// sequential sub-slices (RunBatchContext's cancellation blocks) with
+// results identical to one full call.
+func (fs *FaultSim) runGateRuns(cb *CompiledBatch, bs *BatchScratch, runs []opRun) {
+	switch B := len(fs.blocks); B {
 	case 1:
-		runGates1(vals, cb.gates, cb.runs, bs.launch)
+		runGates1(bs.vals, cb.gates, runs, bs.launch)
 	case 2:
-		runGates2(vals, cb.gates, cb.runs, bs.launch)
+		runGates2(bs.vals, cb.gates, runs, bs.launch)
 	default:
-		runGatesN(vals, cb.gates, cb.runs, bs.launch, B)
+		runGatesN(bs.vals, cb.gates, runs, bs.launch, B)
 	}
+}
+
+// captureBatch demultiplexes the evaluated slot rows into per-member
+// failing cells, detection counts, PO visibility, and response patches.
+func (fs *FaultSim) captureBatch(cb *CompiledBatch, bs *BatchScratch) {
+	lanes := cb.Lanes()
+	B := len(fs.blocks)
+	vals := bs.vals
+	anyErr := bs.anyErr[:lanes*B]
 
 	for _, cc := range cb.cells {
 		wi, gi := int(cc.slot)*B, int(cc.good)*B

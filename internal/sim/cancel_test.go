@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// countdownCtx is a deterministic cancellable context for kernel-level
+// cancellation tests: Err returns nil for the first allotted calls and
+// context.Canceled after, and Done is non-nil so RunBatchContext takes
+// its chunked (cancellable) path instead of the fast path.
+type countdownCtx struct {
+	mu   sync.Mutex
+	left int
+	done chan struct{}
+}
+
+func newCountdown(allow int) *countdownCtx {
+	return &countdownCtx{left: allow, done: make(chan struct{})}
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countdownCtx) Done() <-chan struct{}       { return c.done }
+func (c *countdownCtx) Value(any) any               { return nil }
+
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.left <= 0 {
+		return context.Canceled
+	}
+	c.left--
+	return nil
+}
+
+// TestCancelBatchContextMatchesRunBatch pins the uncancelled chunked
+// path to the monolithic kernel: RunBatchContext under a live cancellable
+// context must produce bit-identical materializations to RunBatch.
+func TestCancelBatchContextMatchesRunBatch(t *testing.T) {
+	c := equivalenceCircuit(t, "s953")
+	blocks := equivalenceBlocks(c, []int{64, 17}, 21)
+	fs := NewFaultSim(c, blocks)
+	faults := FullFaultList(c)[:130]
+	plan := PlanBatches(c, faults, BatchOptions{ScanOrder: true})
+	bs, ref := fs.NewBatchScratch(plan), fs.NewBatchScratch(plan)
+	sc, sc2 := fs.NewScratch(), fs.NewScratch()
+	for pi, cb := range plan.Batches {
+		if err := fs.RunBatchContext(newCountdown(1<<30), cb, bs); err != nil {
+			t.Fatal(err)
+		}
+		fs.RunBatch(cb, ref)
+		for k := range cb.Index {
+			got := fs.MaterializeBatch(bs, k, sc)
+			want := fs.MaterializeBatch(ref, k, sc2)
+			requireSameResult(t, fmt.Sprintf("batch %d lane %d", pi, k), got, want)
+		}
+	}
+}
+
+// TestCancelBatchScratchReusable aborts the batch kernel mid-run — at
+// every early chunk boundary, leaving the scratch in a torn state — and
+// then reruns the same batch on the same scratch: because the gate
+// program writes every working slot before any read in a full pass, the
+// rerun must come out bit-identical to a never-cancelled scratch.
+func TestCancelBatchScratchReusable(t *testing.T) {
+	c := equivalenceCircuit(t, "s953")
+	blocks := equivalenceBlocks(c, []int{64, 64}, 21)
+	fs := NewFaultSim(c, blocks)
+	faults := FullFaultList(c)[:150]
+	plan := PlanBatches(c, faults, BatchOptions{ScanOrder: true})
+	bs, ref := fs.NewBatchScratch(plan), fs.NewBatchScratch(plan)
+	sc, sc2 := fs.NewScratch(), fs.NewScratch()
+	aborted := 0
+	for pi, cb := range plan.Batches {
+		for trip := 0; trip < 6; trip++ {
+			err := fs.RunBatchContext(newCountdown(trip), cb, bs)
+			if err != nil {
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("batch %d trip %d: err = %v, want context.Canceled", pi, trip, err)
+				}
+				if trip > 0 {
+					aborted++ // aborted after beginBatch: scratch is torn
+				}
+			}
+		}
+		if err := fs.RunBatchContext(newCountdown(1<<30), cb, bs); err != nil {
+			t.Fatalf("batch %d: rerun after aborts failed: %v", pi, err)
+		}
+		fs.RunBatch(cb, ref)
+		for k := range cb.Index {
+			got := fs.MaterializeBatch(bs, k, sc)
+			want := fs.MaterializeBatch(ref, k, sc2)
+			requireSameResult(t, fmt.Sprintf("batch %d lane %d after aborts", pi, k), got, want)
+		}
+	}
+	if aborted == 0 {
+		t.Fatal("no attempt aborted mid-kernel; the countdown trips never landed inside a batch")
+	}
+}

@@ -1,0 +1,24 @@
+package sim
+
+// MemoryFootprint estimates the bytes of shared, read-only state this
+// FaultSim retains: the pattern blocks, the fault-free responses, and the
+// per-block fault-free internal net values (the dominant term — one word
+// per net per block, shared by every Fork). Per-goroutine scratch (event
+// worklists, batch lanes) is excluded: it is owned by forks, not by the
+// cached artifact. The estimate feeds the pipeline cache's cost-accounted
+// eviction, where being proportionally right matters and being
+// byte-exact does not.
+func (fs *FaultSim) MemoryFootprint() int64 {
+	const word = 8
+	var n int64
+	for _, b := range fs.blocks {
+		n += int64(len(b.PI)+len(b.State)) * word
+	}
+	for _, r := range fs.good {
+		n += int64(len(r.Next)+len(r.PO)) * word
+	}
+	for _, gv := range fs.goodVals {
+		n += int64(len(gv)) * word
+	}
+	return n
+}

@@ -12,6 +12,7 @@
 package soc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/benchgen"
@@ -435,6 +436,13 @@ func (fs *FaultSim) NewCoreBatchScratch(core int, p *sim.BatchPlan) *sim.BatchSc
 // back with MaterializeBatch.
 func (fs *FaultSim) RunBatch(core int, cb *sim.CompiledBatch, bs *sim.BatchScratch) {
 	fs.sims[core].RunBatch(cb, bs)
+}
+
+// RunBatchContext is RunBatch with cancellation, delegating to the core
+// simulator's block-granular context checks; see sim.RunBatchContext for
+// the scratch-reuse guarantee after an aborted run.
+func (fs *FaultSim) RunBatchContext(ctx context.Context, core int, cb *sim.CompiledBatch, bs *sim.BatchScratch) error {
+	return fs.sims[core].RunBatchContext(ctx, cb, bs)
 }
 
 // MaterializeBatch assembles member k of the last RunBatch into the global
