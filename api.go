@@ -67,13 +67,19 @@ type (
 	// Verdict is a tri-state BIST session outcome.
 	Verdict = bist.Verdict
 	// ArtifactCache content-addresses diagnosis build artifacts (pattern
-	// blocks, fault-free responses, partitions, golden signatures) so
-	// benches and sweep points sharing a configuration reuse one build.
-	// Set Options.Cache to share it across NewCircuitBench/NewSOCBench
-	// calls; a nil cache is valid and builds fresh every time.
+	// blocks, fault-free responses, partitions, golden signatures,
+	// compiled batch plans) so benches and sweep points sharing a
+	// configuration reuse one build. Set Options.Cache to share it across
+	// NewCircuitBench/NewSOCBench calls; a nil cache is valid and builds
+	// fresh every time. AttachDir (or Options.CacheDir) adds a persistent
+	// second tier: a content-addressed store on disk that later processes
+	// warm-start from instead of re-simulating — see cmd/artifacts for
+	// inspecting one.
 	ArtifactCache = pipeline.ArtifactCache
-	// CacheStats is a snapshot of artifact-cache hit/miss/eviction
-	// counters.
+	// CacheStats is a snapshot of artifact-cache counters: memory-tier
+	// hits/misses/evictions plus the disk tier's hits, misses, writes,
+	// promotions, and corruptions. Its String form is the one-line
+	// summary the CLIs print when -cachedir is set.
 	CacheStats = pipeline.Stats
 	// CacheBudget bounds an ArtifactCache with byte and/or entry limits
 	// enforced by cost-accounted LRU eviction; the zero value is

@@ -698,6 +698,47 @@ func BenchmarkArtifactCache(b *testing.B) {
 	})
 }
 
+// BenchmarkDiskStoreWarmStart contrasts rebuilding the heaviest persisted
+// artifact — the compiled batch plan over s13207's collapsed fault list,
+// including the cone walks scheduling performs on a cold circuit — with a
+// warm start off the persistent artifact tier: a fresh memory cache over a
+// populated directory, so the plan and cone snapshot are read, decoded,
+// and exhaustively validated from disk. Each iteration uses a freshly
+// generated circuit (no memoized cones) to model a true process cold
+// start; the disk hit skips the fan-out walks and lane packing, so it
+// should be at least an order of magnitude cheaper.
+func BenchmarkDiskStoreWarmStart(b *testing.B) {
+	dir := b.TempDir()
+	seedCircuit := benchgen.MustGenerate("s13207")
+	seedFaults := sim.CollapseFaults(seedCircuit, sim.FullFaultList(seedCircuit))
+	seed := scanbist.NewArtifactCache()
+	if err := seed.AttachDir(dir); err != nil {
+		b.Fatal(err)
+	}
+	seed.Plan(seedCircuit, seedFaults, sim.BatchOptions{}) // populates the disk tier
+
+	run := func(b *testing.B, cacheDir string) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c := benchgen.MustGenerate("s13207") // fresh process: no memoized cones
+			faults := sim.CollapseFaults(c, sim.FullFaultList(c))
+			cache := scanbist.NewArtifactCache()
+			if cacheDir != "" {
+				if err := cache.AttachDir(cacheDir); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			if p := cache.Plan(c, faults, sim.BatchOptions{}); p.NumFaults() != len(faults) {
+				b.Fatalf("plan covers %d of %d faults", p.NumFaults(), len(faults))
+			}
+		}
+	}
+	b.Run("rebuild", func(b *testing.B) { run(b, "") })
+	b.Run("diskhit", func(b *testing.B) { run(b, dir) })
+}
+
 // BenchmarkPooledFaultLoop contrasts the reference per-fault DiagnoseFault
 // path (allocating verdicts, responses, and per-prefix candidate bitsets
 // every call) with the pooled Run path (per-worker reusable scratch,

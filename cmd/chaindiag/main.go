@@ -23,8 +23,23 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/drc"
 	"repro/internal/pipeline"
+	"repro/internal/pipeline/diskstore"
 	"repro/internal/scan"
 )
+
+// maxCacheMB rejects budgets no machine this tool targets could hold
+// (1 TiB): such values are typos, not configurations.
+const maxCacheMB = 1 << 20
+
+func validateCacheMB(mb int64) error {
+	if mb < 0 {
+		return fmt.Errorf("-cachemb must be non-negative, got %d", mb)
+	}
+	if mb > maxCacheMB {
+		return fmt.Errorf("-cachemb must be at most %d (1 TiB), got %d", int64(maxCacheMB), mb)
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -39,6 +54,8 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file after the run")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for -sweep (0 = none); on expiry the partial accuracy summary is reported")
+		cacheMB    = flag.Int64("cachemb", 0, "artifact-cache budget in MiB (0 = unbounded); accepted for CLI consistency — chain diagnosis builds no cacheable artifacts")
+		cacheDir   = flag.String("cachedir", "", "artifact store directory; chaindiag only opens and reports it (no artifacts are built)")
 	)
 	flag.Parse()
 
@@ -53,6 +70,23 @@ func main() {
 	}
 	if *timeout < 0 {
 		usageError(fmt.Errorf("-timeout must be non-negative, got %v", *timeout))
+	}
+	if err := validateCacheMB(*cacheMB); err != nil {
+		usageError(err)
+	}
+	if *cacheDir != "" {
+		// Chain diagnosis is pure shift-path simulation with no cacheable
+		// build artifacts; honor the shared flag by opening (and creating)
+		// the store so scripted pipelines can pass one -cachedir everywhere.
+		ds, err := diskstore.Open(*cacheDir, diskstore.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		entries, err := ds.List()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "chaindiag: artifact store %s holds %d entries (unused by chain diagnosis)\n", ds.Dir(), len(entries))
 	}
 
 	if *cpuprofile != "" {

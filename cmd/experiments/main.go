@@ -38,6 +38,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole invocation (0 = none); on expiry in-flight work drains and completed experiments are kept")
 	cacheMB := flag.Int64("cachemb", 0, "artifact-cache budget in MiB (0 = unbounded); least-recently-used builds are evicted past it")
+	cacheDir := flag.String("cachedir", "", "persist build artifacts under this directory and reuse them across runs (warm start)")
 	flag.Parse()
 	if *format != "text" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)
@@ -62,8 +63,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: -timeout must be non-negative, got %v\n", *timeout)
 		os.Exit(2)
 	}
+	// maxCacheMB rejects budgets no machine this tool targets could hold
+	// (1 TiB): such values are typos, not configurations.
+	const maxCacheMB = 1 << 20
 	if *cacheMB < 0 {
 		fmt.Fprintf(os.Stderr, "experiments: -cachemb must be non-negative, got %d\n", *cacheMB)
+		os.Exit(2)
+	}
+	if *cacheMB > maxCacheMB {
+		fmt.Fprintf(os.Stderr, "experiments: -cachemb must be at most %d (1 TiB), got %d\n", int64(maxCacheMB), *cacheMB)
 		os.Exit(2)
 	}
 
@@ -97,6 +105,15 @@ func main() {
 	// drivers revisiting a circuit (or plan) reuse its build artifacts;
 	// -cachemb bounds its resident footprint.
 	cache := pipeline.NewCacheWithBudget(pipeline.Budget{MaxBytes: *cacheMB << 20})
+	if *cacheDir != "" {
+		if err := cache.AttachDir(*cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			fmt.Fprintf(os.Stderr, "experiments: %s\n", cache.Stats())
+		}()
+	}
 	cfg := experiments.Config{Faults: *faults, FaultSeed: *seed, Workers: *workers, Cache: cache}
 	completed := 0
 	run := func(name string, f func() (rows any, text string, err error)) {

@@ -58,6 +58,7 @@ func main() {
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file after the run")
 		timeout      = flag.Duration("timeout", 0, "wall-clock budget for the sweep (0 = none); on expiry the partial study is reported")
 		cacheMB      = flag.Int64("cachemb", 0, "artifact-cache budget in MiB (0 = unbounded)")
+		cacheDir     = flag.String("cachedir", "", "persist build artifacts under this directory and reuse them across runs (warm start)")
 	)
 	flag.Parse()
 
@@ -88,8 +89,8 @@ func main() {
 	if *timeout < 0 {
 		usageError(fmt.Errorf("-timeout must be non-negative, got %v", *timeout))
 	}
-	if *cacheMB < 0 {
-		usageError(fmt.Errorf("-cachemb must be non-negative, got %d", *cacheMB))
+	if err := validateCacheMB(*cacheMB); err != nil {
+		usageError(err)
 	}
 
 	if *cpuprofile != "" {
@@ -143,6 +144,7 @@ func main() {
 	if *cacheMB > 0 {
 		opts.Cache = pipeline.NewCacheWithBudget(pipeline.Budget{MaxBytes: *cacheMB << 20})
 	}
+	opts.CacheDir = *cacheDir
 	if err := opts.Noise.Validate(); err != nil {
 		usageError(err)
 	}
@@ -208,6 +210,25 @@ func main() {
 	for k, dr := range study.ByPartition {
 		fmt.Printf("  %2d: %.4f\n", k+1, dr.Value())
 	}
+	// Cache traffic goes to stderr so warm and cold runs keep identical
+	// stdout — that invariance is what the CI warm-start check diffs.
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "scandiag: %s\n", b.Opts.Cache.Stats())
+	}
+}
+
+// maxCacheMB rejects budgets no machine this tool targets could hold
+// (1 TiB): such values are typos, not configurations.
+const maxCacheMB = 1 << 20
+
+func validateCacheMB(mb int64) error {
+	if mb < 0 {
+		return fmt.Errorf("-cachemb must be non-negative, got %d", mb)
+	}
+	if mb > maxCacheMB {
+		return fmt.Errorf("-cachemb must be at most %d (1 TiB), got %d", int64(maxCacheMB), mb)
+	}
+	return nil
 }
 
 func loadCircuit(path, name string) (*circuit.Circuit, error) {

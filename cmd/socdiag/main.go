@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/drc"
 	"repro/internal/partition"
+	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/soc"
 )
@@ -41,6 +42,8 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file after the run")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the sweep (0 = none); on expiry the partial study is reported")
+		cacheMB    = flag.Int64("cachemb", 0, "artifact-cache budget in MiB (0 = unbounded)")
+		cacheDir   = flag.String("cachedir", "", "persist build artifacts under this directory and reuse them across runs (warm start)")
 	)
 	flag.Parse()
 
@@ -64,6 +67,9 @@ func main() {
 	}
 	if *timeout < 0 {
 		usageError(fmt.Errorf("-timeout must be non-negative, got %v", *timeout))
+	}
+	if err := validateCacheMB(*cacheMB); err != nil {
+		usageError(err)
 	}
 
 	if *cpuprofile != "" {
@@ -122,7 +128,7 @@ func main() {
 		reportDRC(s.Name, drc.CheckSOC(s, *chains))
 	}
 
-	b, err := core.NewSOCBench(s, core.Options{
+	opts := core.Options{
 		Scheme:     scheme,
 		Groups:     *groups,
 		Partitions: *partitions,
@@ -130,7 +136,12 @@ func main() {
 		Chains:     *chains,
 		Workers:    *workers,
 		StrictDRC:  *drcCheck,
-	})
+		CacheDir:   *cacheDir,
+	}
+	if *cacheMB > 0 {
+		opts.Cache = pipeline.NewCacheWithBudget(pipeline.Budget{MaxBytes: *cacheMB << 20})
+	}
+	b, err := core.NewSOCBench(s, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -179,6 +190,25 @@ func main() {
 	} else {
 		fmt.Printf("DR<=0.5 not reached within %d partitions\n", *partitions)
 	}
+	// Cache traffic goes to stderr so warm and cold runs keep identical
+	// stdout.
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "socdiag: %s\n", b.Opts.Cache.Stats())
+	}
+}
+
+// maxCacheMB rejects budgets no machine this tool targets could hold
+// (1 TiB): such values are typos, not configurations.
+const maxCacheMB = 1 << 20
+
+func validateCacheMB(mb int64) error {
+	if mb < 0 {
+		return fmt.Errorf("-cachemb must be non-negative, got %d", mb)
+	}
+	if mb > maxCacheMB {
+		return fmt.Errorf("-cachemb must be at most %d (1 TiB), got %d", int64(maxCacheMB), mb)
+	}
+	return nil
 }
 
 func schemeByName(name string) (partition.Scheme, error) {

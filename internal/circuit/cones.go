@@ -1,0 +1,128 @@
+package circuit
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// This file exposes the memoized-cone table for persistence: a warm
+// process can snapshot every cone it computed (MemoizedCones) and a cold
+// one can install the decoded set (InstallCone) instead of re-walking the
+// fan-out frontier per site. Installation is structural-validation only —
+// the integrity of the values themselves is the artifact store's job
+// (content keys bind the snapshot to this exact netlist, and the codec's
+// sha256 rejects corrupted bytes).
+
+// NumMemoizedCones returns how many fault-site cones have been computed so
+// far on this circuit.
+func (c *Circuit) NumMemoizedCones() int {
+	n := 0
+	for i := range c.cones {
+		if c.cones[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// MemoizedCones visits every memoized cone in ascending site order. The
+// cones are the shared memoized values; callers must treat them as
+// read-only. Iteration order is deterministic (by NetID), so serialized
+// snapshots are byte-stable.
+func (c *Circuit) MemoizedCones(fn func(site NetID, cone *Cone)) {
+	for i := range c.cones {
+		if cone := c.cones[i].Load(); cone != nil {
+			fn(NetID(i), cone)
+		}
+	}
+}
+
+// InstallCone stores a previously computed cone for a fault site, after
+// validating it structurally against this circuit: every referenced net,
+// cell, and output must exist, the lists must be sorted and duplicate-free
+// the way Cone produces them, and each observation point's net must lie in
+// the cone's net set. A site whose cone is already memoized keeps the
+// existing value (they are deterministic, so any valid install is
+// identical).
+func (c *Circuit) InstallCone(site NetID, cone *Cone) error {
+	if c.cones == nil {
+		return fmt.Errorf("circuit %s: InstallCone on an unvalidated circuit", c.Name)
+	}
+	if site < 0 || int(site) >= len(c.Nets) {
+		return fmt.Errorf("circuit %s: InstallCone site %d outside [0,%d)", c.Name, site, len(c.Nets))
+	}
+	if cone == nil {
+		return fmt.Errorf("circuit %s: InstallCone with nil cone for site %d", c.Name, site)
+	}
+	if err := c.checkCone(site, cone); err != nil {
+		return fmt.Errorf("circuit %s: site %d: %w", c.Name, site, err)
+	}
+	c.cones[site].CompareAndSwap(nil, cone)
+	return nil
+}
+
+func (c *Circuit) checkCone(site NetID, cone *Cone) error {
+	if !sortedNets(cone.Nets) {
+		return fmt.Errorf("cone nets not sorted or not unique")
+	}
+	for _, id := range cone.Nets {
+		if id < 0 || int(id) >= len(c.Nets) {
+			return fmt.Errorf("cone net %d outside [0,%d)", id, len(c.Nets))
+		}
+	}
+	if !hasNet(cone.Nets, site) {
+		return fmt.Errorf("cone does not contain its own site")
+	}
+	if !sortedInts(cone.Cells) {
+		return fmt.Errorf("cone cells not sorted or not unique")
+	}
+	for _, ci := range cone.Cells {
+		if ci < 0 || ci >= len(c.DFFs) {
+			return fmt.Errorf("cone cell %d outside [0,%d)", ci, len(c.DFFs))
+		}
+		d := c.DFFs[ci]
+		if c.Nets[d].Op != logic.OpDFF || len(c.Nets[d].Fanin) != 1 {
+			return fmt.Errorf("cone cell %d is not a flip-flop", ci)
+		}
+		if !hasNet(cone.Nets, c.Nets[d].Fanin[0]) {
+			return fmt.Errorf("cone cell %d's D input is outside the cone", ci)
+		}
+	}
+	if !sortedInts(cone.POs) {
+		return fmt.Errorf("cone POs not sorted or not unique")
+	}
+	for _, pi := range cone.POs {
+		if pi < 0 || pi >= len(c.Outputs) {
+			return fmt.Errorf("cone PO %d outside [0,%d)", pi, len(c.Outputs))
+		}
+		if !hasNet(cone.Nets, c.Outputs[pi]) {
+			return fmt.Errorf("cone PO %d's net is outside the cone", pi)
+		}
+	}
+	return nil
+}
+
+func sortedNets(ids []NetID) bool {
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedInts(v []int) bool {
+	for i := 1; i < len(v); i++ {
+		if v[i] <= v[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func hasNet(sorted []NetID, id NetID) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= id })
+	return i < len(sorted) && sorted[i] == id
+}

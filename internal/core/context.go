@@ -63,7 +63,7 @@ func (b *CircuitBench) RunObservedContext(ctx context.Context, faults []sim.Faul
 	results := make([]*FaultDiagnosis, len(faults))
 	release := b.Opts.Cache.PinCircuit(b.art)
 	defer release()
-	plan := sim.PlanBatches(b.Circuit, faults, sweepOptions(ctx))
+	plan := b.Opts.Cache.Plan(b.Circuit, faults, sweepOptions(ctx))
 	err := pipeline.Executor{Workers: b.Opts.Workers, Retry: b.Opts.Retry.Policy()}.RunBatchesContext(ctx, len(plan.Batches), func() func(int) error {
 		fs := b.fs.Fork()
 		bs := fs.NewBatchScratch(plan)
@@ -94,7 +94,7 @@ func (b *SOCBench) RunCoreContext(ctx context.Context, core int, faults []sim.Fa
 	results := make([]*FaultDiagnosis, len(faults))
 	release := b.Opts.Cache.PinSOC(b.art)
 	defer release()
-	plan := b.fs.PlanCoreBatches(core, faults, sweepOptions(ctx))
+	plan := b.Opts.Cache.Plan(b.SOC.Cores[core].Circuit, faults, sweepOptions(ctx))
 	err := pipeline.Executor{Workers: b.Opts.Workers, Retry: b.Opts.Retry.Policy()}.RunBatchesContext(ctx, len(plan.Batches), func() func(int) error {
 		fs := b.fs.Fork()
 		bs := fs.NewCoreBatchScratch(core, plan)

@@ -81,6 +81,12 @@ type Options struct {
 	// Workers, Noise, Retry, VoteThreshold, and the cache itself — are not
 	// part of the key, so sweeps over them reuse one artifact set.
 	Cache *pipeline.ArtifactCache
+	// CacheDir attaches a persistent artifact tier rooted at this
+	// directory (see pipeline.ArtifactCache.AttachDir): artifacts built by
+	// one process are decoded instead of rebuilt by the next — the
+	// warm-start path. When set with a nil Cache, a fresh cache is created
+	// to host the tier. Empty means in-memory caching only.
+	CacheDir string
 	// CacheBudget bounds Cache with a cost-accounted LRU budget (bytes
 	// and/or entries); the zero value leaves the cache unbounded. Applied
 	// at bench construction via Cache.SetBudget, so the first bench of a
@@ -128,6 +134,23 @@ func (o Options) validate() error {
 	}
 	if o.VoteThreshold > o.Partitions {
 		return fmt.Errorf("core: vote threshold %d exceeds %d partitions (nothing could ever be pruned)", o.VoteThreshold, o.Partitions)
+	}
+	return nil
+}
+
+// attachTiers wires the cache knobs at bench construction: the budget is
+// installed first (so the first bench of a sweep bounds the cache for
+// every later borrower) and the disk tier is attached when CacheDir is
+// set, creating a cache to host it if the caller supplied none.
+func (o *Options) attachTiers() error {
+	if o.CacheDir != "" && o.Cache == nil {
+		o.Cache = pipeline.NewCache()
+	}
+	if o.CacheBudget != (pipeline.Budget{}) {
+		o.Cache.SetBudget(o.CacheBudget)
+	}
+	if o.CacheDir != "" {
+		return o.Cache.AttachDir(o.CacheDir)
 	}
 	return nil
 }
@@ -294,8 +317,8 @@ func NewCircuitBench(c *circuit.Circuit, opts Options) (*CircuitBench, error) {
 			return nil, err
 		}
 	}
-	if opts.CacheBudget != (pipeline.Budget{}) {
-		opts.Cache.SetBudget(opts.CacheBudget)
+	if err := opts.attachTiers(); err != nil {
+		return nil, err
 	}
 	art, err := opts.Cache.Circuit(c, opts.spec())
 	if err != nil {
@@ -475,8 +498,8 @@ func NewSOCBench(s *soc.SOC, opts Options) (*SOCBench, error) {
 			return nil, err
 		}
 	}
-	if opts.CacheBudget != (pipeline.Budget{}) {
-		opts.Cache.SetBudget(opts.CacheBudget)
+	if err := opts.attachTiers(); err != nil {
+		return nil, err
 	}
 	art, err := opts.Cache.SOC(s, opts.spec())
 	if err != nil {

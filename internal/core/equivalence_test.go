@@ -171,6 +171,96 @@ func TestCacheHitMatchesCacheMiss(t *testing.T) {
 	}
 }
 
+// TestWarmStartMatchesColdStart pins the persistence tier's correctness
+// contract: a second process (fresh memory cache, same CacheDir) must
+// produce bit-for-bit identical diagnoses while rebuilding nothing — the
+// fault-free simulation layer, cone snapshot, and batch plans all come
+// off disk.
+func TestWarmStartMatchesColdStart(t *testing.T) {
+	c := benchgen.MustGenerate("s953")
+	schemes := []partition.Scheme{partition.Interval{}, partition.TwoStep{}}
+	for _, scheme := range schemes {
+		for _, noisy := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/noisy=%t", scheme.Name(), noisy), func(t *testing.T) {
+				dir := t.TempDir()
+				o := baseOpts(scheme)
+				if noisy {
+					o = equivNoisyOpts(scheme)
+				}
+				o.Workers = 4
+				o.CacheDir = dir
+
+				cold, err := NewCircuitBench(c, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				faults := sim.SampleFaults(cold.Faults(), 40, 3)
+				want := cold.Run(faults)
+
+				// Second process: a new cache over the same directory.
+				o.Cache = pipeline.NewCache()
+				warm, err := NewCircuitBench(c, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := warm.Run(faults)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("warm-start study %+v differs from cold-start study %+v", got, want)
+				}
+				if !reflect.DeepEqual(warm.GoldenSignatures(), cold.GoldenSignatures()) {
+					t.Error("warm-start golden signatures differ from cold start")
+				}
+				s := o.Cache.Stats()
+				if s.DiskHits == 0 {
+					t.Errorf("warm process never hit the disk tier: stats %+v", s)
+				}
+				if s.DiskWrites != 0 {
+					t.Errorf("warm process rebuilt %d artifacts that were on disk: stats %+v", s.DiskWrites, s)
+				}
+			})
+		}
+	}
+}
+
+// TestSOCWarmStartMatchesColdStart is the SOC-scope warm-start check: the
+// persisted segment map and per-core layers must reproduce RunCore
+// exactly, with zero core re-simulation.
+func TestSOCWarmStartMatchesColdStart(t *testing.T) {
+	var cores []*soc.Core
+	for _, name := range []string{"s298", "s953"} {
+		cores = append(cores, &soc.Core{Name: name, Circuit: benchgen.MustGenerate(name)})
+	}
+	s, err := soc.New("warm", cores...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	o := equivNoisyOpts(partition.TwoStep{})
+	o.Workers = 4
+	o.CacheDir = dir
+
+	cold, err := NewSOCBench(s, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const core = 1
+	faults := sim.SampleFaults(cold.CoreFaults(core), 30, 17)
+	want := cold.RunCore(core, faults)
+
+	o.Cache = pipeline.NewCache()
+	warm, err := NewSOCBench(s, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.RunCore(core, faults); !reflect.DeepEqual(got, want) {
+		t.Errorf("warm-start SOC study %+v differs from cold start %+v", got, want)
+	}
+	st := o.Cache.Stats()
+	if st.DiskHits == 0 || st.DiskWrites != 0 {
+		t.Errorf("warm SOC process stats %+v: want disk hits and zero rebuilds", st)
+	}
+}
+
 // TestSOCPooledMatchesReference is the SOC-level counterpart of
 // TestPooledRunMatchesReference: RunCore's pooled path against the
 // per-fault DiagnoseFault path, with and without noise.

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Codecdet keeps map-iteration order away from the artifact wire format.
+//
+// The codec's promise is byte-for-byte determinism: equal artifacts must
+// encode to equal bytes, because the disk tier addresses them by content
+// and tests compare round-trips bit for bit. Go map iteration order is
+// deliberately randomized, so a single `for k, v := range m` feeding an
+// encoder silently breaks that promise — not as a test failure, but as
+// spurious cache misses and unstable fingerprints in production.
+//
+// Two rules:
+//
+//  1. Inside any package named "codec", ranging over a map is forbidden
+//     outright. Encoders iterate slices (or sort keys first via an
+//     explicit slice); nothing in the codec is allowed to depend on map
+//     order even incidentally.
+//  2. In every other package, a function that calls a codec Encode*
+//     function must not also range over a map: the loop's order could
+//     reach the encoder's input through any value built between the two.
+var Codecdet = &analysis.Analyzer{
+	Name: "codecdet",
+	Doc: "forbid map iteration on artifact-encoding paths\n\n" +
+		"The artifact codec must be deterministic: equal artifacts encode to\n" +
+		"equal bytes. Map iteration order is randomized, so ranging over a\n" +
+		"map inside the codec package, or in a function that calls a codec\n" +
+		"Encode* function, risks leaking nondeterministic order into the\n" +
+		"wire format. Iterate a sorted slice instead.",
+	Run: runCodecdet,
+}
+
+func runCodecdet(pass *analysis.Pass) error {
+	inCodec := pass.Pkg.Name() == "codec"
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCodecFunc(pass, fd, inCodec)
+		}
+	}
+	return nil
+}
+
+// checkCodecFunc applies both rules to one function body: collect its
+// map-range statements, and (outside the codec package) whether it calls
+// into a codec encoder.
+func checkCodecFunc(pass *analysis.Pass, fd *ast.FuncDecl, inCodec bool) {
+	var mapRanges []*ast.RangeStmt
+	encodeCall := ""
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					mapRanges = append(mapRanges, n)
+				}
+			}
+		case *ast.SelectorExpr:
+			if fn, ok := pass.TypesInfo.Uses[n.Sel].(*types.Func); ok {
+				if p := fn.Pkg(); p != nil && p.Name() == "codec" && strings.HasPrefix(fn.Name(), "Encode") {
+					encodeCall = "codec." + fn.Name()
+				}
+			}
+		}
+		return true
+	})
+	for _, r := range mapRanges {
+		switch {
+		case inCodec:
+			pass.Reportf(r.Pos(),
+				"map iteration inside the codec package: encoding must be deterministic, iterate a sorted slice instead")
+		case encodeCall != "":
+			pass.Reportf(r.Pos(),
+				"map iteration in %s, which calls %s: map order is randomized and must not reach the artifact encoder; iterate a sorted slice instead",
+				fd.Name.Name, encodeCall)
+		}
+	}
+}

@@ -17,6 +17,9 @@
 //   - ctxfirst: in the packages on the cancellable execution path,
 //     exported functions take their context.Context first and structs
 //     never store one (absent a documented exception).
+//   - codecdet: the artifact codec must encode deterministically, so
+//     map iteration (whose order is randomized) may not appear in the
+//     codec package or in functions that call its encoders.
 //
 // The analyzers run on the minimal framework in internal/analysis and
 // are bundled by cmd/staticlint.
@@ -33,5 +36,6 @@ func Analyzers() []*analysis.Analyzer {
 		NoExit,
 		ParallelTestScratch,
 		CtxFirst,
+		Codecdet,
 	}
 }

@@ -31,10 +31,14 @@ func TestParallelTestScratch(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.ParallelTestScratch, "ptest")
 }
 
+func TestCodecdet(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Codecdet, "codecdet/codec", "codecdet/user")
+}
+
 func TestAnalyzersListed(t *testing.T) {
 	as := lint.Analyzers()
-	if len(as) != 6 {
-		t.Fatalf("Analyzers() returned %d analyzers, want 6", len(as))
+	if len(as) != 7 {
+		t.Fatalf("Analyzers() returned %d analyzers, want 7", len(as))
 	}
 	seen := map[string]bool{}
 	for _, a := range as {

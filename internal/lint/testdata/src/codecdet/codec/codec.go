@@ -1,0 +1,33 @@
+// Package codec is a codecdet fixture: its name marks it as an artifact
+// encoder, so any map iteration inside it must be flagged regardless of
+// whether the loop visibly feeds the output.
+package codec
+
+import "sort"
+
+// EncodeThings serializes a map-shaped input; the fixture shows the
+// forbidden direct iteration and the allowed sorted-slice form.
+func EncodeThings(m map[string]int) []byte {
+	var out []byte
+	for k := range m { // want "map iteration inside the codec package"
+		out = append(out, k...)
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "map iteration inside the codec package"
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys { // slice iteration: allowed
+		out = append(out, k...)
+	}
+	return out
+}
+
+// EncodeList never sees a map; nothing to flag.
+func EncodeList(xs []int) []byte {
+	var out []byte
+	for _, x := range xs {
+		out = append(out, byte(x))
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+// Package user is a codecdet fixture for the caller-side rule: a
+// function that calls a codec Encode* function must not also iterate a
+// map, since the loop's order could reach the encoder's input.
+package user
+
+import (
+	"sort"
+
+	"codecdet/codec"
+)
+
+// Persist mixes a map walk with an encode call: flagged.
+func Persist(m map[string]int) []byte {
+	var names []string
+	for k := range m { // want "map iteration in Persist, which calls codec.EncodeThings"
+		names = append(names, k)
+	}
+	return codec.EncodeThings(m)
+}
+
+// PersistSorted sorts the keys before encoding, but the rule is
+// deliberately conservative — any map walk sharing a function with an
+// encode call is flagged; hoist the walk into a helper to satisfy it.
+func PersistSorted(m map[string]int) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "map iteration in PersistSorted, which calls codec.EncodeThings"
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return codec.EncodeThings(m)
+}
+
+// Summarize iterates a map but never encodes: allowed.
+func Summarize(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// EncodeOnly calls the encoder with no map loop: allowed.
+func EncodeOnly(xs []int) []byte {
+	return codec.EncodeList(xs)
+}

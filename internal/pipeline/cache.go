@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/circuit"
+	"repro/internal/sim"
 	"repro/internal/soc"
 )
 
@@ -23,6 +24,21 @@ type Stats struct {
 	Evictions int
 	// EvictedBytes is the total estimated cost of evicted entries.
 	EvictedBytes int64
+	// PlanHits/PlanMisses track compiled batch-plan lookups (see Plan and
+	// TransitionPlan).
+	PlanHits   int
+	PlanMisses int
+	// Disk-tier counters, all zero when no BlobStore is attached.
+	// DiskHits/DiskMisses count persistence-tier reads; Promotions counts
+	// artifacts decoded from disk into the memory tier (a promotion saved
+	// a rebuild); DiskWrites counts artifacts written through after a
+	// build; Corruptions counts entries whose bytes or decoded content
+	// failed validation and were quarantined.
+	DiskHits    int
+	DiskMisses  int
+	DiskWrites  int
+	Promotions  int
+	Corruptions int
 }
 
 // Budget bounds an ArtifactCache. The zero value is unbounded — the
@@ -49,6 +65,7 @@ const (
 	kindCirc
 	kindSOCSim
 	kindSOC
+	kindPlan
 )
 
 // errCost is the nominal cost charged for a cached build error: enough
@@ -96,9 +113,17 @@ type ArtifactCache struct {
 	circs   map[string]*entry[*CircuitArtifacts]
 	socSims map[string]*entry[*socSimArtifacts]
 	socs    map[string]*entry[*SOCArtifacts]
+	plans   map[string]*entry[*sim.BatchPlan]
 	lru     *list.List // of *node
 	bytes   int64
 	stats   Stats
+
+	// Tier 2 (see store.go): an optional persistence tier plus the
+	// per-circuit bookkeeping the disk keys need.
+	disk    BlobStore
+	diskDir string
+	fps     map[*circuit.Circuit]string
+	cones   map[*circuit.Circuit]*conesState
 }
 
 // NewCache returns an empty, unbounded artifact cache.
@@ -235,6 +260,8 @@ func (c *ArtifactCache) removeLocked(n *node) {
 		delete(c.socSims, n.key)
 	case kindSOC:
 		delete(c.socs, n.key)
+	case kindPlan:
+		delete(c.plans, n.key)
 	}
 	c.lru.Remove(n.elem)
 	c.bytes -= n.bytes
@@ -373,13 +400,13 @@ func (c *ArtifactCache) Circuit(ct *circuit.Circuit, spec Spec) (*CircuitArtifac
 		}
 		return buildCircuit(ct, spec, sa)
 	}
-	fp := CircuitFingerprint(ct)
+	fp := c.fingerprint(ct)
 	key, simKey := spec.Key(fp), spec.simKey(fp)
 	e := lookup(c, &c.circs, kindCirc, key, &c.stats.Hits, &c.stats.Misses)
 	e.once.Do(func() {
 		se := lookup(c, &c.sims, kindSim, simKey, &c.stats.SimHits, &c.stats.SimMisses)
 		se.once.Do(func() {
-			se.val, se.err = buildSim(ct, spec)
+			se.val, se.err = c.fetchSim(ct, spec, simKey)
 			c.setCost(se.node, se.val.cost())
 		})
 		if se.err != nil {
@@ -414,7 +441,7 @@ func (c *ArtifactCache) SOC(s *soc.SOC, spec Spec) (*SOCArtifacts, error) {
 	e.once.Do(func() {
 		se := lookup(c, &c.socSims, kindSOCSim, simKey, &c.stats.SimHits, &c.stats.SimMisses)
 		se.once.Do(func() {
-			se.val, se.err = buildSOCSim(s, spec)
+			se.val, se.err = c.fetchSOCSim(s, spec, simKey)
 			c.setCost(se.node, se.val.cost())
 		})
 		if se.err != nil {

@@ -1,0 +1,439 @@
+// Package diskstore implements the pipeline's persistent artifact tier: a
+// content-addressed blob store on the local filesystem. Entries are
+// written atomically (temp file + rename in the same directory), read back
+// under a CRC check, and quarantined — never silently served — when the
+// bytes do not match. The store is safe for concurrent use by multiple
+// goroutines and multiple processes: content addressing makes concurrent
+// writers of the same key idempotent, and rename makes readers see either
+// the whole entry or none of it.
+//
+// Layout: an entry whose content key hashes to hex digest d lives at
+// <dir>/<d[:2]>/<d>, fanned out over 256 subdirectories. The file itself
+// carries a small header (magic, version, the full content key, payload
+// length, CRC-32C) so entries are self-describing and hash collisions on
+// the pathname are detected rather than served.
+package diskstore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+const (
+	fileVersion   uint16 = 1
+	headerFixed          = 4 + 2 + 4 + 8 + 4 // magic, version, key len, payload len, crc
+	quarantineDir        = "quarantine"
+)
+
+var (
+	fileMagic = [4]byte{'S', 'B', 'D', 'S'}
+	castTable = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// CorruptError reports an entry whose on-disk bytes failed validation.
+// The entry has already been moved aside (quarantined) when Get returns
+// one, so the next fetch of the key misses cleanly and rebuilds.
+type CorruptError struct {
+	Key    string
+	Path   string
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("diskstore: corrupt entry %s (%s): %s", e.Key, e.Path, e.Reason)
+}
+
+// Options tunes a Store.
+type Options struct {
+	// MaxBytes caps the store's payload footprint; writes that push past
+	// it trigger a GC of the least-recently-used entries. Zero means
+	// uncapped.
+	MaxBytes int64
+}
+
+// Store is a content-addressed blob store rooted at one directory.
+type Store struct {
+	dir string
+	opt Options
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Stats counts store traffic since Open.
+type Stats struct {
+	Gets        int64
+	Hits        int64
+	Misses      int64
+	Puts        int64
+	Corruptions int64
+	GCRemoved   int64
+	GCBytes     int64
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string, opt Options) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("diskstore: empty directory")
+	}
+	if opt.MaxBytes < 0 {
+		return nil, fmt.Errorf("diskstore: negative size cap %d", opt.MaxBytes)
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	return &Store{dir: dir, opt: opt}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// hashKey maps a content key to its hex digest.
+func hashKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+func (s *Store) pathOf(key string) string {
+	d := hashKey(key)
+	return filepath.Join(s.dir, d[:2], d)
+}
+
+// Put stores data under key, atomically: the entry is staged as a temp
+// file in the final subdirectory and renamed into place, so concurrent
+// readers and writers (including other processes) never observe a torn
+// entry. Re-putting an existing key rewrites it with identical content.
+func (s *Store) Put(key string, data []byte) error {
+	path := s.pathOf(key)
+	sub := filepath.Dir(path)
+	if err := os.MkdirAll(sub, 0o777); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	buf := make([]byte, 0, headerFixed+len(key)+len(data))
+	buf = append(buf, fileMagic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, fileVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(data)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(data, castTable))
+	buf = append(buf, data...)
+
+	tmp, err := os.CreateTemp(sub, ".put-*")
+	if err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	_, werr := tmp.Write(buf)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("diskstore: staging %s: %w", key, errors.Join(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	s.mu.Lock()
+	s.stats.Puts++
+	s.mu.Unlock()
+	if s.opt.MaxBytes > 0 {
+		if size, err := s.payloadBytes(); err == nil && size > s.opt.MaxBytes {
+			s.GC(s.opt.MaxBytes)
+		}
+	}
+	return nil
+}
+
+// Get returns the payload stored under key. A missing entry returns an
+// error wrapping fs.ErrNotExist; an entry whose bytes fail validation is
+// quarantined and reported as a *CorruptError. A successful read bumps
+// the entry's modification time, which GC uses as its recency signal.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.mu.Lock()
+	s.stats.Gets++
+	s.mu.Unlock()
+	path := s.pathOf(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			s.mu.Lock()
+			s.stats.Misses++
+			s.mu.Unlock()
+			return nil, fmt.Errorf("diskstore: no entry for %s: %w", key, fs.ErrNotExist)
+		}
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	data, reason := parseEntry(raw, key)
+	if reason != "" {
+		qpath := s.quarantine(path)
+		s.mu.Lock()
+		s.stats.Corruptions++
+		s.mu.Unlock()
+		return nil, &CorruptError{Key: key, Path: qpath, Reason: reason}
+	}
+	now := time.Now()
+	os.Chtimes(path, now, now) // best-effort recency for GC
+	s.mu.Lock()
+	s.stats.Hits++
+	s.mu.Unlock()
+	return data, nil
+}
+
+// parseEntry validates an entry file and extracts its payload; a
+// non-empty reason means corruption.
+func parseEntry(raw []byte, key string) (data []byte, reason string) {
+	if len(raw) < headerFixed {
+		return nil, fmt.Sprintf("file of %d bytes is shorter than the header", len(raw))
+	}
+	if [4]byte(raw[:4]) != fileMagic {
+		return nil, fmt.Sprintf("bad magic %q", raw[:4])
+	}
+	if v := binary.LittleEndian.Uint16(raw[4:]); v != fileVersion {
+		return nil, fmt.Sprintf("entry version %d, store speaks %d", v, fileVersion)
+	}
+	keyLen := int(binary.LittleEndian.Uint32(raw[6:]))
+	if keyLen < 0 || len(raw) < headerFixed+keyLen {
+		return nil, fmt.Sprintf("key length %d exceeds file", keyLen)
+	}
+	gotKey := string(raw[10 : 10+keyLen])
+	if key != "" && gotKey != key {
+		return nil, fmt.Sprintf("entry holds key %q (pathname hash collision or tampering)", gotKey)
+	}
+	rest := raw[10+keyLen:]
+	n := binary.LittleEndian.Uint64(rest)
+	crc := binary.LittleEndian.Uint32(rest[8:])
+	payload := rest[12:]
+	if n != uint64(len(payload)) {
+		return nil, fmt.Sprintf("header claims %d payload bytes, file holds %d", n, len(payload))
+	}
+	if crc32.Checksum(payload, castTable) != crc {
+		return nil, "payload CRC mismatch"
+	}
+	return payload, ""
+}
+
+// quarantine moves a corrupt entry aside so the key misses cleanly from
+// now on; the bytes are preserved for post-mortems. Returns the new path
+// (or the old one if the move itself failed).
+func (s *Store) quarantine(path string) string {
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o777); err != nil {
+		os.Remove(path)
+		return path
+	}
+	qpath := filepath.Join(qdir, filepath.Base(path))
+	if err := os.Rename(path, qpath); err != nil {
+		os.Remove(path)
+		return path
+	}
+	return qpath
+}
+
+// Delete removes the entry for key, if present.
+func (s *Store) Delete(key string) error {
+	err := os.Remove(s.pathOf(key))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	return nil
+}
+
+// Quarantine moves the entry for key (if present) into the quarantine
+// directory. The pipeline calls this when an entry's envelope passed the
+// CRC but its decoded content failed validation one layer up.
+func (s *Store) Quarantine(key string) error {
+	path := s.pathOf(key)
+	if _, err := os.Stat(path); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	s.quarantine(path)
+	s.mu.Lock()
+	s.stats.Corruptions++
+	s.mu.Unlock()
+	return nil
+}
+
+// Entry describes one stored blob.
+type Entry struct {
+	Key     string
+	Digest  string
+	Size    int64 // payload bytes
+	ModTime time.Time
+	Path    string
+}
+
+// List enumerates the store's entries, sorted by key. Entries whose
+// header cannot be parsed are skipped (Verify reports them).
+func (s *Store) List() ([]Entry, error) {
+	entries, err := s.scan(false)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	return entries, nil
+}
+
+// scan walks the fan-out directories. With keepBad, unparsable entries
+// are returned with an empty Key so Verify can report them.
+func (s *Store) scan(keepBad bool) ([]Entry, error) {
+	var entries []Entry
+	subs, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	for _, sub := range subs {
+		if !sub.IsDir() || sub.Name() == quarantineDir || len(sub.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, sub.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if f.IsDir() {
+				continue
+			}
+			path := filepath.Join(s.dir, sub.Name(), f.Name())
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			key, size := entryHeader(path)
+			if key == "" && !keepBad {
+				continue
+			}
+			entries = append(entries, Entry{
+				Key:     key,
+				Digest:  f.Name(),
+				Size:    size,
+				ModTime: info.ModTime(),
+				Path:    path,
+			})
+		}
+	}
+	return entries, nil
+}
+
+// entryHeader reads just enough of an entry file to recover its key and
+// payload size; an empty key means the header is unreadable.
+func entryHeader(path string) (string, int64) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0
+	}
+	defer f.Close()
+	head := make([]byte, 10)
+	if _, err := f.ReadAt(head, 0); err != nil {
+		return "", 0
+	}
+	if [4]byte(head[:4]) != fileMagic || binary.LittleEndian.Uint16(head[4:]) != fileVersion {
+		return "", 0
+	}
+	keyLen := int(binary.LittleEndian.Uint32(head[6:]))
+	if keyLen <= 0 || keyLen > 1<<20 {
+		return "", 0
+	}
+	rest := make([]byte, keyLen+8)
+	if _, err := f.ReadAt(rest, 10); err != nil {
+		return "", 0
+	}
+	return string(rest[:keyLen]), int64(binary.LittleEndian.Uint64(rest[keyLen:]))
+}
+
+// payloadBytes sums the payload sizes of all entries.
+func (s *Store) payloadBytes() (int64, error) {
+	entries, err := s.scan(true)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range entries {
+		total += e.Size
+	}
+	return total, nil
+}
+
+// GC removes least-recently-used entries (by modification time, which Get
+// refreshes) until the store's payload footprint is at most maxBytes.
+// Safe to run while readers are active: a reader holding an open file
+// keeps its bytes, and a removed entry simply misses next time.
+func (s *Store) GC(maxBytes int64) (removed int, freed int64, err error) {
+	if maxBytes < 0 {
+		return 0, 0, fmt.Errorf("diskstore: negative GC target %d", maxBytes)
+	}
+	entries, err := s.scan(true)
+	if err != nil {
+		return 0, 0, err
+	}
+	var total int64
+	for _, e := range entries {
+		total += e.Size
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ModTime.Before(entries[j].ModTime) })
+	for _, e := range entries {
+		if total <= maxBytes {
+			break
+		}
+		if rmErr := os.Remove(e.Path); rmErr != nil {
+			continue
+		}
+		total -= e.Size
+		removed++
+		freed += e.Size
+	}
+	s.mu.Lock()
+	s.stats.GCRemoved += int64(removed)
+	s.stats.GCBytes += freed
+	s.mu.Unlock()
+	return removed, freed, nil
+}
+
+// VerifyResult reports one entry's integrity check.
+type VerifyResult struct {
+	Entry Entry
+	Err   error // nil when the entry is intact
+}
+
+// Verify re-reads every entry under the full validation Get performs,
+// without quarantining anything, and returns one result per entry
+// (including entries whose header is unreadable).
+func (s *Store) Verify() ([]VerifyResult, error) {
+	entries, err := s.scan(true)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Path < entries[j].Path })
+	results := make([]VerifyResult, 0, len(entries))
+	for _, e := range entries {
+		raw, err := os.ReadFile(e.Path)
+		if err != nil {
+			results = append(results, VerifyResult{Entry: e, Err: err})
+			continue
+		}
+		var verr error
+		if _, reason := parseEntry(raw, e.Key); reason != "" {
+			verr = &CorruptError{Key: e.Key, Path: e.Path, Reason: reason}
+		}
+		results = append(results, VerifyResult{Entry: e, Err: verr})
+	}
+	return results, nil
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

@@ -1,0 +1,444 @@
+package diskstore_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline/diskstore"
+)
+
+func openStore(t *testing.T, opt diskstore.Options) *diskstore.Store {
+	t.Helper()
+	s, err := diskstore.Open(t.TempDir(), opt)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+// entryPath locates the on-disk file backing key, for tests that tamper
+// with stored bytes directly.
+func entryPath(t *testing.T, s *diskstore.Store, key string) string {
+	t.Helper()
+	entries, err := s.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	for _, e := range entries {
+		if e.Key == key {
+			return e.Path
+		}
+	}
+	t.Fatalf("no entry for key %q", key)
+	return ""
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := diskstore.Open("", diskstore.Options{}); err == nil {
+		t.Error("Open accepted an empty directory")
+	}
+	if _, err := diskstore.Open(t.TempDir(), diskstore.Options{MaxBytes: -1}); err == nil {
+		t.Error("Open accepted a negative size cap")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openStore(t, diskstore.Options{})
+	payloads := map[string][]byte{
+		"sim|a":   []byte("alpha payload"),
+		"plan|b":  bytes.Repeat([]byte{0xAB}, 4096),
+		"cones|c": {},
+	}
+	for k, v := range payloads {
+		if err := s.Put(k, v); err != nil {
+			t.Fatalf("Put(%q): %v", k, err)
+		}
+	}
+	for k, want := range payloads {
+		got, err := s.Get(k)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", k, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("Get(%q) = %d bytes, want %d", k, len(got), len(want))
+		}
+	}
+	st := s.Stats()
+	if st.Puts != 3 || st.Gets != 3 || st.Hits != 3 || st.Misses != 0 {
+		t.Errorf("stats after round trip: %+v", st)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := openStore(t, diskstore.Options{})
+	_, err := s.Get("never-stored")
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Get of missing key: err = %v, want fs.ErrNotExist", err)
+	}
+	if st := s.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Errorf("stats after miss: %+v", st)
+	}
+}
+
+func TestRePutOverwrites(t *testing.T) {
+	s := openStore(t, diskstore.Options{})
+	if err := s.Put("k", []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("second, longer payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second, longer payload" {
+		t.Errorf("Get after re-put = %q", got)
+	}
+}
+
+func TestCorruptPayloadQuarantined(t *testing.T) {
+	s := openStore(t, diskstore.Options{})
+	if err := s.Put("victim", bytes.Repeat([]byte{0x5A}, 256)); err != nil {
+		t.Fatal(err)
+	}
+	path := entryPath(t, s, "victim")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF // flip a payload byte past the CRC field
+	if err := os.WriteFile(path, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = s.Get("victim")
+	var ce *diskstore.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Get of corrupt entry: err = %v, want *CorruptError", err)
+	}
+	if ce.Key != "victim" {
+		t.Errorf("CorruptError.Key = %q", ce.Key)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, fs.ErrNotExist) {
+		t.Error("corrupt entry still at its original path")
+	}
+	if _, err := os.Stat(ce.Path); err != nil {
+		t.Errorf("quarantined bytes not preserved at %s: %v", ce.Path, err)
+	}
+	if filepath.Dir(ce.Path) != filepath.Join(s.Dir(), "quarantine") {
+		t.Errorf("quarantine path %s not under quarantine/", ce.Path)
+	}
+	// The key now misses cleanly, so a caller can rebuild and re-put.
+	if _, err := s.Get("victim"); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("Get after quarantine: err = %v, want fs.ErrNotExist", err)
+	}
+	if st := s.Stats(); st.Corruptions != 1 {
+		t.Errorf("Corruptions = %d, want 1", st.Corruptions)
+	}
+}
+
+func TestWrongKeyDetected(t *testing.T) {
+	s := openStore(t, diskstore.Options{})
+	if err := s.Put("intended", []byte("payload A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("impostor", []byte("payload B")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a pathname hash collision (or tampering): the file at
+	// "intended"'s path holds an entry self-describing as "impostor".
+	impostor, err := os.ReadFile(entryPath(t, s, "impostor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entryPath(t, s, "intended"), impostor, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Get("intended")
+	var ce *diskstore.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Get with mismatched stored key: err = %v, want *CorruptError", err)
+	}
+	// The real "impostor" entry is untouched.
+	if got, err := s.Get("impostor"); err != nil || string(got) != "payload B" {
+		t.Errorf("Get(impostor) = %q, %v", got, err)
+	}
+}
+
+func TestTruncatedEntryRejected(t *testing.T) {
+	s := openStore(t, diskstore.Options{})
+	if err := s.Put("short", bytes.Repeat([]byte{1}, 128)); err != nil {
+		t.Fatal(err)
+	}
+	path := entryPath(t, s, "short")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o666); err != nil {
+		t.Fatal(err)
+	}
+	var ce *diskstore.CorruptError
+	if _, err := s.Get("short"); !errors.As(err, &ce) {
+		t.Fatalf("Get of truncated entry: err = %v, want *CorruptError", err)
+	}
+}
+
+func TestQuarantineMethod(t *testing.T) {
+	s := openStore(t, diskstore.Options{})
+	if err := s.Put("k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quarantine("k"); err != nil {
+		t.Fatalf("Quarantine: %v", err)
+	}
+	if _, err := s.Get("k"); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("Get after Quarantine: err = %v, want fs.ErrNotExist", err)
+	}
+	if err := s.Quarantine("absent"); err != nil {
+		t.Errorf("Quarantine of a missing key: %v", err)
+	}
+	if st := s.Stats(); st.Corruptions != 1 {
+		t.Errorf("Corruptions = %d, want 1", st.Corruptions)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := openStore(t, diskstore.Options{})
+	if err := s.Put("k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := s.Get("k"); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("Get after Delete: err = %v", err)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Errorf("Delete of a missing key: %v", err)
+	}
+}
+
+func TestListSortedByKey(t *testing.T) {
+	s := openStore(t, diskstore.Options{})
+	for _, k := range []string{"zeta", "alpha", "mid"} {
+		if err := s.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("List returned %d entries, want 3", len(entries))
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	for i, e := range entries {
+		if e.Key != want[i] {
+			t.Errorf("entry %d key = %q, want %q", i, e.Key, want[i])
+		}
+		if e.Size != int64(len(e.Key)) {
+			t.Errorf("entry %q size = %d, want %d", e.Key, e.Size, len(e.Key))
+		}
+	}
+}
+
+func TestGCEvictsLeastRecent(t *testing.T) {
+	s := openStore(t, diskstore.Options{})
+	keys := []string{"old", "mid", "new"}
+	for _, k := range keys {
+		if err := s.Put(k, bytes.Repeat([]byte{9}, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Spread modification times so recency order is deterministic.
+	base := time.Now().Add(-time.Hour)
+	for i, k := range keys {
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(entryPath(t, s, k), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, freed, err := s.GC(1500)
+	if err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	if removed != 2 || freed != 2000 {
+		t.Errorf("GC removed %d entries (%d bytes), want 2 (2000)", removed, freed)
+	}
+	if _, err := s.Get("old"); !errors.Is(err, fs.ErrNotExist) {
+		t.Error("oldest entry survived GC")
+	}
+	if _, err := s.Get("mid"); !errors.Is(err, fs.ErrNotExist) {
+		t.Error("second-oldest entry survived GC")
+	}
+	if _, err := s.Get("new"); err != nil {
+		t.Errorf("most recent entry was evicted: %v", err)
+	}
+	if _, _, err := s.GC(-1); err == nil {
+		t.Error("GC accepted a negative target")
+	}
+}
+
+func TestGetRefreshesRecency(t *testing.T) {
+	s := openStore(t, diskstore.Options{})
+	for _, k := range []string{"a", "b"} {
+		if err := s.Put(k, bytes.Repeat([]byte{7}, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stale := time.Now().Add(-time.Hour)
+	for _, k := range []string{"a", "b"} {
+		if err := os.Chtimes(entryPath(t, s, k), stale, stale); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Get("a"); err != nil { // touches a's mtime
+		t.Fatal(err)
+	}
+	if removed, _, err := s.GC(1000); err != nil || removed != 1 {
+		t.Fatalf("GC removed %d, err %v; want 1, nil", removed, err)
+	}
+	if _, err := s.Get("a"); err != nil {
+		t.Errorf("recently read entry was evicted: %v", err)
+	}
+	if _, err := s.Get("b"); !errors.Is(err, fs.ErrNotExist) {
+		t.Error("stale entry survived GC")
+	}
+}
+
+func TestPutHonorsMaxBytes(t *testing.T) {
+	s := openStore(t, diskstore.Options{MaxBytes: 2500})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte{byte(i)}, 1000)); err != nil {
+			t.Fatal(err)
+		}
+		// Keep insertion order visible to the mtime-based GC even on
+		// filesystems with coarse timestamps.
+		mt := time.Now().Add(time.Duration(i-5) * time.Minute)
+		if err := os.Chtimes(entryPath(t, s, fmt.Sprintf("k%d", i)), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, e := range entries {
+		total += e.Size
+	}
+	if total > 2500 {
+		t.Errorf("store holds %d payload bytes, cap is 2500", total)
+	}
+	if st := s.Stats(); st.GCRemoved == 0 {
+		t.Error("no GC activity recorded despite exceeding MaxBytes")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	s := openStore(t, diskstore.Options{})
+	for _, k := range []string{"good1", "good2", "bad"} {
+		if err := s.Put(k, bytes.Repeat([]byte{3}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	badPath := entryPath(t, s, "bad")
+	raw, err := os.ReadFile(badPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(badPath, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	results, err := s.Verify()
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("Verify returned %d results, want 3", len(results))
+	}
+	var bad int
+	for _, r := range results {
+		if r.Err != nil {
+			bad++
+			var ce *diskstore.CorruptError
+			if !errors.As(r.Err, &ce) {
+				t.Errorf("verify error for %s is %T, want *CorruptError", r.Entry.Path, r.Err)
+			}
+		}
+	}
+	if bad != 1 {
+		t.Errorf("Verify flagged %d entries, want 1", bad)
+	}
+	// Verify must not quarantine: the corrupt entry is still in place.
+	if _, err := os.Stat(badPath); err != nil {
+		t.Errorf("Verify moved the corrupt entry: %v", err)
+	}
+}
+
+// TestConcurrentSameKey hammers one key with parallel writers and readers
+// under the race detector: every successful read must observe a complete,
+// validated entry — never a torn one.
+func TestConcurrentSameKey(t *testing.T) {
+	s := openStore(t, diskstore.Options{})
+	payloads := make([][]byte, 4)
+	for i := range payloads {
+		payloads[i] = bytes.Repeat([]byte{byte(i + 1)}, 8192)
+	}
+	if err := s.Put("hot", payloads[0]); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := s.Put("hot", payloads[(w+i)%len(payloads)]); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				got, err := s.Get("hot")
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				if len(got) != 8192 {
+					t.Errorf("reader %d: torn read of %d bytes", r, len(got))
+					return
+				}
+				first := got[0]
+				for _, b := range got {
+					if b != first {
+						t.Errorf("reader %d: payload mixes writers", r)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Corruptions != 0 {
+		t.Errorf("concurrent traffic produced %d corruptions", st.Corruptions)
+	}
+}

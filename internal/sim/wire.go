@@ -1,0 +1,371 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// This file is the serialization boundary of the simulation engine: it
+// exposes exactly the content a persisted artifact needs (the fault-free
+// layer's per-block net values, a compiled batch's dense record streams)
+// and reconstructs the full runtime objects from it. Reconstruction never
+// trusts wire data for anything pointer- or scratch-sized — blocks, good
+// responses, extension-slot counts, and lane maxima are all re-derived
+// here, and every slot, index, and fault site is bounds-checked against
+// the live circuit before a kernel may run over it.
+
+// LayerSnapshot returns the serializable content of the fault-free
+// simulation layer: the per-block valid-pattern counts and the per-block
+// fault-free value of every net. Everything else in the layer (the pattern
+// blocks themselves, the good captured responses) is derivable from these
+// rows, because the net values of the primary inputs and flip-flop outputs
+// are the applied pattern. The returned slices are the FaultSim's shared
+// state; callers must not modify them.
+func (fs *FaultSim) LayerSnapshot() (ns []int, goodVals [][]uint64) {
+	ns = make([]int, len(fs.blocks))
+	for i, b := range fs.blocks {
+		ns[i] = b.N
+	}
+	return ns, fs.goodVals
+}
+
+// NewFaultSimFromLayer reconstructs a FaultSim from a layer snapshot
+// without re-simulating: blocks are read back out of the input and
+// flip-flop rows, and the good captured responses out of the D-input and
+// output rows. The goodVals rows are retained (not copied); ownership
+// passes to the FaultSim. The result is bit-for-bit identical to the
+// NewFaultSim that produced the snapshot.
+func NewFaultSimFromLayer(c *circuit.Circuit, ns []int, goodVals [][]uint64) (*FaultSim, error) {
+	if len(ns) != len(goodVals) {
+		return nil, fmt.Errorf("sim: layer has %d pattern counts for %d blocks", len(ns), len(goodVals))
+	}
+	fs := &FaultSim{sim: New(c), tc: &twoCycleCache{}, bc: &batchCache{}}
+	for bi, n := range ns {
+		if n < 1 || n > 64 {
+			return nil, fmt.Errorf("sim: layer block %d has pattern count %d outside 1..64", bi, n)
+		}
+		gv := goodVals[bi]
+		if len(gv) != c.NumNets() {
+			return nil, fmt.Errorf("sim: layer block %d has %d net rows, circuit has %d nets", bi, len(gv), c.NumNets())
+		}
+		b := &Block{N: n, PI: make([]uint64, c.NumInputs()), State: make([]uint64, c.NumDFFs())}
+		for i, id := range c.Inputs {
+			b.PI[i] = gv[id]
+		}
+		for i, id := range c.DFFs {
+			b.State[i] = gv[id]
+		}
+		r := newResponse(c)
+		for i, id := range c.DFFs {
+			r.Next[i] = gv[c.Nets[id].Fanin[0]]
+		}
+		for i, id := range c.Outputs {
+			r.PO[i] = gv[id]
+		}
+		fs.blocks = append(fs.blocks, b)
+		fs.good = append(fs.good, r)
+		fs.goodVals = append(fs.goodVals, gv)
+	}
+	return fs, nil
+}
+
+// GateRecord is the wire form of one kernel micro-op: slot Out takes
+// op(slot A, slot B), the op living in the enclosing RunRecord.
+type GateRecord struct {
+	A, B, Out int32
+}
+
+// RunRecord is the wire form of one op-homogeneous streak of gate records.
+type RunRecord struct {
+	Start, End int32
+	Op         uint8
+}
+
+// CapRecord is the wire form of one observation point: lane Owner's value
+// in Slot is compared against the baseline row of net Good and patched at
+// cell/PO index Idx.
+type CapRecord struct {
+	Idx, Slot, Good, Owner int32
+}
+
+// BatchWire is the serializable content of one CompiledBatch. The
+// extension-slot count is deliberately absent: it sizes scratch memory and
+// is re-derived from the record stream on the way back in.
+type BatchWire struct {
+	Faults  []Fault
+	TFaults []TransitionFault
+	Index   []int
+	Gates   []GateRecord
+	Runs    []RunRecord
+	Cells   []CapRecord
+	POs     []CapRecord
+}
+
+// Wire copies the batch's streams into their wire form.
+func (cb *CompiledBatch) Wire() *BatchWire {
+	w := &BatchWire{
+		Faults:  append([]Fault(nil), cb.Faults...),
+		TFaults: append([]TransitionFault(nil), cb.TFaults...),
+		Index:   append([]int(nil), cb.Index...),
+		Gates:   make([]GateRecord, len(cb.gates)),
+		Runs:    make([]RunRecord, len(cb.runs)),
+		Cells:   make([]CapRecord, len(cb.cells)),
+		POs:     make([]CapRecord, len(cb.pos)),
+	}
+	for i, g := range cb.gates {
+		w.Gates[i] = GateRecord{A: g.a, B: g.b, Out: g.out}
+	}
+	for i, r := range cb.runs {
+		w.Runs[i] = RunRecord{Start: r.start, End: r.end, Op: r.op}
+	}
+	for i, cc := range cb.cells {
+		w.Cells[i] = CapRecord{Idx: cc.idx, Slot: cc.slot, Good: cc.good, Owner: cc.owner}
+	}
+	for i, pc := range cb.pos {
+		w.POs[i] = CapRecord{Idx: pc.idx, Slot: pc.slot, Good: pc.good, Owner: pc.owner}
+	}
+	return w
+}
+
+// CompiledBatchFromWire validates a wire batch against the live circuit
+// and assembles the runnable CompiledBatch. The validation is exhaustive
+// enough that a batch it accepts can never index outside its scratch:
+// every run partition, slot reference, write-before-read dependency,
+// observation index, and fault site is checked, and the extension-slot
+// count is re-derived from the writes actually present in the stream.
+func CompiledBatchFromWire(c *circuit.Circuit, kind BatchKind, w *BatchWire) (*CompiledBatch, error) {
+	if kind != BatchStuckAt && kind != BatchTransition {
+		return nil, fmt.Errorf("sim: wire batch has unknown kind %d", kind)
+	}
+	lanes := len(w.Faults)
+	if kind == BatchTransition {
+		lanes = len(w.TFaults)
+		if len(w.Faults) != 0 {
+			return nil, fmt.Errorf("sim: transition wire batch carries %d stuck-at faults", len(w.Faults))
+		}
+	} else if len(w.TFaults) != 0 {
+		return nil, fmt.Errorf("sim: stuck-at wire batch carries %d transition faults", len(w.TFaults))
+	}
+	if lanes < 1 || lanes > MaxLanes {
+		return nil, fmt.Errorf("sim: wire batch has %d lanes, want 1..%d", lanes, MaxLanes)
+	}
+	if len(w.Index) != lanes {
+		return nil, fmt.Errorf("sim: wire batch has %d index entries for %d lanes", len(w.Index), lanes)
+	}
+	for _, i := range w.Index {
+		if i < 0 {
+			return nil, fmt.Errorf("sim: wire batch has negative fault index %d", i)
+		}
+	}
+	N := int32(c.NumNets())
+	for k, f := range w.Faults {
+		if err := checkWireFault(c, f); err != nil {
+			return nil, fmt.Errorf("sim: wire batch lane %d: %w", k, err)
+		}
+	}
+	for k, f := range w.TFaults {
+		if f.Net < 0 || f.Net >= circuit.NetID(N) {
+			return nil, fmt.Errorf("sim: wire batch lane %d: transition site %d outside [0,%d)", k, f.Net, N)
+		}
+	}
+
+	// Re-derive the extension region from the writes in the stream, then
+	// walk the runs checking the partition, the op set, and that every
+	// extension slot is written exactly once and strictly before any read.
+	extBase := N + 2
+	nExt := int32(0)
+	for i, g := range w.Gates {
+		if g.Out < extBase {
+			return nil, fmt.Errorf("sim: wire record %d writes read-only slot %d", i, g.Out)
+		}
+		if s := g.Out - extBase + 1; s > nExt {
+			nExt = s
+		}
+	}
+	if int(nExt) > len(w.Gates) {
+		return nil, fmt.Errorf("sim: wire batch claims %d extension slots with only %d records", nExt, len(w.Gates))
+	}
+	written := make([]bool, nExt)
+	slots := extBase + nExt
+	checkRead := func(i int, s int32) error {
+		if s < 0 || s >= slots {
+			return fmt.Errorf("sim: wire record %d reads slot %d outside [0,%d)", i, s, slots)
+		}
+		if s >= extBase && !written[s-extBase] {
+			return fmt.Errorf("sim: wire record %d reads extension slot %d before it is written", i, s)
+		}
+		return nil
+	}
+	next := int32(0)
+	for ri, run := range w.Runs {
+		if run.Start != next || run.End <= run.Start || int(run.End) > len(w.Gates) {
+			return nil, fmt.Errorf("sim: wire run %d [%d,%d) does not partition the %d-record stream", ri, run.Start, run.End, len(w.Gates))
+		}
+		next = run.End
+		if run.Op > bopTransFall {
+			return nil, fmt.Errorf("sim: wire run %d has unknown op %d", ri, run.Op)
+		}
+		trans := run.Op == bopTransRise || run.Op == bopTransFall
+		if trans && kind != BatchTransition {
+			return nil, fmt.Errorf("sim: wire run %d uses a transition op in a stuck-at batch", ri)
+		}
+		readsA := run.Op != bopConst0 && run.Op != bopConst1
+		readsB := run.Op == bopAnd || run.Op == bopNand || run.Op == bopOr ||
+			run.Op == bopNor || run.Op == bopXor || run.Op == bopXnor
+		for i := run.Start; i < run.End; i++ {
+			g := w.Gates[i]
+			if readsA {
+				if err := checkRead(int(i), g.A); err != nil {
+					return nil, err
+				}
+			}
+			if trans && g.A >= N {
+				// Transition forces index the launch baseline directly, which
+				// only has rows for real nets.
+				return nil, fmt.Errorf("sim: wire record %d forces non-net slot %d", i, g.A)
+			}
+			if readsB {
+				if err := checkRead(int(i), g.B); err != nil {
+					return nil, err
+				}
+			}
+			if written[g.Out-extBase] {
+				return nil, fmt.Errorf("sim: wire record %d rewrites extension slot %d", i, g.Out)
+			}
+			written[g.Out-extBase] = true
+		}
+	}
+	if int(next) != len(w.Gates) {
+		return nil, fmt.Errorf("sim: wire runs cover %d of %d records", next, len(w.Gates))
+	}
+	for s, ok := range written {
+		if !ok {
+			return nil, fmt.Errorf("sim: wire extension slot %d is never written", extBase+int32(s))
+		}
+	}
+
+	checkCaps := func(what string, caps []CapRecord, nIdx int) error {
+		for i, cc := range caps {
+			if cc.Idx < 0 || int(cc.Idx) >= nIdx {
+				return fmt.Errorf("sim: wire %s capture %d has index %d outside [0,%d)", what, i, cc.Idx, nIdx)
+			}
+			if cc.Slot < 0 || cc.Slot >= slots {
+				return fmt.Errorf("sim: wire %s capture %d reads slot %d outside [0,%d)", what, i, cc.Slot, slots)
+			}
+			if cc.Good < 0 || cc.Good >= N {
+				return fmt.Errorf("sim: wire %s capture %d has baseline net %d outside [0,%d)", what, i, cc.Good, N)
+			}
+			if cc.Owner < 0 || int(cc.Owner) >= lanes {
+				return fmt.Errorf("sim: wire %s capture %d has owner %d outside [0,%d)", what, i, cc.Owner, lanes)
+			}
+		}
+		return nil
+	}
+	if err := checkCaps("cell", w.Cells, c.NumDFFs()); err != nil {
+		return nil, err
+	}
+	if err := checkCaps("PO", w.POs, c.NumOutputs()); err != nil {
+		return nil, err
+	}
+
+	cb := &CompiledBatch{
+		Kind:    kind,
+		Faults:  append([]Fault(nil), w.Faults...),
+		TFaults: append([]TransitionFault(nil), w.TFaults...),
+		Index:   append([]int(nil), w.Index...),
+		gates:   make([]bgate, len(w.Gates)),
+		runs:    make([]opRun, len(w.Runs)),
+		cells:   make([]bcap, len(w.Cells)),
+		pos:     make([]bcap, len(w.POs)),
+		nExt:    int(nExt),
+	}
+	for i, g := range w.Gates {
+		cb.gates[i] = bgate{a: g.A, b: g.B, out: g.Out}
+	}
+	for i, r := range w.Runs {
+		cb.runs[i] = opRun{start: r.Start, end: r.End, op: r.Op}
+	}
+	for i, cc := range w.Cells {
+		cb.cells[i] = bcap{idx: cc.Idx, slot: cc.Slot, good: cc.Good, owner: cc.Owner}
+	}
+	for i, pc := range w.POs {
+		cb.pos[i] = bcap{idx: pc.Idx, slot: pc.Slot, good: pc.Good, owner: pc.Owner}
+	}
+	return cb, nil
+}
+
+// checkWireFault validates one stuck-at fault against the circuit,
+// including branch-fault wiring consistency (the named pin of the reading
+// gate must actually be driven by the faulty net).
+func checkWireFault(c *circuit.Circuit, f Fault) error {
+	if f.Stuck > 1 {
+		return fmt.Errorf("stuck-at value %d", f.Stuck)
+	}
+	N := circuit.NetID(c.NumNets())
+	if f.Net < 0 || f.Net >= N {
+		return fmt.Errorf("fault net %d outside [0,%d)", f.Net, N)
+	}
+	if f.Stem() {
+		return nil
+	}
+	if f.Gate >= N {
+		return fmt.Errorf("fault gate %d outside [0,%d)", f.Gate, N)
+	}
+	fanin := c.Nets[f.Gate].Fanin
+	if f.Pin < 0 || f.Pin >= len(fanin) {
+		return fmt.Errorf("fault pin %d outside gate %d's %d fan-ins", f.Pin, f.Gate, len(fanin))
+	}
+	if fanin[f.Pin] != f.Net {
+		return fmt.Errorf("fault pin %d of gate %d is driven by net %d, not %d", f.Pin, f.Gate, fanin[f.Pin], f.Net)
+	}
+	return nil
+}
+
+// NewPlanFromBatches reassembles a BatchPlan from decoded batches,
+// re-deriving the scratch-sizing maxima and validating that the batches'
+// index entries form exactly one lane per fault of an n-fault list.
+func NewPlanFromBatches(kind BatchKind, numFaults int, batches []*CompiledBatch) (*BatchPlan, error) {
+	if kind != BatchStuckAt && kind != BatchTransition {
+		return nil, fmt.Errorf("sim: plan has unknown kind %d", kind)
+	}
+	if numFaults < 0 {
+		return nil, fmt.Errorf("sim: plan covers %d faults", numFaults)
+	}
+	seen := make([]bool, numFaults)
+	total := 0
+	plan := &BatchPlan{kind: kind, n: numFaults, maxLanes: 1}
+	for bi, cb := range batches {
+		if cb.Kind != kind {
+			return nil, fmt.Errorf("sim: plan batch %d has kind %d, plan has %d", bi, cb.Kind, kind)
+		}
+		for _, i := range cb.Index {
+			if i < 0 || i >= numFaults {
+				return nil, fmt.Errorf("sim: plan batch %d maps a lane to fault %d outside [0,%d)", bi, i, numFaults)
+			}
+			if seen[i] {
+				return nil, fmt.Errorf("sim: plan maps fault %d to more than one lane", i)
+			}
+			seen[i] = true
+		}
+		total += len(cb.Index)
+		plan.add(cb)
+	}
+	if total != numFaults {
+		return nil, fmt.Errorf("sim: plan covers %d of %d faults", total, numFaults)
+	}
+	return plan, nil
+}
+
+// MemoryFootprint estimates the bytes the plan's immutable record streams
+// retain, for cost-accounted cache eviction.
+func (p *BatchPlan) MemoryFootprint() int64 {
+	var n int64
+	for _, cb := range p.Batches {
+		n += int64(len(cb.gates))*12 + int64(len(cb.runs))*12
+		n += int64(len(cb.cells)+len(cb.pos)) * 16
+		n += int64(len(cb.Faults))*16 + int64(len(cb.TFaults))*8 + int64(len(cb.Index))*8
+		n += 96 // struct and slice headers
+	}
+	return n
+}
