@@ -27,6 +27,7 @@ func main() {
 		list   = flag.Bool("list", false, "list available profiles")
 		stats  = flag.Bool("stats", false, "print structural statistics instead of the netlist")
 		seed   = flag.Int64("seed", 0, "override the generator seed (0 = profile default)")
+		scale  = flag.Int("scale", 1, "multiply the profile's inputs/outputs/FFs/gates by this factor (1 = stock profile)")
 		format = flag.String("format", "bench", "netlist format: bench|verilog")
 	)
 	flag.Parse()
@@ -34,6 +35,9 @@ func main() {
 	// Validate flags before any generation work so a typo fails fast.
 	if *format != "bench" && *format != "verilog" {
 		usageError(fmt.Errorf("unknown format %q (expected bench|verilog)", *format))
+	}
+	if *scale < 1 {
+		usageError(fmt.Errorf("-scale must be at least 1, got %d", *scale))
 	}
 
 	if *list {
@@ -53,6 +57,7 @@ func main() {
 	if *seed != 0 {
 		p.Seed = *seed
 	}
+	p = p.Scale(*scale)
 	c, err := benchgen.Generate(p)
 	if err != nil {
 		fatal(err)

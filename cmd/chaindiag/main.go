@@ -25,6 +25,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/pipeline/diskstore"
 	"repro/internal/scan"
+	"repro/internal/sim"
 )
 
 // maxCacheMB rejects budgets no machine this tool targets could hold
@@ -49,6 +50,7 @@ func main() {
 		healthy  = flag.Bool("healthy", false, "diagnose a fault-free chain instead")
 		sweep    = flag.Bool("sweep", false, "inject a fault at every position and summarise accuracy")
 		workers  = flag.Int("workers", 0, "goroutines for -sweep (0 = all CPUs, 1 = serial; results are identical)")
+		lanes    = flag.Int("lanes", 0, "fault lanes per batch, 0-256; accepted for CLI consistency — chain diagnosis runs one shift-path fault at a time and never batches")
 		drcCheck = flag.Bool("drc", false, "run the static design-rule checker on the netlist before diagnosing")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
@@ -67,6 +69,9 @@ func main() {
 	}
 	if *workers < 0 {
 		usageError(fmt.Errorf("-workers must be non-negative, got %d", *workers))
+	}
+	if *lanes < 0 || *lanes > sim.MaxBatchLanes {
+		usageError(fmt.Errorf("-lanes %d out of range 0..%d", *lanes, sim.MaxBatchLanes))
 	}
 	if *timeout < 0 {
 		usageError(fmt.Errorf("-timeout must be non-negative, got %v", *timeout))

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/pipeline"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func main() {
 	faults := flag.Int("faults", 500, "stuck-at faults sampled per circuit or per faulty core")
 	seed := flag.Int64("seed", 1, "fault sampling seed")
 	workers := flag.Int("workers", 0, "goroutines per fault sweep (0 = all CPUs, 1 = serial; results are identical)")
+	lanes := flag.Int("lanes", 0, "fault lanes per batch, 1-256 (0 = engine default 256; above 64 engages the wide-word kernel)")
 	format := flag.String("format", "text", "output format: text|csv (csv not available for figure3)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run")
@@ -57,6 +59,10 @@ func main() {
 	}
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "experiments: -workers must be non-negative, got %d\n", *workers)
+		os.Exit(2)
+	}
+	if *lanes < 0 || *lanes > sim.MaxBatchLanes {
+		fmt.Fprintf(os.Stderr, "experiments: -lanes %d out of range 0..%d\n", *lanes, sim.MaxBatchLanes)
 		os.Exit(2)
 	}
 	if *timeout < 0 {
@@ -114,7 +120,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: %s\n", cache.Stats())
 		}()
 	}
-	cfg := experiments.Config{Faults: *faults, FaultSeed: *seed, Workers: *workers, Cache: cache}
+	cfg := experiments.Config{Faults: *faults, FaultSeed: *seed, Workers: *workers, Lanes: *lanes, Cache: cache}
 	completed := 0
 	run := func(name string, f func() (rows any, text string, err error)) {
 		if *exp != "all" && *exp != name {

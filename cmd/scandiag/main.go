@@ -43,6 +43,7 @@ func main() {
 		faults       = flag.Int("faults", 500, "stuck-at faults to sample")
 		seed         = flag.Int64("seed", 1, "fault sampling seed")
 		workers      = flag.Int("workers", 0, "goroutines for the fault sweep (0 = all CPUs, 1 = serial; results are identical)")
+		lanes        = flag.Int("lanes", 0, "fault lanes per batch, 1-256 (0 = engine default 256; above 64 engages the wide-word kernel)")
 		chains       = flag.Int("chains", 1, "number of balanced scan chains")
 		order        = flag.String("order", "natural", "scan order: natural|random|reverse")
 		ideal        = flag.Bool("ideal", false, "bypass the MISR (alias-free compaction)")
@@ -136,6 +137,7 @@ func main() {
 		Chains:        *chains,
 		Ideal:         *ideal,
 		Workers:       *workers,
+		Lanes:         *lanes,
 		Noise:         noise.Model{Intermittent: *intermittent, Flip: *flip, Abort: *abort, Seed: *noiseSeed},
 		Retry:         bist.RetryPolicy{MaxRetries: *retries},
 		VoteThreshold: *vote,
@@ -145,6 +147,9 @@ func main() {
 		opts.Cache = pipeline.NewCacheWithBudget(pipeline.Budget{MaxBytes: *cacheMB << 20})
 	}
 	opts.CacheDir = *cacheDir
+	if *lanes < 0 || *lanes > sim.MaxBatchLanes {
+		usageError(fmt.Errorf("-lanes %d out of range 0..%d", *lanes, sim.MaxBatchLanes))
+	}
 	if err := opts.Noise.Validate(); err != nil {
 		usageError(err)
 	}
@@ -192,6 +197,11 @@ func main() {
 	cost := b.Cost()
 	fmt.Printf("cost:     %d sessions, %d shift clocks total, %d golden-signature bits, %d selection-register bits\n",
 		cost.Sessions, cost.TotalClocks, cost.SignatureBits, cost.SelectionRegisterBits)
+	if *verbose {
+		// Verbose-only so default stdout stays byte-identical between cold
+		// and warm runs (the CI warm-start check diffs it).
+		fmt.Printf("sched:    %d fault batches, %.1f%% lane fill\n", study.PlanBatches, 100*study.PlanFill)
+	}
 	fmt.Printf("\nfaults:    %d sampled, %d diagnosed, %d undetected by scan cells\n",
 		len(sample), study.Diagnosed, study.Undetected)
 	if !study.Completeness.Complete() {

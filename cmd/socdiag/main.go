@@ -39,6 +39,7 @@ func main() {
 		drcCheck   = flag.Bool("drc", false, "run the static design-rule checker on every core and the TAM before simulating")
 		seed       = flag.Int64("seed", 1, "fault sampling seed")
 		workers    = flag.Int("workers", 0, "goroutines for the fault sweep (0 = all CPUs, 1 = serial; results are identical)")
+		lanes      = flag.Int("lanes", 0, "fault lanes per batch, 1-256 (0 = engine default 256; above 64 engages the wide-word kernel)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file after the run")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the sweep (0 = none); on expiry the partial study is reported")
@@ -64,6 +65,9 @@ func main() {
 	}
 	if *workers < 0 {
 		usageError(fmt.Errorf("-workers must be non-negative, got %d", *workers))
+	}
+	if *lanes < 0 || *lanes > sim.MaxBatchLanes {
+		usageError(fmt.Errorf("-lanes %d out of range 0..%d", *lanes, sim.MaxBatchLanes))
 	}
 	if *timeout < 0 {
 		usageError(fmt.Errorf("-timeout must be non-negative, got %v", *timeout))
@@ -135,6 +139,7 @@ func main() {
 		Patterns:   *patterns,
 		Chains:     *chains,
 		Workers:    *workers,
+		Lanes:      *lanes,
 		StrictDRC:  *drcCheck,
 		CacheDir:   *cacheDir,
 	}

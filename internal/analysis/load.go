@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -279,7 +280,11 @@ func (l *Loader) parseFiles(dir string, files []string) ([]*ast.File, error) {
 	return syntax, nil
 }
 
-// goFilesIn lists the .go sources of dir, optionally including tests.
+// goFilesIn lists the .go sources of dir that build on the host platform,
+// optionally including tests. Build constraints — //go:build lines and
+// GOOS/GOARCH filename suffixes — are honored via go/build's matcher, so a
+// package with per-architecture variants of one function typechecks with
+// exactly one declaration, like the compiler sees it.
 func goFilesIn(dir string, tests bool) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -292,6 +297,9 @@ func goFilesIn(dir string, tests bool) ([]string, error) {
 			continue
 		}
 		if !tests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		files = append(files, name)

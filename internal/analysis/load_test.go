@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestGoFilesInHonorsBuildConstraints pins the loader's file selection on
+// packages with per-architecture variants: exactly one of a
+// constraint-paired file set may survive, matching what the compiler
+// builds. Before this check the fallback lister fed both kernel_amd64.go
+// and kernel_generic.go to the typechecker, which reported a duplicate
+// declaration that `go build` never sees.
+func TestGoFilesInHonorsBuildConstraints(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("always.go", "package p\n")
+	write("never.go", "//go:build never\n\npackage p\n")
+	write("k_"+runtime.GOARCH+".go", "package p\n")
+	write("k_generic.go", "//go:build !"+runtime.GOARCH+"\n\npackage p\n")
+	write("p_test.go", "package p\n")
+
+	files, err := goFilesIn(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"always.go", "k_" + runtime.GOARCH + ".go"}
+	if len(files) != len(want) {
+		t.Fatalf("goFilesIn = %v, want %v", files, want)
+	}
+	for i := range want {
+		if files[i] != want[i] {
+			t.Fatalf("goFilesIn = %v, want %v", files, want)
+		}
+	}
+}

@@ -112,6 +112,25 @@ func SixLargest() []string {
 	return []string{"s5378", "s9234", "s13207", "s15850", "s38417", "s38584"}
 }
 
+// Scale returns the profile with its structural dimensions (inputs,
+// outputs, flip-flops, gates) multiplied by k, for generating circuits
+// beyond the ISCAS-89 range — e.g. kernel benchmarking at SOC sizes. The
+// name gains an "xk" suffix so downstream artifact keys and reports
+// distinguish scaled variants; the generator's derived knobs (cone
+// window, hub count and reach) re-derive from the scaled flip-flop count.
+// k <= 1 returns the profile unchanged.
+func (p Profile) Scale(k int) Profile {
+	if k <= 1 {
+		return p
+	}
+	p.Name = fmt.Sprintf("%sx%d", p.Name, k)
+	p.Inputs *= k
+	p.Outputs *= k
+	p.DFFs *= k
+	p.Gates *= k
+	return p
+}
+
 func (p Profile) withDefaults() Profile {
 	if p.Window == 0 {
 		p.Window = p.DFFs / 40

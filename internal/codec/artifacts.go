@@ -223,17 +223,24 @@ func DecodeSOCSimLayer(s *soc.SOC, data []byte) (*soc.FaultSim, error) {
 	return fs, nil
 }
 
-// EncodeBatchPlan serializes a compiled batch plan: per batch, the member
-// faults, original-index map, and the dense gate/run/capture streams. The
-// scratch-sizing maxima are not written; decode re-derives them.
+// EncodeBatchPlan serializes a compiled batch plan: the lane cap the plan
+// was scheduled with (which fixes the plane-group size), then per batch
+// the member faults, original-index map, plane assignments, and the dense
+// gate/run/capture streams. The scratch-sizing maxima are not written;
+// decode re-derives them.
 func EncodeBatchPlan(c *circuit.Circuit, p *sim.BatchPlan) []byte {
 	w := &writer{}
 	stampCircuit(w, c)
 	w.u8(uint8(p.Kind()))
+	w.u16(uint16(p.LaneCap()))
 	w.u32(uint32(p.NumFaults()))
 	w.u32(uint32(len(p.Batches)))
 	for _, cb := range p.Batches {
 		bw := cb.Wire()
+		w.u32(uint32(len(bw.Planes)))
+		for _, pl := range bw.Planes {
+			w.u8(pl)
+		}
 		w.u32(uint32(len(bw.Faults)))
 		for _, f := range bw.Faults {
 			w.i32(int32(f.Net))
@@ -307,11 +314,19 @@ func DecodeBatchPlan(c *circuit.Circuit, data []byte) (*sim.BatchPlan, error) {
 	r := &reader{b: payload}
 	checkCircuitStamp(r, c)
 	kind := sim.BatchKind(r.u8())
+	laneCap := int(r.u16())
+	nPlanes := sim.PlanesFor(laneCap)
 	numFaults := int(int32(r.u32()))
 	nb := r.count(7 * 4)
 	batches := make([]*sim.CompiledBatch, 0, nb)
 	for bi := 0; bi < nb && r.err == nil; bi++ {
 		bw := &sim.BatchWire{}
+		if n := r.count(1); n > 0 {
+			bw.Planes = make([]uint8, n)
+			for i := range bw.Planes {
+				bw.Planes[i] = r.u8()
+			}
+		}
 		if n := r.count(13); n > 0 {
 			bw.Faults = make([]sim.Fault, n)
 			for i := range bw.Faults {
@@ -352,7 +367,7 @@ func DecodeBatchPlan(c *circuit.Circuit, data []byte) (*sim.BatchPlan, error) {
 		if r.err != nil {
 			break
 		}
-		cb, err := sim.CompiledBatchFromWire(c, kind, bw)
+		cb, err := sim.CompiledBatchFromWire(c, kind, nPlanes, bw)
 		if err != nil {
 			r.fail("batch %d: %v", bi, err)
 			break
@@ -362,7 +377,7 @@ func DecodeBatchPlan(c *circuit.Circuit, data []byte) (*sim.BatchPlan, error) {
 	if err := r.done(); err != nil {
 		return nil, err
 	}
-	p, err := sim.NewPlanFromBatches(kind, numFaults, batches)
+	p, err := sim.NewPlanFromBatches(kind, numFaults, laneCap, batches)
 	if err != nil {
 		return nil, fmt.Errorf("codec: %v", err)
 	}

@@ -66,7 +66,11 @@ const (
 	VersionSimLayer    uint16 = 1
 	VersionCones       uint16 = 1
 	VersionSOCSimLayer uint16 = 1
-	VersionBatchPlan   uint16 = 1
+	// VersionBatchPlan 2 (wide-word kernel): the payload gains the plan's
+	// lane cap and per-batch plane assignments, and the record stream's
+	// transition ops were replaced by masked per-plane force ops. Version-1
+	// plans are rejected at the envelope and rebuilt.
+	VersionBatchPlan uint16 = 2
 )
 
 const (
@@ -146,6 +150,7 @@ type writer struct {
 }
 
 func (w *writer) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *writer) u16(v uint16) { w.b = binary.LittleEndian.AppendUint16(w.b, v) }
 func (w *writer) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
 func (w *writer) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
 func (w *writer) i32(v int32)  { w.u32(uint32(v)) }
@@ -197,6 +202,14 @@ func (r *reader) u8() uint8 {
 		return 0
 	}
 	return v[0]
+}
+
+func (r *reader) u16() uint16 {
+	v := r.take(2)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(v)
 }
 
 func (r *reader) u32() uint32 {

@@ -2,6 +2,7 @@ package codec_test
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"strings"
 	"testing"
 
@@ -225,8 +226,12 @@ func TestSOCSimLayerRejectsOtherSOC(t *testing.T) {
 var planOptions = []sim.BatchOptions{
 	{},
 	{MaxLanes: 7},
+	{MaxLanes: 64},
+	{MaxLanes: 128},
+	{MaxLanes: 256},
 	{ScanOrder: true},
 	{MaxLanes: 3, ScanOrder: true},
+	{MaxLanes: 128, ScanOrder: true},
 }
 
 func TestBatchPlanRoundTrip(t *testing.T) {
@@ -246,6 +251,10 @@ func TestBatchPlanRoundTrip(t *testing.T) {
 		}
 		if p2.Kind() != p.Kind() || p2.NumFaults() != p.NumFaults() || len(p2.Batches) != len(p.Batches) {
 			t.Fatalf("lanes=%d scan=%v: plan shape differs", opt.MaxLanes, opt.ScanOrder)
+		}
+		if p2.LaneCap() != p.LaneCap() || p2.NumPlanes() != p.NumPlanes() || p2.Fill() != p.Fill() {
+			t.Fatalf("lanes=%d scan=%v: decoded lane shape %d/%d/%.3f, want %d/%d/%.3f",
+				opt.MaxLanes, opt.ScanOrder, p2.LaneCap(), p2.NumPlanes(), p2.Fill(), p.LaneCap(), p.NumPlanes(), p.Fill())
 		}
 		// The decoded plan must produce bit-for-bit identical sweeps.
 		want := make([]*sim.Result, len(faults))
@@ -289,6 +298,31 @@ func TestBatchPlanRejectsWrongCircuit(t *testing.T) {
 	data := codec.EncodeBatchPlan(c, p)
 	if _, err := codec.DecodeBatchPlan(mustGen(t, "s953"), data); err == nil {
 		t.Fatal("decoding an s298 plan against s953 succeeded")
+	}
+}
+
+// TestBatchPlanRejectsStaleVersion forges a structurally intact envelope
+// claiming the pre-wide-word format version and requires the decoder to
+// reject it outright: a version-1 payload has no lane-cap field and its
+// record stream uses the retired transition ops, so decoding it under the
+// current schema would misinterpret bytes. The disk tier turns this
+// rejection into quarantine-and-rebuild.
+func TestBatchPlanRejectsStaleVersion(t *testing.T) {
+	c := mustGen(t, "s298")
+	p := sim.PlanBatches(c, sim.CollapseFaults(c, sim.FullFaultList(c)), sim.BatchOptions{})
+	data := append([]byte(nil), codec.EncodeBatchPlan(c, p)...)
+	data[6], data[7] = 1, 0 // format version, little-endian
+	sum := sha256.Sum256(data[:len(data)-sha256.Size])
+	copy(data[len(data)-sha256.Size:], sum[:])
+	if h, err := codec.Inspect(data); err != nil || h.Version != 1 {
+		t.Fatalf("forged v1 envelope should inspect cleanly, got version %d, err %v", h.Version, err)
+	}
+	_, err := codec.DecodeBatchPlan(c, data)
+	if err == nil {
+		t.Fatal("decoding a version-1 batch plan succeeded")
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("rejection should name the version mismatch, got: %v", err)
 	}
 }
 

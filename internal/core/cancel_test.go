@@ -126,6 +126,11 @@ func TestCancelSweepHalfDeadlineS13207(t *testing.T) {
 	c := benchgen.MustGenerate("s13207")
 	o := baseOpts(partition.TwoStep{})
 	o.Workers = 1
+	// Cancellation granularity is one batch: at the default 256-lane cap
+	// all 12 sampled faults pack into a single batch and the only partial
+	// study possible is the empty one. Pin a small cap so the sweep spans
+	// several batches and a mid-run cancel can land between them.
+	o.Lanes = 4
 	b, err := NewCircuitBench(c, o)
 	if err != nil {
 		t.Fatal(err)

@@ -22,9 +22,17 @@ import (
 // completed diagnoses form a contiguous prefix of the fault list — the
 // partial study is a prefix of the full run, bit for bit. An
 // uncancellable sweep keeps the cone-aware greedy packing, which fills
-// lanes better.
-func sweepOptions(ctx context.Context) sim.BatchOptions {
-	return sim.BatchOptions{ScanOrder: ctx.Done() != nil}
+// lanes better. The lane cap (Options.Lanes; 0 = engine default) applies
+// either way.
+func sweepOptions(ctx context.Context, o Options) sim.BatchOptions {
+	return sim.BatchOptions{MaxLanes: o.Lanes, ScanOrder: ctx.Done() != nil}
+}
+
+// stampPlan records the batch schedule's shape on the study, so CLIs and
+// experiments can surface scheduler saturation alongside the results.
+func stampPlan(study *Study, plan *sim.BatchPlan) {
+	study.PlanBatches = len(plan.Batches)
+	study.PlanFill = plan.Fill()
 }
 
 // finishStudy aggregates the longest contiguous prefix of completed
@@ -63,7 +71,8 @@ func (b *CircuitBench) RunObservedContext(ctx context.Context, faults []sim.Faul
 	results := make([]*FaultDiagnosis, len(faults))
 	release := b.Opts.Cache.PinCircuit(b.art)
 	defer release()
-	plan := b.Opts.Cache.Plan(b.Circuit, faults, sweepOptions(ctx))
+	plan := b.Opts.Cache.Plan(b.Circuit, faults, sweepOptions(ctx, b.Opts))
+	stampPlan(study, plan)
 	err := pipeline.Executor{Workers: b.Opts.Workers, Retry: b.Opts.Retry.Policy()}.RunBatchesContext(ctx, len(plan.Batches), func() func(int) error {
 		fs := b.fs.Fork()
 		bs := fs.NewBatchScratch(plan)
@@ -94,7 +103,8 @@ func (b *SOCBench) RunCoreContext(ctx context.Context, core int, faults []sim.Fa
 	results := make([]*FaultDiagnosis, len(faults))
 	release := b.Opts.Cache.PinSOC(b.art)
 	defer release()
-	plan := b.Opts.Cache.Plan(b.SOC.Cores[core].Circuit, faults, sweepOptions(ctx))
+	plan := b.Opts.Cache.Plan(b.SOC.Cores[core].Circuit, faults, sweepOptions(ctx, b.Opts))
+	stampPlan(study, plan)
 	err := pipeline.Executor{Workers: b.Opts.Workers, Retry: b.Opts.Retry.Policy()}.RunBatchesContext(ctx, len(plan.Batches), func() func(int) error {
 		fs := b.fs.Fork()
 		bs := fs.NewCoreBatchScratch(core, plan)

@@ -93,6 +93,12 @@ type Options struct {
 	// sweep installs the limit for every later borrower. Ignored without
 	// a Cache.
 	CacheBudget pipeline.Budget
+	// Lanes caps the faults packed per simulation batch, 1..256. Caps
+	// above 64 engage the wide-word kernel: faults are organised into
+	// 2 or 4 word-parallel planes with per-lane cone masking, trading a
+	// coarser cancellation granularity for higher sweep throughput. Zero
+	// selects the engine default (256).
+	Lanes int
 	// StrictDRC runs the static design-rule checker (internal/drc) on the
 	// netlist — and, at SOC scope, on every core and the TAM
 	// configuration — before any simulation artifact is built, and fails
@@ -134,6 +140,9 @@ func (o Options) validate() error {
 	}
 	if o.VoteThreshold > o.Partitions {
 		return fmt.Errorf("core: vote threshold %d exceeds %d partitions (nothing could ever be pruned)", o.VoteThreshold, o.Partitions)
+	}
+	if o.Lanes < 0 || o.Lanes > sim.MaxBatchLanes {
+		return fmt.Errorf("core: lane cap %d outside 0..%d", o.Lanes, sim.MaxBatchLanes)
 	}
 	return nil
 }
@@ -241,6 +250,12 @@ type Study struct {
 	// contiguous fault prefix it finished; a completed sweep reports
 	// Observed == Scheduled.
 	Completeness diagnosis.Completeness
+	// PlanBatches and PlanFill describe the batch schedule the sweep ran
+	// on: the number of compiled batches and the scheduler-saturation
+	// metric (faults / lane slots; see sim.BatchPlan.Fill). Zero values
+	// mean the sweep never built a batch plan.
+	PlanBatches int
+	PlanFill    float64
 }
 
 func newStudy(o Options, schemeName string) *Study {

@@ -36,6 +36,10 @@ type Config struct {
 	// selects GOMAXPROCS, 1 forces serial execution. Results are identical
 	// for every worker count.
 	Workers int
+	// Lanes caps the fault lanes packed per simulation batch (1 to
+	// sim.MaxBatchLanes); zero selects the engine default. Results are
+	// identical for every cap — only sweep throughput changes.
+	Lanes int
 	// Cache shares build artifacts (pattern blocks, fault-free responses,
 	// golden signatures) across the benches an experiment builds — and
 	// across experiments when the caller threads one cache through all of
@@ -81,7 +85,7 @@ func Table1(ctx context.Context, cfg Config) ([]Table1Row, error) {
 	var studies []*core.Study
 	for _, s := range schemes {
 		b, err := core.NewCircuitBench(c, core.Options{
-			Scheme: s, Groups: 4, Partitions: maxPartitions, Patterns: 200, Workers: cfg.Workers, Cache: cfg.Cache,
+			Scheme: s, Groups: 4, Partitions: maxPartitions, Patterns: 200, Workers: cfg.Workers, Lanes: cfg.Lanes, Cache: cfg.Cache,
 		})
 		if err != nil {
 			return nil, err
@@ -147,7 +151,7 @@ func Table2(ctx context.Context, cfg Config) ([]Table2Row, error) {
 		row := Table2Row{Circuit: setup.name, Groups: setup.groups, Partitions: table2Partitions}
 		for i, s := range []partition.Scheme{partition.RandomSelection{}, partition.TwoStep{}} {
 			b, err := core.NewCircuitBench(c, core.Options{
-				Scheme: s, Groups: setup.groups, Partitions: table2Partitions, Patterns: 128, Workers: cfg.Workers, Cache: cfg.Cache,
+				Scheme: s, Groups: setup.groups, Partitions: table2Partitions, Patterns: 128, Workers: cfg.Workers, Lanes: cfg.Lanes, Cache: cfg.Cache,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", setup.name, s.Name(), err)
@@ -186,7 +190,7 @@ func socTable(ctx context.Context, cfg Config, s *soc.SOC, chains, groups, parti
 	benches := make([]*core.SOCBench, 2)
 	for i, sch := range []partition.Scheme{partition.RandomSelection{}, partition.TwoStep{}} {
 		b, err := core.NewSOCBench(s, core.Options{
-			Scheme: sch, Groups: groups, Partitions: partitions, Patterns: patterns, Chains: chains, Workers: cfg.Workers, Cache: cfg.Cache,
+			Scheme: sch, Groups: groups, Partitions: partitions, Patterns: patterns, Chains: chains, Workers: cfg.Workers, Lanes: cfg.Lanes, Cache: cfg.Cache,
 		})
 		if err != nil {
 			return nil, err
@@ -256,7 +260,7 @@ func Figure5(ctx context.Context, cfg Config) ([]Figure5Row, error) {
 	benches := make([]*core.SOCBench, 2)
 	for i, sch := range []partition.Scheme{partition.RandomSelection{}, partition.TwoStep{}} {
 		b, err := core.NewSOCBench(s, core.Options{
-			Scheme: sch, Groups: 32, Partitions: figure5MaxPartitions, Patterns: 128, Workers: cfg.Workers, Cache: cfg.Cache,
+			Scheme: sch, Groups: 32, Partitions: figure5MaxPartitions, Patterns: 128, Workers: cfg.Workers, Lanes: cfg.Lanes, Cache: cfg.Cache,
 		})
 		if err != nil {
 			return nil, err

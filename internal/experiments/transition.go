@@ -52,7 +52,7 @@ func Transition(ctx context.Context, cfg Config) ([]TransitionRow, error) {
 		faults := sampleTransition(all, cfg.Faults, cfg.FaultSeed)
 		// One cone-disjoint batch plan serves both schemes: the simulated
 		// responses are scheme-independent, only the verdicts differ.
-		plan := sim.PlanTransitionBatches(c, faults, sim.BatchOptions{})
+		plan := sim.PlanTransitionBatches(c, faults, sim.BatchOptions{MaxLanes: cfg.Lanes})
 
 		row := TransitionRow{Circuit: setup.name}
 		for i, sch := range []partition.Scheme{partition.RandomSelection{}, partition.TwoStep{}} {

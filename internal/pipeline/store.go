@@ -329,8 +329,8 @@ func (c *ArtifactCache) saveCones(ct *circuit.Circuit) {
 // planLanes normalizes the lane cap the way the scheduler does, so the
 // content key matches the plan actually built.
 func planLanes(opt sim.BatchOptions) int {
-	if opt.MaxLanes < 1 || opt.MaxLanes > sim.MaxLanes {
-		return sim.MaxLanes
+	if opt.MaxLanes < 1 || opt.MaxLanes > sim.MaxBatchLanes {
+		return sim.MaxBatchLanes
 	}
 	return opt.MaxLanes
 }
@@ -362,8 +362,18 @@ func hashTransitionFaults(faults []sim.TransitionFault) string {
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
+// planKey is the self-describing content key of a compiled plan. Beyond
+// the circuit fingerprint and fault-list hash it carries every knob that
+// shapes the compiled record streams: the lane cap, the plane-group word
+// width it implies, and the kernel generation (sim.KernelVersion). A cache
+// directory written by an older binary therefore never resolves for a
+// newer kernel — the plan is rebuilt under the new key, and the stale blob
+// ages out via GC (and is quarantined if ever force-fetched, since the
+// codec envelope version also moved).
 func planKey(fp string, kind sim.BatchKind, n int, faultHash string, opt sim.BatchOptions) string {
-	return fmt.Sprintf("plan|%s|kind%d|n%d|f%s|l%d|so%t", fp, kind, n, faultHash, planLanes(opt), opt.ScanOrder)
+	lanes := planLanes(opt)
+	width := 64 * sim.PlanesFor(lanes)
+	return fmt.Sprintf("plan|%s|kind%d|n%d|f%s|l%d|w%d|k%d|so%t", fp, kind, n, faultHash, lanes, width, sim.KernelVersion, opt.ScanOrder)
 }
 
 // planCoversFaults verifies a decoded stuck-at plan against the live
@@ -371,8 +381,8 @@ func planKey(fp string, kind sim.BatchKind, n int, faultHash string, opt sim.Bat
 // original index. This is the plan-level counterpart of the wire-batch
 // validation — a persisted plan is only trusted to run the sweep that is
 // actually being asked for.
-func planCoversFaults(p *sim.BatchPlan, faults []sim.Fault) bool {
-	if p.Kind() != sim.BatchStuckAt || p.NumFaults() != len(faults) {
+func planCoversFaults(p *sim.BatchPlan, faults []sim.Fault, laneCap int) bool {
+	if p.Kind() != sim.BatchStuckAt || p.NumFaults() != len(faults) || p.LaneCap() != laneCap {
 		return false
 	}
 	for _, cb := range p.Batches {
@@ -385,8 +395,8 @@ func planCoversFaults(p *sim.BatchPlan, faults []sim.Fault) bool {
 	return true
 }
 
-func planCoversTransitionFaults(p *sim.BatchPlan, faults []sim.TransitionFault) bool {
-	if p.Kind() != sim.BatchTransition || p.NumFaults() != len(faults) {
+func planCoversTransitionFaults(p *sim.BatchPlan, faults []sim.TransitionFault, laneCap int) bool {
+	if p.Kind() != sim.BatchTransition || p.NumFaults() != len(faults) || p.LaneCap() != laneCap {
 		return false
 	}
 	for _, cb := range p.Batches {
@@ -415,7 +425,7 @@ func (c *ArtifactCache) Plan(ct *circuit.Circuit, faults []sim.Fault, opt sim.Ba
 	e.once.Do(func() {
 		c.loadCones(ct)
 		if data, ok := c.diskFetch(key); ok {
-			if p, err := codec.DecodeBatchPlan(ct, data); err == nil && planCoversFaults(p, faults) {
+			if p, err := codec.DecodeBatchPlan(ct, data); err == nil && planCoversFaults(p, faults, planLanes(opt)) {
 				c.notePromotion()
 				e.val = p
 				c.setCost(e.node, p.MemoryFootprint())
@@ -442,7 +452,7 @@ func (c *ArtifactCache) TransitionPlan(ct *circuit.Circuit, faults []sim.Transit
 	e.once.Do(func() {
 		c.loadCones(ct)
 		if data, ok := c.diskFetch(key); ok {
-			if p, err := codec.DecodeBatchPlan(ct, data); err == nil && planCoversTransitionFaults(p, faults) {
+			if p, err := codec.DecodeBatchPlan(ct, data); err == nil && planCoversTransitionFaults(p, faults, planLanes(opt)) {
 				c.notePromotion()
 				e.val = p
 				c.setCost(e.node, p.MemoryFootprint())

@@ -2,12 +2,15 @@ package pipeline
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"fmt"
 	"os"
 	"strings"
 	"sync"
 	"testing"
 
 	"repro/internal/benchgen"
+	"repro/internal/codec"
 	"repro/internal/partition"
 	"repro/internal/pipeline/diskstore"
 	"repro/internal/sim"
@@ -463,8 +466,9 @@ func TestTieredStoreTorture(t *testing.T) {
 					t.Errorf("goroutine %d: artifact with no good responses", g)
 					return
 				}
-				p := cache.Plan(c, faults, opts[(g+i)%len(opts)])
-				if p == nil || !planCoversFaults(p, faults) {
+				opt := opts[(g+i)%len(opts)]
+				p := cache.Plan(c, faults, opt)
+				if p == nil || !planCoversFaults(p, faults, planLanes(opt)) {
 					t.Errorf("goroutine %d: plan does not cover the fault list", g)
 					return
 				}
@@ -491,10 +495,87 @@ func TestTieredStoreTorture(t *testing.T) {
 	third := NewCache()
 	attachDir(t, third, dir)
 	p := third.Plan(c, faults, opts[0])
-	if !planCoversFaults(p, faults) {
+	if !planCoversFaults(p, faults, planLanes(opts[0])) {
 		t.Fatal("repaired plan entry does not cover the fault list")
 	}
 	if st := third.Stats(); st.Corruptions != 0 || st.DiskWrites != 0 {
 		t.Errorf("stats %+v after repair: want a clean promote", st)
+	}
+}
+
+// TestStalePlanInvalidated covers the disk-plan staleness contract for
+// cache directories written before the wide-word kernel, in both shapes a
+// stale entry can take:
+//
+//  1. A blob filed under the pre-wide key format (no word-width or
+//     kernel-version fields). The new key never resolves it, so the plan
+//     misses and rebuilds under the new key; the relic is ignored, not
+//     misread.
+//  2. A format-version-1 envelope sitting at the current key (forged by
+//     re-sealing a real plan's envelope with the old version stamp). The
+//     fetch succeeds, the codec rejects the version, the entry is
+//     quarantined, and the plan rebuilds and writes through.
+//
+// Either way the sweep must see a correct plan — never a mis-decoded one.
+func TestStalePlanInvalidated(t *testing.T) {
+	c := benchgen.MustGenerate("s298")
+	faults := sim.SampleFaults(sim.FullFaultList(c), 60, 5)
+	opt := sim.BatchOptions{}
+	dir := t.TempDir()
+
+	seed := NewCache()
+	attachDir(t, seed, dir)
+	want := seed.Plan(c, faults, opt)
+	key := planKey(seed.fingerprint(c), sim.BatchStuckAt, len(faults), hashFaults(faults), opt)
+	ds := openDisk(t, dir)
+	data, err := ds.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shape 1: the same bytes under the key an old binary would have used.
+	oldKey := fmt.Sprintf("plan|%s|kind%d|n%d|f%s|l%d|so%t",
+		seed.fingerprint(c), sim.BatchStuckAt, len(faults), hashFaults(faults), sim.MaxLanes, false)
+	if err := ds.Put(oldKey, data); err != nil {
+		t.Fatal(err)
+	}
+	// Shape 2: a forged version-1 envelope at the current key.
+	forged := append([]byte(nil), data...)
+	forged[6], forged[7] = 1, 0 // envelope format version, little-endian
+	sum := sha256.Sum256(forged[:len(forged)-sha256.Size])
+	copy(forged[len(forged)-sha256.Size:], sum[:])
+	if err := ds.Put(key, forged); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := NewCache()
+	attachDir(t, warm, dir)
+	got := warm.Plan(c, faults, opt)
+	if !planCoversFaults(got, faults, planLanes(opt)) {
+		t.Fatal("rebuilt plan does not cover the fault list")
+	}
+	if !bytes.Equal(codec.EncodeBatchPlan(c, got), codec.EncodeBatchPlan(c, want)) {
+		t.Fatal("plan rebuilt after stale-blob invalidation differs from the original")
+	}
+	st := warm.Stats()
+	if st.Corruptions != 1 {
+		t.Fatalf("stats %+v: the stale version-1 envelope should count one corruption", st)
+	}
+	if st.DiskWrites != 1 {
+		t.Fatalf("stats %+v: the rebuilt plan should write through exactly once", st)
+	}
+
+	// The write-through repaired the current key; the old-format relic is
+	// still on disk, ignored rather than quarantined.
+	third := NewCache()
+	attachDir(t, third, dir)
+	if p := third.Plan(c, faults, opt); !planCoversFaults(p, faults, planLanes(opt)) {
+		t.Fatal("repaired plan entry does not cover the fault list")
+	}
+	if st := third.Stats(); st.Corruptions != 0 || st.DiskWrites != 0 || st.DiskHits == 0 {
+		t.Fatalf("stats %+v after repair: want a clean disk promote", st)
+	}
+	if relic, err := ds.Get(oldKey); err != nil || !bytes.Equal(relic, data) {
+		t.Fatalf("old-format relic should survive untouched, got err %v", err)
 	}
 }

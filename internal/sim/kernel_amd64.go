@@ -1,0 +1,188 @@
+//go:build amd64
+
+package sim
+
+// SIMD acceleration of the batch kernel. A slot row of S ≥ 4 words is one
+// or two vector registers, so a record evaluates in a couple of VEX ops
+// instead of S scalar load/op/store triples — this is what makes the wide
+// plane groups pay: at S = 8 (4 planes × 2 blocks) a shared record costs
+// barely more than a single-plane one. Dispatch stays per op-run in Go;
+// the assembly loops only over one run's records (see kernel_amd64.s).
+//
+// The window decomposition mirrors runGateRuns' scalar tiling: 8-word
+// tiles, then a 4-word and a 2-word tile, with at most one trailing word
+// left to the scalar window kernel. Force, transition-force and constant
+// runs are rare (one record per forced net) and keep their scalar loops.
+
+// cpuid executes CPUID with the given leaf and subleaf.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (requires OSXSAVE).
+func xgetbv() (eax, edx uint32)
+
+func asmAnd8(base *uint64, recs *bgate, n int, stride uintptr)
+func asmNand8(base *uint64, recs *bgate, n int, stride uintptr)
+func asmOr8(base *uint64, recs *bgate, n int, stride uintptr)
+func asmNor8(base *uint64, recs *bgate, n int, stride uintptr)
+func asmXor8(base *uint64, recs *bgate, n int, stride uintptr)
+func asmXnor8(base *uint64, recs *bgate, n int, stride uintptr)
+func asmNot8(base *uint64, recs *bgate, n int, stride uintptr)
+func asmBuf8(base *uint64, recs *bgate, n int, stride uintptr)
+
+func asmAnd4(base *uint64, recs *bgate, n int, stride uintptr)
+func asmNand4(base *uint64, recs *bgate, n int, stride uintptr)
+func asmOr4(base *uint64, recs *bgate, n int, stride uintptr)
+func asmNor4(base *uint64, recs *bgate, n int, stride uintptr)
+func asmXor4(base *uint64, recs *bgate, n int, stride uintptr)
+func asmXnor4(base *uint64, recs *bgate, n int, stride uintptr)
+func asmNot4(base *uint64, recs *bgate, n int, stride uintptr)
+func asmBuf4(base *uint64, recs *bgate, n int, stride uintptr)
+
+func asmAnd2(base *uint64, recs *bgate, n int, stride uintptr)
+func asmNand2(base *uint64, recs *bgate, n int, stride uintptr)
+func asmOr2(base *uint64, recs *bgate, n int, stride uintptr)
+func asmNor2(base *uint64, recs *bgate, n int, stride uintptr)
+func asmXor2(base *uint64, recs *bgate, n int, stride uintptr)
+func asmXnor2(base *uint64, recs *bgate, n int, stride uintptr)
+func asmNot2(base *uint64, recs *bgate, n int, stride uintptr)
+func asmBuf2(base *uint64, recs *bgate, n int, stride uintptr)
+
+// batchAccel gates the SIMD path. It is a variable only so the
+// accelerated/scalar equivalence test can flip it; nothing else may write
+// it after init.
+var batchAccel = detectAVX2()
+
+// detectAVX2 reports whether the CPU and OS support the VEX 256-bit
+// integer ops the assembly kernels use: AVX2, with YMM state enabled in
+// XCR0 (checked via XGETBV, itself gated on OSXSAVE).
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c, _ := cpuid(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if c&osxsave == 0 || c&avx == 0 {
+		return false
+	}
+	if ax, _ := xgetbv(); ax&6 != 6 { // XMM and YMM state
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	return b&(1<<5) != 0 // AVX2
+}
+
+// runRunsAccel evaluates the runs with the vector kernels when supported.
+// It returns false — leaving all work to the scalar kernels — when the CPU
+// lacks AVX2 or the row is too narrow to pay for a vector dispatch.
+func runRunsAccel(vals []uint64, gates []bgate, runs []opRun, launch []uint64, S, B int) bool {
+	if !batchAccel || S < 4 {
+		return false
+	}
+	stride := uintptr(S) * 8
+	for i := range runs {
+		r := &runs[i]
+		n := int(r.end - r.start)
+		if n == 0 {
+			continue
+		}
+		switch r.op {
+		case bopForce:
+			forceRun(vals, gates[r.start:r.end], S, B, 0, S)
+			continue
+		case bopTransForce:
+			transForceRun(vals, launch, gates[r.start:r.end], S, B, 0, S)
+			continue
+		case bopConst0, bopConst1:
+			runGatesWin(vals, gates, runs[i:i+1], launch, S, B, 0, S)
+			continue
+		}
+		recs := &gates[r.start]
+		w0 := 0
+		for S-w0 >= 8 {
+			accelRun8(r.op, &vals[w0], recs, n, stride)
+			w0 += 8
+		}
+		if S-w0 >= 4 {
+			accelRun4(r.op, &vals[w0], recs, n, stride)
+			w0 += 4
+		}
+		if S-w0 >= 2 {
+			accelRun2(r.op, &vals[w0], recs, n, stride)
+			w0 += 2
+		}
+		if w0 < S {
+			runGatesWin(vals, gates, runs[i:i+1], launch, S, B, w0, S)
+		}
+	}
+	return true
+}
+
+func accelRun8(op uint8, base *uint64, recs *bgate, n int, stride uintptr) {
+	switch op {
+	case bopAnd:
+		asmAnd8(base, recs, n, stride)
+	case bopNand:
+		asmNand8(base, recs, n, stride)
+	case bopOr:
+		asmOr8(base, recs, n, stride)
+	case bopNor:
+		asmNor8(base, recs, n, stride)
+	case bopXor:
+		asmXor8(base, recs, n, stride)
+	case bopXnor:
+		asmXnor8(base, recs, n, stride)
+	case bopNot:
+		asmNot8(base, recs, n, stride)
+	case bopBuf:
+		asmBuf8(base, recs, n, stride)
+	default:
+		panic("sim: unhandled op in vector dispatch")
+	}
+}
+
+func accelRun4(op uint8, base *uint64, recs *bgate, n int, stride uintptr) {
+	switch op {
+	case bopAnd:
+		asmAnd4(base, recs, n, stride)
+	case bopNand:
+		asmNand4(base, recs, n, stride)
+	case bopOr:
+		asmOr4(base, recs, n, stride)
+	case bopNor:
+		asmNor4(base, recs, n, stride)
+	case bopXor:
+		asmXor4(base, recs, n, stride)
+	case bopXnor:
+		asmXnor4(base, recs, n, stride)
+	case bopNot:
+		asmNot4(base, recs, n, stride)
+	case bopBuf:
+		asmBuf4(base, recs, n, stride)
+	default:
+		panic("sim: unhandled op in vector dispatch")
+	}
+}
+
+func accelRun2(op uint8, base *uint64, recs *bgate, n int, stride uintptr) {
+	switch op {
+	case bopAnd:
+		asmAnd2(base, recs, n, stride)
+	case bopNand:
+		asmNand2(base, recs, n, stride)
+	case bopOr:
+		asmOr2(base, recs, n, stride)
+	case bopNor:
+		asmNor2(base, recs, n, stride)
+	case bopXor:
+		asmXor2(base, recs, n, stride)
+	case bopXnor:
+		asmXnor2(base, recs, n, stride)
+	case bopNot:
+		asmNot2(base, recs, n, stride)
+	case bopBuf:
+		asmBuf2(base, recs, n, stride)
+	default:
+		panic("sim: unhandled op in vector dispatch")
+	}
+}

@@ -1,0 +1,654 @@
+// Code in this file is the AVX2 batch kernel: each function evaluates one
+// op-homogeneous run of bgate records over an 8-, 4- or 2-word window of
+// the slot rows. Records are 12 bytes ({a, b, out int32}); row addresses
+// are idx*stride + base, with the window offset folded into the base
+// pointer by the Go wrapper. All loads and stores are unaligned VEX forms,
+// so no SSE-AVX transition stalls and no alignment requirements. YMM
+// functions end with VZEROUPPER to keep subsequent SSE code fast.
+
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func asmAnd8(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmAnd8(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 4(SI), BX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, BX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), Y0
+	VPAND (DI)(BX*1), Y0, Y0
+	VMOVDQU 32(DI)(AX*1), Y1
+	VPAND 32(DI)(BX*1), Y1, Y1
+	VMOVDQU Y0, (DI)(DX*1)
+	VMOVDQU Y1, 32(DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	VZEROUPPER
+	RET
+
+// func asmNand8(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmNand8(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	VPCMPEQD Y15, Y15, Y15
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 4(SI), BX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, BX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), Y0
+	VPAND (DI)(BX*1), Y0, Y0
+	VPXOR Y15, Y0, Y0
+	VMOVDQU 32(DI)(AX*1), Y1
+	VPAND 32(DI)(BX*1), Y1, Y1
+	VPXOR Y15, Y1, Y1
+	VMOVDQU Y0, (DI)(DX*1)
+	VMOVDQU Y1, 32(DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	VZEROUPPER
+	RET
+
+// func asmOr8(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmOr8(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 4(SI), BX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, BX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), Y0
+	VPOR (DI)(BX*1), Y0, Y0
+	VMOVDQU 32(DI)(AX*1), Y1
+	VPOR 32(DI)(BX*1), Y1, Y1
+	VMOVDQU Y0, (DI)(DX*1)
+	VMOVDQU Y1, 32(DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	VZEROUPPER
+	RET
+
+// func asmNor8(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmNor8(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	VPCMPEQD Y15, Y15, Y15
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 4(SI), BX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, BX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), Y0
+	VPOR (DI)(BX*1), Y0, Y0
+	VPXOR Y15, Y0, Y0
+	VMOVDQU 32(DI)(AX*1), Y1
+	VPOR 32(DI)(BX*1), Y1, Y1
+	VPXOR Y15, Y1, Y1
+	VMOVDQU Y0, (DI)(DX*1)
+	VMOVDQU Y1, 32(DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	VZEROUPPER
+	RET
+
+// func asmXor8(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmXor8(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 4(SI), BX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, BX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), Y0
+	VPXOR (DI)(BX*1), Y0, Y0
+	VMOVDQU 32(DI)(AX*1), Y1
+	VPXOR 32(DI)(BX*1), Y1, Y1
+	VMOVDQU Y0, (DI)(DX*1)
+	VMOVDQU Y1, 32(DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	VZEROUPPER
+	RET
+
+// func asmXnor8(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmXnor8(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	VPCMPEQD Y15, Y15, Y15
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 4(SI), BX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, BX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), Y0
+	VPXOR (DI)(BX*1), Y0, Y0
+	VPXOR Y15, Y0, Y0
+	VMOVDQU 32(DI)(AX*1), Y1
+	VPXOR 32(DI)(BX*1), Y1, Y1
+	VPXOR Y15, Y1, Y1
+	VMOVDQU Y0, (DI)(DX*1)
+	VMOVDQU Y1, 32(DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	VZEROUPPER
+	RET
+
+// func asmAnd4(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmAnd4(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 4(SI), BX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, BX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), Y0
+	VPAND (DI)(BX*1), Y0, Y0
+	VMOVDQU Y0, (DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	VZEROUPPER
+	RET
+
+// func asmNand4(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmNand4(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	VPCMPEQD Y15, Y15, Y15
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 4(SI), BX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, BX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), Y0
+	VPAND (DI)(BX*1), Y0, Y0
+	VPXOR Y15, Y0, Y0
+	VMOVDQU Y0, (DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	VZEROUPPER
+	RET
+
+// func asmOr4(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmOr4(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 4(SI), BX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, BX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), Y0
+	VPOR (DI)(BX*1), Y0, Y0
+	VMOVDQU Y0, (DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	VZEROUPPER
+	RET
+
+// func asmNor4(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmNor4(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	VPCMPEQD Y15, Y15, Y15
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 4(SI), BX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, BX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), Y0
+	VPOR (DI)(BX*1), Y0, Y0
+	VPXOR Y15, Y0, Y0
+	VMOVDQU Y0, (DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	VZEROUPPER
+	RET
+
+// func asmXor4(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmXor4(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 4(SI), BX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, BX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), Y0
+	VPXOR (DI)(BX*1), Y0, Y0
+	VMOVDQU Y0, (DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	VZEROUPPER
+	RET
+
+// func asmXnor4(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmXnor4(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	VPCMPEQD Y15, Y15, Y15
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 4(SI), BX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, BX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), Y0
+	VPXOR (DI)(BX*1), Y0, Y0
+	VPXOR Y15, Y0, Y0
+	VMOVDQU Y0, (DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	VZEROUPPER
+	RET
+
+// func asmAnd2(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmAnd2(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 4(SI), BX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, BX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), X0
+	VPAND (DI)(BX*1), X0, X0
+	VMOVDQU X0, (DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	RET
+
+// func asmNand2(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmNand2(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	VPCMPEQD X15, X15, X15
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 4(SI), BX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, BX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), X0
+	VPAND (DI)(BX*1), X0, X0
+	VPXOR X15, X0, X0
+	VMOVDQU X0, (DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	RET
+
+// func asmOr2(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmOr2(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 4(SI), BX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, BX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), X0
+	VPOR (DI)(BX*1), X0, X0
+	VMOVDQU X0, (DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	RET
+
+// func asmNor2(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmNor2(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	VPCMPEQD X15, X15, X15
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 4(SI), BX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, BX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), X0
+	VPOR (DI)(BX*1), X0, X0
+	VPXOR X15, X0, X0
+	VMOVDQU X0, (DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	RET
+
+// func asmXor2(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmXor2(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 4(SI), BX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, BX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), X0
+	VPXOR (DI)(BX*1), X0, X0
+	VMOVDQU X0, (DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	RET
+
+// func asmXnor2(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmXnor2(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	VPCMPEQD X15, X15, X15
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 4(SI), BX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, BX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), X0
+	VPXOR (DI)(BX*1), X0, X0
+	VPXOR X15, X0, X0
+	VMOVDQU X0, (DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	RET
+
+// func asmNot8(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmNot8(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	VPCMPEQD Y15, Y15, Y15
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), Y0
+	VPXOR Y15, Y0, Y0
+	VMOVDQU 32(DI)(AX*1), Y1
+	VPXOR Y15, Y1, Y1
+	VMOVDQU Y0, (DI)(DX*1)
+	VMOVDQU Y1, 32(DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	VZEROUPPER
+	RET
+
+// func asmBuf8(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmBuf8(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), Y0
+	VMOVDQU 32(DI)(AX*1), Y1
+	VMOVDQU Y0, (DI)(DX*1)
+	VMOVDQU Y1, 32(DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	VZEROUPPER
+	RET
+
+// func asmNot4(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmNot4(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	VPCMPEQD Y15, Y15, Y15
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), Y0
+	VPXOR Y15, Y0, Y0
+	VMOVDQU Y0, (DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	VZEROUPPER
+	RET
+
+// func asmBuf4(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmBuf4(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), Y0
+	VMOVDQU Y0, (DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	VZEROUPPER
+	RET
+
+// func asmNot2(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmNot2(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	VPCMPEQD X15, X15, X15
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), X0
+	VPXOR X15, X0, X0
+	VMOVDQU X0, (DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	RET
+
+// func asmBuf2(base *uint64, recs *bgate, n int, stride uintptr)
+TEXT ·asmBuf2(SB), NOSPLIT, $0-32
+	MOVQ base+0(FP), DI
+	MOVQ recs+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ stride+24(FP), R8
+	TESTQ CX, CX
+	JZ done
+loop:
+	MOVLQSX 0(SI), AX
+	MOVLQSX 8(SI), DX
+	IMULQ R8, AX
+	IMULQ R8, DX
+	VMOVDQU (DI)(AX*1), X0
+	VMOVDQU X0, (DI)(DX*1)
+	ADDQ $12, SI
+	DECQ CX
+	JNZ loop
+done:
+	RET

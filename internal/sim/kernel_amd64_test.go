@@ -1,0 +1,39 @@
+//go:build amd64
+
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/benchgen"
+)
+
+// TestScalarKernelsMatchReference pins the scalar fallback kernels on
+// machines where the vector path is on by default: with batchAccel forced
+// off, every lane width must still reproduce the event-driven reference
+// bit-for-bit. This is the only coverage the non-AVX2 code paths get on an
+// AVX2 host — the rest of the suite runs the vector kernels.
+func TestScalarKernelsMatchReference(t *testing.T) {
+	if !batchAccel {
+		t.Skip("vector path unavailable; scalar kernels already cover the suite")
+	}
+	batchAccel = false
+	defer func() { batchAccel = true }()
+
+	c := benchgen.MustGenerate("s953")
+	blocks := equivalenceBlocks(c, []int{64, 33}, 17)
+	fs := NewFaultSim(c, blocks)
+	faults := SampleFaults(FullFaultList(c), 120, 5)
+	tfaults := TransitionFaultList(c)[:60]
+	for _, cap_ := range []int{64, 128, 256} {
+		opt := BatchOptions{MaxLanes: cap_}
+		plan := PlanBatches(c, faults, opt)
+		fs.RunPlan(plan, func(i int, got *Result) {
+			requireSameResult(t, faults[i].Describe(c), got, fs.RunReference(faults[i]))
+		})
+		tplan := PlanTransitionBatches(c, tfaults, opt)
+		fs.RunPlan(tplan, func(i int, got *Result) {
+			requireSameResult(t, tfaults[i].Describe(c), got, fs.RunTransitionReference(tfaults[i]))
+		})
+	}
+}

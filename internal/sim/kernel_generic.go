@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package sim
+
+// runRunsAccel has no vector implementation on this architecture; the
+// scalar kernels in batch.go handle every width.
+func runRunsAccel(vals []uint64, gates []bgate, runs []opRun, launch []uint64, S, B int) bool {
+	return false
+}

@@ -6,30 +6,36 @@ import (
 )
 
 // This file implements the cone-aware batch scheduler feeding the
-// fault-parallel engine in batch.go. Two faults may share a batch only if
-// their claimed net sets are disjoint: a stem or combinational-branch
-// fault claims its whole memoized fan-out cone (circuit.Cone), a
-// flip-flop D-branch fault claims just the flip-flop's output net (which
-// any overlapping cone also contains as a frontier node, so conflicts are
-// always caught). Disjointness is what lets one dense pass over the union
-// compute every member's faulty values exactly; see batch.go.
+// fault-parallel engine in batch.go. A batch is a group of up to
+// MaxBatchLanes faults organised into G = PlanesFor(laneCap) planes of at
+// most 64 lanes each. Two faults may share a *plane* only if their claimed
+// net sets are disjoint: a stem or combinational-branch fault claims its
+// whole memoized fan-out cone (circuit.Cone), a flip-flop D-branch fault
+// claims just the flip-flop's output net (which any overlapping cone also
+// contains as a frontier node, so conflicts are always caught). Faults
+// whose cones overlap land in different planes of the same batch instead
+// of forcing a new batch — per-lane cone masking in the compiled kernel
+// keeps each plane's value space exact — which is what keeps batches full
+// on hub-heavy circuits and lets overlapping cones share one record
+// stream; see batch.go.
 
 // BatchOptions tunes batch formation.
 type BatchOptions struct {
-	// MaxLanes caps the faults per batch, 1..MaxLanes (64). Values outside
-	// the range (including zero) mean MaxLanes.
+	// MaxLanes caps the faults per batch, 1..MaxBatchLanes (256). Values
+	// outside the range (including zero) mean MaxBatchLanes. Caps above 64
+	// split the batch into PlanesFor(cap) word-parallel planes.
 	MaxLanes int
 	// ScanOrder disables the cone-aware greedy grouping: faults are packed
 	// strictly in list order, sealing a batch as soon as the next fault
-	// conflicts with it. This is the fallback for callers that need
+	// fits no plane of it. This is the fallback for callers that need
 	// list-locality (e.g. resuming a partial sweep) or when grouping cost
 	// matters more than packing density.
 	ScanOrder bool
 }
 
 func (o BatchOptions) lanes() int {
-	if o.MaxLanes < 1 || o.MaxLanes > MaxLanes {
-		return MaxLanes
+	if o.MaxLanes < 1 || o.MaxLanes > MaxBatchLanes {
+		return MaxBatchLanes
 	}
 	return o.MaxLanes
 }
@@ -44,6 +50,8 @@ type BatchPlan struct {
 	n        int
 	maxExt   int
 	maxLanes int
+	laneCap  int
+	planes   int
 }
 
 // NumFaults returns the number of faults the plan covers.
@@ -52,10 +60,39 @@ func (p *BatchPlan) NumFaults() int { return p.n }
 // Kind returns the fault model the plan's batches simulate.
 func (p *BatchPlan) Kind() BatchKind { return p.kind }
 
-// PlanBatches schedules stuck-at faults into cone-disjoint batches and
+// LaneCap returns the per-batch lane cap the plan was scheduled with.
+func (p *BatchPlan) LaneCap() int { return p.laneCap }
+
+// NumPlanes returns the plane-group size of the plan's batches.
+func (p *BatchPlan) NumPlanes() int { return p.planes }
+
+// Fill is the scheduler-saturation metric: covered faults divided by the
+// lane slots the plan's batches provide (batches × lane cap). A fill near
+// 1.0 means the kernel runs dense; low fill means cone conflicts forced
+// underfull batches. An empty plan reports 1.
+func (p *BatchPlan) Fill() float64 {
+	if len(p.Batches) == 0 {
+		return 1
+	}
+	return float64(p.n) / float64(len(p.Batches)*p.laneCap)
+}
+
+// newBatchPlan seeds an empty plan for a lane cap.
+func newBatchPlan(kind BatchKind, n, laneCap int) *BatchPlan {
+	return &BatchPlan{
+		kind:     kind,
+		n:        n,
+		maxLanes: 1,
+		laneCap:  laneCap,
+		planes:   PlanesFor(laneCap),
+	}
+}
+
+// PlanBatches schedules stuck-at faults into plane-grouped batches and
 // compiles each into a dense kernel. The assignment is deterministic:
 // faults are visited in list order and placed into the lowest-numbered
-// compatible batch (or, with ScanOrder, into the single open batch).
+// compatible (batch, plane) (or, with ScanOrder, into the single open
+// batch).
 func PlanBatches(c *circuit.Circuit, faults []Fault, opt BatchOptions) *BatchPlan {
 	single := make([]circuit.NetID, 1)
 	claimsOf := func(i int) []circuit.NetID {
@@ -71,11 +108,11 @@ func PlanBatches(c *circuit.Circuit, faults []Fault, opt BatchOptions) *BatchPla
 		return c.Cone(site).Nets
 	}
 	groups := assignBatches(c, len(faults), claimsOf, opt)
-	plan := &BatchPlan{kind: BatchStuckAt, n: len(faults), maxLanes: 1}
+	plan := newBatchPlan(BatchStuckAt, len(faults), opt.lanes())
 	cs := newCompileScratch(c)
 	for _, g := range groups {
-		spec := batchSpec{kind: BatchStuckAt, index: g}
-		for _, i := range g {
+		spec := batchSpec{kind: BatchStuckAt, index: g.index, planes: g.planes, nPlanes: plan.planes}
+		for _, i := range g.index {
 			spec.faults = append(spec.faults, faults[i])
 		}
 		plan.add(compileBatch(c, spec, cs))
@@ -83,17 +120,17 @@ func PlanBatches(c *circuit.Circuit, faults []Fault, opt BatchOptions) *BatchPla
 	return plan
 }
 
-// PlanTransitionBatches schedules transition faults into cone-disjoint
+// PlanTransitionBatches schedules transition faults into plane-grouped
 // batches; transition and stuck-at faults evaluate over different
 // fault-free baselines and therefore never share a batch.
 func PlanTransitionBatches(c *circuit.Circuit, faults []TransitionFault, opt BatchOptions) *BatchPlan {
 	claimsOf := func(i int) []circuit.NetID { return c.Cone(faults[i].Net).Nets }
 	groups := assignBatches(c, len(faults), claimsOf, opt)
-	plan := &BatchPlan{kind: BatchTransition, n: len(faults), maxLanes: 1}
+	plan := newBatchPlan(BatchTransition, len(faults), opt.lanes())
 	cs := newCompileScratch(c)
 	for _, g := range groups {
-		spec := batchSpec{kind: BatchTransition, index: g}
-		for _, i := range g {
+		spec := batchSpec{kind: BatchTransition, index: g.index, planes: g.planes, nPlanes: plan.planes}
+		for _, i := range g.index {
 			spec.tfaults = append(spec.tfaults, faults[i])
 		}
 		plan.add(compileBatch(c, spec, cs))
@@ -102,6 +139,7 @@ func PlanTransitionBatches(c *circuit.Circuit, faults []TransitionFault, opt Bat
 }
 
 func (p *BatchPlan) add(cb *CompiledBatch) {
+	cb.seq = int32(len(p.Batches))
 	p.Batches = append(p.Batches, cb)
 	if cb.nExt > p.maxExt {
 		p.maxExt = cb.nExt
@@ -111,83 +149,124 @@ func (p *BatchPlan) add(cb *CompiledBatch) {
 	}
 }
 
-// assignBatches groups fault indices into batches with pairwise-disjoint
-// claims, at most lanes members each.
-func assignBatches(c *circuit.Circuit, n int, claimsOf func(i int) []circuit.NetID, opt BatchOptions) [][]int {
+// batchGroup is one batch under construction: member indices, their plane
+// assignments, and the per-plane member counts.
+type batchGroup struct {
+	index  []int
+	planes []uint8
+	counts [MaxPlanes]uint16
+}
+
+// assignBatches groups fault indices into batches of at most lanes
+// members, pairwise-disjoint within each plane.
+func assignBatches(c *circuit.Circuit, n int, claimsOf func(i int) []circuit.NetID, opt BatchOptions) []batchGroup {
 	lanes := opt.lanes()
+	G := PlanesFor(lanes)
+	perPlane := (lanes + G - 1) / G
 	if opt.ScanOrder {
-		return assignScanOrder(c, n, claimsOf, lanes)
+		return assignScanOrder(c, n, claimsOf, lanes, G, perPlane)
 	}
-	// Greedy first-fit: per net, the list of batches already claiming it;
-	// each fault lands in the lowest-numbered batch none of its claimed
-	// nets belongs to. Deterministic and O(total claims × batches-per-net).
-	claimedBy := make([][]int32, c.NumNets())
-	var groups [][]int
-	var conflict []bool
+	// Greedy first-fit over (batch, plane): per net, the packed list of
+	// (batch, plane) pairs already claiming it; each fault lands in the
+	// lowest-numbered batch with a free conflict-free plane. Deterministic
+	// and O(total claims × claimants-per-net).
+	claimedBy := make([][]int32, c.NumNets()) // packed batch<<2 | plane
+	var groups []batchGroup
+	var conflict []uint8 // per batch: bitmask of conflicting planes
 	var touched []int32
 	for i := 0; i < n; i++ {
 		claims := claimsOf(i)
 		touched = touched[:0]
 		for _, net := range claims {
-			for _, b := range claimedBy[net] {
-				if !conflict[b] {
-					conflict[b] = true
+			for _, pk := range claimedBy[net] {
+				b := pk >> 2
+				if conflict[b] == 0 {
 					touched = append(touched, b)
 				}
+				conflict[b] |= 1 << uint(pk&3)
 			}
 		}
-		chosen := -1
+		chosen, plane := -1, 0
 		for b := range groups {
-			if !conflict[b] && len(groups[b]) < lanes {
-				chosen = b
+			if len(groups[b].index) >= lanes {
+				continue
+			}
+			m := conflict[b]
+			for g := 0; g < G; g++ {
+				if m&(1<<g) == 0 && int(groups[b].counts[g]) < perPlane {
+					chosen, plane = b, g
+					break
+				}
+			}
+			if chosen >= 0 {
 				break
 			}
 		}
 		if chosen < 0 {
 			chosen = len(groups)
-			groups = append(groups, nil)
-			conflict = append(conflict, false)
+			groups = append(groups, batchGroup{})
+			conflict = append(conflict, 0)
 		}
-		groups[chosen] = append(groups[chosen], i)
+		grp := &groups[chosen]
+		grp.index = append(grp.index, i)
+		grp.planes = append(grp.planes, uint8(plane))
+		grp.counts[plane]++
 		for _, net := range claims {
-			claimedBy[net] = append(claimedBy[net], int32(chosen))
+			claimedBy[net] = append(claimedBy[net], int32(chosen)<<2|int32(plane))
 		}
 		for _, b := range touched {
-			conflict[b] = false
+			conflict[b] = 0
 		}
 	}
 	return groups
 }
 
 // assignScanOrder packs faults in list order into a single open batch,
-// sealing it on the first conflict or when full.
-func assignScanOrder(c *circuit.Circuit, n int, claimsOf func(i int) []circuit.NetID, lanes int) [][]int {
+// assigning each the lowest conflict-free plane with capacity and sealing
+// the batch when none exists (or it is full). Batches therefore cover
+// contiguous index ranges, which is what partial-sweep resumption relies
+// on.
+func assignScanOrder(c *circuit.Circuit, n int, claimsOf func(i int) []circuit.NetID, lanes, G, perPlane int) []batchGroup {
 	claimAt := make([]uint32, c.NumNets())
+	claimMask := make([]uint8, c.NumNets())
 	epoch := uint32(1)
-	var groups [][]int
-	var cur []int
+	var groups []batchGroup
+	var cur batchGroup
 	seal := func() {
-		if len(cur) > 0 {
+		if len(cur.index) > 0 {
 			groups = append(groups, cur)
-			cur = nil
+			cur = batchGroup{}
 			epoch++
 		}
 	}
 	for i := 0; i < n; i++ {
 		claims := claimsOf(i)
-		conflicts := false
+		m := uint8(0)
 		for _, net := range claims {
 			if claimAt[net] == epoch {
-				conflicts = true
+				m |= claimMask[net]
+			}
+		}
+		plane := -1
+		for g := 0; g < G; g++ {
+			if m&(1<<g) == 0 && int(cur.counts[g]) < perPlane {
+				plane = g
 				break
 			}
 		}
-		if conflicts || len(cur) >= lanes {
+		if plane < 0 || len(cur.index) >= lanes {
 			seal()
+			plane = 0 // a fresh batch always has room in plane 0
 		}
-		cur = append(cur, i)
+		cur.index = append(cur.index, i)
+		cur.planes = append(cur.planes, uint8(plane))
+		cur.counts[plane]++
 		for _, net := range claims {
-			claimAt[net] = epoch
+			if claimAt[net] != epoch {
+				claimAt[net] = epoch
+				claimMask[net] = 0
+			}
+			claimMask[net] |= 1 << uint(plane)
 		}
 	}
 	seal()

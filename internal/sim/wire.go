@@ -91,11 +91,14 @@ type CapRecord struct {
 
 // BatchWire is the serializable content of one CompiledBatch. The
 // extension-slot count is deliberately absent: it sizes scratch memory and
-// is re-derived from the record stream on the way back in.
+// is re-derived from the record stream on the way back in. Planes carries
+// each member's plane assignment; the plane-group size itself travels at
+// the plan level (it is a function of the plan's lane cap).
 type BatchWire struct {
 	Faults  []Fault
 	TFaults []TransitionFault
 	Index   []int
+	Planes  []uint8
 	Gates   []GateRecord
 	Runs    []RunRecord
 	Cells   []CapRecord
@@ -108,6 +111,7 @@ func (cb *CompiledBatch) Wire() *BatchWire {
 		Faults:  append([]Fault(nil), cb.Faults...),
 		TFaults: append([]TransitionFault(nil), cb.TFaults...),
 		Index:   append([]int(nil), cb.Index...),
+		Planes:  append([]uint8(nil), cb.Planes...),
 		Gates:   make([]GateRecord, len(cb.gates)),
 		Runs:    make([]RunRecord, len(cb.runs)),
 		Cells:   make([]CapRecord, len(cb.cells)),
@@ -129,14 +133,18 @@ func (cb *CompiledBatch) Wire() *BatchWire {
 }
 
 // CompiledBatchFromWire validates a wire batch against the live circuit
-// and assembles the runnable CompiledBatch. The validation is exhaustive
-// enough that a batch it accepts can never index outside its scratch:
-// every run partition, slot reference, write-before-read dependency,
-// observation index, and fault site is checked, and the extension-slot
-// count is re-derived from the writes actually present in the stream.
-func CompiledBatchFromWire(c *circuit.Circuit, kind BatchKind, w *BatchWire) (*CompiledBatch, error) {
+// and assembles the runnable CompiledBatch for a plane group of nPlanes.
+// The validation is exhaustive enough that a batch it accepts can never
+// index outside its scratch: every run partition, slot reference,
+// write-before-read dependency, force mask, plane assignment, observation
+// index, and fault site is checked, and the extension-slot count is
+// re-derived from the writes actually present in the stream.
+func CompiledBatchFromWire(c *circuit.Circuit, kind BatchKind, nPlanes int, w *BatchWire) (*CompiledBatch, error) {
 	if kind != BatchStuckAt && kind != BatchTransition {
 		return nil, fmt.Errorf("sim: wire batch has unknown kind %d", kind)
+	}
+	if nPlanes != 1 && nPlanes != 2 && nPlanes != MaxPlanes {
+		return nil, fmt.Errorf("sim: wire batch has plane-group size %d, want 1, 2 or %d", nPlanes, MaxPlanes)
 	}
 	lanes := len(w.Faults)
 	if kind == BatchTransition {
@@ -147,11 +155,24 @@ func CompiledBatchFromWire(c *circuit.Circuit, kind BatchKind, w *BatchWire) (*C
 	} else if len(w.TFaults) != 0 {
 		return nil, fmt.Errorf("sim: stuck-at wire batch carries %d transition faults", len(w.TFaults))
 	}
-	if lanes < 1 || lanes > MaxLanes {
-		return nil, fmt.Errorf("sim: wire batch has %d lanes, want 1..%d", lanes, MaxLanes)
+	if lanes < 1 || lanes > MaxLanes*nPlanes {
+		return nil, fmt.Errorf("sim: wire batch has %d lanes, want 1..%d", lanes, MaxLanes*nPlanes)
 	}
 	if len(w.Index) != lanes {
 		return nil, fmt.Errorf("sim: wire batch has %d index entries for %d lanes", len(w.Index), lanes)
+	}
+	if len(w.Planes) != lanes {
+		return nil, fmt.Errorf("sim: wire batch has %d plane entries for %d lanes", len(w.Planes), lanes)
+	}
+	var perPlane [MaxPlanes]int
+	for k, p := range w.Planes {
+		if int(p) >= nPlanes {
+			return nil, fmt.Errorf("sim: wire batch lane %d sits in plane %d of a %d-plane group", k, p, nPlanes)
+		}
+		perPlane[p]++
+		if perPlane[p] > MaxLanes {
+			return nil, fmt.Errorf("sim: wire batch packs more than %d lanes into plane %d", MaxLanes, p)
+		}
 	}
 	for _, i := range w.Index {
 		if i < 0 {
@@ -203,12 +224,14 @@ func CompiledBatchFromWire(c *circuit.Circuit, kind BatchKind, w *BatchWire) (*C
 			return nil, fmt.Errorf("sim: wire run %d [%d,%d) does not partition the %d-record stream", ri, run.Start, run.End, len(w.Gates))
 		}
 		next = run.End
-		if run.Op > bopTransFall {
+		if run.Op > bopTransForce {
 			return nil, fmt.Errorf("sim: wire run %d has unknown op %d", ri, run.Op)
 		}
-		trans := run.Op == bopTransRise || run.Op == bopTransFall
-		if trans && kind != BatchTransition {
+		if run.Op == bopTransForce && kind != BatchTransition {
 			return nil, fmt.Errorf("sim: wire run %d uses a transition op in a stuck-at batch", ri)
+		}
+		if run.Op == bopForce && kind != BatchStuckAt {
+			return nil, fmt.Errorf("sim: wire run %d uses a stuck-at force in a transition batch", ri)
 		}
 		readsA := run.Op != bopConst0 && run.Op != bopConst1
 		readsB := run.Op == bopAnd || run.Op == bopNand || run.Op == bopOr ||
@@ -220,10 +243,29 @@ func CompiledBatchFromWire(c *circuit.Circuit, kind BatchKind, w *BatchWire) (*C
 					return nil, err
 				}
 			}
-			if trans && g.A >= N {
-				// Transition forces index the launch baseline directly, which
-				// only has rows for real nets.
-				return nil, fmt.Errorf("sim: wire record %d forces non-net slot %d", i, g.A)
+			switch run.Op {
+			case bopForce:
+				// B packs the per-plane force masks m1 | m0<<8: they must fit
+				// the plane group, touch at least one plane, and never force
+				// one plane both ways.
+				m1 := uint32(g.B) & 0xFF
+				m0 := uint32(g.B) >> 8 & 0xFF
+				if g.B < 0 || g.B>>16 != 0 || m1|m0 == 0 || int32(m1|m0) >= 1<<nPlanes || m1&m0 != 0 {
+					return nil, fmt.Errorf("sim: wire record %d has invalid force masks %#x for a %d-plane group", i, g.B, nPlanes)
+				}
+			case bopTransForce:
+				// B packs site<<8 | mr<<4 | mf: the site's launch row is read
+				// directly and must be a real net; the direction masks must
+				// fit the plane group and never mark one plane both ways.
+				if g.B < 0 {
+					return nil, fmt.Errorf("sim: wire record %d has invalid transition force %#x", i, g.B)
+				}
+				site := g.B >> 8
+				mr := uint32(g.B) >> 4 & 0xF
+				mf := uint32(g.B) & 0xF
+				if site >= N || mr|mf == 0 || int32(mr|mf) >= 1<<nPlanes || mr&mf != 0 {
+					return nil, fmt.Errorf("sim: wire record %d has invalid transition force %#x for a %d-plane group", i, g.B, nPlanes)
+				}
 			}
 			if readsB {
 				if err := checkRead(int(i), g.B); err != nil {
@@ -274,11 +316,13 @@ func CompiledBatchFromWire(c *circuit.Circuit, kind BatchKind, w *BatchWire) (*C
 		Faults:  append([]Fault(nil), w.Faults...),
 		TFaults: append([]TransitionFault(nil), w.TFaults...),
 		Index:   append([]int(nil), w.Index...),
+		Planes:  append([]uint8(nil), w.Planes...),
 		gates:   make([]bgate, len(w.Gates)),
 		runs:    make([]opRun, len(w.Runs)),
 		cells:   make([]bcap, len(w.Cells)),
 		pos:     make([]bcap, len(w.POs)),
 		nExt:    int(nExt),
+		nPlanes: nPlanes,
 	}
 	for i, g := range w.Gates {
 		cb.gates[i] = bgate{a: g.A, b: g.B, out: g.Out}
@@ -324,20 +368,31 @@ func checkWireFault(c *circuit.Circuit, f Fault) error {
 
 // NewPlanFromBatches reassembles a BatchPlan from decoded batches,
 // re-deriving the scratch-sizing maxima and validating that the batches'
-// index entries form exactly one lane per fault of an n-fault list.
-func NewPlanFromBatches(kind BatchKind, numFaults int, batches []*CompiledBatch) (*BatchPlan, error) {
+// index entries form exactly one lane per fault of an n-fault list, that
+// no batch exceeds the plan's lane cap, and that every batch was decoded
+// for the cap's plane group.
+func NewPlanFromBatches(kind BatchKind, numFaults, laneCap int, batches []*CompiledBatch) (*BatchPlan, error) {
 	if kind != BatchStuckAt && kind != BatchTransition {
 		return nil, fmt.Errorf("sim: plan has unknown kind %d", kind)
 	}
 	if numFaults < 0 {
 		return nil, fmt.Errorf("sim: plan covers %d faults", numFaults)
 	}
+	if laneCap < 1 || laneCap > MaxBatchLanes {
+		return nil, fmt.Errorf("sim: plan lane cap %d outside 1..%d", laneCap, MaxBatchLanes)
+	}
 	seen := make([]bool, numFaults)
 	total := 0
-	plan := &BatchPlan{kind: kind, n: numFaults, maxLanes: 1}
+	plan := newBatchPlan(kind, numFaults, laneCap)
 	for bi, cb := range batches {
 		if cb.Kind != kind {
 			return nil, fmt.Errorf("sim: plan batch %d has kind %d, plan has %d", bi, cb.Kind, kind)
+		}
+		if cb.nPlanes != plan.planes {
+			return nil, fmt.Errorf("sim: plan batch %d compiled for %d planes, lane cap %d implies %d", bi, cb.nPlanes, laneCap, plan.planes)
+		}
+		if cb.Lanes() > laneCap {
+			return nil, fmt.Errorf("sim: plan batch %d packs %d lanes over the cap %d", bi, cb.Lanes(), laneCap)
 		}
 		for _, i := range cb.Index {
 			if i < 0 || i >= numFaults {
@@ -365,6 +420,7 @@ func (p *BatchPlan) MemoryFootprint() int64 {
 		n += int64(len(cb.gates))*12 + int64(len(cb.runs))*12
 		n += int64(len(cb.cells)+len(cb.pos)) * 16
 		n += int64(len(cb.Faults))*16 + int64(len(cb.TFaults))*8 + int64(len(cb.Index))*8
+		n += int64(len(cb.Planes))
 		n += 96 // struct and slice headers
 	}
 	return n
