@@ -29,6 +29,8 @@ func main() {
 		seed   = flag.Int64("seed", 0, "override the generator seed (0 = profile default)")
 		scale  = flag.Int("scale", 1, "multiply the profile's inputs/outputs/FFs/gates by this factor (1 = stock profile)")
 		format = flag.String("format", "bench", "netlist format: bench|verilog")
+		preset = flag.String("preset", "", "SOC preset (soc1|soc2|soc1m|socmini): -stats prints its footprint, -core emits one core's netlist")
+		core   = flag.String("core", "", "with -preset: base profile name of the core to emit")
 	)
 	flag.Parse()
 
@@ -45,6 +47,18 @@ func main() {
 		for _, p := range benchgen.Profiles() {
 			fmt.Printf("%-9s %7d %7d %7d %8d\n", p.Name, p.Inputs, p.Outputs, p.DFFs, p.Gates)
 		}
+		fmt.Printf("\n%-9s %6s %6s %9s %10s  %s\n", "preset", "cores", "scale", "FFs", "gates", "bases")
+		for _, p := range benchgen.SOCPresets() {
+			f, err := p.Footprint()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-9s %6d %6d %9d %10d  %v\n", p.Name, f.Cores, p.Scale, f.DFFs, f.Gates, p.Bases)
+		}
+		return
+	}
+	if *preset != "" {
+		emitPreset(*preset, *core, *name, *seed, *scale, *stats, *out, *format)
 		return
 	}
 	if *name == "" {
@@ -91,6 +105,78 @@ func main() {
 		if err := verilog.Write(w, c); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// emitPreset handles the -preset modes: footprint report (-stats) or
+// one core's netlist (-core). Presets are fixed recipes — the shard
+// runtime identifies devices by preset name plus content fingerprint —
+// so the per-profile -seed and -scale knobs are rejected here.
+func emitPreset(presetName, coreName, circuitName string, seed int64, scale int, stats bool, out, format string) {
+	if circuitName != "" {
+		usageError(fmt.Errorf("-preset excludes -circuit"))
+	}
+	if seed != 0 || scale != 1 {
+		usageError(fmt.Errorf("-preset recipes are fixed; -seed and -scale do not apply"))
+	}
+	p, ok := benchgen.SOCPresetByName(presetName)
+	if !ok {
+		names := make([]string, 0, 4)
+		for _, q := range benchgen.SOCPresets() {
+			names = append(names, q.Name)
+		}
+		usageError(fmt.Errorf("unknown preset %q (try one of %v)", presetName, names))
+	}
+	profs, err := p.Profiles()
+	if err != nil {
+		fatal(err)
+	}
+	if stats {
+		f, err := p.Footprint()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d cores x%d, %d inputs, %d outputs, %d FFs, %d gates\n",
+			p.Name, f.Cores, p.Scale, f.Inputs, f.Outputs, f.DFFs, f.Gates)
+		for _, prof := range profs {
+			fmt.Printf("  %-12s %6d FFs %8d gates\n", prof.Name, prof.DFFs, prof.Gates)
+		}
+		return
+	}
+	if coreName == "" {
+		usageError(fmt.Errorf("with -preset, use -stats for the footprint or -core <base> to emit one core"))
+	}
+	var chosen *benchgen.Profile
+	for i, base := range p.Bases {
+		if base == coreName {
+			chosen = &profs[i]
+			break
+		}
+	}
+	if chosen == nil {
+		usageError(fmt.Errorf("preset %s has no core %q (bases: %v)", p.Name, coreName, p.Bases))
+	}
+	c, err := benchgen.Generate(*chosen)
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "bench":
+		err = bench.Write(w, c)
+	case "verilog":
+		err = verilog.Write(w, c)
+	}
+	if err != nil {
+		fatal(err)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/benchgen"
 	"repro/internal/chaindiag"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/pipeline/diskstore"
 	"repro/internal/scan"
+	"repro/internal/shard"
 	"repro/internal/sim"
 )
 
@@ -58,6 +60,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for -sweep (0 = none); on expiry the partial accuracy summary is reported")
 		cacheMB    = flag.Int64("cachemb", 0, "artifact-cache budget in MiB (0 = unbounded); accepted for CLI consistency — chain diagnosis builds no cacheable artifacts")
 		cacheDir   = flag.String("cachedir", "", "artifact store directory; chaindiag only opens and reports it (no artifacts are built)")
+		connect    = flag.String("connect", "", "comma-separated sharddiag worker addresses (host:port, or unix:/path); shard -sweep across them instead of running in-process")
+		shards     = flag.Int("shards", 0, "shards to split the injection sweep into when -connect is set (0 = 4 per worker)")
 	)
 	flag.Parse()
 
@@ -132,8 +136,15 @@ func main() {
 		}
 		ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
 		defer stop()
-		runSweep(ctx, c, order, *workers)
+		if *connect != "" {
+			runShardedSweep(ctx, c, *name, order, *connect, *shards)
+		} else {
+			runSweep(ctx, c, order, *workers)
+		}
 		return
+	}
+	if *connect != "" {
+		usageError(fmt.Errorf("-connect applies only to -sweep (single injections run locally)"))
 	}
 
 	var fault *chaindiag.ChainFault
@@ -216,6 +227,49 @@ func runSweep(ctx context.Context, c *circuit.Circuit, order []int, workers int)
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "chaindiag: sweep interrupted (%v): %d of %d injections finished; summarising the prefix\n",
 			runErr, runs, len(results))
+	}
+	fmt.Printf("injected %d shift-path faults:\n", runs)
+	fmt.Printf("  located:         %d (%.1f%%)\n", located, 100*float64(located)/float64(runs))
+	fmt.Printf("  exactly (1 cand): %d (%.1f%%)\n", exact, 100*float64(exact)/float64(runs))
+	fmt.Printf("  avg candidates:  %.2f\n", float64(totalCands)/float64(runs))
+}
+
+// runShardedSweep fans the injection sweep out to sharddiag workers.
+// Verdicts are per-injection and independent, so the summary matches
+// runSweep's exactly on a complete run; on a partial failure the
+// non-failed injections are summarised (a sound subset).
+func runShardedSweep(ctx context.Context, c *circuit.Circuit, name string, order []int, connect string, shards int) {
+	conns, err := shard.DialAll(ctx, strings.Split(connect, ","))
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		for _, wc := range conns {
+			wc.Close()
+		}
+	}()
+	co := &shard.Coordinator{Conns: conns, Shards: shards}
+	outs, runErr := co.RunChain(ctx, shard.ProfileRef(name, 0, 1, c), order, 2*c.NumDFFs())
+	runs, located, exact, totalCands := 0, 0, 0, 0
+	for _, out := range outs {
+		if out == nil {
+			continue
+		}
+		runs++
+		totalCands += out.Cands
+		if out.Located {
+			located++
+		}
+		if out.Exact {
+			exact++
+		}
+	}
+	if runs == 0 {
+		fatal(fmt.Errorf("sweep interrupted (%v) before any injection finished", runErr))
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "chaindiag: sweep interrupted (%v): %d of %d injections finished; summarising those\n",
+			runErr, runs, len(outs))
 	}
 	fmt.Printf("injected %d shift-path faults:\n", runs)
 	fmt.Printf("  located:         %d (%.1f%%)\n", located, 100*float64(located)/float64(runs))

@@ -18,6 +18,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/benchgen"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/pipeline"
 	"repro/internal/scan"
+	"repro/internal/shard"
 	"repro/internal/sim"
 )
 
@@ -60,6 +62,8 @@ func main() {
 		timeout      = flag.Duration("timeout", 0, "wall-clock budget for the sweep (0 = none); on expiry the partial study is reported")
 		cacheMB      = flag.Int64("cachemb", 0, "artifact-cache budget in MiB (0 = unbounded)")
 		cacheDir     = flag.String("cachedir", "", "persist build artifacts under this directory and reuse them across runs (warm start)")
+		connect      = flag.String("connect", "", "comma-separated sharddiag worker addresses (host:port, or unix:/path); shard the sweep across them instead of running in-process")
+		shards       = flag.Int("shards", 0, "shards to split the fault list into when -connect is set (0 = 4 per worker)")
 	)
 	flag.Parse()
 
@@ -189,7 +193,36 @@ func main() {
 				fd.Result.Candidates.Elems(), fd.Result.Pruned.Elems())
 		}
 	}
-	study, runErr := b.RunObservedContext(ctx, sample, observe)
+	var study *core.Study
+	var runErr error
+	if *connect != "" {
+		// Sharded run: identical per-fault verdicts and study aggregates,
+		// merged slot-major from the workers' deltas, so stdout below is
+		// byte-identical to the in-process sweep (the batch-plan "sched:"
+		// line, which legitimately differs, is verbose-only).
+		conns, err := shard.DialAll(ctx, strings.Split(*connect, ","))
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			for _, wc := range conns {
+				wc.Close()
+			}
+		}()
+		co := &shard.Coordinator{Conns: conns, Shards: *shards}
+		if *verbose {
+			co.Progress = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "scandiag: "+format+"\n", args...)
+			}
+		}
+		ref := shard.ProfileRef(*name, 0, 1, c)
+		if *benchPath != "" {
+			ref = shard.BenchFileRef(*benchPath, c)
+		}
+		study, runErr = co.RunCircuit(ctx, ref, opts, sample, shard.StuckAtCosts(c, sample), observe)
+	} else {
+		study, runErr = b.RunObservedContext(ctx, sample, observe)
+	}
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "scandiag: sweep interrupted (%v): diagnosed %d of %d scheduled faults; reporting the partial study\n",
 			runErr, study.Completeness.Observed, study.Completeness.Scheduled)

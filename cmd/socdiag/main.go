@@ -17,11 +17,13 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/drc"
 	"repro/internal/partition"
 	"repro/internal/pipeline"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/soc"
 )
@@ -45,6 +47,9 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the sweep (0 = none); on expiry the partial study is reported")
 		cacheMB    = flag.Int64("cachemb", 0, "artifact-cache budget in MiB (0 = unbounded)")
 		cacheDir   = flag.String("cachedir", "", "persist build artifacts under this directory and reuse them across runs (warm start)")
+		preset     = flag.String("preset", "", "SOC preset name (soc1|soc2|soc1m|socmini); overrides -soc")
+		connect    = flag.String("connect", "", "comma-separated sharddiag worker addresses (host:port, or unix:/path); shard the sweep across them instead of running in-process")
+		shards     = flag.Int("shards", 0, "shards to split the fault list into when -connect is set (0 = 4 per worker)")
 	)
 	flag.Parse()
 
@@ -88,39 +93,44 @@ func main() {
 	}
 	defer writeMemProfile(*memprofile)
 
-	var (
-		s   *soc.SOC
-		err error
-	)
-	switch *socNum {
-	case 1:
-		s, err = soc.SOC1()
-		if *groups == 0 {
-			*groups = 32
+	presetName := *preset
+	if presetName == "" {
+		switch *socNum {
+		case 1:
+			presetName = "soc1"
+		case 2:
+			presetName = "soc2"
+		default:
+			fatal(fmt.Errorf("unknown SOC %d", *socNum))
 		}
-		if *chains == 0 {
-			*chains = 1
-		}
-	case 2:
-		s, err = soc.SOC2()
-		if *groups == 0 {
-			*groups = 8
-		}
-		if *chains == 0 {
-			*chains = 8
-		}
-	default:
-		err = fmt.Errorf("unknown SOC %d", *socNum)
 	}
+	s, err := soc.Preset(presetName)
 	if err != nil {
 		fatal(err)
+	}
+	// Per-preset defaults: the paper's SOC1 runs 32 groups on a single
+	// chain, SOC2 8 groups on 8 chains; other presets get the SOC2 group
+	// count on a single chain.
+	if *groups == 0 {
+		if presetName == "soc1" {
+			*groups = 32
+		} else {
+			*groups = 8
+		}
+	}
+	if *chains == 0 {
+		if presetName == "soc2" {
+			*chains = 8
+		} else {
+			*chains = 1
+		}
 	}
 
 	faultyCore := 0
 	if *coreName != "" {
 		i, ok := s.CoreByName(*coreName)
 		if !ok {
-			fatal(fmt.Errorf("SOC%d has no core %q", *socNum, *coreName))
+			fatal(fmt.Errorf("SOC %s has no core %q", s.Name, *coreName))
 		}
 		faultyCore = i
 	}
@@ -177,7 +187,28 @@ func main() {
 	defer stop()
 
 	sample := sim.SampleFaults(b.CoreFaults(faultyCore), *faults, *seed)
-	study, runErr := b.RunCoreContext(ctx, faultyCore, sample)
+	var study *core.Study
+	var runErr error
+	if *connect != "" {
+		// Sharded run: per-fault verdicts and study aggregates are merged
+		// slot-major from the workers' deltas, bit-identical to the
+		// in-process sweep, so stdout below does not depend on -connect.
+		conns, err := shard.DialAll(ctx, strings.Split(*connect, ","))
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			for _, wc := range conns {
+				wc.Close()
+			}
+		}()
+		co := &shard.Coordinator{Conns: conns, Shards: *shards}
+		cc := s.Cores[faultyCore].Circuit
+		study, runErr = co.RunSOCCore(ctx, shard.SOCRef(presetName, s), faultyCore, opts, sample,
+			shard.StuckAtCosts(cc, sample), nil)
+	} else {
+		study, runErr = b.RunCoreContext(ctx, faultyCore, sample)
+	}
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "socdiag: sweep interrupted (%v): diagnosed %d of %d scheduled faults; reporting the partial study\n",
 			runErr, study.Completeness.Observed, study.Completeness.Scheduled)

@@ -1,0 +1,96 @@
+package benchgen
+
+import "fmt"
+
+// SOC1MScale is the factor that lifts the six largest ISCAS-89 profiles
+// past the million-gate mark: their stock gate counts sum to ~67.5k, so
+// ×15 lands at ~1.01M gates and ~69k scan cells — the "benchgen up ~30×
+// beyond s38584" target the coordinator/worker split is sized for.
+const SOC1MScale = 15
+
+// SOCPreset is a deterministic multi-core SOC recipe: a list of base
+// profiles, one scale factor applied to each, and the SOC's own name.
+// Presets are pure data — resolving one costs nothing until Generate —
+// so CLIs can list footprints without building million-gate netlists.
+type SOCPreset struct {
+	// Name is the preset's lookup key ("soc1", "soc2", "soc1m").
+	Name string
+	// SOCName is the name of the assembled SOC; it differs from Name
+	// only for soc2, whose SOC keeps its historical "d695ish" identity.
+	SOCName string
+	// Bases are the stock profile names, in daisy (TestRail) order.
+	Bases []string
+	// Scale multiplies every base profile's structural dimensions
+	// (Profile.Scale); 1 keeps the stock profiles.
+	Scale int
+}
+
+// socPresets mirrors the paper's two SOCs and adds the million-gate
+// scale-out target. soc1/soc2 resolve to exactly the cores soc.SOC1 and
+// soc.SOC2 assemble.
+var socPresets = []SOCPreset{
+	{Name: "soc1", SOCName: "soc1", Bases: SixLargest(), Scale: 1},
+	{Name: "soc2", SOCName: "d695ish", Bases: []string{
+		"s838", "s9234", "s5378", "s38584", "s13207", "s38417", "s35932", "s15850",
+	}, Scale: 1},
+	{Name: "soc1m", SOCName: "soc1m", Bases: SixLargest(), Scale: SOC1MScale},
+	// socmini is a three-small-core SOC for fast loopback tests and CI
+	// end-to-end runs, where soc1's cores would dominate the wall-clock.
+	{Name: "socmini", SOCName: "socmini", Bases: []string{"s298", "s953", "s526"}, Scale: 1},
+}
+
+// SOCPresets returns the built-in SOC presets.
+func SOCPresets() []SOCPreset {
+	out := make([]SOCPreset, len(socPresets))
+	copy(out, socPresets)
+	return out
+}
+
+// SOCPresetByName looks a preset up by its key.
+func SOCPresetByName(name string) (SOCPreset, bool) {
+	for _, p := range socPresets {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return SOCPreset{}, false
+}
+
+// Profiles resolves the preset's cores to (scaled) generation profiles.
+func (p SOCPreset) Profiles() ([]Profile, error) {
+	out := make([]Profile, 0, len(p.Bases))
+	for _, b := range p.Bases {
+		prof, ok := ProfileByName(b)
+		if !ok {
+			return nil, fmt.Errorf("benchgen: SOC preset %s: unknown profile %s", p.Name, b)
+		}
+		out = append(out, prof.Scale(p.Scale))
+	}
+	return out, nil
+}
+
+// SOCFootprint sums a preset's structural dimensions from the profile
+// table alone, without generating any netlist.
+type SOCFootprint struct {
+	Cores   int
+	Inputs  int
+	Outputs int
+	DFFs    int
+	Gates   int
+}
+
+// Footprint returns the preset's summed dimensions.
+func (p SOCPreset) Footprint() (SOCFootprint, error) {
+	profs, err := p.Profiles()
+	if err != nil {
+		return SOCFootprint{}, err
+	}
+	f := SOCFootprint{Cores: len(profs)}
+	for _, prof := range profs {
+		f.Inputs += prof.Inputs
+		f.Outputs += prof.Outputs
+		f.DFFs += prof.DFFs
+		f.Gates += prof.Gates
+	}
+	return f, nil
+}

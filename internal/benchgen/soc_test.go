@@ -1,0 +1,162 @@
+package benchgen_test
+
+import (
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/pipeline"
+	"repro/internal/soc"
+)
+
+func TestSOCPresetLookup(t *testing.T) {
+	for _, want := range []string{"soc1", "soc2", "soc1m", "socmini"} {
+		p, ok := benchgen.SOCPresetByName(want)
+		if !ok {
+			t.Fatalf("preset %q missing", want)
+		}
+		if p.Name != want {
+			t.Fatalf("looked up %q, got %q", want, p.Name)
+		}
+		if len(p.Bases) == 0 || p.Scale < 1 {
+			t.Fatalf("preset %q degenerate: %+v", want, p)
+		}
+	}
+	if _, ok := benchgen.SOCPresetByName("nope"); ok {
+		t.Fatal("unknown preset resolved")
+	}
+}
+
+// TestSOC1MFootprint pins the scale-out target's headline claim — past a
+// million gates — from the profile table alone, without generating a
+// single netlist: Footprint is what lets CLIs and planners size runs
+// against soc1m cheaply.
+func TestSOC1MFootprint(t *testing.T) {
+	p, ok := benchgen.SOCPresetByName("soc1m")
+	if !ok {
+		t.Fatal("soc1m preset missing")
+	}
+	f, err := p.Footprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Gates < 1_000_000 {
+		t.Fatalf("soc1m footprint is %d gates, below the million-gate target", f.Gates)
+	}
+	if f.Cores != 6 {
+		t.Fatalf("soc1m has %d cores, want the six largest", f.Cores)
+	}
+	if f.DFFs < 60_000 {
+		t.Fatalf("soc1m footprint is %d scan cells, want a scan body past 60k", f.DFFs)
+	}
+	// The paper-scale presets stay at stock size.
+	for _, name := range []string{"soc1", "soc2", "socmini"} {
+		q, _ := benchgen.SOCPresetByName(name)
+		g, err := q.Footprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Gates >= f.Gates {
+			t.Fatalf("%s footprint (%d gates) not smaller than soc1m (%d)", name, g.Gates, f.Gates)
+		}
+	}
+}
+
+// TestSOCPresetProfilesDeterministic: resolving a preset's profiles and
+// generating one of its scaled cores twice must yield content-identical
+// circuits — the property that lets shard workers rebuild a coordinator's
+// device from its preset name and verify the fingerprint.
+func TestSOCPresetProfilesDeterministic(t *testing.T) {
+	p, ok := benchgen.SOCPresetByName("soc1m")
+	if !ok {
+		t.Fatal("soc1m preset missing")
+	}
+	profs, err := p.Profiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != len(p.Bases) {
+		t.Fatalf("%d profiles for %d bases", len(profs), len(p.Bases))
+	}
+	// The smallest core keeps the smoke cheap; determinism is per-core.
+	smallest := profs[0]
+	for _, prof := range profs[1:] {
+		if prof.Gates < smallest.Gates {
+			smallest = prof
+		}
+	}
+	a, err := benchgen.Generate(smallest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := benchgen.Generate(smallest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := pipeline.CircuitFingerprint(a), pipeline.CircuitFingerprint(b)
+	if fa != fb {
+		t.Fatalf("same profile generated different circuits: %s vs %s", fa, fb)
+	}
+	if got := a.Stats().Gates; got != smallest.Gates {
+		t.Fatalf("scaled core generated %d gates, profile says %d", got, smallest.Gates)
+	}
+}
+
+// TestSOC1MGenerationSmoke assembles the full million-gate SOC once:
+// every core generates, the daisy order matches the preset, and the
+// realized structure meets the footprint the profile table promised.
+// Several seconds of generation — skipped under -short.
+func TestSOC1MGenerationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a million-gate SOC")
+	}
+	s, err := soc.Preset("soc1m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := benchgen.SOCPresetByName("soc1m")
+	f, err := p.Footprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumCores() != f.Cores {
+		t.Fatalf("assembled %d cores, footprint says %d", s.NumCores(), f.Cores)
+	}
+	gates, cells := 0, 0
+	for i, c := range s.Cores {
+		st := c.Circuit.Stats()
+		gates += st.Gates
+		cells += st.DFFs
+		if want := p.Bases[i]; c.Name[:len(want)] != want {
+			t.Fatalf("core %d is %q, want a scaled %q", i, c.Name, want)
+		}
+	}
+	if gates != f.Gates {
+		t.Fatalf("generated %d gates, footprint says %d", gates, f.Gates)
+	}
+	if cells != f.DFFs || s.NumCells() != f.DFFs {
+		t.Fatalf("generated %d cells (SOC reports %d), footprint says %d", cells, s.NumCells(), f.DFFs)
+	}
+	if gates < 1_000_000 {
+		t.Fatalf("soc1m realized only %d gates", gates)
+	}
+}
+
+// TestSocminiPreset pins the CI loopback SOC: three small cores, cheap
+// enough that an end-to-end coordinator/worker run finishes in seconds.
+func TestSocminiPreset(t *testing.T) {
+	s, err := soc.Preset("socmini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumCores() != 3 {
+		t.Fatalf("socmini has %d cores, want 3", s.NumCores())
+	}
+	p, _ := benchgen.SOCPresetByName("socmini")
+	f, err := p.Footprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Gates > 5_000 {
+		t.Fatalf("socmini footprint %d gates — too big for a fast loopback fixture", f.Gates)
+	}
+}

@@ -42,6 +42,17 @@ const (
 	KindSOCSimLayer
 	// KindBatchPlan is a compiled fault-parallel batch plan.
 	KindBatchPlan
+	// KindShardHello is a worker's greeting on a new shard connection.
+	KindShardHello
+	// KindShardJob is a coordinator's shard descriptor: device reference,
+	// spec, runtime knobs, and the fault slice to diagnose.
+	KindShardJob
+	// KindShardResult is a worker's per-fault verdict deltas for one job.
+	KindShardResult
+	// KindShardError is a worker's failure report for one job.
+	KindShardError
+	// KindShardProgress is a worker's mid-job progress counter.
+	KindShardProgress
 )
 
 // String names the kind for inspection tools.
@@ -55,6 +66,16 @@ func (k Kind) String() string {
 		return "soc-sim-layer"
 	case KindBatchPlan:
 		return "batch-plan"
+	case KindShardHello:
+		return "shard-hello"
+	case KindShardJob:
+		return "shard-job"
+	case KindShardResult:
+		return "shard-result"
+	case KindShardError:
+		return "shard-error"
+	case KindShardProgress:
+		return "shard-progress"
 	}
 	return fmt.Sprintf("kind(%d)", uint16(k))
 }
@@ -71,6 +92,14 @@ const (
 	// transition ops were replaced by masked per-plane force ops. Version-1
 	// plans are rejected at the envelope and rebuilt.
 	VersionBatchPlan uint16 = 2
+	// The shard protocol messages share one wire revision: a coordinator
+	// and worker either speak the same protocol or refuse each other at
+	// the first frame.
+	VersionShardHello    uint16 = 1
+	VersionShardJob      uint16 = 1
+	VersionShardResult   uint16 = 1
+	VersionShardError    uint16 = 1
+	VersionShardProgress uint16 = 1
 )
 
 const (

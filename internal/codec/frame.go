@@ -1,0 +1,70 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame transport for the shard protocol: every message on a coordinator
+// ↔ worker connection is one sealed envelope preceded by a uint32
+// little-endian length. The envelope's sha256 trailer already rejects
+// torn or corrupted bytes, so the frame layer only has to delimit
+// messages and bound their size; everything else — kind dispatch,
+// version checks, payload validation — happens in the per-message
+// decoders.
+
+// MaxFrameBytes bounds a single shard-protocol frame (256 MiB). Shard
+// descriptors and verdict deltas are compact — artifacts travel through
+// the shared store, never the socket — so any longer frame is a corrupt
+// length prefix, not a legitimate message, and is rejected before
+// allocation.
+const MaxFrameBytes = 256 << 20
+
+// WriteFrame writes one length-prefixed envelope.
+func WriteFrame(w io.Writer, env []byte) error {
+	if len(env) > MaxFrameBytes {
+		return fmt.Errorf("codec: frame of %d bytes exceeds the %d-byte cap", len(env), MaxFrameBytes)
+	}
+	var pfx [4]byte
+	binary.LittleEndian.PutUint32(pfx[:], uint32(len(env)))
+	if _, err := w.Write(pfx[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(env)
+	return err
+}
+
+// ReadFrame reads one length-prefixed envelope and integrity-checks it,
+// returning the envelope bytes and the parsed header. io.EOF is returned
+// verbatim when the stream ends cleanly between frames, so read loops
+// can distinguish an orderly close from a mid-frame truncation
+// (io.ErrUnexpectedEOF).
+func ReadFrame(r io.Reader) ([]byte, Header, error) {
+	var pfx [4]byte
+	if _, err := io.ReadFull(r, pfx[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("codec: truncated frame length prefix: %w", err)
+		}
+		return nil, Header{}, err
+	}
+	n := binary.LittleEndian.Uint32(pfx[:])
+	if n > MaxFrameBytes {
+		return nil, Header{}, fmt.Errorf("codec: frame length %d exceeds the %d-byte cap", n, MaxFrameBytes)
+	}
+	if n < uint32(headerSize+shaSize) {
+		return nil, Header{}, fmt.Errorf("codec: frame length %d is shorter than an empty envelope", n)
+	}
+	env := make([]byte, n)
+	if _, err := io.ReadFull(r, env); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, Header{}, fmt.Errorf("codec: truncated frame body: %w", err)
+	}
+	h, err := Inspect(env)
+	if err != nil {
+		return nil, Header{}, err
+	}
+	return env, h, nil
+}

@@ -99,6 +99,14 @@ func (b *CircuitBench) RunObservedContext(ctx context.Context, faults []sim.Faul
 // RunCoreContext is RunCore with cancellation; semantics mirror
 // RunContext (contiguous fault prefix, completeness stamp, ctx error).
 func (b *SOCBench) RunCoreContext(ctx context.Context, core int, faults []sim.Fault) (*Study, error) {
+	return b.RunCoreObservedContext(ctx, core, faults, nil)
+}
+
+// RunCoreObservedContext is RunCoreContext with a per-fault callback,
+// mirroring RunObservedContext: observe sees exactly the faults the
+// study aggregates, in fault order. Shard workers use it to capture the
+// per-fault diagnoses an SOC shard ships back as verdict deltas.
+func (b *SOCBench) RunCoreObservedContext(ctx context.Context, core int, faults []sim.Fault, observe func(*FaultDiagnosis)) (*Study, error) {
 	study := newStudy(b.Opts, b.Opts.Scheme.Name())
 	results := make([]*FaultDiagnosis, len(faults))
 	release := b.Opts.Cache.PinSOC(b.art)
@@ -125,7 +133,7 @@ func (b *SOCBench) RunCoreContext(ctx context.Context, core int, faults []sim.Fa
 			return nil
 		}
 	})
-	return finishStudy(study, results, nil), err
+	return finishStudy(study, results, observe), err
 }
 
 // annotatePanic re-raises a panic unwinding out of a batch job wrapped in

@@ -1,0 +1,223 @@
+package diskstore_test
+
+// Crash-safety and cross-process sharing tests: a writer killed mid-Put
+// must never leave a visible partial blob, and GC in one process must
+// not corrupt fetches or promotions racing in another. These model the
+// shard runtime's deployment, where several worker processes share one
+// artifact store directory.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline/diskstore"
+)
+
+// TestHelperKilledWriter is not a test: it is the victim process for
+// TestKilledWriterInvisible, re-executed from the test binary. It puts
+// large entries in a loop until the parent kills it.
+func TestHelperKilledWriter(t *testing.T) {
+	dir := os.Getenv("DISKSTORE_CRASH_DIR")
+	if dir == "" {
+		t.Skip("helper process only")
+	}
+	s, err := diskstore.Open(dir, diskstore.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	payload := bytes.Repeat([]byte{0xAB}, 1<<22) // 4 MiB: a wide kill window
+	for i := 0; ; i++ {
+		key := fmt.Sprintf("victim-%d", i%8)
+		if err := s.Put(key, payload); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// TestKilledWriterInvisible SIGKILLs a real writer process mid-Put,
+// several times, and then requires the store to contain only complete,
+// validated entries: the staging temp + rename protocol means a killed
+// writer's work is either fully visible or not visible at all.
+func TestKilledWriterInvisible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills subprocesses")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for round := 0; round < 5; round++ {
+		cmd := exec.Command(exe, "-test.run", "^TestHelperKilledWriter$", "-test.v")
+		cmd.Env = append(os.Environ(), "DISKSTORE_CRASH_DIR="+dir)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		// Let it get some writes in flight, then kill without warning.
+		time.Sleep(time.Duration(20+round*17) * time.Millisecond)
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+
+	s, err := diskstore.Open(dir, diskstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("killed writer left a visible bad entry %s: %v", r.Entry.Path, r.Err)
+		}
+	}
+	// Every visible (non-staging) file in the fan-out must be a complete
+	// entry; in-flight ".put-*" temps are allowed — they are invisible to
+	// Get/List and GC sweeps them once aged.
+	for _, r := range results {
+		got, err := s.Get(r.Entry.Key)
+		if err != nil {
+			t.Errorf("entry %s unreadable after crash: %v", r.Entry.Key, err)
+			continue
+		}
+		if len(got) != 1<<22 {
+			t.Errorf("entry %s truncated to %d bytes", r.Entry.Key, len(got))
+		}
+	}
+}
+
+// TestStagingTempInvisibleAndSwept plants the debris a killed writer
+// leaves — a partial ".put-*" staging temp — and checks the three
+// promises around it: the key still misses cleanly, List never surfaces
+// the temp, and GC leaves fresh temps alone (a concurrent writer may be
+// about to rename) while sweeping aged ones.
+func TestStagingTempInvisibleAndSwept(t *testing.T) {
+	dir := t.TempDir()
+	s, err := diskstore.Open(dir, diskstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A real entry tells us which fan-out subdirectory the key maps to.
+	if err := s.Put("anchor", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Dir(entryPath(t, s, "anchor"))
+	temp := filepath.Join(sub, ".put-123456")
+	if err := os.WriteFile(temp, []byte("torn half-written ent"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Get("no-such-key"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("key with staged debris: %v, want ErrNotExist", err)
+	}
+	entries, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(filepath.Base(e.Path), ".") {
+			t.Fatalf("List surfaced staging temp %s", e.Path)
+		}
+	}
+	// Fresh temp: GC must not touch it.
+	if _, _, err := s.GC(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(temp); err != nil {
+		t.Fatalf("GC removed a fresh staging temp: %v", err)
+	}
+	// Aged temp: orphaned by a writer killed long ago; GC sweeps it.
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(temp, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.GC(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(temp); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("aged staging temp survived GC: %v", err)
+	}
+}
+
+// TestGCRacesCrossProcessFetch models two processes sharing one store
+// directory — separate Store handles share no in-process state — with
+// one aggressively GCing to zero while the other fetches, re-puts, and
+// promotes entries. Every fetch must yield either the complete payload
+// or a clean miss; a torn read or corruption report is a failure.
+func TestGCRacesCrossProcessFetch(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := diskstore.Open(dir, diskstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collector, err := diskstore.Open(dir, diskstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := func(k int) []byte {
+		return bytes.Repeat([]byte{byte(k + 1)}, 16384)
+	}
+	keys := 8
+	for k := 0; k < keys; k++ {
+		if err := writer.Put(fmt.Sprintf("artifact-%d", k), payload(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var gcDone sync.WaitGroup
+	stop := make(chan struct{})
+	gcDone.Add(1)
+	go func() {
+		defer gcDone.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			collector.GC(0)
+		}
+	}()
+	var workers sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		workers.Add(1)
+		go func(w int) {
+			defer workers.Done()
+			for i := 0; i < 80; i++ {
+				k := (w + i) % keys
+				key := fmt.Sprintf("artifact-%d", k)
+				got, err := writer.Get(key)
+				switch {
+				case err == nil:
+					if !bytes.Equal(got, payload(k)) {
+						t.Errorf("worker %d: torn or wrong payload for %s (%d bytes)", w, key, len(got))
+						return
+					}
+				case errors.Is(err, fs.ErrNotExist):
+					// GC won the race; fetch-or-build re-puts (promotion).
+					if err := writer.Put(key, payload(k)); err != nil {
+						t.Errorf("worker %d: re-put %s: %v", w, key, err)
+						return
+					}
+				default:
+					t.Errorf("worker %d: %s: %v", w, key, err)
+					return
+				}
+			}
+		}(w)
+	}
+	workers.Wait()
+	close(stop)
+	gcDone.Wait()
+}

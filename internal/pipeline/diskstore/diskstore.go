@@ -25,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -133,15 +134,21 @@ func (s *Store) Put(key string, data []byte) error {
 		return fmt.Errorf("diskstore: %w", err)
 	}
 	_, werr := tmp.Write(buf)
+	// Sync before rename: rename is atomic against concurrent readers,
+	// but without the fsync a crash shortly after could leave the final
+	// pathname pointing at unflushed (empty or partial) data — a visible
+	// torn entry, exactly what the temp+rename dance exists to prevent.
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("diskstore: staging %s: %w", key, errors.Join(werr, cerr))
+		return fmt.Errorf("diskstore: staging %s: %w", key, errors.Join(werr, serr, cerr))
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("diskstore: %w", err)
 	}
+	syncDir(sub) // best-effort: make the rename itself durable
 	s.mu.Lock()
 	s.stats.Puts++
 	s.mu.Unlock()
@@ -305,6 +312,14 @@ func (s *Store) scan(keepBad bool) ([]Entry, error) {
 			if f.IsDir() {
 				continue
 			}
+			// Dot-prefixed files are another writer's in-flight staging
+			// temps (".put-*"). They are not entries: listing them would
+			// surface garbage, counting them would inflate the footprint,
+			// and — worst — GC removing one would yank a concurrent
+			// process's Put out from under its rename.
+			if strings.HasPrefix(f.Name(), ".") {
+				continue
+			}
 			path := filepath.Join(s.dir, sub.Name(), f.Name())
 			info, err := f.Info()
 			if err != nil {
@@ -393,11 +408,60 @@ func (s *Store) GC(maxBytes int64) (removed int, freed int64, err error) {
 		removed++
 		freed += e.Size
 	}
+	s.sweepOrphans(orphanAge)
 	s.mu.Lock()
 	s.stats.GCRemoved += int64(removed)
 	s.stats.GCBytes += freed
 	s.mu.Unlock()
 	return removed, freed, nil
+}
+
+// orphanAge is how long a staging temp may sit before GC treats it as
+// the debris of a killed writer. A live Put writes and renames within
+// milliseconds; an hour-old ".put-*" file has no owner.
+const orphanAge = time.Hour
+
+// sweepOrphans removes staging temps older than maxAge — files a writer
+// created but never renamed because it was killed mid-Put. Recent temps
+// are left alone: they may belong to a concurrent process whose rename
+// is still coming.
+func (s *Store) sweepOrphans(maxAge time.Duration) {
+	cutoff := time.Now().Add(-maxAge)
+	subs, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, sub := range subs {
+		if !sub.IsDir() || sub.Name() == quarantineDir || len(sub.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, sub.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if f.IsDir() || !strings.HasPrefix(f.Name(), ".put-") {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil || info.ModTime().After(cutoff) {
+				continue
+			}
+			os.Remove(filepath.Join(s.dir, sub.Name(), f.Name()))
+		}
+	}
+}
+
+// syncDir fsyncs a directory so a just-completed rename survives a
+// crash. Best-effort: some filesystems reject directory fsync, and the
+// entry is still atomically visible without it.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
 }
 
 // VerifyResult reports one entry's integrity check.

@@ -31,6 +31,24 @@ type Executor struct {
 	// is a single attempt. Panics are never retried: a panicking job is
 	// a bug, not load.
 	Retry retry.Policy
+	// Backend, when non-nil, dispatches each claimed job through an
+	// external execution substrate instead of a per-worker closure: the
+	// mkWorker argument of Run/RunContext may then be nil, and Workers
+	// bounds the in-flight dispatches rather than CPU-bound goroutines.
+	// Everything else — deterministic claiming, panic isolation,
+	// transient retry, lowest-index error — applies unchanged, which is
+	// what lets a remote shard dispatcher (internal/shard) reuse this
+	// executor verbatim.
+	Backend Backend
+}
+
+// Backend executes claimed jobs somewhere other than the calling
+// process — e.g. a coordinator sending each job to a remote worker over
+// a connection pool. A failure marked retry.Transient is re-dispatched
+// under the executor's retry policy (typically landing on a different
+// healthy connection); other errors fail the run.
+type Backend interface {
+	RunJob(ctx context.Context, job int) error
 }
 
 // WorkerError is a panic recovered inside an Executor worker, converted
@@ -183,6 +201,11 @@ func (e Executor) RunContext(ctx context.Context, n int, mkWorker func() func(in
 		return err
 	}
 	e = e.normalized()
+	if e.Backend != nil {
+		mkWorker = func() func(int) error {
+			return func(i int) error { return e.Backend.RunJob(ctx, i) }
+		}
+	}
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -335,6 +335,12 @@ func planLanes(opt sim.BatchOptions) int {
 	return opt.MaxLanes
 }
 
+// FaultSetHash returns the content hash of a fault list — the same hash
+// the plan cache keys schedules by. Shard descriptors (internal/shard)
+// carry it so a job names its fault universe the way it names its
+// device: by content.
+func FaultSetHash(faults []sim.Fault) string { return hashFaults(faults) }
+
 func hashFaults(faults []sim.Fault) string {
 	h := sha256.New()
 	var buf [16]byte

@@ -1,0 +1,134 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/benchgen"
+	"repro/internal/circuit"
+	"repro/internal/codec"
+	"repro/internal/pipeline"
+	"repro/internal/soc"
+)
+
+// Shard jobs never carry netlists: a DeviceRef names a deterministic
+// recipe (a benchgen profile, a .bench file on a shared filesystem, or
+// an SOC preset) plus the structural fingerprint the coordinator
+// computed. The worker rebuilds the device from the recipe, checks the
+// fingerprint, and only then runs the shard — so a version skew or a
+// divergent file can never silently produce verdicts for a different
+// circuit.
+
+// ProfileRef names a benchgen profile the worker regenerates locally.
+// Pass the already-built circuit so the ref carries its fingerprint.
+func ProfileRef(name string, seed int64, scale int, c *circuit.Circuit) codec.DeviceRef {
+	if scale < 1 {
+		scale = 1
+	}
+	return codec.DeviceRef{
+		Kind:        codec.DeviceProfile,
+		Name:        name,
+		Seed:        seed,
+		Scale:       uint32(scale),
+		Fingerprint: pipeline.CircuitFingerprint(c),
+	}
+}
+
+// BenchFileRef names a .bench netlist by path; the path must resolve to
+// the same file on every worker (shared filesystem or identical layout).
+func BenchFileRef(path string, c *circuit.Circuit) codec.DeviceRef {
+	return codec.DeviceRef{
+		Kind:        codec.DeviceBenchFile,
+		Name:        path,
+		Fingerprint: pipeline.CircuitFingerprint(c),
+	}
+}
+
+// SOCRef names a built-in SOC preset (benchgen.SOCPresets).
+func SOCRef(preset string, s *soc.SOC) codec.DeviceRef {
+	return codec.DeviceRef{
+		Kind:        codec.DeviceSOC,
+		Name:        preset,
+		Fingerprint: pipeline.SOCFingerprint(s),
+	}
+}
+
+// deviceRegistry memoizes resolved devices by fingerprint. Stable
+// pointers matter beyond speed: the worker's ArtifactCache memoizes
+// per-circuit artifacts by pointer identity, so every job against the
+// same device must see the same *circuit.Circuit.
+type deviceRegistry struct {
+	mu       sync.Mutex
+	circuits map[string]*circuit.Circuit
+	socs     map[string]*soc.SOC
+}
+
+func newDeviceRegistry() *deviceRegistry {
+	return &deviceRegistry{
+		circuits: make(map[string]*circuit.Circuit),
+		socs:     make(map[string]*soc.SOC),
+	}
+}
+
+// resolveCircuit rebuilds (or recalls) the circuit a ref names and
+// verifies its fingerprint. Mismatches are permanent errors: retrying
+// on another worker built from the same binary cannot help.
+func (reg *deviceRegistry) resolveCircuit(ref codec.DeviceRef) (*circuit.Circuit, error) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if c, ok := reg.circuits[ref.Fingerprint]; ok {
+		return c, nil
+	}
+	var c *circuit.Circuit
+	var err error
+	switch ref.Kind {
+	case codec.DeviceProfile:
+		p, ok := benchgen.ProfileByName(ref.Name)
+		if !ok {
+			return nil, fmt.Errorf("shard: unknown benchgen profile %q", ref.Name)
+		}
+		if ref.Seed != 0 {
+			p.Seed = ref.Seed
+		}
+		if ref.Scale > 1 {
+			p = p.Scale(int(ref.Scale))
+		}
+		c, err = benchgen.Generate(p)
+	case codec.DeviceBenchFile:
+		c, err = bench.ParseFile(ref.Name)
+	default:
+		return nil, fmt.Errorf("shard: device kind %d is not a circuit", ref.Kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("shard: resolving device %q: %w", ref.Name, err)
+	}
+	if got := pipeline.CircuitFingerprint(c); got != ref.Fingerprint {
+		return nil, fmt.Errorf("shard: device %q fingerprint mismatch: coordinator %s, worker %s",
+			ref.Name, ref.Fingerprint, got)
+	}
+	reg.circuits[ref.Fingerprint] = c
+	return c, nil
+}
+
+// resolveSOC mirrors resolveCircuit for SOC presets.
+func (reg *deviceRegistry) resolveSOC(ref codec.DeviceRef) (*soc.SOC, error) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if s, ok := reg.socs[ref.Fingerprint]; ok {
+		return s, nil
+	}
+	if ref.Kind != codec.DeviceSOC {
+		return nil, fmt.Errorf("shard: device kind %d is not an SOC", ref.Kind)
+	}
+	s, err := soc.Preset(ref.Name)
+	if err != nil {
+		return nil, fmt.Errorf("shard: resolving SOC preset %q: %w", ref.Name, err)
+	}
+	if got := pipeline.SOCFingerprint(s); got != ref.Fingerprint {
+		return nil, fmt.Errorf("shard: SOC preset %q fingerprint mismatch: coordinator %s, worker %s",
+			ref.Name, ref.Fingerprint, got)
+	}
+	reg.socs[ref.Fingerprint] = s
+	return s, nil
+}

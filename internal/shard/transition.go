@@ -1,0 +1,77 @@
+package shard
+
+import (
+	"repro/internal/bist"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/diagnosis"
+	"repro/internal/lfsr"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+// TransitionDefaults resolves the knobs of a transition sweep the way
+// the experiments package fixes them: 16-bit PRPG seeded 0xACE1, 128
+// patterns, 8 partitions. Both the coordinator (before encoding) and
+// RunTransitionLocal apply it, so the wire always carries concrete
+// values and every process resolves a sweep identically.
+func TransitionDefaults(o core.Options) core.Options {
+	if o.PRPGSeed == 0 {
+		o.PRPGSeed = 0xACE1
+	}
+	if o.PRPGPoly == 0 {
+		o.PRPGPoly = lfsr.MustPrimitivePoly(16)
+	}
+	if o.Patterns == 0 {
+		o.Patterns = 128
+	}
+	if o.Partitions == 0 {
+		o.Partitions = 8
+	}
+	return o
+}
+
+// RunTransitionLocal runs the launch-off-capture transition sweep of
+// the experiments package fault by fault, returning per-fault outcomes
+// instead of an aggregated DR. It is the reference the sharded
+// RunTransition must match bit for bit: the worker calls it per shard,
+// and a single-process caller can run it over the full fault list.
+func RunTransitionLocal(c *circuit.Circuit, o core.Options, faults []sim.TransitionFault) ([]*TransitionOutcome, error) {
+	o = TransitionDefaults(o)
+	prpg, err := lfsr.New(o.PRPGPoly, o.PRPGSeed)
+	if err != nil {
+		return nil, err
+	}
+	blocks := bist.GenerateBlocks(prpg, c.NumInputs(), c.NumDFFs(), o.Patterns)
+	fs := sim.NewFaultSim(c, blocks)
+	good := fs.TwoCycleGood()
+	plan := sim.PlanTransitionBatches(c, faults, sim.BatchOptions{MaxLanes: o.Lanes})
+	eng, err := bist.NewEngine(scan.SingleChain(c.NumDFFs()), bist.Plan{
+		Scheme:     o.Scheme,
+		Groups:     o.Groups,
+		Partitions: o.Partitions,
+		MISRPoly:   o.MISRPoly,
+		Ideal:      o.Ideal,
+	}, o.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	diag, err := diagnosis.FromEngine(eng)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*TransitionOutcome, len(faults))
+	fs.RunPlan(plan, func(i int, res *sim.Result) {
+		to := &TransitionOutcome{
+			Fault:    faults[i],
+			Detected: res.Detected(),
+			Actual:   res.FailingCells.Clone(),
+		}
+		if to.Detected {
+			v := eng.Verdicts(good, res.Faulty, blocks)
+			to.Candidates = diag.Diagnose(v).Pruned
+		}
+		out[i] = to
+	})
+	return out, nil
+}

@@ -201,33 +201,37 @@ func ScheduleClocks(phases []Phase) int64 {
 // SOC1 is the paper's first crafted SOC: the six largest ISCAS-89 circuits
 // stitched together with a single meta scan chain threaded through their
 // internal chains.
-func SOC1() (*SOC, error) {
-	return fromProfiles("soc1", benchgen.SixLargest())
-}
+func SOC1() (*SOC, error) { return Preset("soc1") }
 
 // SOC2 is the paper's second SOC, a variant of d695 from the ITC'02 SOC
 // Test benchmarks restricted to its full-scan ISCAS-89 modules, tested over
 // an 8-bit-wide TAM (Figure 4's daisy order).
-func SOC2() (*SOC, error) {
-	return fromProfiles("d695ish", []string{
-		"s838", "s9234", "s5378", "s38584", "s13207", "s38417", "s35932", "s15850",
-	})
-}
+func SOC2() (*SOC, error) { return Preset("soc2") }
 
-func fromProfiles(name string, profiles []string) (*SOC, error) {
-	var cores []*Core
-	for _, p := range profiles {
-		prof, ok := benchgen.ProfileByName(p)
-		if !ok {
-			return nil, fmt.Errorf("soc %s: unknown profile %s", name, p)
-		}
+// Preset assembles a built-in SOC by preset name (benchgen.SOCPresets):
+// "soc1" and "soc2" are the paper's SOCs, "soc1m" the million-gate
+// scale-out target (the six largest cores at ×15). Generation is
+// deterministic, so two processes building the same preset get
+// fingerprint-identical SOCs — what lets a shard job name its device by
+// preset name plus content hash.
+func Preset(name string) (*SOC, error) {
+	p, ok := benchgen.SOCPresetByName(name)
+	if !ok {
+		return nil, fmt.Errorf("soc: unknown preset %q", name)
+	}
+	profs, err := p.Profiles()
+	if err != nil {
+		return nil, err
+	}
+	cores := make([]*Core, 0, len(profs))
+	for _, prof := range profs {
 		c, err := benchgen.Generate(prof)
 		if err != nil {
 			return nil, err
 		}
-		cores = append(cores, &Core{Name: p, Circuit: c})
+		cores = append(cores, &Core{Name: prof.Name, Circuit: c})
 	}
-	return New(name, cores...)
+	return New(p.SOCName, cores...)
 }
 
 // GeneratePatterns expands nPatterns pseudorandom patterns from a single

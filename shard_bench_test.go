@@ -1,0 +1,275 @@
+package scanbist_test
+
+// The shard-scaling benchmark: real worker processes (the test binary
+// re-executed in worker mode), a coordinator in the benchmark process,
+// and a shared artifact store — the deployment cmd/sharddiag ships,
+// measured end to end. Sub-benchmarks sweep the worker count so
+// BENCH_PR*.json records how wall-clock moves from 1 to 2 to 4 worker
+// processes on the host's core count; the "local" variant runs the same
+// sweep in-process to price the protocol overhead. On a single-core
+// host the multi-worker variants measure dispatch overhead, not
+// speedup; scaling shows up from ~4 cores (see EXPERIMENTS.md).
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/shard"
+	"repro/internal/sim"
+	"repro/internal/soc"
+)
+
+const shardWorkerEnv = "REPRO_SHARD_WORKER"
+
+// TestMain lets the test binary double as a shard worker: with
+// REPRO_SHARD_WORKER=1 it serves shards on a loopback port (announced on
+// stdout) until stdin closes, instead of running the test suite. The
+// benchmarks spawn these workers with os.Executable(), so the sharded
+// path is measured across real process boundaries without shipping a
+// separate binary.
+func TestMain(m *testing.M) {
+	if os.Getenv(shardWorkerEnv) != "" {
+		runShardWorker()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func runShardWorker() {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shard worker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ADDR %s\n", ln.Addr())
+	os.Stdout.Close() // the address is the only stdout the parent reads
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// The parent holds our stdin open; EOF means it exited or is done.
+		io.Copy(io.Discard, os.Stdin)
+		cancel()
+	}()
+	srv := shard.NewServer(shard.ServerConfig{
+		Node:     fmt.Sprintf("bench-%d", os.Getpid()),
+		Workers:  1, // one sweep goroutine per process: scaling comes from process count
+		CacheDir: os.Getenv("REPRO_SHARD_CACHEDIR"),
+	})
+	if err := srv.Serve(ctx, ln); err != nil && err != context.Canceled {
+		fmt.Fprintln(os.Stderr, "shard worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// workerProc is one spawned worker process and its dial address.
+type workerProc struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	addr  string
+}
+
+func startWorkerProcs(tb testing.TB, n int, cacheDir string) []*workerProc {
+	tb.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	procs := make([]*workerProc, 0, n)
+	tb.Cleanup(func() {
+		for _, p := range procs {
+			p.stdin.Close()
+			p.cmd.Wait()
+		}
+	})
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			shardWorkerEnv+"=1",
+			"REPRO_SHARD_CACHEDIR="+cacheDir,
+		)
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			tb.Fatal(err)
+		}
+		p := &workerProc{cmd: cmd, stdin: stdin}
+		procs = append(procs, p)
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if _, err := fmt.Sscanf(sc.Text(), "ADDR %s", &p.addr); err == nil {
+				break
+			}
+		}
+		if p.addr == "" {
+			tb.Fatalf("worker %d never announced its address", i)
+		}
+	}
+	return procs
+}
+
+// shardBenchFixture is the workload every variant runs: a stuck-at
+// sweep over one benchgen circuit, big enough that per-shard compute
+// dominates the frame overhead.
+func shardBenchFixture(tb testing.TB) (codec.DeviceRef, []sim.Fault, []int) {
+	tb.Helper()
+	c := benchgen.MustGenerate("s13207")
+	bench, err := core.NewCircuitBench(c, shardBenchOpts())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sample := sim.SampleFaults(bench.Faults(), 96, 1)
+	return shard.ProfileRef("s13207", 0, 1, c), sample, shard.StuckAtCosts(c, sample)
+}
+
+func shardBenchOpts() core.Options {
+	return core.Options{Scheme: partition.TwoStep{}, Groups: 8, Partitions: 8, Patterns: 64}
+}
+
+// BenchmarkShardScaling sweeps the worker-process count over the same
+// sharded sweep. workers=1 is the scaling baseline (one worker process,
+// full protocol); the DR-style custom metric "faults/op" pins the
+// workload so baselines stay comparable across PRs.
+func BenchmarkShardScaling(b *testing.B) {
+	ref, faults, costs := shardBenchFixture(b)
+	o := shardBenchOpts()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cacheDir := b.TempDir()
+			procs := startWorkerProcs(b, workers, cacheDir)
+			addrs := make([]string, len(procs))
+			for i, p := range procs {
+				addrs[i] = p.addr
+			}
+			conns, err := shard.DialAll(context.Background(), addrs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				for _, wc := range conns {
+					wc.Close()
+				}
+			}()
+			// A fixed shard count keeps the work partition identical across
+			// variants — only the parallelism varies, so ns/op differences
+			// are scheduling, not a different shard plan.
+			co := &shard.Coordinator{Conns: conns, Shards: 8}
+			// Warm-up: every worker fetches-or-builds the device into the
+			// shared store, so timed iterations measure steady-state sweeps.
+			if _, err := co.RunCircuit(context.Background(), ref, o, faults, costs, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				study, err := co.RunCircuit(context.Background(), ref, o, faults, costs, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if study.Completeness.Observed != len(faults) {
+					b.Fatalf("observed %d of %d", study.Completeness.Observed, len(faults))
+				}
+			}
+			b.ReportMetric(float64(len(faults)), "faults/op")
+		})
+	}
+	b.Run("local", func(b *testing.B) {
+		c := benchgen.MustGenerate("s13207")
+		bench, err := core.NewCircuitBench(c, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bench.RunObservedContext(context.Background(), faults, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			study, err := bench.RunObservedContext(context.Background(), faults, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if study.Completeness.Observed != len(faults) {
+				b.Fatalf("observed %d of %d", study.Completeness.Observed, len(faults))
+			}
+		}
+		b.ReportMetric(float64(len(faults)), "faults/op")
+	})
+}
+
+// BenchmarkShardSOC1M is the headline scale-out run: a fault sweep on
+// one core of the million-gate soc1m SOC, sharded across 4 worker
+// processes versus 1. The first worker assembles the SOC (~7s) and
+// publishes it through the shared store; the rest fetch. Gated behind
+// REPRO_BENCH_SOC1M=1 — assembly plus a million-gate sweep is too heavy
+// for the CI bench smoke. Recorded numbers live in EXPERIMENTS.md.
+func BenchmarkShardSOC1M(b *testing.B) {
+	if os.Getenv("REPRO_BENCH_SOC1M") == "" {
+		b.Skip("set REPRO_BENCH_SOC1M=1 to run the million-gate scaling benchmark")
+	}
+	s, err := soc.Preset("soc1m")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref := shard.SOCRef("soc1m", s)
+	// Diagnose the smallest core so one iteration stays in seconds; the
+	// scale-out cost being measured is shard dispatch + per-core sweeps.
+	coreIdx := 0
+	for i, c := range s.Cores {
+		if c.Circuit.Stats().Gates < s.Cores[coreIdx].Circuit.Stats().Gates {
+			coreIdx = i
+		}
+	}
+	cc := s.Cores[coreIdx].Circuit
+	faults := sim.SampleFaults(sim.CollapseFaults(cc, sim.FullFaultList(cc)), 64, 1)
+	costs := shard.StuckAtCosts(cc, faults)
+	o := core.Options{Scheme: partition.TwoStep{}, Groups: 32, Partitions: 8, Patterns: 64}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cacheDir := b.TempDir()
+			procs := startWorkerProcs(b, workers, cacheDir)
+			addrs := make([]string, len(procs))
+			for i, p := range procs {
+				addrs[i] = p.addr
+			}
+			conns, err := shard.DialAll(context.Background(), addrs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				for _, wc := range conns {
+					wc.Close()
+				}
+			}()
+			co := &shard.Coordinator{Conns: conns, Shards: 4}
+			if _, err := co.RunSOCCore(context.Background(), ref, coreIdx, o, faults, costs, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				study, err := co.RunSOCCore(context.Background(), ref, coreIdx, o, faults, costs, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if study.Completeness.Observed != len(faults) {
+					b.Fatalf("observed %d of %d", study.Completeness.Observed, len(faults))
+				}
+			}
+			b.ReportMetric(float64(len(faults)), "faults/op")
+		})
+	}
+}
