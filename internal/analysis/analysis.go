@@ -24,6 +24,10 @@ type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and flags. It must be
 	// a valid Go identifier.
 	Name string
+	// ID is the analyzer's stable rule identifier for machine-readable
+	// reports (JSON, SARIF); it never changes once assigned, even if the
+	// analyzer is renamed. Optional: drivers fall back to Name.
+	ID string
 	// Doc is the help text: first line is a one-sentence summary.
 	Doc string
 	// Run applies the check to a single package. Diagnostics are
@@ -41,6 +45,10 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report delivers one diagnostic. Never nil.
 	Report func(Diagnostic)
+
+	// pkgRef backs the per-package call-graph cache; nil for passes
+	// constructed outside Run, which then build a private graph.
+	pkgRef *Package
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -92,6 +100,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Files:     pkg.Syntax,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				pkgRef:    pkg,
 			}
 			p := pkg
 			pass.Report = func(d Diagnostic) {

@@ -1,0 +1,453 @@
+package analysis
+
+// callgraph.go is the framework's lightweight interprocedural layer: a
+// package-level call graph over the typed syntax the loader already
+// produces, with one Summary of analyzer-relevant facts per function —
+// allocation sites, goroutines spawned, potentially blocking operations,
+// lock/unlock and WaitGroup traffic on parameters, parameters that
+// escape or are mutated, results that alias parameters, and parameters
+// forwarded into a simulation Scratch. Summaries record what happens
+// when the function itself executes: the interior of a nested function
+// literal is excluded (creating the literal is recorded as an
+// allocation; whether its body ever runs is the caller's business).
+//
+// Param-indexed facts use receiver-inclusive indexing: for a method the
+// receiver is parameter 0 and the declared parameters follow; for a
+// plain function the declared parameters start at 0. Call-site argument
+// lists are normalized the same way (a method call's receiver expression
+// is argument 0), so facts flow uniformly through functions and methods.
+//
+// The graph is intraprocedural per *package* — edges link functions
+// declared in the same package, calls into other packages are
+// conservatively opaque — which is exactly the scope the repo's
+// analyzers need: the batch kernels, the shard runtime and the codec
+// each live in one package, and a fact that must cross a package
+// boundary crosses an API boundary that documents it.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A FuncNode is one declared function or method of the package.
+type FuncNode struct {
+	// Obj is the function's types object; never nil.
+	Obj *types.Func
+	// Decl is the declaration carrying the body the facts came from.
+	Decl *ast.FuncDecl
+	// Callees are the same-package functions this one calls (statically,
+	// outside nested function literals), deduplicated, in first-call
+	// order. Callers is the reverse adjacency.
+	Callees []*FuncNode
+	Callers []*FuncNode
+	// Summary holds the per-function facts, transitives already
+	// propagated (see Summary).
+	Summary Summary
+
+	params   []types.Object // receiver-inclusive; nil entries for unnamed
+	sites    []callSite
+	retSites []callSite // call sites whose results this function returns
+}
+
+// callSite is one same-package call with its arguments resolved to the
+// caller's parameter indices, for param-flow propagation.
+type callSite struct {
+	callee *FuncNode
+	pos    token.Pos
+	// argParam[i] is the caller's receiver-inclusive parameter index
+	// whose object roots argument i (receiver-inclusive on the callee
+	// side too), or -1.
+	argParam []int
+}
+
+// An AllocSite is one statement that allocates on every execution.
+type AllocSite struct {
+	Pos  token.Pos
+	What string // "make", "append", "func literal", ...
+}
+
+// A BlockSite is one operation that can block the goroutine.
+type BlockSite struct {
+	Pos  token.Pos
+	What string // "channel send", "channel receive", "select", ...
+}
+
+// Summary is the per-function fact record. The param-indexed sets are
+// receiver-inclusive (see the package comment) and already closed over
+// same-package calls: if F passes its parameter 1 to G and G locks its
+// parameter 0, then 1 ∈ F.LockParams.
+type Summary struct {
+	// Spawns are the positions of `go` statements in the body.
+	Spawns []token.Pos
+	// Allocs are the unconditional allocation sites in the body.
+	// Allocations inside a panic(...) argument are not recorded: the
+	// crash path is not a steady-state path.
+	Allocs []AllocSite
+	// Blocks are the directly blocking operations in the body: channel
+	// sends and receives, selects without a default, ranging over a
+	// channel, time.Sleep and sync.WaitGroup.Wait.
+	Blocks []BlockSite
+	// MapRanges are `range` statements iterating a map.
+	MapRanges []token.Pos
+
+	// LockParams / UnlockParams: parameters whose sync.Mutex/RWMutex
+	// (possibly a field thereof) is Lock/RLock'd, resp. Unlock/RUnlock'd.
+	LockParams   []int
+	UnlockParams []int
+	// WaitParams / DoneParams: parameters whose sync.WaitGroup receives
+	// a Wait, resp. a Done.
+	WaitParams []int
+	DoneParams []int
+	// MutatesParams: pointer-like parameters written through (field or
+	// element assignment, or a mutating same-package call).
+	MutatesParams []int
+	// EscapeParams: parameters whose referent may outlive the call —
+	// stored into a field, map or slice element, a package-level
+	// variable, sent on a channel, appended to a slice, or captured in a
+	// composite literal.
+	EscapeParams []int
+	// ScratchParams: parameters forwarded (possibly through further
+	// same-package calls) into a RunInto/MaterializeBatch scratch slot,
+	// i.e. calling this function reuses that scratch.
+	ScratchParams []int
+	// ResultAliasParams: parameters that some result value may alias
+	// (returned directly, through a field/index chain, or via a
+	// same-package call that aliases its own parameter).
+	ResultAliasParams []int
+}
+
+func hasIndex(s []int, i int) bool {
+	for _, v := range s {
+		if v == i {
+			return true
+		}
+	}
+	return false
+}
+
+func addIndex(s *[]int, i int) bool {
+	if i < 0 || hasIndex(*s, i) {
+		return false
+	}
+	*s = append(*s, i)
+	return true
+}
+
+// CallGraph is the package-level call graph with computed summaries.
+type CallGraph struct {
+	nodes map[*types.Func]*FuncNode
+	order []*FuncNode // declaration order
+
+	blockMemo map[*FuncNode]*BlockSite
+	blockDone map[*FuncNode]bool
+}
+
+// CallGraph returns the pass's package call graph, built on first use
+// and shared by every analyzer running over the same loaded package.
+func (p *Pass) CallGraph() *CallGraph {
+	if p.pkgRef != nil {
+		p.pkgRef.cgOnce.Do(func() {
+			p.pkgRef.cg = NewCallGraph(p.Files, p.TypesInfo)
+		})
+		return p.pkgRef.cg
+	}
+	return NewCallGraph(p.Files, p.TypesInfo)
+}
+
+// NewCallGraph builds the call graph and summaries for one typechecked
+// package.
+func NewCallGraph(files []*ast.File, info *types.Info) *CallGraph {
+	g := &CallGraph{
+		nodes:     make(map[*types.Func]*FuncNode),
+		blockMemo: make(map[*FuncNode]*BlockSite),
+		blockDone: make(map[*FuncNode]bool),
+	}
+	// Pass 1: nodes for every declared function with a body.
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &FuncNode{Obj: obj, Decl: fd, params: paramObjects(info, fd)}
+			g.nodes[obj] = n
+			g.order = append(g.order, n)
+		}
+	}
+	// Pass 2: per-function direct facts and call edges.
+	for _, n := range g.order {
+		collectFacts(g, n, info)
+	}
+	// Pass 3: close the param-indexed facts over same-package calls.
+	g.propagateParamFacts()
+	return g
+}
+
+// Funcs returns every function of the package in declaration order.
+func (g *CallGraph) Funcs() []*FuncNode { return g.order }
+
+// Node returns the node for a declared function, or nil for functions
+// without syntax in this package (imports, interface methods).
+func (g *CallGraph) Node(obj *types.Func) *FuncNode { return g.nodes[obj] }
+
+// CalleeOf resolves a call expression to the same-package function it
+// statically invokes, or nil (other packages, interface or func-value
+// calls, builtins).
+func (g *CallGraph) CalleeOf(info *types.Info, call *ast.CallExpr) *FuncNode {
+	if fn := staticCallee(info, call); fn != nil {
+		return g.nodes[fn]
+	}
+	return nil
+}
+
+// Reachable returns the set of functions reachable from roots along
+// call edges, roots included.
+func (g *CallGraph) Reachable(roots ...*FuncNode) map[*FuncNode]bool {
+	seen := make(map[*FuncNode]bool)
+	var stack []*FuncNode
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range n.Callees {
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	return seen
+}
+
+// Path returns a call chain from one of roots to target as function
+// names ("A → B → target"), or nil if unreachable; used to explain
+// transitive findings.
+func (g *CallGraph) Path(target *FuncNode, roots ...*FuncNode) []string {
+	parent := make(map[*FuncNode]*FuncNode)
+	seen := make(map[*FuncNode]bool)
+	var queue []*FuncNode
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == target {
+			var rev []string
+			for m := n; m != nil; m = parent[m] {
+				rev = append(rev, m.Obj.Name())
+			}
+			out := make([]string, len(rev))
+			for i, s := range rev {
+				out[len(rev)-1-i] = s
+			}
+			return out
+		}
+		for _, c := range n.Callees {
+			if !seen[c] {
+				seen[c] = true
+				parent[c] = n
+				queue = append(queue, c)
+			}
+		}
+	}
+	return nil
+}
+
+// Blocks reports whether calling n can block, and if so returns the
+// witnessing direct block site (n's own, or the first one found down
+// the call chain). Cycles with no base fact do not block.
+func (g *CallGraph) Blocks(n *FuncNode) (*BlockSite, bool) {
+	if g.blockDone[n] {
+		return g.blockMemo[n], g.blockMemo[n] != nil
+	}
+	visiting := make(map[*FuncNode]bool)
+	site := g.blocksDFS(n, visiting)
+	g.blockDone[n] = true
+	g.blockMemo[n] = site
+	return site, site != nil
+}
+
+func (g *CallGraph) blocksDFS(n *FuncNode, visiting map[*FuncNode]bool) *BlockSite {
+	if g.blockDone[n] {
+		return g.blockMemo[n]
+	}
+	if visiting[n] {
+		return nil // in-progress: least fixpoint, the cycle adds nothing
+	}
+	visiting[n] = true
+	defer delete(visiting, n)
+	if len(n.Summary.Blocks) > 0 {
+		return &n.Summary.Blocks[0]
+	}
+	for _, c := range n.Callees {
+		if s := g.blocksDFS(c, visiting); s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// ParamIndex returns obj's receiver-inclusive parameter index in n, or
+// -1 when obj is not one of n's parameters.
+func (n *FuncNode) ParamIndex(obj types.Object) int {
+	if obj == nil {
+		return -1
+	}
+	for i, p := range n.params {
+		if p == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumParams returns the receiver-inclusive parameter count.
+func (n *FuncNode) NumParams() int { return len(n.params) }
+
+// paramObjects lists a declaration's parameter objects receiver-first;
+// unnamed and blank parameters hold nil placeholders to keep indices
+// aligned with the signature.
+func paramObjects(info *types.Info, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if len(f.Names) == 0 {
+				out = append(out, nil)
+				continue
+			}
+			for _, name := range f.Names {
+				if name.Name == "_" {
+					out = append(out, nil)
+					continue
+				}
+				out = append(out, info.Defs[name])
+			}
+		}
+	}
+	addFields(fd.Recv)
+	addFields(fd.Type.Params)
+	return out
+}
+
+// staticCallee resolves the *types.Func a call statically invokes:
+// a plain identifier or a method/package selector. Func values,
+// builtins, conversions and interface dispatch return nil.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface {
+			return nil // interface dispatch: target unknown
+		}
+	}
+	return fn
+}
+
+// ExprRoot unwraps an expression to the object its value chain roots
+// at: the variable behind any stack of selections, indexing, address
+// and dereference operations. Calls and literals root nowhere.
+func ExprRoot(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return info.Uses[x]
+		case *ast.SelectorExpr:
+			// pkg.Var / obj.Field both continue at X unless X is a
+			// package name, in which case Sel is the root.
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					return info.Uses[x.Sel]
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// propagateParamFacts closes the param-indexed summary sets over
+// same-package call sites, iterating to a fixpoint (the sets only grow
+// and are bounded by parameter counts, so this terminates).
+func (g *CallGraph) propagateParamFacts() {
+	flows := []func(*Summary) *[]int{
+		func(s *Summary) *[]int { return &s.LockParams },
+		func(s *Summary) *[]int { return &s.UnlockParams },
+		func(s *Summary) *[]int { return &s.WaitParams },
+		func(s *Summary) *[]int { return &s.DoneParams },
+		func(s *Summary) *[]int { return &s.MutatesParams },
+		func(s *Summary) *[]int { return &s.EscapeParams },
+		func(s *Summary) *[]int { return &s.ScratchParams },
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.order {
+			for _, cs := range n.sites {
+				callee := cs.callee
+				for _, sel := range flows {
+					for _, q := range *sel(&callee.Summary) {
+						if q < len(cs.argParam) {
+							if addIndex(sel(&n.Summary), cs.argParam[q]) {
+								changed = true
+							}
+						}
+					}
+				}
+				// Result aliasing flows only through calls whose results
+				// are returned; collectFacts records those as pending
+				// (argParam rows reused): handled below via returnCalls.
+			}
+			for _, rc := range n.returnCalls() {
+				for _, q := range rc.callee.Summary.ResultAliasParams {
+					if q < len(rc.argParam) {
+						if addIndex(&n.Summary.ResultAliasParams, rc.argParam[q]) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// returnCalls lists the call sites whose results the function returns,
+// recorded by collectFacts for result-alias propagation.
+func (n *FuncNode) returnCalls() []callSite { return n.retSites }

@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// checkPkg typechecks one in-memory source file into the pieces a
+// CallGraph needs.
+func checkPkg(t *testing.T, src string) (*ast.File, *types.Info, *types.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return f, info, pkg
+}
+
+func graphFor(t *testing.T, src string) (*CallGraph, *types.Info) {
+	t.Helper()
+	f, info, _ := checkPkg(t, src)
+	return NewCallGraph([]*ast.File{f}, info), info
+}
+
+func nodeNamed(t *testing.T, g *CallGraph, name string) *FuncNode {
+	t.Helper()
+	for _, n := range g.Funcs() {
+		if n.Obj.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no function %q in graph", name)
+	return nil
+}
+
+func TestCallGraphEdgesAndReachability(t *testing.T) {
+	g, _ := graphFor(t, `package p
+func a() { b(); c() }
+func b() { c() }
+func c() {}
+func island() {}
+`)
+	a, b, c := nodeNamed(t, g, "a"), nodeNamed(t, g, "b"), nodeNamed(t, g, "c")
+	island := nodeNamed(t, g, "island")
+	if len(a.Callees) != 2 || a.Callees[0] != b || a.Callees[1] != c {
+		t.Errorf("a.Callees = %v, want [b c]", names(a.Callees))
+	}
+	reach := g.Reachable(a)
+	if !reach[c] || reach[island] {
+		t.Errorf("Reachable(a): c=%v island=%v, want true/false", reach[c], reach[island])
+	}
+	if path := g.Path(c, a); len(path) != 2 || path[0] != "a" || path[1] != "c" {
+		t.Errorf("Path(c from a) = %v, want [a c] (direct edge wins BFS)", path)
+	}
+}
+
+func names(ns []*FuncNode) []string {
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = n.Obj.Name()
+	}
+	return out
+}
+
+func TestSummaryAllocsAndSpawns(t *testing.T) {
+	g, _ := graphFor(t, `package p
+func hot(b []byte) int {
+	s := make([]int, 4)          // make
+	s = append(s, 1)             // self-append: not an alloc
+	t := append(s, 2)            // append into a new variable: alloc
+	_ = t
+	f := func() {}               // func literal: alloc; interior excluded
+	_ = f
+	go work()                    // spawn + alloc
+	msg := string(b)             // string conversion
+	msg = msg + "!"              // concatenation
+	_ = msg
+	return len(s)
+}
+func work() { ch := make(chan int); <-ch }
+`)
+	hot := nodeNamed(t, g, "hot")
+	wantKinds := map[string]int{
+		"make": 1, "append into a new backing array": 1, "func literal": 1,
+		"go statement": 1, "string conversion": 1, "string concatenation": 1,
+	}
+	got := map[string]int{}
+	for _, a := range hot.Summary.Allocs {
+		got[a.What]++
+	}
+	for k, n := range wantKinds {
+		if got[k] != n {
+			t.Errorf("hot allocs[%q] = %d, want %d (all: %v)", k, got[k], n, got)
+		}
+	}
+	if len(hot.Summary.Spawns) != 1 {
+		t.Errorf("hot spawns = %d, want 1", len(hot.Summary.Spawns))
+	}
+	// work's channel ops must not leak into hot: go statements create no
+	// call edge.
+	if len(hot.Callees) != 0 {
+		t.Errorf("hot.Callees = %v, want none (go statement is not a call edge)", names(hot.Callees))
+	}
+	if _, blocks := g.Blocks(hot); blocks {
+		t.Error("hot reported blocking; the spawned goroutine blocks, not hot")
+	}
+}
+
+func TestSummaryPanicPathExempt(t *testing.T) {
+	g, _ := graphFor(t, `package p
+import "fmt"
+func guard(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("p: negative %d", n))
+	}
+}
+`)
+	guard := nodeNamed(t, g, "guard")
+	if len(guard.Summary.Allocs) != 0 {
+		t.Errorf("guard allocs = %v, want none: panic arguments are crash-path only", guard.Summary.Allocs)
+	}
+}
+
+func TestSummaryBlockingTransitive(t *testing.T) {
+	g, _ := graphFor(t, `package p
+func top() { mid() }
+func mid() { leaf() }
+func leaf() { ch := make(chan int, 1); ch <- 1 }
+func calm() {}
+func cycleA() { cycleB() }
+func cycleB() { cycleA() }
+`)
+	if site, ok := g.Blocks(nodeNamed(t, g, "top")); !ok || site.What != "channel send" {
+		t.Errorf("top blocking = %v/%v, want channel send through mid→leaf", site, ok)
+	}
+	if _, ok := g.Blocks(nodeNamed(t, g, "calm")); ok {
+		t.Error("calm reported blocking")
+	}
+	if _, ok := g.Blocks(nodeNamed(t, g, "cycleA")); ok {
+		t.Error("a pure call cycle with no base fact reported blocking")
+	}
+}
+
+func TestSummaryParamFlow(t *testing.T) {
+	g, _ := graphFor(t, `package p
+import "sync"
+
+type box struct{ kept []int }
+
+var global []int
+
+func waitHelper(wg *sync.WaitGroup) { wg.Wait() }
+func deepWait(wg *sync.WaitGroup)   { waitHelper(wg) }
+func lockIt(mu *sync.Mutex)         { mu.Lock() }
+func unlockIt(mu *sync.Mutex)       { mu.Unlock() }
+func stash(b *box, s []int)         { b.kept = s }
+func stashGlobal(s []int)           { global = s }
+func deepStash(b *box, s []int)     { stash(b, s) }
+
+type ident struct{ id, gen int }
+type holder struct{ last ident }
+
+func keepIdent(h *holder, id ident) { h.last = id }
+func keepBox(h *struct{ b box }, b box) { h.b = b }
+func (b *box) poke()                { b.kept = nil }
+func pokeVia(b *box)                { b.poke() }
+`)
+	check := func(fn string, sel func(Summary) []int, want ...int) {
+		t.Helper()
+		got := sel(nodeNamed(t, g, fn).Summary)
+		if len(got) != len(want) {
+			t.Errorf("%s: param set = %v, want %v", fn, got, want)
+			return
+		}
+		for _, w := range want {
+			if !hasIndex(got, w) {
+				t.Errorf("%s: param set = %v, want %v", fn, got, want)
+			}
+		}
+	}
+	check("waitHelper", func(s Summary) []int { return s.WaitParams }, 0)
+	check("deepWait", func(s Summary) []int { return s.WaitParams }, 0)
+	check("lockIt", func(s Summary) []int { return s.LockParams }, 0)
+	check("unlockIt", func(s Summary) []int { return s.UnlockParams }, 0)
+	check("stash", func(s Summary) []int { return s.EscapeParams }, 1)
+	check("stashGlobal", func(s Summary) []int { return s.EscapeParams }, 0)
+	check("deepStash", func(s Summary) []int { return s.EscapeParams }, 1)
+	// Storing a pure value struct copies it — no reference escapes; a
+	// struct carrying a slice still does.
+	check("keepIdent", func(s Summary) []int { return s.EscapeParams })
+	check("keepBox", func(s Summary) []int { return s.EscapeParams }, 1)
+	check("poke", func(s Summary) []int { return s.MutatesParams }, 0)
+	check("pokeVia", func(s Summary) []int { return s.MutatesParams }, 0)
+}
+
+func TestSummaryScratchAndResultAlias(t *testing.T) {
+	g, _ := graphFor(t, `package p
+
+type Scratch struct{ vals []int }
+type Result struct{ vals []int }
+type Sim struct{}
+
+func (s *Sim) RunInto(f int, sc *Scratch) *Result { return &Result{vals: sc.vals} }
+
+func helper(s *Sim, f int, sc *Scratch) *Result { return s.RunInto(f, sc) }
+func deeper(s *Sim, sc *Scratch) *Result        { return helper(s, 0, sc) }
+func identity(r *Result) *Result                { return r }
+func fresh(s *Sim) *Result                      { return &Result{} }
+`)
+	helper := nodeNamed(t, g, "helper")
+	if !hasIndex(helper.Summary.ScratchParams, 2) {
+		t.Errorf("helper.ScratchParams = %v, want [2] (sc forwarded to RunInto)", helper.Summary.ScratchParams)
+	}
+	if !hasIndex(helper.Summary.ResultAliasParams, 2) {
+		t.Errorf("helper.ResultAliasParams = %v, want [2] (returns the RunInto view)", helper.Summary.ResultAliasParams)
+	}
+	deeper := nodeNamed(t, g, "deeper")
+	if !hasIndex(deeper.Summary.ScratchParams, 1) {
+		t.Errorf("deeper.ScratchParams = %v, want [1] (transitive through helper)", deeper.Summary.ScratchParams)
+	}
+	identity := nodeNamed(t, g, "identity")
+	if !hasIndex(identity.Summary.ResultAliasParams, 0) {
+		t.Errorf("identity.ResultAliasParams = %v, want [0]", identity.Summary.ResultAliasParams)
+	}
+	fresh := nodeNamed(t, g, "fresh")
+	if len(fresh.Summary.ResultAliasParams) != 0 {
+		t.Errorf("fresh.ResultAliasParams = %v, want none", fresh.Summary.ResultAliasParams)
+	}
+}
+
+func TestSummaryMapRangesAndBoxing(t *testing.T) {
+	g, _ := graphFor(t, `package p
+import "fmt"
+func ranger(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+func boxer(n int) { fmt.Println(n) }
+`)
+	if got := len(nodeNamed(t, g, "ranger").Summary.MapRanges); got != 1 {
+		t.Errorf("ranger map ranges = %d, want 1", got)
+	}
+	boxer := nodeNamed(t, g, "boxer")
+	found := false
+	for _, a := range boxer.Summary.Allocs {
+		if a.What == "interface conversion" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("boxer allocs = %v, want an interface conversion for the fmt argument", boxer.Summary.Allocs)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // A Package is one loaded and typechecked package ready for analysis.
@@ -28,6 +29,11 @@ type Package struct {
 	Syntax    []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+
+	// cg is the lazily built interprocedural call graph, shared by
+	// every analyzer pass over this package (see Pass.CallGraph).
+	cgOnce sync.Once
+	cg     *CallGraph
 }
 
 // A Loader typechecks packages from source. Module-local imports are
