@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// AllocHot proves the zero-alloc property of the batch kernels
+// statically: no allocation may be transitively reachable from a
+// function whose doc comment carries the allochot:entry directive.
+var AllocHot = &analysis.Analyzer{
+	Name: "allochot",
+	ID:   "SL011",
+	Doc: `flags allocations reachable from allochot:entry batch-kernel entry points
+
+The batch kernels are benchmarked and regression-gated at zero
+allocations per run; an allocation that sneaks into a helper three
+calls down shows up as a gate failure long after the commit that
+introduced it. Functions marked with an "allochot:entry" doc-comment
+directive are roots; every unconditional allocation site — make, new,
+append into a new backing array, string conversion or concatenation,
+closure creation, go statement, interface boxing — in any same-package
+function reachable from a root is reported, with the call chain that
+reaches it. Allocations inside panic arguments are exempt (the crash
+path is not steady-state), as is self-append growth (x = append(x,...)
+amortizes against the reused backing array). A function with an
+"allochot:ok" doc comment is excluded along with everything only it
+reaches (document why its allocations are acceptable).`,
+	Run: runAllocHot,
+}
+
+func runAllocHot(pass *analysis.Pass) error {
+	g := pass.CallGraph()
+	var roots []*analysis.FuncNode
+	exempt := make(map[*analysis.FuncNode]bool)
+	for _, n := range g.Funcs() {
+		if docContains(n.Decl.Doc, "allochot:entry") {
+			roots = append(roots, n)
+		}
+		if docContains(n.Decl.Doc, "allochot:ok") {
+			exempt[n] = true
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	// BFS from the roots, never entering an exempt function: what is
+	// reachable only through an allochot:ok function is covered by that
+	// exemption. The parent chain yields the witness call path.
+	parent := make(map[*analysis.FuncNode]*analysis.FuncNode)
+	seen := make(map[*analysis.FuncNode]bool)
+	var queue []*analysis.FuncNode
+	for _, r := range roots {
+		if !exempt[r] && !seen[r] {
+			seen[r] = true
+			queue = append(queue, r)
+		}
+	}
+	var order []*analysis.FuncNode
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, c := range n.Callees {
+			if !seen[c] && !exempt[c] {
+				seen[c] = true
+				parent[c] = n
+				queue = append(queue, c)
+			}
+		}
+	}
+	for _, n := range order {
+		for _, site := range n.Summary.Allocs {
+			pass.Reportf(site.Pos, "allocation (%s) on the zero-alloc batch-kernel path %s",
+				site.What, strings.Join(witnessPath(n, parent), " → "))
+		}
+	}
+	return nil
+}
+
+// witnessPath rebuilds root → ... → n from the BFS parent chain.
+func witnessPath(n *analysis.FuncNode, parent map[*analysis.FuncNode]*analysis.FuncNode) []string {
+	var rev []string
+	for m := n; m != nil; m = parent[m] {
+		rev = append(rev, m.Obj.Name())
+	}
+	out := make([]string, len(rev))
+	for i, s := range rev {
+		out[len(rev)-1-i] = s
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// benchSharePkgs are the package names on the sweep paths, where bench
+// state fans out across worker goroutines.
+var benchSharePkgs = map[string]bool{
+	"core":     true,
+	"soc":      true,
+	"pipeline": true,
+	"shard":    true,
+}
+
+// benchShareTypes are the named types whose instances are shared
+// read-only across sweep goroutines.
+var benchShareTypes = map[string]bool{
+	"CircuitBench": true,
+	"SOCBench":     true,
+	"BatchPlan":    true,
+}
+
+// BenchShare reports mutations of bench state shared with goroutines:
+// a CircuitBench, SOCBench or BatchPlan captured by a spawned closure
+// (or a closure handed to an Executor) must be treated as immutable,
+// and the spawner must not mutate it after sharing.
+var BenchShare = &analysis.Analyzer{
+	Name: "benchshare",
+	ID:   "SL010",
+	Doc: `flags mutation of bench state shared across sweep goroutines
+
+The sweep paths share one CircuitBench/SOCBench (and its compiled
+BatchPlan) across all worker goroutines by design: workers own disjoint
+Scratch buffers, the bench itself is read-only. A closure that captures
+a bench and is spawned with go — or passed to an Executor Run method,
+which spawns it — must therefore not assign through the bench or call a
+mutating method on it; nor may the spawning function mutate the bench
+after sharing it. Violations are data races the -race gates only catch
+when the schedule cooperates; this check catches them statically.
+Functions with a "benchshare" doc comment are exempt.`,
+	Run: runBenchShare,
+}
+
+func runBenchShare(pass *analysis.Pass) error {
+	if !benchSharePkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	g := pass.CallGraph()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if docContains(fd.Doc, "benchshare") {
+				continue
+			}
+			checkBenchShare(pass, g, fd)
+		}
+	}
+	return nil
+}
+
+func checkBenchShare(pass *analysis.Pass, g *analysis.CallGraph, fd *ast.FuncDecl) {
+	// Pass 1: find the shared closures and the bench objects each
+	// captures, with the position the sharing happens at.
+	type share struct {
+		lit  *ast.FuncLit
+		pos  token.Pos // the go statement / executor call
+		goST bool      // spawned directly with go (not via executor)
+	}
+	var shares []share
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				shares = append(shares, share{lit: lit, pos: x.Pos(), goST: true})
+			}
+		case *ast.CallExpr:
+			if isExecutorRunCall(pass, x) {
+				for _, arg := range x.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						shares = append(shares, share{lit: lit, pos: x.Pos()})
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(shares) == 0 {
+		return
+	}
+
+	// Pass 2: per shared closure, report mutations of captured bench
+	// objects inside the closure (including closures it returns — the
+	// executor's mkWorker pattern) and remember what was shared.
+	shared := make(map[types.Object]token.Pos)
+	for _, sh := range shares {
+		for obj, pos := range capturedBenchMutations(pass, g, sh.lit) {
+			pass.Reportf(pos, "%s is shared with a goroutine and must not be mutated; workers own Scratch, the bench is read-only", obj.Name())
+		}
+		for _, obj := range capturedBenchObjects(pass, sh.lit) {
+			if _, ok := shared[obj]; !ok {
+				shared[obj] = sh.pos
+			}
+		}
+	}
+
+	// Pass 3: mutations in the spawning scope after the share point.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		obj, pos := mutationOfBench(pass, g, n)
+		if obj == nil {
+			return true
+		}
+		if sharePos, ok := shared[obj]; ok && pos > sharePos {
+			pass.Reportf(pos, "%s was shared with a goroutine above and must not be mutated afterwards", obj.Name())
+		}
+		return true
+	})
+}
+
+// capturedBenchObjects lists bench-typed variables the literal uses
+// but does not declare.
+func capturedBenchObjects(pass *analysis.Pass, lit *ast.FuncLit) []types.Object {
+	var out []types.Object
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || seen[obj] || !isBenchObject(obj) {
+			return true
+		}
+		if declaredOutside(obj, lit) {
+			seen[obj] = true
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
+}
+
+// capturedBenchMutations finds mutations of captured bench variables
+// anywhere under the literal, nested literals included (a worker
+// factory returns the closure that runs on the goroutine).
+func capturedBenchMutations(pass *analysis.Pass, g *analysis.CallGraph, lit *ast.FuncLit) map[types.Object]token.Pos {
+	found := make(map[types.Object]token.Pos)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		obj, pos := mutationOfBench(pass, g, n)
+		if obj != nil && declaredOutside(obj, lit) {
+			if _, ok := found[obj]; !ok {
+				found[obj] = pos
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mutationOfBench reports the bench object a node mutates, if any:
+// an assignment or inc/dec whose target chains through the object, or
+// a call to a same-package method whose summary mutates its receiver.
+func mutationOfBench(pass *analysis.Pass, g *analysis.CallGraph, n ast.Node) (types.Object, token.Pos) {
+	info := pass.TypesInfo
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range x.Lhs {
+			if _, isIdent := lhs.(*ast.Ident); isIdent {
+				continue // rebinding a local name, not writing through the bench
+			}
+			if obj := analysis.ExprRoot(info, lhs); obj != nil && isBenchObject(obj) {
+				return obj, lhs.Pos()
+			}
+		}
+	case *ast.IncDecStmt:
+		if _, isIdent := x.X.(*ast.Ident); !isIdent {
+			if obj := analysis.ExprRoot(info, x.X); obj != nil && isBenchObject(obj) {
+				return obj, x.Pos()
+			}
+		}
+	case *ast.CallExpr:
+		callee := g.CalleeOf(info, x)
+		if callee == nil {
+			return nil, token.NoPos
+		}
+		sig, ok := callee.Obj.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return nil, token.NoPos
+		}
+		if !hasParam(callee.Summary.MutatesParams, 0) {
+			return nil, token.NoPos
+		}
+		sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return nil, token.NoPos
+		}
+		if obj := analysis.ExprRoot(info, sel.X); obj != nil && isBenchObject(obj) {
+			return obj, x.Pos()
+		}
+	}
+	return nil, token.NoPos
+}
+
+// isBenchObject reports whether obj is a variable of (pointer to) one
+// of the shared bench types.
+func isBenchObject(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	t := v.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && benchShareTypes[named.Obj().Name()]
+}
+
+// declaredOutside reports whether obj's declaration lies outside the
+// literal — i.e. the literal captures it (the literal's own parameters
+// and locals are declared within its source range).
+func declaredOutside(obj types.Object, lit *ast.FuncLit) bool {
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}
+
+// isExecutorRunCall matches method calls named Run* on a receiver of
+// named type Executor (the pipeline's fan-out entry points).
+func isExecutorRunCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(sel.Sel.Name) < 3 || sel.Sel.Name[:3] != "Run" {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Executor"
+}
+
+func hasParam(s []int, i int) bool {
+	for _, v := range s {
+		if v == i {
+			return true
+		}
+	}
+	return false
+}

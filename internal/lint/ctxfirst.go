@@ -22,6 +22,7 @@ var ctxPkgs = map[string]bool{
 // on the cancellable execution path.
 var CtxFirst = &analysis.Analyzer{
 	Name: "ctxfirst",
+	ID:   "SL006",
 	Doc: "require context.Context as the first parameter and forbid storing one in a struct\n\n" +
 		"In the pipeline, core and soc packages an exported function or\n" +
 		"method that accepts a context.Context must accept it as its first\n" +

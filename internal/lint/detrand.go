@@ -44,6 +44,7 @@ var forbiddenTime = map[string]bool{
 // with the same seed disagree.
 var Detrand = &analysis.Analyzer{
 	Name: "detrand",
+	ID:   "SL001",
 	Doc: "forbid global math/rand functions and wall-clock reads in deterministic packages\n\n" +
 		"Packages on the simulation path derive every random choice from an\n" +
 		"explicit seed (rand.New(rand.NewSource(seed))). The package-level\n" +

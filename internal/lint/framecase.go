@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// FrameCase enforces exhaustive dispatch over the codec's wire enums:
+// a switch on a constant type declared in a package named codec (Kind,
+// JobKind, ...) must either carry a default clause or name every
+// declared constant of that type.
+var FrameCase = &analysis.Analyzer{
+	Name: "framecase",
+	ID:   "SL012",
+	Doc: `flags non-exhaustive switches over codec wire enums
+
+Adding a wire-message kind is a three-site change: the constant, the
+encoder, and every dispatch switch. The compiler checks the first two;
+this analyzer checks the third. A switch statement whose tag has a
+named constant type declared in a package named codec must handle every
+package-level constant of that exact type in its cases, or carry a
+default clause that owns the remainder (reject, log, error). Missing
+members are reported by name so the fix is mechanical.`,
+	Run: runFrameCase,
+}
+
+func runFrameCase(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkEnumSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkEnumSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	tagType := pass.TypesInfo.TypeOf(sw.Tag)
+	named := codecEnumType(tagType)
+	if named == nil {
+		return
+	}
+	members := enumMembers(named)
+	if len(members) < 2 {
+		return // a one-member "enum" is a sentinel, not a dispatch domain
+	}
+	covered := make(map[types.Object]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default clause owns the remainder
+		}
+		for _, e := range cc.List {
+			if obj := constObject(pass.TypesInfo, e); obj != nil {
+				covered[obj] = true
+			} else {
+				return // non-constant case (comparison to a variable): no exhaustiveness claim
+			}
+		}
+	}
+	var missing []string
+	for _, m := range members {
+		if !covered[m] {
+			missing = append(missing, m.Name())
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(sw.Pos(), "switch on %s does not handle %s; add the cases or a default clause that owns the remainder",
+			named.Obj().Name(), strings.Join(missing, ", "))
+	}
+}
+
+// codecEnumType returns t as a named constant type declared in a
+// package named codec with a basic (integer/string) underlying type,
+// or nil.
+func codecEnumType(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != "codec" {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Basic); !ok {
+		return nil
+	}
+	return named
+}
+
+// enumMembers lists the package-level constants of exactly this named
+// type, in declaration order.
+func enumMembers(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() { // Names() is sorted: deterministic
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if c.Type() == named || types.Identical(c.Type(), named) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// constObject resolves a case expression to the constant object it
+// names (pkg.Const or a dot-imported/local Const), or nil.
+func constObject(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if c, ok := info.Uses[x].(*types.Const); ok {
+			return c
+		}
+	case *ast.SelectorExpr:
+		if c, ok := info.Uses[x.Sel].(*types.Const); ok {
+			return c
+		}
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// goleakPkgs are the package names whose goroutines must be joined:
+// the scale-out runtimes, where a leaked goroutine outlives its run
+// and corrupts the next one's pooled state.
+var goleakPkgs = map[string]bool{
+	"shard":    true,
+	"pipeline": true,
+}
+
+// GoLeak reports `go` statements in the shard and pipeline packages
+// whose goroutine is not visibly joined before the spawning scope
+// returns. A goroutine counts as joined when the scope Waits on a
+// sync.WaitGroup the goroutine Dones — directly, through a defer, or
+// through a same-package helper whose summary says it Dones/Waits the
+// group — or when the scope receives from a channel the goroutine
+// sends on or closes.
+var GoLeak = &analysis.Analyzer{
+	Name: "goleak",
+	ID:   "SL008",
+	Doc: `flags unjoined goroutines in the shard and pipeline runtimes
+
+The scale-out packages pool connections, scratch buffers and per-run
+state across calls; a goroutine that outlives the function that spawned
+it can touch that pooled state after the next run has claimed it. Every
+go statement in internal/shard and internal/pipeline must therefore be
+joined before the spawning scope returns: Done/Wait on a WaitGroup the
+scope waits on (possibly through a helper), or a send/close on a
+channel the scope receives from. Joins inside deferred closures and
+t.Cleanup callbacks count — both run at scope teardown. Spawns handed
+to another owner are exempted with a "goleak" doc comment explaining
+who joins them.`,
+	Run: runGoLeak,
+}
+
+func runGoLeak(pass *analysis.Pass) error {
+	if !goleakPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	g := pass.CallGraph()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if docContains(fd.Doc, "goleak") {
+				continue
+			}
+			checkSpawnScope(pass, g, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkSpawnScope analyzes one spawning scope — a function body or a
+// nested function literal body (a goroutine that itself spawns must
+// join its own children) — then recurses into nested literals.
+func checkSpawnScope(pass *analysis.Pass, g *analysis.CallGraph, body *ast.BlockStmt) {
+	var (
+		spawns []*ast.GoStmt
+		lits   []*ast.FuncLit
+	)
+	joins := scopeJoins(pass, g, body, &spawns, &lits)
+	for _, gs := range spawns {
+		if !spawnJoined(pass, g, gs, joins) {
+			pass.Reportf(gs.Pos(), "goroutine is not joined before the spawning scope returns: Wait on a WaitGroup it Dones, or receive from a channel it closes")
+		}
+	}
+	for _, lit := range lits {
+		checkSpawnScope(pass, g, lit.Body)
+	}
+}
+
+// scopeJoins walks a scope (excluding nested function literals, which
+// are collected for their own pass) and returns the objects the scope
+// joins on: WaitGroups it Waits and channels it receives from. Spawns
+// found along the way are appended to spawns.
+func scopeJoins(pass *analysis.Pass, g *analysis.CallGraph, body *ast.BlockStmt, spawns *[]*ast.GoStmt, lits *[]*ast.FuncLit) map[types.Object]bool {
+	joins := make(map[types.Object]bool)
+	note := func(obj types.Object) {
+		if obj != nil {
+			joins[obj] = true
+		}
+	}
+	// Closures guaranteed to run at scope teardown — deferred literals
+	// and literals registered with t.Cleanup — join on the scope's
+	// behalf, so their bodies are walked inline rather than as separate
+	// spawning scopes.
+	inline := make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				inline[lit] = true
+			}
+		case *ast.CallExpr:
+			if _, name := methodOn(pass, x, "testing", "T"); name == "Cleanup" && len(x.Args) == 1 {
+				if lit, ok := x.Args[0].(*ast.FuncLit); ok {
+					inline[lit] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if inline[x] {
+				return true
+			}
+			*lits = append(*lits, x)
+			return false
+		case *ast.GoStmt:
+			*spawns = append(*spawns, x)
+			// The spawned call's arguments are evaluated in this scope,
+			// but the call runs elsewhere: don't descend (its FuncLit, if
+			// any, is handled by spawnJoined and recursed separately).
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				*lits = append(*lits, lit)
+			}
+			return false
+		case *ast.CallExpr:
+			// wg.Wait(), directly or deferred, or a helper that waits.
+			if recv, name := methodOn(pass, x, "sync", "WaitGroup"); name == "Wait" {
+				note(analysis.ExprRoot(pass.TypesInfo, recv))
+			}
+			if callee := g.CalleeOf(pass.TypesInfo, x); callee != nil {
+				for _, pi := range callee.Summary.WaitParams {
+					note(argRootAt(pass, x, callee, pi))
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				note(analysis.ExprRoot(pass.TypesInfo, x.X))
+			}
+		case *ast.RangeStmt:
+			if _, ok := pass.TypesInfo.TypeOf(x.X).Underlying().(*types.Chan); ok {
+				note(analysis.ExprRoot(pass.TypesInfo, x.X))
+			}
+		}
+		return true
+	})
+	return joins
+}
+
+// spawnJoined reports whether one go statement's goroutine signals an
+// object the scope joins on.
+func spawnJoined(pass *analysis.Pass, g *analysis.CallGraph, gs *ast.GoStmt, joins map[types.Object]bool) bool {
+	// go func(){ ... }(): look for wg.Done / close(ch) / ch <- v inside
+	// the literal (including its own nested literals — a defer wrapper).
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		return litSignals(pass, g, lit, joins)
+	}
+	// go helper(&wg, ...): joined if the helper's summary Dones a
+	// parameter whose argument roots at a waited group.
+	if callee := g.CalleeOf(pass.TypesInfo, gs.Call); callee != nil {
+		for _, pi := range callee.Summary.DoneParams {
+			if joins[argRootAt(pass, gs.Call, callee, pi)] {
+				return true
+			}
+		}
+	}
+	// go obj.Method() or a func value: nothing provable.
+	return false
+}
+
+// litSignals reports whether a goroutine literal signals one of the
+// joined objects: Done on a waited group (directly or via a helper's
+// DoneParams), close of or send on a received-from channel.
+func litSignals(pass *analysis.Pass, g *analysis.CallGraph, lit *ast.FuncLit, joins map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if recv, name := methodOn(pass, x, "sync", "WaitGroup"); name == "Done" {
+				if joins[analysis.ExprRoot(pass.TypesInfo, recv)] {
+					found = true
+				}
+			}
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "close" && len(x.Args) == 1 {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					if joins[analysis.ExprRoot(pass.TypesInfo, x.Args[0])] {
+						found = true
+					}
+				}
+			}
+			if callee := g.CalleeOf(pass.TypesInfo, x); callee != nil {
+				for _, pi := range callee.Summary.DoneParams {
+					if joins[argRootAt(pass, x, callee, pi)] {
+						found = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if joins[analysis.ExprRoot(pass.TypesInfo, x.Chan)] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// methodOn matches a call to a method on a value whose type (or
+// pointee) is the named type pkgPath.typeName, returning the receiver
+// expression and method name; otherwise ("", nil).
+func methodOn(pass *analysis.Pass, call *ast.CallExpr, pkgPath, typeName string) (ast.Expr, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return nil, ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil, ""
+	}
+	if named.Obj().Pkg().Path() != pkgPath || named.Obj().Name() != typeName {
+		return nil, ""
+	}
+	return sel.X, sel.Sel.Name
+}
+
+// argExprAt returns the call's receiver-inclusive argument pi (for a
+// method call, the receiver expression is argument 0), or nil.
+func argExprAt(pass *analysis.Pass, call *ast.CallExpr, callee *analysis.FuncNode, pi int) ast.Expr {
+	args := call.Args
+	if sig, ok := callee.Obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		args = append([]ast.Expr{sel.X}, args...)
+	}
+	if pi < 0 || pi >= len(args) {
+		return nil
+	}
+	return args[pi]
+}
+
+// argRootAt resolves the object rooting the receiver-inclusive
+// argument pi of a call to callee, or nil.
+func argRootAt(pass *analysis.Pass, call *ast.CallExpr, callee *analysis.FuncNode, pi int) types.Object {
+	arg := argExprAt(pass, call, callee, pi)
+	if arg == nil {
+		return nil
+	}
+	return analysis.ExprRoot(pass.TypesInfo, arg)
+}
+
+// docContains reports whether a doc comment mentions the given marker
+// word — prose ("... joined by Close; see goleak") or a directive line
+// ("//allochot:entry"). The raw comment list is scanned because
+// CommentGroup.Text strips directive comments.
+func docContains(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.Contains(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}

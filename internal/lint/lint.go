@@ -2,27 +2,41 @@
 // encodes an invariant the code base relies on but the compiler cannot
 // express:
 //
-//   - detrand: simulation results must be reproducible, so packages on
-//     the deterministic path may not consume the global math/rand source
-//     or wall-clock time.
-//   - scratchalias: sim.Scratch-backed slices are only valid until the
-//     next RunInto on the same scratch, so they must not escape into
-//     longer-lived storage or be read after the scratch is reused.
-//   - panicfmt: panic messages carry a "<pkg>: " prefix so a stack-less
-//     crash report still names its origin.
-//   - noexit: library packages must return errors, not call os.Exit or
-//     log.Fatal, which would skip deferred cleanup in callers.
-//   - paralleltestscratch: parallel subtests must not share one Scratch,
-//     which is single-goroutine state.
-//   - ctxfirst: in the packages on the cancellable execution path,
-//     exported functions take their context.Context first and structs
-//     never store one (absent a documented exception).
-//   - codecdet: the artifact codec must encode deterministically, so
-//     map iteration (whose order is randomized) may not appear in the
-//     codec package or in functions that call its encoders.
+//   - detrand (SL001): simulation results must be reproducible, so
+//     packages on the deterministic path may not consume the global
+//     math/rand source or wall-clock time.
+//   - scratchalias (SL002): sim.Scratch-backed slices are only valid
+//     until the next RunInto on the same scratch, so they must not
+//     escape into longer-lived storage or be read after the scratch is
+//     reused — including through same-package helpers.
+//   - panicfmt (SL003): panic messages carry a "<pkg>: " prefix so a
+//     stack-less crash report still names its origin.
+//   - noexit (SL004): library packages must return errors, not call
+//     os.Exit or log.Fatal, which would skip deferred cleanup.
+//   - paralleltestscratch (SL005): parallel subtests must not share one
+//     Scratch, which is single-goroutine state.
+//   - ctxfirst (SL006): in the packages on the cancellable execution
+//     path, exported functions take their context.Context first and
+//     structs never store one (absent a documented exception).
+//   - codecdet (SL007): the artifact codec must encode
+//     deterministically, so map iteration (whose order is randomized)
+//     may not appear in the codec package or in functions — or their
+//     same-package helpers — that feed its encoders.
+//   - goleak (SL008): goroutines spawned in the shard and pipeline
+//     runtimes must be joined before the spawning scope returns.
+//   - lockdiscipline (SL009): mutexes are not copied by value, locks
+//     are not held across blocking operations, unlocks pair with locks.
+//   - benchshare (SL010): bench state shared across sweep goroutines
+//     (CircuitBench, SOCBench, BatchPlan) is read-only once shared.
+//   - allochot (SL011): no allocation is reachable from an
+//     allochot:entry batch-kernel entry point.
+//   - framecase (SL012): switches over codec wire enums are exhaustive
+//     or carry a default clause.
 //
-// The analyzers run on the minimal framework in internal/analysis and
-// are bundled by cmd/staticlint.
+// The analyzers run on the minimal framework in internal/analysis —
+// the interprocedural ones (scratchalias, codecdet, goleak,
+// lockdiscipline, benchshare, allochot) through its package call graph
+// and per-function summaries — and are bundled by cmd/staticlint.
 package lint
 
 import "repro/internal/analysis"
@@ -37,5 +51,10 @@ func Analyzers() []*analysis.Analyzer {
 		ParallelTestScratch,
 		CtxFirst,
 		Codecdet,
+		GoLeak,
+		LockDiscipline,
+		BenchShare,
+		AllocHot,
+		FrameCase,
 	}
 }

@@ -20,7 +20,7 @@ func TestNoExit(t *testing.T) {
 }
 
 func TestScratchAlias(t *testing.T) {
-	analysistest.Run(t, "testdata", lint.ScratchAlias, "scratch/a")
+	analysistest.Run(t, "testdata", lint.ScratchAlias, "scratch/a", "scratch/b")
 }
 
 func TestCtxFirst(t *testing.T) {
@@ -35,19 +35,46 @@ func TestCodecdet(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.Codecdet, "codecdet/codec", "codecdet/user")
 }
 
+func TestGoLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.GoLeak, "goleak/shard", "goleak/other")
+}
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.LockDiscipline, "lockdiscipline/a")
+}
+
+func TestBenchShare(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.BenchShare, "benchshare/core")
+}
+
+func TestAllocHot(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.AllocHot, "allochot/kernel")
+}
+
+func TestFrameCase(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.FrameCase, "framecase/codec", "framecase/user")
+}
+
 func TestAnalyzersListed(t *testing.T) {
 	as := lint.Analyzers()
-	if len(as) != 7 {
-		t.Fatalf("Analyzers() returned %d analyzers, want 7", len(as))
+	if len(as) != 12 {
+		t.Fatalf("Analyzers() returned %d analyzers, want 12", len(as))
 	}
-	seen := map[string]bool{}
+	seenName, seenID := map[string]bool{}, map[string]bool{}
 	for _, a := range as {
 		if a.Name == "" || a.Doc == "" || a.Run == nil {
 			t.Errorf("analyzer %+v missing name, doc or run", a)
 		}
-		if seen[a.Name] {
+		if a.ID == "" {
+			t.Errorf("analyzer %s has no stable rule ID", a.Name)
+		}
+		if seenName[a.Name] {
 			t.Errorf("duplicate analyzer name %q", a.Name)
 		}
-		seen[a.Name] = true
+		if seenID[a.ID] {
+			t.Errorf("duplicate rule ID %q", a.ID)
+		}
+		seenName[a.Name] = true
+		seenID[a.ID] = true
 	}
 }

@@ -1,0 +1,325 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// LockDiscipline enforces three mutex rules everywhere in the module:
+// no sync.Mutex/RWMutex passed by value, no lock held across a
+// blocking operation, and no Unlock without a preceding Lock in the
+// same scope.
+var LockDiscipline = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	ID:   "SL009",
+	Doc: `flags mutexes copied by value, locks held across blocking calls, and unpaired unlocks
+
+Three rules, checked in every package. A sync.Mutex or sync.RWMutex
+function parameter passed by value copies the lock state, so the callee
+locks a different mutex than the caller thinks. A lock held across a
+channel operation, select, time.Sleep, WaitGroup.Wait or a call that
+transitively blocks can deadlock the diagnosis pipeline under
+backpressure; the blocking site is reported with the call chain that
+reaches it. An Unlock whose mutex was never locked in the same scope
+panics at runtime. Functions with a "lockdiscipline" doc comment are
+exempt (document why the lock is safe to hold).`,
+	Run: runLockDiscipline,
+}
+
+// lockEvent is one mutex- or blocking-relevant operation, ordered by
+// source position within a scope.
+type lockEvent struct {
+	pos      token.Pos
+	kind     int          // evLock, evUnlock, evBlock
+	root     types.Object // mutex root for lock/unlock
+	deferred bool
+	what     string // blocking description for evBlock
+}
+
+const (
+	evLock = iota
+	evUnlock
+	evBlock
+)
+
+func runLockDiscipline(pass *analysis.Pass) error {
+	g := pass.CallGraph()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if docContains(fd.Doc, "lockdiscipline") {
+				continue
+			}
+			checkMutexParams(pass, fd)
+			params := paramSet(pass, fd)
+			checkLockScope(pass, g, fd.Body, params)
+			// Function literals are their own scopes: a closure's locks
+			// pair within the closure.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkLockScope(pass, g, lit.Body, params)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkMutexParams reports sync.Mutex/RWMutex parameters passed by
+// value (rule 1). The receiver is included: a value receiver on a
+// struct holding a mutex copies it on every call.
+func checkMutexParams(pass *analysis.Pass, fd *ast.FuncDecl) {
+	check := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypesInfo.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if name, ok := mutexValueType(t); ok {
+				pass.Reportf(field.Pos(), "%s passed by value copies the lock state; use a pointer", name)
+			}
+		}
+	}
+	check(fd.Recv)
+	check(fd.Type.Params)
+}
+
+// mutexValueType reports whether t is a non-pointer sync.Mutex or
+// sync.RWMutex, or a struct that directly embeds or contains one by
+// value.
+func mutexValueType(t types.Type) (string, bool) {
+	if isMutexNamed(t) {
+		return typeString(t), true
+	}
+	if st, ok := t.Underlying().(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			if isMutexNamed(st.Field(i).Type()) {
+				return typeString(t) + " (containing " + typeString(st.Field(i).Type()) + ")", true
+			}
+		}
+	}
+	return "", false
+}
+
+func isMutexNamed(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" &&
+		(named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
+}
+
+func typeString(t types.Type) string { return types.TypeString(t, nil) }
+
+// paramSet collects a declaration's parameter and receiver objects of
+// direct mutex type: an unlock-only helper taking *sync.Mutex is a
+// deliberate lock-passing API, not a rule-3 violation.
+func paramSet(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypesInfo.TypeOf(field.Type)
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if !isMutexNamed(t) {
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	add(fd.Type.Params)
+	return out
+}
+
+// checkLockScope collects lock, unlock and blocking events of one
+// scope in source order and runs the held-lock scan over them.
+func checkLockScope(pass *analysis.Pass, g *analysis.CallGraph, body *ast.BlockStmt, mutexParams map[types.Object]bool) {
+	var events []lockEvent
+	info := pass.TypesInfo
+	addCallEvents := func(call *ast.CallExpr, deferred bool) {
+		if recv, name := methodOn(pass, call, "sync", "Mutex"); recv != nil {
+			root := analysis.ExprRoot(info, recv)
+			switch name {
+			case "Lock":
+				events = append(events, lockEvent{pos: call.Pos(), kind: evLock, root: root, deferred: deferred})
+			case "Unlock":
+				events = append(events, lockEvent{pos: call.Pos(), kind: evUnlock, root: root, deferred: deferred})
+			}
+			return
+		}
+		if recv, name := methodOn(pass, call, "sync", "RWMutex"); recv != nil {
+			root := analysis.ExprRoot(info, recv)
+			switch name {
+			case "Lock", "RLock":
+				events = append(events, lockEvent{pos: call.Pos(), kind: evLock, root: root, deferred: deferred})
+			case "Unlock", "RUnlock":
+				events = append(events, lockEvent{pos: call.Pos(), kind: evUnlock, root: root, deferred: deferred})
+			}
+			return
+		}
+		if recv, name := methodOn(pass, call, "sync", "WaitGroup"); recv != nil && name == "Wait" {
+			events = append(events, lockEvent{pos: call.Pos(), kind: evBlock, what: "WaitGroup.Wait"})
+			return
+		}
+		if isPkgCall(info, call, "time", "Sleep") {
+			events = append(events, lockEvent{pos: call.Pos(), kind: evBlock, what: "time.Sleep"})
+			return
+		}
+		if callee := g.CalleeOf(info, call); callee != nil {
+			// Helpers that lock/unlock a parameter count as lock events
+			// on the argument's root; helpers that block count as
+			// blocking sites.
+			for _, pi := range callee.Summary.LockParams {
+				if root := argRootAt(pass, call, callee, pi); root != nil {
+					events = append(events, lockEvent{pos: call.Pos(), kind: evLock, root: root, deferred: deferred})
+				}
+			}
+			for _, pi := range callee.Summary.UnlockParams {
+				if root := argRootAt(pass, call, callee, pi); root != nil {
+					events = append(events, lockEvent{pos: call.Pos(), kind: evUnlock, root: root, deferred: deferred})
+				}
+			}
+			if site, ok := g.Blocks(callee); ok {
+				events = append(events, lockEvent{
+					pos:  call.Pos(),
+					kind: evBlock,
+					what: "a call to " + callee.Obj.Name() + ", which may block (" + site.What + ")",
+				})
+			}
+		}
+	}
+	// Channel operations serving as a select's comm clauses are the
+	// select, not separate blocking sites.
+	type posRange struct{ lo, hi token.Pos }
+	var commRanges []posRange
+	inComm := func(pos token.Pos) bool {
+		for _, r := range commRanges {
+			if pos >= r.lo && pos <= r.hi {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // its own scope
+		case *ast.DeferStmt:
+			addCallEvents(x.Call, true)
+			return false
+		case *ast.CallExpr:
+			addCallEvents(x, false)
+		case *ast.SendStmt:
+			if !inComm(x.Pos()) {
+				events = append(events, lockEvent{pos: x.Pos(), kind: evBlock, what: "a channel send"})
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !inComm(x.Pos()) {
+				events = append(events, lockEvent{pos: x.Pos(), kind: evBlock, what: "a channel receive"})
+			}
+		case *ast.SelectStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					commRanges = append(commRanges, posRange{cc.Comm.Pos(), cc.Comm.End()})
+				}
+			}
+			if !selectHasDefault(x) {
+				events = append(events, lockEvent{pos: x.Pos(), kind: evBlock, what: "a select without default"})
+			}
+		case *ast.RangeStmt:
+			if _, ok := info.TypeOf(x.X).Underlying().(*types.Chan); ok {
+				events = append(events, lockEvent{pos: x.Pos(), kind: evBlock, what: "ranging over a channel"})
+			}
+		}
+		return true
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	scanLockEvents(pass, events, mutexParams)
+}
+
+// scanLockEvents runs the linear held-lock scan. A deferred Unlock
+// keeps the lock held to the end of the scope (that is its point), so
+// blocking events after it still report; a plain Unlock releases. An
+// Unlock on a mutex never locked in the scope is rule 3.
+func scanLockEvents(pass *analysis.Pass, events []lockEvent, mutexParams map[types.Object]bool) {
+	held := make(map[types.Object]int)
+	lockSeen := make(map[types.Object]bool)
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			if ev.root != nil {
+				held[ev.root]++
+				lockSeen[ev.root] = true
+			}
+		case evUnlock:
+			if ev.root == nil {
+				continue
+			}
+			if ev.deferred {
+				// Released at return: stays held for the scan.
+				lockSeen[ev.root] = true // defer before Lock is a style choice, not rule 3
+				continue
+			}
+			if held[ev.root] > 0 {
+				held[ev.root]--
+			} else if !lockSeen[ev.root] && !mutexParams[ev.root] {
+				pass.Reportf(ev.pos, "Unlock without a preceding Lock in this scope")
+				lockSeen[ev.root] = true // one report per mutex per scope
+			}
+		case evBlock:
+			var names []string
+			for root, n := range held {
+				if n > 0 {
+					names = append(names, root.Name())
+				}
+			}
+			if len(names) > 0 {
+				sort.Strings(names)
+				pass.Reportf(ev.pos, "lock on %s held across %s; shrink the critical section", names[0], ev.what)
+			}
+		}
+	}
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isPkgCall matches a call to pkgPath.funcName.
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, funcName string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == funcName
+}

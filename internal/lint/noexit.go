@@ -14,6 +14,7 @@ import (
 // let the cmd/ front-ends decide the process's fate.
 var NoExit = &analysis.Analyzer{
 	Name: "noexit",
+	ID:   "SL004",
 	Doc: "forbid os.Exit and log.Fatal outside package main\n\n" +
 		"Only the cmd/ front-ends may terminate the process. Library code\n" +
 		"returns errors; a buried os.Exit or log.Fatalf aborts callers'\n" +

@@ -16,6 +16,7 @@ import (
 // itself must name the package that gave up.
 var PanicFmt = &analysis.Analyzer{
 	Name: "panicfmt",
+	ID:   "SL003",
 	Doc: "require panic messages to carry the \"<pkg>: \" origin prefix\n\n" +
 		"A panic(\"short message\") loses its origin once the stack is trimmed\n" +
 		"or the panic is rethrown; panic(\"soc: short message\") does not.\n" +

@@ -14,6 +14,7 @@ import (
 // wrong signatures.
 var ParallelTestScratch = &analysis.Analyzer{
 	Name: "paralleltestscratch",
+	ID:   "SL005",
 	Doc: "forbid t.Parallel() tests from sharing a Scratch declared outside the test\n\n" +
 		"sim.Scratch and soc.Scratch are single-goroutine buffers. A subtest\n" +
 		"that calls t.Parallel() outlives its surrounding loop iteration, so\n" +

@@ -1,0 +1,98 @@
+// Package core is the benchshare fixture: bench state fanned out to
+// goroutines is read-only; workers own Scratch, never the bench.
+package core
+
+import "sync"
+
+// BatchPlan is compiled once and shared by every lane.
+type BatchPlan struct{ lanes int }
+
+// CircuitBench is the shared sweep state.
+type CircuitBench struct {
+	runs int
+	plan *BatchPlan
+}
+
+func (b *CircuitBench) bump()      { b.runs++ }
+func (b *CircuitBench) lanes() int { return b.plan.lanes }
+
+// Executor is the fan-out shape the analyzer recognizes: closures
+// passed to Run* methods execute on worker goroutines.
+type Executor struct{}
+
+// Run fans f out across n goroutines and joins them.
+func (e *Executor) Run(n int, f func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// MutateInGo writes the bench from a spawned goroutine.
+func MutateInGo(b *CircuitBench, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b.runs++ // want "b is shared with a goroutine and must not be mutated"
+	}()
+	wg.Wait()
+}
+
+// MutateViaMethod reaches the write through a method whose summary
+// mutates its receiver.
+func MutateViaMethod(e *Executor, b *CircuitBench) {
+	e.Run(4, func(i int) {
+		b.bump() // want "b is shared with a goroutine and must not be mutated"
+	})
+}
+
+// MutatePlan writes the shared plan from a worker.
+func MutatePlan(e *Executor, p *BatchPlan) {
+	e.Run(4, func(i int) {
+		p.lanes = i // want "p is shared with a goroutine and must not be mutated"
+	})
+}
+
+// ReadShared only reads the bench: fine.
+func ReadShared(e *Executor, b *CircuitBench) int {
+	total := 0
+	var mu sync.Mutex
+	e.Run(4, func(i int) {
+		mu.Lock()
+		total += b.lanes()
+		mu.Unlock()
+	})
+	return total
+}
+
+// MutateAfterShare writes the bench after handing it to a goroutine.
+func MutateAfterShare(b *CircuitBench, done chan struct{}) {
+	go func() {
+		_ = b.plan
+		close(done)
+	}()
+	b.runs = 7 // want "b was shared with a goroutine above and must not be mutated afterwards"
+	<-done
+}
+
+// MutateBeforeShare finishes its writes before sharing: fine.
+func MutateBeforeShare(b *CircuitBench, done chan struct{}) {
+	b.runs = 7
+	go func() {
+		_ = b.plan
+		close(done)
+	}()
+	<-done
+}
+
+// LocalBench never crosses a goroutine: fine.
+func LocalBench() int {
+	b := &CircuitBench{plan: &BatchPlan{lanes: 8}}
+	b.bump()
+	return b.runs
+}

@@ -1,0 +1,30 @@
+// Package codec declares the wire enums the framecase fixture
+// dispatches over; the analyzer keys on the package name.
+package codec
+
+// Kind tags one frame on the wire.
+type Kind uint16
+
+const (
+	// KindHello opens a session.
+	KindHello Kind = iota + 1
+	// KindJob carries a work item.
+	KindJob
+	// KindResult carries a completed shard.
+	KindResult
+	// KindError aborts the stream.
+	KindError
+)
+
+// String names the kind but forgot KindError when it was added.
+func (k Kind) String() string {
+	switch k { // want "switch on Kind does not handle KindError"
+	case KindHello:
+		return "hello"
+	case KindJob:
+		return "job"
+	case KindResult:
+		return "result"
+	}
+	return "?"
+}

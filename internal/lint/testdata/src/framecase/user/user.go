@@ -1,0 +1,57 @@
+// Package user dispatches on the codec enums from outside the codec
+// package; the exhaustiveness rule follows the type, not the file.
+package user
+
+import "framecase/codec"
+
+// DispatchAll covers every member: fine.
+func DispatchAll(k codec.Kind) int {
+	switch k {
+	case codec.KindHello:
+		return 0
+	case codec.KindJob, codec.KindResult:
+		return 1
+	case codec.KindError:
+		return 2
+	}
+	return -1
+}
+
+// DispatchDefault owns the remainder explicitly: fine.
+func DispatchDefault(k codec.Kind) int {
+	switch k {
+	case codec.KindHello:
+		return 0
+	default:
+		return -1
+	}
+}
+
+// DispatchGap misses two members.
+func DispatchGap(k codec.Kind) int {
+	switch k { // want "switch on Kind does not handle KindError, KindResult; add the cases or a default clause that owns the remainder"
+	case codec.KindHello:
+		return 0
+	case codec.KindJob:
+		return 1
+	}
+	return -1
+}
+
+// CompareToVariable makes no exhaustiveness claim: fine.
+func CompareToVariable(k, sentinel codec.Kind) bool {
+	switch k {
+	case sentinel:
+		return true
+	}
+	return false
+}
+
+// PlainIntSwitch is not an enum dispatch: fine.
+func PlainIntSwitch(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,8 @@
+// Package other is off the scale-out path: goleak does not apply, a
+// fire-and-forget goroutine is its caller's own business.
+package other
+
+// FireAndForget spawns without joining; allowed here.
+func FireAndForget() {
+	go func() {}()
+}

@@ -1,0 +1,120 @@
+// Package shard is a goleak fixture: its name puts it on the scale-out
+// path, so every spawned goroutine must be visibly joined.
+package shard
+
+import (
+	"sync"
+	"testing"
+)
+
+// Serve joins its connection goroutines through the WaitGroup: fine.
+func Serve(conns []int) {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for range conns {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+}
+
+// Leak spawns with no join at all.
+func Leak() {
+	go func() {}() // want "goroutine is not joined before the spawning scope returns"
+}
+
+// worker is the helper form of Done: the summary carries DoneParams.
+func worker(wg *sync.WaitGroup) { defer wg.Done() }
+
+// SpawnHelper joins through the helper's Done: fine.
+func SpawnHelper() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg)
+	wg.Wait()
+}
+
+// join is the helper form of Wait: the summary carries WaitParams.
+func join(wg *sync.WaitGroup) { wg.Wait() }
+
+// SpawnWaitVia waits through a helper: fine.
+func SpawnWaitVia() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	join(&wg)
+}
+
+// ChanClose joins by receiving the close: fine.
+func ChanClose() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// ChanSend joins by receiving the result: fine.
+func ChanSend() int {
+	res := make(chan int)
+	go func() { res <- 1 }()
+	return <-res
+}
+
+// WrongGroup dones a group nobody waits on.
+func WrongGroup() {
+	var wg, other sync.WaitGroup
+	wg.Add(1)
+	go func() { defer other.Done() }() // want "goroutine is not joined before the spawning scope returns"
+	_ = wg
+}
+
+type server struct{}
+
+func (s *server) run() {}
+
+// MethodSpawn spawns a method value: nothing provable, flagged.
+func MethodSpawn(s *server) {
+	go s.run() // want "goroutine is not joined before the spawning scope returns"
+}
+
+// Monitor spawns a goroutine owned by the server; Close joins it — the
+// documented goleak exception.
+func Monitor() {
+	go func() {}()
+}
+
+// DeferredJoin receives the join channel inside a deferred closure,
+// which runs at scope teardown: fine.
+func DeferredJoin() {
+	done := make(chan struct{})
+	defer func() { <-done }()
+	go func() { close(done) }()
+}
+
+// CleanupJoin registers the join with t.Cleanup, which the harness runs
+// at test teardown: fine. This is the standard test-server shape.
+func CleanupJoin(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	t.Cleanup(func() { <-done })
+}
+
+// CleanupNoJoin registers cleanup work that never joins: still flagged.
+func CleanupNoJoin(t *testing.T) {
+	done := make(chan struct{})
+	go func() { close(done) }() // want "goroutine is not joined before the spawning scope returns"
+	t.Cleanup(func() {})
+}
+
+// Nested: a goroutine that itself spawns must join its own children.
+func Nested() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		go func() {}() // want "goroutine is not joined before the spawning scope returns"
+	}()
+	wg.Wait()
+}

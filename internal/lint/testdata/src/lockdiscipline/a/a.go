@@ -1,0 +1,130 @@
+// Package a is the lockdiscipline fixture: mutex-by-value parameters,
+// locks held across blocking operations, and unpaired unlocks.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// Get pairs Lock with a deferred Unlock around pure map access: fine.
+func (s *store) Get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}
+
+// ByValue copies the lock state into the callee.
+func ByValue(mu sync.Mutex) { // want "sync.Mutex passed by value copies the lock state"
+	mu.Lock()
+	mu.Unlock()
+}
+
+// ByValueStruct copies a struct that contains a mutex.
+func ByValueStruct(s store) int { // want "passed by value copies the lock state"
+	return len(s.m)
+}
+
+// ValueReceiver copies the lock on every call.
+func (s store) ValueReceiver() int { // want "passed by value copies the lock state"
+	return len(s.m)
+}
+
+// HeldAcrossSend keeps the lock across a channel send.
+func (s *store) HeldAcrossSend(ch chan int) {
+	s.mu.Lock()
+	ch <- 1 // want "lock on s held across a channel send"
+	s.mu.Unlock()
+}
+
+// HeldAcrossDeferred: the deferred unlock releases only at return, so
+// the receive below still runs under the lock.
+func (s *store) HeldAcrossDeferred(ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-ch // want "lock on s held across a channel receive"
+}
+
+// UnlockFirst unlocks a mutex this scope never locked.
+func (s *store) UnlockFirst() {
+	s.mu.Unlock() // want "Unlock without a preceding Lock in this scope"
+}
+
+// HeldAcrossSleep parks with the lock held.
+func (s *store) HeldAcrossSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "lock on s held across time.Sleep"
+	s.mu.Unlock()
+}
+
+// blockingHelper blocks on its channel; callers inherit the fact.
+func blockingHelper(ch chan int) { ch <- 1 }
+
+// HeldAcrossCall blocks through the helper while locked.
+func (s *store) HeldAcrossCall(ch chan int) {
+	s.mu.Lock()
+	blockingHelper(ch) // want "lock on s held across a call to blockingHelper, which may block"
+	s.mu.Unlock()
+}
+
+// lockHelper / unlockHelper move the lock traffic behind calls; the
+// summaries carry LockParams/UnlockParams so the pairing still counts.
+func lockHelper(mu *sync.Mutex)   { mu.Lock() }
+func unlockHelper(mu *sync.Mutex) { mu.Unlock() }
+
+// ViaHelpers locks through a helper, then blocks.
+func ViaHelpers(mu *sync.Mutex, ch chan int) {
+	lockHelper(mu)
+	ch <- 1 // want "lock on mu held across a channel send"
+	unlockHelper(mu)
+}
+
+// ReleaseFirst shrinks the critical section before blocking: fine.
+func (s *store) ReleaseFirst(ch chan int) {
+	s.mu.Lock()
+	s.m["sent"] = 1
+	s.mu.Unlock()
+	ch <- 1
+}
+
+// RWHeld holds a read lock across a select with no default.
+func RWHeld(mu *sync.RWMutex, ch chan int) {
+	mu.RLock()
+	select { // want "lock on mu held across a select without default"
+	case <-ch:
+	}
+	mu.RUnlock()
+}
+
+// PollUnderLock uses a select with a default: never parks, fine.
+func PollUnderLock(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	select {
+	case <-ch:
+	default:
+	}
+	mu.Unlock()
+}
+
+// HoldByDesign pins the lock across the handoff deliberately; the
+// lockdiscipline exemption documents the single-writer protocol.
+func HoldByDesign(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	ch <- 1
+	mu.Unlock()
+}
+
+// ClosureScopes pair within the closure, not across it: fine.
+func ClosureScopes(mu *sync.Mutex) func() {
+	mu.Lock()
+	mu.Unlock()
+	return func() {
+		mu.Lock()
+		mu.Unlock()
+	}
+}
