@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -24,10 +25,13 @@ import (
 //     explicit slice); nothing in the codec is allowed to depend on map
 //     order even incidentally.
 //  2. In every other package, a function that calls a codec Encode*
-//     function must not also range over a map: the loop's order could
-//     reach the encoder's input through any value built between the two.
+//     function must not also range over a map — nor may any
+//     same-package helper it (transitively) calls: the loop's order
+//     could reach the encoder's input through any value built between
+//     the two, and hoisting the walk into a helper must not hide it.
 var Codecdet = &analysis.Analyzer{
 	Name: "codecdet",
+	ID:   "SL007",
 	Doc: "forbid map iteration on artifact-encoding paths\n\n" +
 		"The artifact codec must be deterministic: equal artifacts encode to\n" +
 		"equal bytes. Map iteration order is randomized, so ranging over a\n" +
@@ -39,13 +43,53 @@ var Codecdet = &analysis.Analyzer{
 
 func runCodecdet(pass *analysis.Pass) error {
 	inCodec := pass.Pkg.Name() == "codec"
+	g := pass.CallGraph()
+	type encoderFunc struct {
+		node *analysis.FuncNode
+		name string
+		enc  string
+	}
+	var encoders []encoderFunc
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkCodecFunc(pass, fd, inCodec)
+			enc := checkCodecFunc(pass, fd, inCodec)
+			if inCodec || enc == "" {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				if n := g.Node(obj); n != nil {
+					encoders = append(encoders, encoderFunc{node: n, name: fd.Name.Name, enc: enc})
+				}
+			}
+		}
+	}
+	// Rule 2, interprocedural: a helper reachable from an
+	// encode-calling function hides the same hazard one call down. The
+	// summaries carry each function's map-range sites.
+	reported := make(map[token.Pos]bool)
+	isEncoder := make(map[*analysis.FuncNode]bool, len(encoders))
+	for _, e := range encoders {
+		isEncoder[e.node] = true // its own ranges were reported directly
+	}
+	for _, e := range encoders {
+		reach := g.Reachable(e.node)
+		for _, n := range g.Funcs() { // declaration order: deterministic output
+			if isEncoder[n] || !reach[n] {
+				continue
+			}
+			for _, pos := range n.Summary.MapRanges {
+				if reported[pos] {
+					continue
+				}
+				reported[pos] = true
+				pass.Reportf(pos,
+					"map iteration in %s, reachable from %s, which calls %s: map order is randomized and must not reach the artifact encoder; iterate a sorted slice instead",
+					n.Obj.Name(), e.name, e.enc)
+			}
 		}
 	}
 	return nil
@@ -53,8 +97,9 @@ func runCodecdet(pass *analysis.Pass) error {
 
 // checkCodecFunc applies both rules to one function body: collect its
 // map-range statements, and (outside the codec package) whether it calls
-// into a codec encoder.
-func checkCodecFunc(pass *analysis.Pass, fd *ast.FuncDecl, inCodec bool) {
+// into a codec encoder; the encoder's name is returned for the
+// interprocedural pass.
+func checkCodecFunc(pass *analysis.Pass, fd *ast.FuncDecl, inCodec bool) string {
 	var mapRanges []*ast.RangeStmt
 	encodeCall := ""
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -85,4 +130,5 @@ func checkCodecFunc(pass *analysis.Pass, fd *ast.FuncDecl, inCodec bool) {
 				fd.Name.Name, encodeCall)
 		}
 	}
+	return encodeCall
 }

@@ -15,14 +15,23 @@ import (
 // statement order, values derived from such calls and reports
 //
 //   - escapes: assignment into a struct field or map/slice element,
-//     sends on channels, appends, and captures in composite literals;
+//     sends on channels, appends, captures in composite literals, and
+//     passing to a same-package function whose summary stores the
+//     argument (EscapeParams);
 //   - stale reads: any use after a later RunInto/MaterializeBatch call
-//     that reuses the same scratch.
+//     — direct, or through a same-package helper that forwards a
+//     scratch into one (ScratchParams) — that reuses the same scratch.
 //
-// Passing a tracked value to a function or returning it is allowed: the
-// callee or caller sees it while the scratch is still current.
+// Same-package helpers are followed through the package call graph: a
+// helper that forwards its scratch parameter into RunInto counts as a
+// producer (its result carries the taint when the summary says the
+// result aliases the scratch) and as a reuser (it bumps the scratch
+// generation). Passing a tracked value to any other function or
+// returning it is allowed: the callee or caller sees it while the
+// scratch is still current.
 var ScratchAlias = &analysis.Analyzer{
 	Name: "scratchalias",
+	ID:   "SL002",
 	Doc: "flag scratch-backed RunInto/MaterializeBatch results that escape or go stale\n\n" +
 		"Results returned by RunInto/MaterializeBatch alias the Scratch that\n" +
 		"produced them and are overwritten by the next call on that scratch.\n" +
@@ -32,6 +41,7 @@ var ScratchAlias = &analysis.Analyzer{
 }
 
 func runScratchAlias(pass *analysis.Pass) error {
+	g := pass.CallGraph()
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			var body *ast.BlockStmt
@@ -44,7 +54,7 @@ func runScratchAlias(pass *analysis.Pass) error {
 			if body == nil {
 				return true
 			}
-			w := &scratchWalker{pass: pass,
+			w := &scratchWalker{pass: pass, graph: g,
 				taint: make(map[types.Object]taintEntry),
 				gen:   make(map[types.Object]int),
 			}
@@ -69,6 +79,7 @@ type taintEntry struct {
 
 type scratchWalker struct {
 	pass  *analysis.Pass
+	graph *analysis.CallGraph
 	taint map[types.Object]taintEntry
 	gen   map[types.Object]int
 	step  int
@@ -213,6 +224,21 @@ func (w *scratchWalker) checkStaleAndEscapes(s ast.Stmt) {
 					}
 				}
 			}
+			// Passing a tainted value to a same-package function that
+			// stores its argument is an escape one call away.
+			if callee := w.graph.CalleeOf(w.pass.TypesInfo, n); callee != nil {
+				for _, pi := range callee.Summary.EscapeParams {
+					arg := argExprAt(w.pass, n, callee, pi)
+					if arg == nil {
+						continue
+					}
+					if node, name := w.aliasSource(arg); node != nil {
+						w.pass.Reportf(node.Pos(),
+							"%s aliases scratch memory valid only until the next RunInto; %s stores its argument, letting it outlive the scratch",
+							name, callee.Obj.Name())
+					}
+				}
+			}
 		}
 		return true
 	})
@@ -264,7 +290,7 @@ func (w *scratchWalker) aliasSource(e ast.Expr) (ast.Node, string) {
 		case *ast.ParenExpr:
 			e = x.X
 		case *ast.CallExpr:
-			if w.scratchRoot(x) != nil {
+			if w.producerRoot(x) != nil {
 				return x, "the result"
 			}
 			return nil, ""
@@ -322,7 +348,7 @@ func (w *scratchWalker) propagate(s ast.Stmt) {
 	// scratch producer.
 	if len(assign.Rhs) == 1 {
 		if call, ok := assign.Rhs[0].(*ast.CallExpr); ok {
-			if root := w.scratchRoot(call); root != nil {
+			if root := w.producerRoot(call); root != nil {
 				for _, lhs := range assign.Lhs {
 					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
 						w.taintIdent(id, root)
@@ -340,7 +366,7 @@ func (w *scratchWalker) maybeTaint(id *ast.Ident, rhs ast.Expr) {
 		return
 	}
 	if call, ok := rhs.(*ast.CallExpr); ok {
-		if root := w.scratchRoot(call); root != nil {
+		if root := w.producerRoot(call); root != nil {
 			w.taintIdent(id, root)
 			return
 		}
@@ -393,11 +419,46 @@ func (w *scratchWalker) taintIdentEntry(id *ast.Ident, t taintEntry) {
 	w.taint[obj] = taintEntry{root: t.root, gen: t.gen, pos: w.step}
 }
 
-// scratchRoot recognises RunInto/MaterializeBatch calls and returns the
-// object standing for the Scratch they consume: the object behind the
-// first argument whose type is (a pointer to) a named type Scratch, or
-// nil for other calls.
+// scratchRoot recognises calls that reuse a Scratch and returns the
+// object standing for it: a direct RunInto/MaterializeBatch call (the
+// first argument whose type is a named type Scratch), or a
+// same-package helper whose summary forwards a parameter into one
+// (ScratchParams). Nil for other calls.
 func (w *scratchWalker) scratchRoot(call *ast.CallExpr) types.Object {
+	if root := w.directScratchRoot(call); root != nil {
+		return root
+	}
+	if callee := w.graph.CalleeOf(w.pass.TypesInfo, call); callee != nil {
+		for _, pi := range callee.Summary.ScratchParams {
+			if obj := w.scratchArgRoot(call, callee, pi); obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// producerRoot recognises calls whose *result* aliases a Scratch: a
+// direct RunInto/MaterializeBatch, or a helper whose summary says some
+// result aliases the same parameter it forwards into a scratch slot.
+func (w *scratchWalker) producerRoot(call *ast.CallExpr) types.Object {
+	if root := w.directScratchRoot(call); root != nil {
+		return root
+	}
+	if callee := w.graph.CalleeOf(w.pass.TypesInfo, call); callee != nil {
+		for _, pi := range callee.Summary.ScratchParams {
+			if !paramIn(callee.Summary.ResultAliasParams, pi) {
+				continue
+			}
+			if obj := w.scratchArgRoot(call, callee, pi); obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func (w *scratchWalker) directScratchRoot(call *ast.CallExpr) types.Object {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return nil
@@ -414,6 +475,25 @@ func (w *scratchWalker) scratchRoot(call *ast.CallExpr) types.Object {
 		}
 	}
 	return nil
+}
+
+// scratchArgRoot resolves the scratch object behind the call's
+// receiver-inclusive argument pi, when that argument is Scratch-typed.
+func (w *scratchWalker) scratchArgRoot(call *ast.CallExpr, callee *analysis.FuncNode, pi int) types.Object {
+	arg := argExprAt(w.pass, call, callee, pi)
+	if arg == nil || !isScratchType(w.pass.TypesInfo.Types[arg].Type) {
+		return nil
+	}
+	return rootObject(w.pass, arg)
+}
+
+func paramIn(s []int, i int) bool {
+	for _, v := range s {
+		if v == i {
+			return true
+		}
+	}
+	return false
 }
 
 // rootObject resolves the object an expression stores through: the

@@ -38,6 +38,26 @@ type runState struct {
 	n   int
 }
 
+// RunWithRetry threads its context through a closure and a deferred
+// call: a function literal is not exported API, so its parameter order
+// is free, and a deferred use of the captured context is not a stored
+// context. Neither may re-trigger the rule.
+func RunWithRetry(ctx context.Context, n int) error {
+	attempt := func(n int, ctx context.Context) error { return ctx.Err() }
+	defer func() { _ = ctx.Err() }()
+	return attempt(n, ctx)
+}
+
+// DeferredHelper passes the context in a deferred call to an exported
+// context-first helper: fine at both ends.
+func DeferredHelper(ctx context.Context, n int) (err error) {
+	defer func() { err = RunContext(ctx, n) }()
+	return nil
+}
+
+// VariadicTail takes the context first with options trailing: fine.
+func VariadicTail(ctx context.Context, opts ...int) error { return ctx.Err() }
+
 // silence unused-symbol noise in the fixture.
 var _ = badState{}
 var _ = runState{}

@@ -1,0 +1,51 @@
+// Package b exercises the interprocedural half of scratchalias:
+// same-package helpers that forward a scratch into RunInto, alias it
+// in their result, or store their argument.
+package b
+
+import "scratch/sim"
+
+type keeper struct{ last *sim.Result }
+
+// runOne forwards its scratch into RunInto and returns the view: a
+// producer and a reuser by summary.
+func runOne(fs *sim.FaultSim, f int, sc *sim.Scratch) *sim.Result {
+	return fs.RunInto(f, sc)
+}
+
+// keep stores its argument; callers passing a scratch view escape it.
+func (k *keeper) keep(r *sim.Result) { k.last = r }
+
+// count only reads; passing a view here is fine.
+func count(r *sim.Result) int { return r.DetectingPatterns }
+
+func staleViaHelper(fs *sim.FaultSim) int {
+	sc := &sim.Scratch{}
+	r1 := runOne(fs, 1, sc)
+	r2 := runOne(fs, 2, sc)
+	return r1.DetectingPatterns + r2.DetectingPatterns // want "a later RunInto/MaterializeBatch has reused"
+}
+
+func escapeViaHelper(fs *sim.FaultSim, k *keeper) {
+	sc := &sim.Scratch{}
+	r := runOne(fs, 1, sc)
+	k.keep(r) // want "keep stores its argument"
+}
+
+func storeHelperResult(fs *sim.FaultSim, k *keeper) {
+	sc := &sim.Scratch{}
+	k.last = runOne(fs, 1, sc) // want "storing it in k.last"
+}
+
+func passOK(fs *sim.FaultSim) int {
+	sc := &sim.Scratch{}
+	r := runOne(fs, 1, sc)
+	return count(r)
+}
+
+func mixedScratches(fs *sim.FaultSim) int {
+	s1, s2 := &sim.Scratch{}, &sim.Scratch{}
+	r1 := runOne(fs, 1, s1)
+	r2 := runOne(fs, 2, s2)
+	return r1.DetectingPatterns + r2.DetectingPatterns
+}
