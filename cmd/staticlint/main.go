@@ -1,23 +1,32 @@
 // Command staticlint is the repository's bundled static analysis
 // driver: it runs the standard `go vet` suite and the custom analyzers
-// from internal/lint (detrand, scratchalias, panicfmt, noexit,
-// paralleltestscratch) over the requested packages.
+// from internal/lint (see `staticlint -list` for the full set) over
+// the requested packages.
 //
 // Usage:
 //
 //	staticlint [flags] [packages]
 //	staticlint ./...
 //	staticlint -disable scratchalias ./internal/sim/...
+//	staticlint -vet=false -sarif ./... > staticlint.sarif
+//
+// Findings print go-vet style by default; -json emits a flat JSON
+// array and -sarif a SARIF 2.1.0 log on stdout (vet output, which the
+// go tool formats its own way, stays on stderr in those modes).
 //
 // Exit status: 0 when every check is clean, 1 when any analyzer or vet
-// pass reported diagnostics, 2 when loading or typechecking failed.
+// pass reported diagnostics, 2 when flag parsing, loading or
+// typechecking failed — including unknown analyzer names in -disable,
+// so a typo cannot silently re-enable a check.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -25,19 +34,35 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the driver behind main, factored out so tests can exercise
+// flag handling and report encoding without spawning a process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("staticlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		runVet  = flag.Bool("vet", true, "also run the standard `go vet` suite")
-		disable = flag.String("disable", "", "comma-separated custom analyzer names to skip")
-		list    = flag.Bool("list", false, "list the custom analyzers and exit")
+		runVet   = fs.Bool("vet", true, "also run the standard `go vet` suite")
+		disable  = fs.String("disable", "", "comma-separated custom analyzer names to skip")
+		list     = fs.Bool("list", false, "list the custom analyzers and exit")
+		jsonOut  = fs.Bool("json", false, "emit findings as a JSON array on stdout")
+		sarifOut = fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log on stdout")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "staticlint: -json and -sarif are mutually exclusive")
+		return 2
+	}
 
 	analyzers := lint.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-22s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+			fmt.Fprintf(stdout, "%-22s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
 		}
-		return
+		return 0
 	}
 	skip := make(map[string]bool)
 	for _, name := range strings.Split(*disable, ",") {
@@ -53,51 +78,81 @@ func main() {
 		}
 		enabled = append(enabled, a)
 	}
-	for name := range skip {
-		fmt.Fprintf(os.Stderr, "staticlint: unknown analyzer %q in -disable\n", name)
-		os.Exit(2)
+	if len(skip) > 0 {
+		unknown := make([]string, 0, len(skip))
+		for name := range skip {
+			unknown = append(unknown, name)
+		}
+		sort.Strings(unknown)
+		for _, name := range unknown {
+			fmt.Fprintf(stderr, "staticlint: unknown analyzer %q in -disable\n", name)
+		}
+		return 2
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
-	failed := false
+	vetOK := true
 	if *runVet {
-		failed = !vet(patterns)
+		// In structured modes stdout carries only the report; vet's
+		// free-form output moves to stderr.
+		vetStdout := stdout
+		if *jsonOut || *sarifOut {
+			vetStdout = stderr
+		}
+		var err error
+		vetOK, err = vet(patterns, vetStdout, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "staticlint: running go vet: %v\n", err)
+			return 2
+		}
 	}
 
 	pkgs, err := analysis.Load(patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "staticlint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "staticlint: %v\n", err)
+		return 2
 	}
 	findings, err := analysis.Run(pkgs, enabled)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "staticlint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "staticlint: %v\n", err)
+		return 2
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	switch {
+	case *jsonOut:
+		err = writeJSON(stdout, findings)
+	case *sarifOut:
+		err = writeSARIF(stdout, findings, enabled)
+	default:
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
-	if failed || len(findings) > 0 {
-		os.Exit(1)
+	if err != nil {
+		fmt.Fprintf(stderr, "staticlint: %v\n", err)
+		return 2
 	}
+	if !vetOK || len(findings) > 0 {
+		return 1
+	}
+	return 0
 }
 
 // vet runs the standard analyzer suite via the go tool, streaming its
-// report; it returns false when vet found problems.
-func vet(patterns []string) bool {
+// report; it returns false when vet found problems and a non-nil error
+// only when the tool could not run at all.
+func vet(patterns []string, stdout, stderr io.Writer) (bool, error) {
 	cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
-	cmd.Stdout = os.Stdout
-	cmd.Stderr = os.Stderr
+	cmd.Stdout = stdout
+	cmd.Stderr = stderr
 	if err := cmd.Run(); err != nil {
 		if _, ok := err.(*exec.ExitError); ok {
-			return false
+			return false, nil
 		}
-		fmt.Fprintf(os.Stderr, "staticlint: running go vet: %v\n", err)
-		os.Exit(2)
+		return false, err
 	}
-	return true
+	return true, nil
 }

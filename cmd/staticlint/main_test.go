@@ -1,0 +1,258 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/lint"
+)
+
+// sampleFindings builds a fixed finding set against the real analyzer
+// registry, so the golden files exercise real rule IDs.
+func sampleFindings(t *testing.T) []analysis.Finding {
+	t.Helper()
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range lint.Analyzers() {
+		byName[a.Name] = a
+	}
+	pick := func(name string) *analysis.Analyzer {
+		a := byName[name]
+		if a == nil {
+			t.Fatalf("no analyzer %q registered", name)
+		}
+		return a
+	}
+	return []analysis.Finding{
+		{
+			Analyzer: pick("scratchalias"),
+			Position: token.Position{Filename: "internal/sim/batch.go", Line: 42, Column: 7},
+			Message:  "res aliases scratch memory valid only until the next RunInto; storing it in h.res lets it outlive the scratch",
+		},
+		{
+			Analyzer: pick("goleak"),
+			Position: token.Position{Filename: "internal/shard/worker.go", Line: 84, Column: 3},
+			Message:  "goroutine is not joined before the spawning scope returns: Wait on a WaitGroup it Dones, or receive from a channel it closes",
+		},
+		{
+			Analyzer: pick("framecase"),
+			Position: token.Position{Filename: "internal/shard/worker.go", Line: 195, Column: 2},
+			Message:  "switch on JobKind does not handle JobChain; add the cases or a default clause that owns the remainder",
+		},
+	}
+}
+
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden %s: %v (regenerate by saving the got output)", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s output drifted from golden file %s\ngot:\n%s\nwant:\n%s", name, path, got, want)
+	}
+}
+
+func TestJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, sampleFindings(t)); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	golden(t, "findings.json", buf.Bytes())
+}
+
+func TestJSONEmptyIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, nil); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("empty finding set encoded as %q, want []", buf.String())
+	}
+}
+
+func TestSARIFGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, sampleFindings(t), lint.Analyzers()); err != nil {
+		t.Fatalf("writeSARIF: %v", err)
+	}
+	golden(t, "findings.sarif", buf.Bytes())
+	validateSARIF(t, buf.Bytes())
+}
+
+func TestSARIFEmptyRunValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, nil, lint.Analyzers()); err != nil {
+		t.Fatalf("writeSARIF: %v", err)
+	}
+	validateSARIF(t, buf.Bytes())
+}
+
+// validateSARIF checks the output against the SARIF 2.1.0 schema's
+// required properties and the internal consistency code-scanning
+// consumers rely on: version and $schema, a non-empty runs array,
+// tool.driver.name, rules with unique non-empty ids, and results whose
+// ruleId/ruleIndex resolve to a declared rule and whose locations
+// carry slash-separated URIs and 1-based regions.
+func validateSARIF(t *testing.T, data []byte) {
+	t.Helper()
+	var log map[string]interface{}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF output is not JSON: %v", err)
+	}
+	if v, _ := log["version"].(string); v != "2.1.0" {
+		t.Errorf(`version = %q, want "2.1.0"`, v)
+	}
+	if s, _ := log["$schema"].(string); !strings.Contains(s, "sarif-2.1.0") {
+		t.Errorf("$schema = %q, want a sarif-2.1.0 schema URI", s)
+	}
+	runs, ok := log["runs"].([]interface{})
+	if !ok || len(runs) == 0 {
+		t.Fatalf("runs missing or empty: %T", log["runs"])
+	}
+	run, ok := runs[0].(map[string]interface{})
+	if !ok {
+		t.Fatalf("runs[0] is %T, want object", runs[0])
+	}
+	tool, _ := run["tool"].(map[string]interface{})
+	driver, _ := tool["driver"].(map[string]interface{})
+	if driver == nil {
+		t.Fatal("runs[0].tool.driver missing")
+	}
+	if name, _ := driver["name"].(string); name == "" {
+		t.Error("tool.driver.name missing or empty")
+	}
+	rules, _ := driver["rules"].([]interface{})
+	ruleIDs := make([]string, len(rules))
+	seen := make(map[string]bool)
+	for i, r := range rules {
+		rule, _ := r.(map[string]interface{})
+		id, _ := rule["id"].(string)
+		if id == "" {
+			t.Errorf("rules[%d].id missing or empty", i)
+		}
+		if seen[id] {
+			t.Errorf("duplicate rule id %q", id)
+		}
+		seen[id] = true
+		ruleIDs[i] = id
+		if sd, _ := rule["shortDescription"].(map[string]interface{}); sd == nil {
+			t.Errorf("rules[%d] (%s) has no shortDescription", i, id)
+		}
+	}
+	results, ok := run["results"].([]interface{})
+	if !ok {
+		t.Fatalf("runs[0].results is %T, want array (empty runs still carry [])", run["results"])
+	}
+	for i, r := range results {
+		res, _ := r.(map[string]interface{})
+		ruleID, _ := res["ruleId"].(string)
+		idx, idxOK := res["ruleIndex"].(float64)
+		if !idxOK || int(idx) < 0 || int(idx) >= len(ruleIDs) || ruleIDs[int(idx)] != ruleID {
+			t.Errorf("results[%d]: ruleId %q / ruleIndex %v do not resolve to a declared rule", i, ruleID, res["ruleIndex"])
+		}
+		msg, _ := res["message"].(map[string]interface{})
+		if text, _ := msg["text"].(string); text == "" {
+			t.Errorf("results[%d].message.text missing", i)
+		}
+		locs, _ := res["locations"].([]interface{})
+		if len(locs) == 0 {
+			t.Errorf("results[%d].locations empty", i)
+			continue
+		}
+		loc, _ := locs[0].(map[string]interface{})
+		phys, _ := loc["physicalLocation"].(map[string]interface{})
+		art, _ := phys["artifactLocation"].(map[string]interface{})
+		uri, _ := art["uri"].(string)
+		if uri == "" || strings.Contains(uri, `\`) {
+			t.Errorf("results[%d] artifact URI %q: want non-empty, slash-separated", i, uri)
+		}
+		region, _ := phys["region"].(map[string]interface{})
+		if line, _ := region["startLine"].(float64); line < 1 {
+			t.Errorf("results[%d].region.startLine = %v, want >= 1", i, line)
+		}
+	}
+}
+
+func TestListPrintsOneLineDocs(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if rc := run([]string{"-list"}, &out, &errOut); rc != 0 {
+		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", rc, errOut.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if want := len(lint.Analyzers()); len(lines) != want {
+		t.Errorf("-list printed %d lines, want %d", len(lines), want)
+	}
+	for _, a := range lint.Analyzers() {
+		found := false
+		firstDoc := strings.SplitN(a.Doc, "\n", 2)[0]
+		for _, line := range lines {
+			if strings.HasPrefix(line, a.Name) && strings.Contains(line, firstDoc) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("-list output has no line for %s with its one-line doc", a.Name)
+		}
+	}
+}
+
+func TestUnknownDisableNameExits2(t *testing.T) {
+	var out, errOut bytes.Buffer
+	rc := run([]string{"-vet=false", "-disable", "detrand,nosuchcheck", "./..."}, &out, &errOut)
+	if rc != 2 {
+		t.Fatalf("run(-disable nosuchcheck) = %d, want 2", rc)
+	}
+	if !strings.Contains(errOut.String(), `unknown analyzer "nosuchcheck"`) {
+		t.Errorf("stderr %q does not name the unknown analyzer", errOut.String())
+	}
+	if strings.Contains(errOut.String(), `"detrand"`) {
+		t.Errorf("stderr %q flags the valid name detrand", errOut.String())
+	}
+}
+
+func TestJSONAndSARIFMutuallyExclusive(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if rc := run([]string{"-json", "-sarif", "./..."}, &out, &errOut); rc != 2 {
+		t.Fatalf("run(-json -sarif) = %d, want 2", rc)
+	}
+	if !strings.Contains(errOut.String(), "mutually exclusive") {
+		t.Errorf("stderr %q does not explain the flag conflict", errOut.String())
+	}
+}
+
+func TestRuleIDFallsBackToName(t *testing.T) {
+	a := &analysis.Analyzer{Name: "adhoc"}
+	if got := ruleID(a); got != "adhoc" {
+		t.Errorf("ruleID(no ID) = %q, want the name", got)
+	}
+	a.ID = "SL099"
+	if got := ruleID(a); got != "SL099" {
+		t.Errorf("ruleID = %q, want SL099", got)
+	}
+}
+
+func TestDisplayPathRelativizes(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs := filepath.Join(cwd, "sub", "file.go")
+	if got := displayPath(abs); got != "sub/file.go" {
+		t.Errorf("displayPath(%q) = %q, want sub/file.go", abs, got)
+	}
+	if got := displayPath("already/relative.go"); got != "already/relative.go" {
+		t.Errorf("displayPath kept = %q", got)
+	}
+	outside := filepath.Join(string(filepath.Separator), "elsewhere", "x.go")
+	if got := displayPath(outside); got != filepath.ToSlash(outside) {
+		t.Errorf("displayPath(%q) = %q, want unchanged", outside, got)
+	}
+}

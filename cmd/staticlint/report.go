@@ -1,0 +1,186 @@
+package main
+
+// report.go renders findings machine-readably. Two formats: a flat
+// JSON list for scripting, and SARIF 2.1.0 for code-scanning UIs. Both
+// key findings by the analyzers' stable rule IDs (SL001…), which
+// survive analyzer renames; the human-readable name rides along.
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// jsonFinding is one finding in -json output.
+type jsonFinding struct {
+	Rule     string `json:"rule"`
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits the findings as an indented JSON array (never null:
+// an empty run encodes as []).
+func writeJSON(w io.Writer, findings []analysis.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			Rule:     ruleID(f.Analyzer),
+			Analyzer: f.Analyzer.Name,
+			File:     displayPath(f.Position.Filename),
+			Line:     f.Position.Line,
+			Column:   f.Position.Column,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SARIF 2.1.0 structures, restricted to the properties the format
+// requires plus the ones code-scanning consumers read.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	Name             string       `json:"name"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	FullDescription  sarifMessage `json:"fullDescription,omitempty"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+const sarifSchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+// writeSARIF emits one SARIF 2.1.0 run: every enabled analyzer becomes
+// a rule (so consumers can show docs for silent rules too), every
+// finding a result pointing back to its rule by ID and index.
+func writeSARIF(w io.Writer, findings []analysis.Finding, analyzers []*analysis.Analyzer) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	index := make(map[string]int, len(analyzers))
+	for i, a := range analyzers {
+		doc := strings.SplitN(a.Doc, "\n", 2)
+		rule := sarifRule{
+			ID:               ruleID(a),
+			Name:             a.Name,
+			ShortDescription: sarifMessage{Text: doc[0]},
+		}
+		if len(doc) > 1 {
+			rule.FullDescription = sarifMessage{Text: strings.TrimSpace(doc[1])}
+		}
+		rules = append(rules, rule)
+		index[rule.ID] = i
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		id := ruleID(f.Analyzer)
+		results = append(results, sarifResult{
+			RuleID:    id,
+			RuleIndex: index[id],
+			Level:     "error", // every finding is an invariant violation and fails the build
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       displayPath(f.Position.Filename),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{
+						StartLine:   f.Position.Line,
+						StartColumn: f.Position.Column,
+					},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "staticlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// ruleID is the stable identifier for reports; analyzers without an
+// assigned ID fall back to their name.
+func ruleID(a *analysis.Analyzer) string {
+	if a.ID != "" {
+		return a.ID
+	}
+	return a.Name
+}
+
+// displayPath renders a finding's file relative to the working
+// directory (slash-separated, as SARIF requires) when it lies inside
+// it; other paths pass through unchanged.
+func displayPath(name string) string {
+	if filepath.IsAbs(name) {
+		if cwd, err := os.Getwd(); err == nil {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+	}
+	return filepath.ToSlash(name)
+}
