@@ -95,19 +95,25 @@ type WireKnobs struct {
 	Lanes             uint32
 }
 
+// JobKind selects which diagnosis flow a shard worker runs. It is a
+// named type so switches over it are checked for exhaustiveness (the
+// framecase analyzer): adding a kind without teaching every dispatch
+// site is a compile-time-silent, analyzer-loud mistake.
+type JobKind uint8
+
 // Shard job kinds: which diagnosis flow the worker runs.
 const (
 	// JobCircuit diagnoses stuck-at faults on a full-scan circuit.
-	JobCircuit uint8 = 1
+	JobCircuit JobKind = 1
 	// JobSOCCore diagnoses stuck-at faults in one core of an SOC through
 	// its meta chains.
-	JobSOCCore uint8 = 2
+	JobSOCCore JobKind = 2
 	// JobChain injects shift-path faults (position i/2, stuck i%2 per
 	// index) and reports location accuracy.
-	JobChain uint8 = 3
+	JobChain JobKind = 3
 	// JobTransition diagnoses transition (delay) faults under
 	// launch-off-capture.
-	JobTransition uint8 = 4
+	JobTransition JobKind = 4
 )
 
 // WireFault is sim.Fault on the wire.
@@ -128,7 +134,7 @@ type WireTransitionFault struct {
 // coordinator's global fault list, so deltas merge back slot-major.
 type ShardJob struct {
 	ID     uint64
-	Kind   uint8
+	Kind   JobKind
 	Device DeviceRef
 	Core   int32 // JobSOCCore: core index; -1 otherwise
 	Spec   WireSpec
@@ -179,7 +185,7 @@ type WireChainOutcome struct {
 // ShardResult is a worker's complete answer for one job.
 type ShardResult struct {
 	JobID uint64
-	Kind  uint8
+	Kind  JobKind
 	// PlanBatches/LaneCap describe the worker's batch schedule so the
 	// coordinator can aggregate scheduler-saturation metrics.
 	PlanBatches uint32
@@ -286,7 +292,7 @@ func EncodeShardHello(h *ShardHello) []byte {
 func EncodeShardJob(j *ShardJob) []byte {
 	var w writer
 	w.u64(j.ID)
-	w.u8(j.Kind)
+	w.u8(uint8(j.Kind))
 	w.device(j.Device)
 	w.i32(j.Core)
 	w.spec(j.Spec)
@@ -312,7 +318,7 @@ func EncodeShardJob(j *ShardJob) []byte {
 func EncodeShardResult(r *ShardResult) []byte {
 	var w writer
 	w.u64(r.JobID)
-	w.u8(r.Kind)
+	w.u8(uint8(r.Kind))
 	w.u32(r.PlanBatches)
 	w.u32(r.LaneCap)
 	w.u32(uint32(len(r.Diagnoses)))
@@ -488,7 +494,7 @@ func DecodeShardJob(data []byte) (*ShardJob, error) {
 	r := &reader{b: payload}
 	var j ShardJob
 	j.ID = r.u64()
-	j.Kind = r.u8()
+	j.Kind = JobKind(r.u8())
 	j.Device = r.device()
 	j.Core = r.i32()
 	j.Spec = r.spec()
@@ -545,7 +551,7 @@ func DecodeShardResult(data []byte) (*ShardResult, error) {
 	r := &reader{b: payload}
 	var res ShardResult
 	res.JobID = r.u64()
-	res.Kind = r.u8()
+	res.Kind = JobKind(r.u8())
 	res.PlanBatches = r.u32()
 	res.LaneCap = r.u32()
 	if n := r.count(1); n > 0 {

@@ -247,6 +247,9 @@ func FuzzShardFrame(f *testing.F) {
 				codec.DecodeShardError(env)
 			case codec.KindShardProgress:
 				codec.DecodeShardProgress(env)
+			default:
+				// Fuzzed frames can carry any kind; non-shard payloads
+				// have their own decoders and are skipped here.
 			}
 		}
 	})

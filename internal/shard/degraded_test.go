@@ -15,6 +15,9 @@ import (
 
 // startFakeWorker serves the hello handshake and then hands the
 // connection to handler — a scripted worker for failure injection.
+// The accept loop and its per-connection goroutines are owned by the
+// listener, not this scope: ln.Close at test cleanup unblocks Accept
+// and the handlers return with their connections (goleak exemption).
 func startFakeWorker(t *testing.T, handler func(conn net.Conn)) string {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

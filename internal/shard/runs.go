@@ -24,7 +24,7 @@ import (
 // buildFaultJobs shards a stuck-at fault list and wraps each shard in a
 // wire job. IDs number jobs from baseID+1 so a multi-core run's jobs
 // stay distinct.
-func buildFaultJobs(kind uint8, ref codec.DeviceRef, coreIdx int32, spec codec.WireSpec, knobs codec.WireKnobs, faults []sim.Fault, costs []int, shards, baseID int) []*codec.ShardJob {
+func buildFaultJobs(kind codec.JobKind, ref codec.DeviceRef, coreIdx int32, spec codec.WireSpec, knobs codec.WireKnobs, faults []sim.Fault, costs []int, shards, baseID int) []*codec.ShardJob {
 	plan := PlanShards(costs, shards)
 	jobs := make([]*codec.ShardJob, len(plan))
 	for j, sh := range plan {

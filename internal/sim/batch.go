@@ -369,6 +369,8 @@ func (fs *FaultSim) RunBatch(cb *CompiledBatch, bs *BatchScratch) {
 // itself remains reusable: every working slot a kernel reads was written
 // earlier in the same run (gates are in topological order), so the next
 // full RunBatch overwrites any torn state before consuming it.
+//
+//allochot:entry
 func (fs *FaultSim) RunBatchContext(ctx context.Context, cb *CompiledBatch, bs *BatchScratch) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -1092,6 +1094,8 @@ func runGatesWin(vals []uint64, gates []bgate, runs []opRun, launch []uint64, S,
 // Scratch must match the batch kind (NewScratch for stuck-at,
 // NewTransitionScratch for transition batches). The Result is scratch-owned
 // and valid until the next materialization or RunInto on the same Scratch.
+//
+//allochot:entry
 func (fs *FaultSim) MaterializeBatch(bs *BatchScratch, k int, sc *Scratch) *Result {
 	cb := bs.cb
 	if cb == nil || k >= cb.Lanes() {
